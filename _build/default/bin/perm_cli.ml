@@ -1,0 +1,194 @@
+(* The Perm browser as a terminal client (paper Fig. 4): send SQL-PLE
+   statements, see results, rewritten SQL and both algebra trees, switch
+   rewrite strategies and contribution semantics interactively. *)
+
+module Engine = Perm_engine.Engine
+module Render = Perm_engine.Render
+
+type session = {
+  engine : Engine.t;
+  mutable show_panes : bool;  (* print the four browser panes per query *)
+  mutable timing : bool;  (* print wall-clock time per statement *)
+}
+
+let print_outcome session sql outcome =
+  match (outcome : Engine.outcome) with
+  | Engine.Rows rs ->
+    if session.show_panes then begin
+      match Engine.explain session.engine sql with
+      | Ok e ->
+        print_endline "-- original algebra tree:";
+        print_string e.Engine.original_tree;
+        print_endline "-- rewritten algebra tree:";
+        print_string e.Engine.rewritten_tree;
+        print_endline "-- rewritten SQL:";
+        print_endline e.Engine.rewritten_sql;
+        if e.Engine.agg_strategies <> [] then
+          Printf.printf "-- aggregation rewrite strategies: %s\n"
+            (String.concat ", " e.Engine.agg_strategies);
+        print_endline "-- result:"
+      | Error _ -> ()
+    end;
+    print_string (Render.table ~columns:rs.Engine.columns ~rows:rs.Engine.rows)
+  | Engine.Affected n -> Printf.printf "(%d row%s affected)\n" n (if n = 1 then "" else "s")
+  | Engine.Message m -> print_endline m
+  | Engine.Explained e ->
+    print_endline "-- original algebra tree:";
+    print_string e.Engine.original_tree;
+    print_endline "-- rewritten algebra tree:";
+    print_string e.Engine.rewritten_tree;
+    print_endline "-- optimized algebra tree:";
+    print_string e.Engine.optimized_tree;
+    print_endline "-- rewritten SQL:";
+    print_endline e.Engine.rewritten_sql;
+    if e.Engine.agg_strategies <> [] then
+      Printf.printf "-- aggregation rewrite strategies: %s\n"
+        (String.concat ", " e.Engine.agg_strategies)
+
+let run_sql session sql =
+  let sql = String.trim sql in
+  if sql <> "" then begin
+    let t0 = Unix.gettimeofday () in
+    (match Engine.execute session.engine sql with
+    | Ok outcome -> print_outcome session sql outcome
+    | Error msg -> Printf.printf "ERROR: %s\n" msg);
+    if session.timing then
+      Printf.printf "Time: %.3f ms\n" ((Unix.gettimeofday () -. t0) *. 1000.)
+  end
+
+let help_text =
+  {|Perm browser commands:
+  \q                       quit
+  \d                       list tables and views
+  \panes on|off            show algebra trees + rewritten SQL per query
+  \timing on|off           print wall-clock time per statement
+  \strategy join|lateral|heuristic|cost
+                           aggregation rewrite strategy (paper 2.2)
+  \optimizer on|off        toggle the planner rewrites
+  \demo                    load the paper's example forum database (Fig. 1)
+  \save FILE               dump all tables and views as a SQL script
+  \load FILE               execute a SQL script (e.g. a \save dump)
+  \help                    this text
+Anything else is executed as an SQL-PLE statement (end with ;).|}
+
+let handle_meta session line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "\\q" ] -> `Quit
+  | [ "\\help" ] | [ "\\?" ] ->
+    print_endline help_text;
+    `Continue
+  | [ "\\d" ] ->
+    let cat = Engine.catalog session.engine in
+    List.iter
+      (fun (t : Perm_catalog.Catalog.table_def) ->
+        Printf.printf "table %-20s %s\n" t.Perm_catalog.Catalog.table_name
+          (Format.asprintf "%a" Perm_catalog.Schema.pp t.Perm_catalog.Catalog.table_schema))
+      (Perm_catalog.Catalog.tables cat);
+    List.iter
+      (fun (v : Perm_catalog.Catalog.view_def) ->
+        Printf.printf "view  %-20s AS %s\n" v.Perm_catalog.Catalog.view_name
+          v.Perm_catalog.Catalog.view_sql)
+      (Perm_catalog.Catalog.views cat);
+    `Continue
+  | [ "\\panes"; v ] ->
+    session.show_panes <- (v = "on");
+    `Continue
+  | [ "\\timing"; v ] ->
+    session.timing <- (v = "on");
+    `Continue
+  | [ "\\strategy"; v ] ->
+    (match v with
+    | "join" -> Engine.set_agg_strategy session.engine Engine.Use_join
+    | "lateral" -> Engine.set_agg_strategy session.engine Engine.Use_lateral
+    | "heuristic" -> Engine.set_agg_strategy session.engine Engine.Use_heuristic
+    | "cost" -> Engine.set_agg_strategy session.engine Engine.Use_cost_based
+    | _ -> print_endline "unknown strategy; use join|lateral|heuristic|cost");
+    `Continue
+  | [ "\\optimizer"; v ] ->
+    Engine.set_optimizer_config session.engine
+      (if v = "on" then Perm_planner.Planner.default_config
+       else Perm_planner.Planner.disabled_config);
+    `Continue
+  | [ "\\save"; path ] ->
+    (try
+       Out_channel.with_open_text path (fun oc ->
+           Out_channel.output_string oc (Engine.dump_sql session.engine));
+       Printf.printf "dumped session to %s\n" path
+     with Sys_error msg -> Printf.printf "ERROR: %s\n" msg);
+    `Continue
+  | [ "\\load"; path ] ->
+    (try
+       let sql = In_channel.with_open_text path In_channel.input_all in
+       match Engine.execute_script session.engine sql with
+       | Ok outcomes -> Printf.printf "executed %d statements\n" (List.length outcomes)
+       | Error msg -> Printf.printf "ERROR: %s\n" msg
+     with Sys_error msg -> Printf.printf "ERROR: %s\n" msg);
+    `Continue
+  | [ "\\demo" ] ->
+    Perm_workload.Forum.load session.engine;
+    print_endline "loaded the paper's example database (messages, users, imports, approved, view v1)";
+    `Continue
+  | _ ->
+    Printf.printf "unknown command %s (try \\help)\n" line;
+    `Continue
+
+let repl session =
+  print_endline "Perm provenance management system — type \\help for commands";
+  let buffer = Buffer.create 256 in
+  let rec loop () =
+    print_string (if Buffer.length buffer = 0 then "perm> " else "  ... ");
+    flush stdout;
+    match In_channel.input_line stdin with
+    | None -> ()
+    | Some line ->
+      if Buffer.length buffer = 0 && String.length (String.trim line) > 0
+         && (String.trim line).[0] = '\\'
+      then (
+        match handle_meta session line with
+        | `Quit -> ()
+        | `Continue -> loop ())
+      else begin
+        Buffer.add_string buffer line;
+        Buffer.add_char buffer '\n';
+        let text = Buffer.contents buffer in
+        if String.contains text ';' then begin
+          Buffer.clear buffer;
+          run_sql session text
+        end;
+        loop ()
+      end
+  in
+  loop ()
+
+let main demo script command =
+  let session = { engine = Engine.create (); show_panes = false; timing = false } in
+  if demo then Perm_workload.Forum.load session.engine;
+  match script, command with
+  | Some path, _ ->
+    let sql = In_channel.with_open_text path In_channel.input_all in
+    (match Engine.execute_script session.engine sql with
+    | Ok outcomes -> List.iter (print_outcome session "") outcomes
+    | Error msg ->
+      Printf.eprintf "ERROR: %s\n" msg;
+      exit 1)
+  | None, Some sql -> run_sql session sql
+  | None, None -> repl session
+
+open Cmdliner
+
+let demo_flag =
+  Arg.(value & flag & info [ "demo" ] ~doc:"Load the paper's Figure 1 example database at startup.")
+
+let script_arg =
+  Arg.(value & opt (some file) None & info [ "f"; "file" ] ~docv:"SCRIPT" ~doc:"Execute the SQL script and exit.")
+
+let command_arg =
+  Arg.(value & opt (some string) None & info [ "c"; "command" ] ~docv:"SQL" ~doc:"Execute one statement and exit.")
+
+let cmd =
+  let doc = "interactive client for the Perm provenance management system" in
+  Cmd.v
+    (Cmd.info "perm_cli" ~doc)
+    Term.(const main $ demo_flag $ script_arg $ command_arg)
+
+let () = exit (Cmd.eval cmd)

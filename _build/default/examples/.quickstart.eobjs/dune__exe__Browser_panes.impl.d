@@ -1,0 +1,1 @@
+examples/browser_panes.ml: Engine Perm_workload Printf String Util

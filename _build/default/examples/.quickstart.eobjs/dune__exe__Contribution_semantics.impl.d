@@ -1,0 +1,1 @@
+examples/contribution_semantics.ml: Engine Perm_workload Printf Util

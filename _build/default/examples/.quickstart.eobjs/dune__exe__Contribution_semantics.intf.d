@@ -1,0 +1,1 @@
+examples/contribution_semantics.mli:

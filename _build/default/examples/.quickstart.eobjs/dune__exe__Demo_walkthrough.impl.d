@@ -1,0 +1,1 @@
+examples/demo_walkthrough.ml: Engine List Perm_provenance Perm_workload Printf String Util

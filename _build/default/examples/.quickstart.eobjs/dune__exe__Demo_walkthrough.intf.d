@@ -1,0 +1,1 @@
+examples/demo_walkthrough.mli:

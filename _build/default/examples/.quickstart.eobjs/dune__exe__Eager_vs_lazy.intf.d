@@ -1,0 +1,1 @@
+examples/eager_vs_lazy.mli:

@@ -1,0 +1,1 @@
+examples/external_provenance.ml: Engine Perm_workload Util

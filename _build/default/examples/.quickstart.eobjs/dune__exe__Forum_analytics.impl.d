@@ -1,0 +1,1 @@
+examples/forum_analytics.ml: Engine Perm_workload Util

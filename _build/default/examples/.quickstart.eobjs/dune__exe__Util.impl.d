@@ -1,0 +1,1 @@
+examples/util.ml: Perm_engine Printf Unix

@@ -1,0 +1,1 @@
+examples/warehouse_provenance.ml: Engine Perm_workload Util

@@ -1,0 +1,34 @@
+(* The Perm browser panes (paper Figure 4): for one query, show the input
+   SQL (marker 1), the rewritten SQL statement (marker 2), the original
+   algebra tree (marker 3), the rewritten algebra tree (marker 4) and the
+   query result (marker 5). *)
+
+open Util
+
+let () =
+  let engine = Engine.create () in
+  Perm_workload.Forum.load engine;
+
+  let sql =
+    "SELECT PROVENANCE ON CONTRIBUTION (INFLUENCE) count(*), text FROM v1 \
+     JOIN approved a ON v1.mid = a.mid GROUP BY v1.mid, text"
+  in
+  section "marker 1: input SQL";
+  print_endline sql;
+
+  match Engine.explain engine sql with
+  | Error msg -> Printf.printf "ERROR: %s\n" msg
+  | Ok panes ->
+    section "marker 3: algebra tree of the original query";
+    print_string panes.Engine.original_tree;
+    section "marker 4: algebra tree of the rewritten query";
+    print_string panes.Engine.rewritten_tree;
+    section "marker 2: rewritten query as an SQL statement";
+    print_endline panes.Engine.rewritten_sql;
+    if panes.Engine.agg_strategies <> [] then
+      Printf.printf "\n(aggregation rewrite strategy: %s)\n"
+        (String.concat ", " panes.Engine.agg_strategies);
+    section "marker 5: query result";
+    run engine sql;
+    section "planner view: the optimized tree that actually executes";
+    print_string panes.Engine.optimized_tree

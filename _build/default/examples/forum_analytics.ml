@@ -1,0 +1,47 @@
+(* A realistic analytics scenario from the paper's introduction: provenance
+   used to trace errors, estimate data quality and gain insight — here, a
+   moderation dashboard over the forum.
+
+   The centerpiece is the paper's §2.4 query: "messages imported from the
+   'superForum' board that were approved by at least N users" — a query
+   over provenance, expressed in plain SQL around a SELECT PROVENANCE
+   subquery. *)
+
+open Util
+
+let () =
+  let engine = Engine.create () in
+  Perm_workload.Forum.load_scaled engine ~messages:2000 ~users:100 ~seed:7 ();
+
+  section "the dashboard aggregate: approvals per message";
+  run engine
+    "SELECT count(*) AS approvals, text FROM v1 JOIN approved a ON v1.mid = \
+     a.mid GROUP BY v1.mid, text ORDER BY approvals DESC LIMIT 5";
+
+  section "paper 2.4: imported 'superForum' messages approved by >= 3 users";
+  run engine
+    "SELECT text, prov_imports_origin FROM (SELECT PROVENANCE count(*) AS \
+     cnt, text FROM v1 JOIN approved a ON v1.mid = a.mid GROUP BY v1.mid, \
+     text) AS prov WHERE cnt >= 3 AND prov_imports_origin = 'superForum' \
+     LIMIT 5";
+
+  section "data quality: which import boards feed the popular messages?";
+  run engine
+    "SELECT prov_imports_origin AS board, count(*) AS popular_messages FROM \
+     (SELECT PROVENANCE count(*) AS cnt, text FROM v1 JOIN approved a ON \
+     v1.mid = a.mid GROUP BY v1.mid, text) AS prov WHERE cnt >= 2 AND \
+     prov_imports_origin IS NOT NULL GROUP BY prov_imports_origin ORDER BY \
+     popular_messages DESC";
+
+  section "error tracing: find the users behind approvals of one message";
+  run engine
+    "SELECT DISTINCT u.name FROM (SELECT PROVENANCE count(*) AS cnt, text \
+     FROM v1 JOIN approved a ON v1.mid = a.mid GROUP BY v1.mid, text) AS \
+     prov JOIN users u ON u.uid = prov.prov_approved_uid WHERE prov.cnt >= 3 \
+     ORDER BY u.name LIMIT 5";
+
+  section "store the dashboard's provenance for the weekly audit (eager)";
+  run engine
+    "STORE PROVENANCE SELECT count(*) AS cnt, text FROM v1 JOIN approved a \
+     ON v1.mid = a.mid GROUP BY v1.mid, text INTO audit_week";
+  run engine "SELECT count(*) FROM audit_week"

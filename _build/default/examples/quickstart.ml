@@ -1,0 +1,31 @@
+(* Quickstart: the paper's running example end to end.
+
+   Loads the Figure 1 forum database, runs queries q1/q2/q3, and computes
+   the provenance of q1 — the output of the second query below is exactly
+   the paper's Figure 2 table. *)
+
+open Util
+
+let () =
+  let engine = Engine.create () in
+
+  section "Figure 1: example database (messages, users, imports, approved)";
+  Perm_workload.Forum.load engine;
+  run engine "SELECT * FROM messages";
+  run engine "SELECT * FROM users";
+  run engine "SELECT * FROM imports";
+  run engine "SELECT * FROM approved";
+
+  section "q1: all messages, entered or imported";
+  run engine Perm_workload.Forum.q1;
+
+  section "q2 created view v1; q3: approval counts per message";
+  run engine Perm_workload.Forum.q3;
+
+  section "Figure 2: the provenance of q1 (SELECT PROVENANCE ...)";
+  run engine Perm_workload.Forum.q1_provenance;
+
+  section "provenance of q3: which base tuples produced each count";
+  run engine
+    "SELECT PROVENANCE count(*), text FROM v1 JOIN approved a ON v1.mid = \
+     a.mid GROUP BY v1.mid, text"

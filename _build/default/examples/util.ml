@@ -1,0 +1,29 @@
+(* Shared helpers for the example programs. *)
+
+module Engine = Perm_engine.Engine
+module Render = Perm_engine.Render
+
+let section title =
+  Printf.printf "\n=== %s ===\n\n" title
+
+let run engine sql =
+  Printf.printf "perm> %s\n" sql;
+  match Engine.execute engine sql with
+  | Ok (Engine.Rows rs) ->
+    print_string (Render.table ~columns:rs.Engine.columns ~rows:rs.Engine.rows)
+  | Ok (Engine.Affected n) ->
+    Printf.printf "(%d row%s affected)\n" n (if n = 1 then "" else "s")
+  | Ok (Engine.Message m) -> print_endline m
+  | Ok (Engine.Explained e) ->
+    print_endline "-- original algebra tree:";
+    print_string e.Engine.original_tree;
+    print_endline "-- rewritten algebra tree:";
+    print_string e.Engine.rewritten_tree;
+    print_endline "-- rewritten SQL:";
+    print_endline e.Engine.rewritten_sql
+  | Error msg -> Printf.printf "ERROR: %s\n" msg
+
+let time_it f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)

@@ -1,0 +1,53 @@
+(* Data-warehouse provenance — the paper's introduction motivates
+   provenance for warehouses and e-science: "trace errors, estimate data
+   quality and gain additional insights".
+
+   This example audits an aggregated revenue report on a TPC-H-like star
+   schema: a suspicious total is traced back to the exact line items and
+   part rows that produced it, then one bad source row is repaired and the
+   report recomputed. *)
+
+open Util
+
+let () =
+  let engine = Engine.create () in
+  Perm_workload.Star.load engine ~scale:300 ();
+
+  section "the report: revenue per part brand";
+  run engine Perm_workload.Star.revenue_by_brand;
+
+  section "auditor: which base tuples produced the 'acme' total?";
+  run engine
+    "SELECT prov_lineitem_orderkey, prov_lineitem_extendedprice, \
+     prov_part_name FROM (SELECT PROVENANCE p.brand, sum(l.extendedprice) AS \
+     revenue FROM lineitem l JOIN part p ON l.partkey = p.partkey GROUP BY \
+     p.brand) rep WHERE brand = 'acme' ORDER BY prov_lineitem_extendedprice \
+     DESC LIMIT 5";
+
+  section "error tracing: plant a corrupted line item and find it";
+  run engine "INSERT INTO lineitem VALUES (1, 1, 1, 9999999.0, 0.0)";
+  run engine
+    "SELECT brand, revenue FROM (SELECT PROVENANCE p.brand, \
+     sum(l.extendedprice) AS revenue FROM lineitem l JOIN part p ON \
+     l.partkey = p.partkey GROUP BY p.brand) rep WHERE \
+     prov_lineitem_extendedprice > 1000000.0";
+  run engine
+    "SELECT DISTINCT prov_lineitem_orderkey, prov_lineitem_extendedprice \
+     FROM (SELECT PROVENANCE p.brand, sum(l.extendedprice) AS revenue FROM \
+     lineitem l JOIN part p ON l.partkey = p.partkey GROUP BY p.brand) rep \
+     WHERE prov_lineitem_extendedprice > 1000000.0";
+
+  section "repair the source and recompute";
+  run engine "DELETE FROM lineitem WHERE extendedprice > 1000000.0";
+  run engine
+    "SELECT count(*) AS suspicious FROM (SELECT PROVENANCE p.brand, \
+     sum(l.extendedprice) AS revenue FROM lineitem l JOIN part p ON \
+     l.partkey = p.partkey GROUP BY p.brand) rep WHERE \
+     prov_lineitem_extendedprice > 1000000.0";
+
+  section "quality estimate: witnesses per segment report row";
+  run engine
+    "SELECT segment, count(*) AS witnesses FROM (SELECT PROVENANCE \
+     c.segment, sum(l.extendedprice) AS revenue FROM customer c JOIN orders \
+     o ON c.custkey = o.custkey JOIN lineitem l ON o.orderkey = l.orderkey \
+     GROUP BY c.segment) rep GROUP BY segment ORDER BY witnesses DESC"

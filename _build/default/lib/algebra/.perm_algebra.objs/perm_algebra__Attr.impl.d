@@ -1,0 +1,1 @@
+lib/algebra/attr.ml: Format Int Map Perm_value Set

@@ -1,0 +1,1 @@
+lib/algebra/attr.mli: Format Map Perm_value Set

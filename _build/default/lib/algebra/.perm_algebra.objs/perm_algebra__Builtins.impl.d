@@ -1,0 +1,1 @@
+lib/algebra/builtins.ml: Buffer Float Hashtbl List Perm_value Printf String

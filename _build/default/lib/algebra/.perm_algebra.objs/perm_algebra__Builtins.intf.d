@@ -1,0 +1,1 @@
+lib/algebra/builtins.mli: Perm_value

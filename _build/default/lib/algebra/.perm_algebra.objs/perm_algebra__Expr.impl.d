@@ -1,0 +1,1 @@
+lib/algebra/expr.ml: Attr Builtins Format List Option Perm_value String

@@ -1,0 +1,1 @@
+lib/algebra/expr.mli: Attr Format Perm_value

@@ -1,0 +1,1 @@
+lib/algebra/plan.ml: Attr Expr List Perm_value Printf

@@ -1,0 +1,1 @@
+lib/algebra/pretty.ml: Attr Buffer Expr Format List Plan Printf String

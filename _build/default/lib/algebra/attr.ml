@@ -1,0 +1,23 @@
+type t = { id : int; name : string; ty : Perm_value.Dtype.t }
+
+let counter = ref 0
+
+let fresh name ty =
+  incr counter;
+  { id = !counter; name; ty }
+
+let renamed name t = fresh name t.ty
+let retyped ty t = { t with ty }
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+let pp ppf t = Format.fprintf ppf "%s#%d" t.name t.id
+let reset_counter () = counter := 0
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

@@ -1,0 +1,364 @@
+module Value = Perm_value.Value
+module Dtype = Perm_value.Dtype
+
+type signature = {
+  fn_name : string;
+  check : Dtype.t list -> (Dtype.t, string) result;
+  eval : Value.t list -> (Value.t, string) result;
+}
+
+let arity_error name n = Error (Printf.sprintf "%s expects %d argument(s)" name n)
+
+let numeric1 name f_int f_float =
+  {
+    fn_name = name;
+    check =
+      (function
+      | [ (Dtype.Int | Dtype.Any) ] -> Ok Dtype.Int
+      | [ Dtype.Float ] -> Ok Dtype.Float
+      | [ t ] -> Error (Printf.sprintf "%s expects a numeric argument, got %s" name (Dtype.to_string t))
+      | _ -> arity_error name 1);
+    eval =
+      (function
+      | [ Value.Null ] -> Ok Value.Null
+      | [ Value.Int i ] -> Ok (Value.Int (f_int i))
+      | [ Value.Float f ] -> Ok (Value.Float (f_float f))
+      | [ v ] -> Error (Printf.sprintf "%s: bad argument %s" name (Value.to_string v))
+      | _ -> arity_error name 1);
+  }
+
+let text1 name f =
+  {
+    fn_name = name;
+    check =
+      (function
+      | [ (Dtype.Text | Dtype.Any) ] -> Ok Dtype.Text
+      | [ t ] -> Error (Printf.sprintf "%s expects text, got %s" name (Dtype.to_string t))
+      | _ -> arity_error name 1);
+    eval =
+      (function
+      | [ Value.Null ] -> Ok Value.Null
+      | [ Value.Text s ] -> Ok (Value.Text (f s))
+      | [ v ] -> Error (Printf.sprintf "%s: bad argument %s" name (Value.to_string v))
+      | _ -> arity_error name 1);
+  }
+
+(* round to nearest, ties away from zero, as PostgreSQL does *)
+let pg_round f = Float.of_int (int_of_float (Float.round f))
+
+let variadic_common name pick =
+  {
+    fn_name = name;
+    check =
+      (fun tys ->
+        if tys = [] then Error (name ^ " expects at least one argument")
+        else
+          let unified =
+            List.fold_left
+              (fun acc ty ->
+                match acc with
+                | Error _ as e -> e
+                | Ok t -> (
+                  match Dtype.unify t ty with
+                  | Some u -> Ok u
+                  | None ->
+                    Error
+                      (Printf.sprintf "%s: incompatible argument types" name)))
+              (Ok Dtype.Any) tys
+          in
+          unified);
+    eval = (fun vs -> Ok (pick vs));
+  }
+
+(* float -> float functions (sqrt, ln, ...): int arguments widen *)
+let float1 name f =
+  {
+    fn_name = name;
+    check =
+      (function
+      | [ (Dtype.Int | Dtype.Float | Dtype.Any) ] -> Ok Dtype.Float
+      | [ t ] ->
+        Error (Printf.sprintf "%s expects a numeric argument, got %s" name (Dtype.to_string t))
+      | _ -> arity_error name 1);
+    eval =
+      (function
+      | [ Value.Null ] -> Ok Value.Null
+      | [ Value.Int i ] -> (
+        match f (float_of_int i) with
+        | x when Float.is_nan x -> Error (name ^ ": domain error")
+        | x -> Ok (Value.Float x))
+      | [ Value.Float v ] -> (
+        match f v with
+        | x when Float.is_nan x -> Error (name ^ ": domain error")
+        | x -> Ok (Value.Float x))
+      | [ v ] -> Error (Printf.sprintf "%s: bad argument %s" name (Value.to_string v))
+      | _ -> arity_error name 1);
+  }
+
+let signatures =
+  [
+    numeric1 "abs" abs Float.abs;
+    numeric1 "floor" (fun i -> i) Float.floor;
+    numeric1 "ceil" (fun i -> i) Float.ceil;
+    numeric1 "round" (fun i -> i) pg_round;
+    {
+      fn_name = "sign";
+      check =
+        (function
+        | [ (Dtype.Int | Dtype.Float | Dtype.Any) ] -> Ok Dtype.Int
+        | [ t ] -> Error ("sign expects a number, got " ^ Dtype.to_string t)
+        | _ -> arity_error "sign" 1);
+      eval =
+        (function
+        | [ Value.Null ] -> Ok Value.Null
+        | [ Value.Int i ] -> Ok (Value.Int (compare i 0))
+        | [ Value.Float f ] -> Ok (Value.Int (compare f 0.))
+        | [ v ] -> Error ("sign: bad argument " ^ Value.to_string v)
+        | _ -> arity_error "sign" 1);
+    };
+    float1 "sqrt" Float.sqrt;
+    float1 "ln" Float.log;
+    float1 "exp" Float.exp;
+    {
+      fn_name = "power";
+      check =
+        (function
+        | [ (Dtype.Int | Dtype.Float | Dtype.Any); (Dtype.Int | Dtype.Float | Dtype.Any) ] ->
+          Ok Dtype.Float
+        | _ -> Error "power expects (numeric, numeric)");
+      eval =
+        (fun vs ->
+          let to_f = function
+            | Value.Int i -> Some (float_of_int i)
+            | Value.Float f -> Some f
+            | _ -> None
+          in
+          match vs with
+          | [ Value.Null; _ ] | [ _; Value.Null ] -> Ok Value.Null
+          | [ a; b ] -> (
+            match to_f a, to_f b with
+            | Some x, Some y -> Ok (Value.Float (Float.pow x y))
+            | _ -> Error "power: bad arguments")
+          | _ -> arity_error "power" 2);
+    };
+    {
+      fn_name = "strpos";
+      check =
+        (function
+        | [ (Dtype.Text | Dtype.Any); (Dtype.Text | Dtype.Any) ] -> Ok Dtype.Int
+        | _ -> Error "strpos expects (text, text)");
+      eval =
+        (function
+        | [ Value.Null; _ ] | [ _; Value.Null ] -> Ok Value.Null
+        | [ Value.Text hay; Value.Text needle ] ->
+          let nh = String.length hay and nn = String.length needle in
+          let rec go i =
+            if nn = 0 then 1
+            else if i + nn > nh then 0
+            else if String.sub hay i nn = needle then i + 1
+            else go (i + 1)
+          in
+          Ok (Value.Int (go 0))
+        | _ -> Error "strpos: bad arguments");
+    };
+    {
+      fn_name = "starts_with";
+      check =
+        (function
+        | [ (Dtype.Text | Dtype.Any); (Dtype.Text | Dtype.Any) ] -> Ok Dtype.Bool
+        | _ -> Error "starts_with expects (text, text)");
+      eval =
+        (function
+        | [ Value.Null; _ ] | [ _; Value.Null ] -> Ok Value.Null
+        | [ Value.Text s; Value.Text prefix ] ->
+          Ok
+            (Value.Bool
+               (String.length s >= String.length prefix
+               && String.sub s 0 (String.length prefix) = prefix))
+        | _ -> Error "starts_with: bad arguments");
+    };
+    {
+      fn_name = "repeat";
+      check =
+        (function
+        | [ (Dtype.Text | Dtype.Any); (Dtype.Int | Dtype.Any) ] -> Ok Dtype.Text
+        | _ -> Error "repeat expects (text, int)");
+      eval =
+        (function
+        | [ Value.Null; _ ] | [ _; Value.Null ] -> Ok Value.Null
+        | [ Value.Text s; Value.Int n ] ->
+          if n > 1_000_000 then Error "repeat: result too large"
+          else begin
+            let buf = Buffer.create (String.length s * max 0 n) in
+            for _ = 1 to n do
+              Buffer.add_string buf s
+            done;
+            Ok (Value.Text (Buffer.contents buf))
+          end
+        | _ -> Error "repeat: bad arguments");
+    };
+    text1 "lower" String.lowercase_ascii;
+    text1 "upper" String.uppercase_ascii;
+    text1 "trim" String.trim;
+    text1 "reverse" (fun s ->
+        String.init (String.length s) (fun i -> s.[String.length s - 1 - i]));
+    {
+      fn_name = "length";
+      check =
+        (function
+        | [ (Dtype.Text | Dtype.Any) ] -> Ok Dtype.Int
+        | [ t ] -> Error ("length expects text, got " ^ Dtype.to_string t)
+        | _ -> arity_error "length" 1);
+      eval =
+        (function
+        | [ Value.Null ] -> Ok Value.Null
+        | [ Value.Text s ] -> Ok (Value.Int (String.length s))
+        | [ v ] -> Error ("length: bad argument " ^ Value.to_string v)
+        | _ -> arity_error "length" 1);
+    };
+    {
+      fn_name = "substr";
+      check =
+        (function
+        | [ (Dtype.Text | Dtype.Any); (Dtype.Int | Dtype.Any) ]
+        | [ (Dtype.Text | Dtype.Any); (Dtype.Int | Dtype.Any); (Dtype.Int | Dtype.Any) ] ->
+          Ok Dtype.Text
+        | _ -> Error "substr expects (text, int[, int])");
+      eval =
+        (fun vs ->
+          match vs with
+          | [ Value.Null; _ ] | [ _; Value.Null ] | [ Value.Null; _; _ ]
+          | [ _; Value.Null; _ ] | [ _; _; Value.Null ] ->
+            Ok Value.Null
+          | [ Value.Text s; Value.Int start ]
+          | [ Value.Text s; Value.Int start; Value.Int _ ] -> (
+            (* SQL substr is 1-based; clamp to the string bounds *)
+            let len_arg =
+              match vs with
+              | [ _; _; Value.Int l ] -> l
+              | _ -> String.length s
+            in
+            let n = String.length s in
+            let from = max 0 (start - 1) in
+            let len = max 0 (min len_arg (n - from)) in
+            if from >= n then Ok (Value.Text "")
+            else Ok (Value.Text (String.sub s from len)))
+          | _ -> Error "substr: bad arguments");
+    };
+    {
+      fn_name = "replace";
+      check =
+        (function
+        | [ (Dtype.Text | Dtype.Any); (Dtype.Text | Dtype.Any); (Dtype.Text | Dtype.Any) ] ->
+          Ok Dtype.Text
+        | _ -> Error "replace expects (text, text, text)");
+      eval =
+        (function
+        | [ Value.Null; _; _ ] | [ _; Value.Null; _ ] | [ _; _; Value.Null ] ->
+          Ok Value.Null
+        | [ Value.Text s; Value.Text find; Value.Text by ] ->
+          if find = "" then Ok (Value.Text s)
+          else begin
+            let buf = Buffer.create (String.length s) in
+            let fl = String.length find in
+            let rec go i =
+              if i > String.length s - fl then
+                Buffer.add_string buf (String.sub s i (String.length s - i))
+              else if String.sub s i fl = find then begin
+                Buffer.add_string buf by;
+                go (i + fl)
+              end
+              else begin
+                Buffer.add_char buf s.[i];
+                go (i + 1)
+              end
+            in
+            go 0;
+            Ok (Value.Text (Buffer.contents buf))
+          end
+        | _ -> Error "replace: bad arguments");
+    };
+    {
+      fn_name = "nullif";
+      check =
+        (function
+        | [ a; b ] -> (
+          match Dtype.unify a b with
+          | Some t -> Ok t
+          | None -> Error "nullif: incompatible argument types")
+        | _ -> arity_error "nullif" 2);
+      eval =
+        (function
+        | [ a; b ] ->
+          if (not (Value.is_null a)) && Value.equal a b then Ok Value.Null
+          else Ok a
+        | _ -> arity_error "nullif" 2);
+    };
+    variadic_common "coalesce" (fun vs ->
+        match List.find_opt (fun v -> not (Value.is_null v)) vs with
+        | Some v -> v
+        | None -> Value.Null);
+    variadic_common "greatest" (fun vs ->
+        let vs = List.filter (fun v -> not (Value.is_null v)) vs in
+        match vs with
+        | [] -> Value.Null
+        | v :: rest -> List.fold_left (fun a b -> if Value.compare a b >= 0 then a else b) v rest);
+    variadic_common "least" (fun vs ->
+        let vs = List.filter (fun v -> not (Value.is_null v)) vs in
+        match vs with
+        | [] -> Value.Null
+        | v :: rest -> List.fold_left (fun a b -> if Value.compare a b <= 0 then a else b) v rest);
+    {
+      fn_name = "date_part";
+      check =
+        (function
+        | [ (Dtype.Text | Dtype.Any); (Dtype.Date | Dtype.Any) ] -> Ok Dtype.Int
+        | _ -> Error "date_part expects ('year'|'month'|'day', date)");
+      eval =
+        (function
+        | [ Value.Null; _ ] | [ _; Value.Null ] -> Ok Value.Null
+        | [ Value.Text part; Value.Date d ] -> (
+          let y, m, day = Value.date_to_ymd d in
+          match String.lowercase_ascii part with
+          | "year" -> Ok (Value.Int y)
+          | "month" -> Ok (Value.Int m)
+          | "day" -> Ok (Value.Int day)
+          | p -> Error (Printf.sprintf "date_part: unknown field %S" p))
+        | _ -> Error "date_part: bad arguments");
+    };
+    {
+      fn_name = "make_date";
+      check =
+        (function
+        | [ (Dtype.Int | Dtype.Any); (Dtype.Int | Dtype.Any); (Dtype.Int | Dtype.Any) ] ->
+          Ok Dtype.Date
+        | _ -> Error "make_date expects (int, int, int)");
+      eval =
+        (function
+        | [ Value.Null; _; _ ] | [ _; Value.Null; _ ] | [ _; _; Value.Null ] ->
+          Ok Value.Null
+        | [ Value.Int y; Value.Int m; Value.Int d ] -> Value.date_of_ymd y m d
+        | _ -> Error "make_date: bad arguments");
+    };
+    {
+      fn_name = "mod";
+      check =
+        (function
+        | [ (Dtype.Int | Dtype.Any); (Dtype.Int | Dtype.Any) ] -> Ok Dtype.Int
+        | _ -> Error "mod expects (int, int)");
+      eval =
+        (function
+        | [ Value.Null; _ ] | [ _; Value.Null ] -> Ok Value.Null
+        | [ Value.Int _; Value.Int 0 ] -> Error "division by zero"
+        | [ Value.Int a; Value.Int b ] -> Ok (Value.Int (a mod b))
+        | _ -> Error "mod: bad arguments");
+    };
+  ]
+
+let table =
+  let t = Hashtbl.create 32 in
+  List.iter (fun s -> Hashtbl.replace t s.fn_name s) signatures;
+  t
+
+let find name = Hashtbl.find_opt table (String.lowercase_ascii name)
+let names () = List.map (fun s -> s.fn_name) signatures |> List.sort String.compare

@@ -1,0 +1,18 @@
+(** Registry of scalar builtin functions (PostgreSQL-compatible subset).
+
+    Shared by the analyzer (typing) and the executor (evaluation).
+    Supported: [abs], [length], [lower], [upper], [substr], [coalesce],
+    [nullif], [greatest], [least], [round], [floor], [ceil], [mod],
+    [replace], [trim]. *)
+
+type signature = {
+  fn_name : string;
+  check : Perm_value.Dtype.t list -> (Perm_value.Dtype.t, string) result;
+      (** argument types to result type, or an error message *)
+  eval : Perm_value.Value.t list -> (Perm_value.Value.t, string) result;
+}
+
+val find : string -> signature option
+(** Case-insensitive. *)
+
+val names : unit -> string list

@@ -1,0 +1,167 @@
+module Value = Perm_value.Value
+module Dtype = Perm_value.Dtype
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Neq
+  | Lt
+  | Leq
+  | Gt
+  | Geq
+  | And
+  | Or
+  | Concat
+  | Like
+
+type unop = Not | Neg | Is_null
+
+type t =
+  | Const of Value.t
+  | Attr of Attr.t
+  | Binop of binop * t * t
+  | Unop of unop * t
+  | Case of { branches : (t * t) list; else_ : t option }
+  | Cast of t * Dtype.t
+  | Func of string * t list
+
+let rec attrs = function
+  | Const _ -> Attr.Set.empty
+  | Attr a -> Attr.Set.singleton a
+  | Binop (_, a, b) -> Attr.Set.union (attrs a) (attrs b)
+  | Unop (_, a) -> attrs a
+  | Case { branches; else_ } ->
+    let acc =
+      List.fold_left
+        (fun acc (c, r) -> Attr.Set.union acc (Attr.Set.union (attrs c) (attrs r)))
+        Attr.Set.empty branches
+    in
+    (match else_ with Some e -> Attr.Set.union acc (attrs e) | None -> acc)
+  | Cast (e, _) -> attrs e
+  | Func (_, args) ->
+    List.fold_left (fun acc e -> Attr.Set.union acc (attrs e)) Attr.Set.empty args
+
+let rec substitute map e =
+  match e with
+  | Const _ -> e
+  | Attr a -> ( match Attr.Map.find_opt a map with Some e' -> e' | None -> e)
+  | Binop (op, a, b) -> Binop (op, substitute map a, substitute map b)
+  | Unop (op, a) -> Unop (op, substitute map a)
+  | Case { branches; else_ } ->
+    Case
+      {
+        branches =
+          List.map (fun (c, r) -> (substitute map c, substitute map r)) branches;
+        else_ = Option.map (substitute map) else_;
+      }
+  | Cast (e, ty) -> Cast (substitute map e, ty)
+  | Func (name, args) -> Func (name, List.map (substitute map) args)
+
+let rec conjuncts = function
+  | Binop (And, a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+let conjoin = function
+  | [] -> Const (Value.Bool true)
+  | e :: rest -> List.fold_left (fun acc c -> Binop (And, acc, c)) e rest
+
+let rec type_of = function
+  | Const v -> Value.type_of v
+  | Attr a -> a.Attr.ty
+  | Binop (op, a, b) -> (
+    match op with
+    | Eq | Neq | Lt | Leq | Gt | Geq | And | Or | Like -> Dtype.Bool
+    | Concat -> Dtype.Text
+    | Mod -> Dtype.Int
+    | Add | Sub | Mul | Div -> (
+      match type_of a, type_of b with
+      | Dtype.Date, Dtype.Date -> Dtype.Int (* date - date = days *)
+      | Dtype.Date, _ | _, Dtype.Date -> Dtype.Date (* date +/- days *)
+      | ta, tb -> (
+        match Dtype.unify ta tb with
+        | Some t when Dtype.is_numeric t -> t
+        | Some Dtype.Any -> Dtype.Int
+        | _ -> Dtype.Float)))
+  | Unop (Not, _) | Unop (Is_null, _) -> Dtype.Bool
+  | Unop (Neg, a) -> type_of a
+  | Case { branches; else_ } ->
+    let tys =
+      List.map (fun (_, r) -> type_of r) branches
+      @ match else_ with Some e -> [ type_of e ] | None -> []
+    in
+    List.fold_left
+      (fun acc ty -> match Dtype.unify acc ty with Some t -> t | None -> acc)
+      Dtype.Any tys
+  | Cast (_, ty) -> ty
+  | Func (name, args) -> (
+    match Builtins.find name with
+    | Some s -> (
+      match s.Builtins.check (List.map type_of args) with
+      | Ok ty -> ty
+      | Error _ -> Dtype.Any)
+    | None -> Dtype.Any)
+
+let rec equal a b =
+  match a, b with
+  | Const x, Const y -> Value.equal x y || (Value.is_null x && Value.is_null y)
+  | Attr x, Attr y -> Attr.equal x y
+  | Binop (o1, a1, b1), Binop (o2, a2, b2) -> o1 = o2 && equal a1 a2 && equal b1 b2
+  | Unop (o1, a1), Unop (o2, a2) -> o1 = o2 && equal a1 a2
+  | Case c1, Case c2 ->
+    List.length c1.branches = List.length c2.branches
+    && List.for_all2
+         (fun (x1, y1) (x2, y2) -> equal x1 x2 && equal y1 y2)
+         c1.branches c2.branches
+    && Option.equal equal c1.else_ c2.else_
+  | Cast (e1, t1), Cast (e2, t2) -> Dtype.equal t1 t2 && equal e1 e2
+  | Func (n1, a1), Func (n2, a2) ->
+    String.equal n1 n2 && List.length a1 = List.length a2 && List.for_all2 equal a1 a2
+  | (Const _ | Attr _ | Binop _ | Unop _ | Case _ | Cast _ | Func _), _ -> false
+
+let is_const = function Const _ -> true | _ -> false
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Leq -> "<="
+  | Gt -> ">"
+  | Geq -> ">="
+  | And -> "AND"
+  | Or -> "OR"
+  | Concat -> "||"
+  | Like -> "LIKE"
+
+let rec pp ppf = function
+  | Const v -> Format.pp_print_string ppf (Value.to_sql v)
+  | Attr a -> Attr.pp ppf a
+  | Binop (op, a, b) ->
+    Format.fprintf ppf "(%a %s %a)" pp a (binop_name op) pp b
+  | Unop (Not, a) -> Format.fprintf ppf "(NOT %a)" pp a
+  | Unop (Neg, a) -> Format.fprintf ppf "(- %a)" pp a
+  | Unop (Is_null, a) -> Format.fprintf ppf "(%a IS NULL)" pp a
+  | Case { branches; else_ } ->
+    Format.fprintf ppf "CASE";
+    List.iter
+      (fun (c, r) -> Format.fprintf ppf " WHEN %a THEN %a" pp c pp r)
+      branches;
+    (match else_ with
+    | Some e -> Format.fprintf ppf " ELSE %a" pp e
+    | None -> ());
+    Format.fprintf ppf " END"
+  | Cast (e, ty) -> Format.fprintf ppf "CAST(%a AS %s)" pp e (Dtype.to_string ty)
+  | Func (name, args) ->
+    Format.fprintf ppf "%s(%a)" name
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp)
+      args
+
+let to_string e = Format.asprintf "%a" pp e

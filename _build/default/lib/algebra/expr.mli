@@ -1,0 +1,56 @@
+(** Scalar expressions over algebra attributes.
+
+    The analyzer desugars the richer SQL surface (BETWEEN, IN-lists,
+    CASE-with-operand, NOT variants) into this small core, so the planner,
+    executor and provenance rewriter only handle these forms. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Neq
+  | Lt
+  | Leq
+  | Gt
+  | Geq
+  | And
+  | Or
+  | Concat
+  | Like
+
+type unop = Not | Neg | Is_null
+
+type t =
+  | Const of Perm_value.Value.t
+  | Attr of Attr.t
+  | Binop of binop * t * t
+  | Unop of unop * t
+  | Case of { branches : (t * t) list; else_ : t option }
+  | Cast of t * Perm_value.Dtype.t
+  | Func of string * t list  (** scalar builtin, resolved by the executor *)
+
+val attrs : t -> Attr.Set.t
+(** All attributes referenced by the expression. *)
+
+val substitute : t Attr.Map.t -> t -> t
+(** Replaces attribute references according to the map (used by projection
+    inlining and rewrite rules). *)
+
+val conjuncts : t -> t list
+(** Splits a top-level AND chain. *)
+
+val conjoin : t list -> t
+(** Inverse of {!conjuncts}; the empty list is [Const (Bool true)]. *)
+
+val type_of : t -> Perm_value.Dtype.t
+(** Static result type (assumes the expression is well-typed; the analyzer
+    checks that). *)
+
+val equal : t -> t -> bool
+val is_const : t -> bool
+val binop_name : binop -> string
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

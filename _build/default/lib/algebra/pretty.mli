@@ -1,0 +1,14 @@
+(** Algebra tree rendering — the Perm browser's tree panes (paper Fig. 4,
+    markers 3 and 4). *)
+
+val plan_to_string :
+  ?show_attrs:bool -> ?annotate:(Plan.t -> string) -> Plan.t -> string
+(** Indented tree, one operator per line, with operator details (predicates,
+    projection lists, group-by). With [show_attrs] (default true) each line
+    ends with the operator's output attributes. [annotate] appends a
+    per-node suffix — the engine passes cost/row estimates, giving
+    PostgreSQL-EXPLAIN-style output. *)
+
+val plan_summary : Plan.t -> string
+(** One-line nested rendering, e.g.
+    [Project(Select(Scan(messages)))] — used in logs and tests. *)

@@ -1,0 +1,1 @@
+lib/analyzer/analyzer.ml: Hashtbl List Option Perm_algebra Perm_catalog Perm_provenance Perm_sql Perm_value Printf String

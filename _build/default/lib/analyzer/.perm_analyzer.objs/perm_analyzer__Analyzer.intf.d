@@ -1,0 +1,1 @@
+lib/analyzer/analyzer.mli: Perm_algebra Perm_catalog Perm_sql

@@ -1,0 +1,29 @@
+(** Semantic analysis: SQL-PLE ASTs to algebra plans (paper Fig. 3,
+    "Parser & Analyzer" — syntactic and semantic analysis, view unfolding).
+
+    Performs name resolution (case-insensitive, with correlation to
+    enclosing query scopes), type checking, view unfolding (views are
+    re-parsed from their catalog text and inlined), star expansion,
+    GROUP-BY/aggregate validation, and de-correlation of IN / EXISTS /
+    scalar subqueries into [Semi]/[Anti]/[Apply] operators.
+
+    SQL-PLE markers are translated into [Plan.Prov] / [Plan.Baserel] /
+    [Plan.External] nodes; the provenance schema of a [SELECT PROVENANCE]
+    block is computed here (via {!Perm_provenance.Sources}) so enclosing
+    queries can reference [prov_*] columns (paper §2.4's nested example).
+
+    Documented restrictions (clear errors, not silent misbehaviour):
+    IN/EXISTS subqueries must be top-level WHERE conjuncts; subqueries are
+    not allowed in HAVING, ORDER BY, or the select list of grouped queries;
+    NOT IN uses anti-join (two-valued) matching; ORDER BY of DISTINCT and
+    set-operation queries must name output columns. *)
+
+val analyze_query :
+  Perm_catalog.Catalog.t -> Perm_sql.Ast.query -> (Perm_algebra.Plan.t, string) result
+
+val const_expr : Perm_sql.Ast.expr -> (Perm_algebra.Expr.t, string) result
+(** Translates an expression that may not reference columns, aggregates or
+    subqueries — used for [INSERT ... VALUES] rows. *)
+
+val output_names : Perm_algebra.Plan.t -> string list
+(** Display names of a plan's result columns, in order. *)

@@ -1,0 +1,1 @@
+lib/catalog/catalog.ml: Hashtbl List Printf Schema String

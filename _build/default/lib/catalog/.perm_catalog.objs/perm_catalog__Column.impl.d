@@ -1,0 +1,1 @@
+lib/catalog/column.ml: Format Perm_value String

@@ -1,0 +1,1 @@
+lib/catalog/schema.ml: Array Column Format Hashtbl Printf String

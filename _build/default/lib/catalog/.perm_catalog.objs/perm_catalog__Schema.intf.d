@@ -1,0 +1,1 @@
+lib/catalog/schema.mli: Column Format Perm_value

@@ -1,0 +1,127 @@
+type table_def = { table_name : string; table_schema : Schema.t }
+
+type view_def = {
+  view_name : string;
+  view_sql : string;
+  view_schema : Schema.t;
+}
+
+type index_def = {
+  index_name : string;
+  index_table : string;
+  index_column : string;
+}
+
+type t = {
+  table_defs : (string, table_def) Hashtbl.t;
+  view_defs : (string, view_def) Hashtbl.t;
+  index_defs : (string, index_def) Hashtbl.t;
+}
+
+let create () =
+  {
+    table_defs = Hashtbl.create 16;
+    view_defs = Hashtbl.create 16;
+    index_defs = Hashtbl.create 16;
+  }
+
+let copy t =
+  {
+    table_defs = Hashtbl.copy t.table_defs;
+    view_defs = Hashtbl.copy t.view_defs;
+    index_defs = Hashtbl.copy t.index_defs;
+  }
+let norm = String.lowercase_ascii
+
+let mem t name =
+  let name = norm name in
+  Hashtbl.mem t.table_defs name || Hashtbl.mem t.view_defs name
+
+let add_table t name schema =
+  let name = norm name in
+  if mem t name then Error (Printf.sprintf "relation %S already exists" name)
+  else begin
+    let def = { table_name = name; table_schema = schema } in
+    Hashtbl.replace t.table_defs name def;
+    Ok def
+  end
+
+let add_view t name ~sql schema =
+  let name = norm name in
+  if mem t name then Error (Printf.sprintf "relation %S already exists" name)
+  else begin
+    let def = { view_name = name; view_sql = sql; view_schema = schema } in
+    Hashtbl.replace t.view_defs name def;
+    Ok def
+  end
+
+let drop_table t name =
+  let name = norm name in
+  if Hashtbl.mem t.table_defs name then begin
+    Hashtbl.remove t.table_defs name;
+    Ok ()
+  end
+  else Error (Printf.sprintf "table %S does not exist" name)
+
+let drop_view t name =
+  let name = norm name in
+  if Hashtbl.mem t.view_defs name then begin
+    Hashtbl.remove t.view_defs name;
+    Ok ()
+  end
+  else Error (Printf.sprintf "view %S does not exist" name)
+
+let find_table t name = Hashtbl.find_opt t.table_defs (norm name)
+let find_view t name = Hashtbl.find_opt t.view_defs (norm name)
+
+let sorted_values tbl extract =
+  Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
+  |> List.sort (fun a b -> String.compare (extract a) (extract b))
+
+let tables t = sorted_values t.table_defs (fun d -> d.table_name)
+let views t = sorted_values t.view_defs (fun d -> d.view_name)
+
+let add_index t ~name ~table ~column =
+  let name = norm name and table = norm table and column = norm column in
+  if Hashtbl.mem t.index_defs name then
+    Error (Printf.sprintf "index %S already exists" name)
+  else
+    match Hashtbl.find_opt t.table_defs table with
+    | None -> Error (Printf.sprintf "table %S does not exist" table)
+    | Some def -> (
+      match Schema.find def.table_schema column with
+      | None ->
+        Error (Printf.sprintf "column %S does not exist in table %S" column table)
+      | Some _ ->
+        let d = { index_name = name; index_table = table; index_column = column } in
+        Hashtbl.replace t.index_defs name d;
+        Ok d)
+
+let drop_index t name =
+  let name = norm name in
+  match Hashtbl.find_opt t.index_defs name with
+  | Some d ->
+    Hashtbl.remove t.index_defs name;
+    Ok d
+  | None -> Error (Printf.sprintf "index %S does not exist" name)
+
+let find_index t name = Hashtbl.find_opt t.index_defs (norm name)
+
+let indexes_on t table =
+  let table = norm table in
+  Hashtbl.fold
+    (fun _ d acc -> if String.equal d.index_table table then d :: acc else acc)
+    t.index_defs []
+  |> List.sort (fun a b -> String.compare a.index_name b.index_name)
+
+let has_index t ~table ~column =
+  let table = norm table and column = norm column in
+  Hashtbl.fold
+    (fun _ d acc ->
+      acc || (String.equal d.index_table table && String.equal d.index_column column))
+    t.index_defs false
+
+let drop_table_indexes t table =
+  List.iter
+    (fun d -> Hashtbl.remove t.index_defs d.index_name)
+    (indexes_on t table)

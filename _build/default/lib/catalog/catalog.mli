@@ -1,0 +1,58 @@
+(** The system catalog: registered base tables and views.
+
+    Views are stored as their original SQL text plus the output schema
+    computed at [CREATE VIEW] time; the analyzer re-parses the text when it
+    unfolds a view (paper Fig. 3, "view unfolding"). Storing text rather
+    than a parsed tree keeps the catalog independent of the SQL front end,
+    mirroring how PostgreSQL stores view definitions in [pg_views]. *)
+
+type table_def = { table_name : string; table_schema : Schema.t }
+
+type view_def = {
+  view_name : string;
+  view_sql : string;  (** the defining [SELECT ...] text *)
+  view_schema : Schema.t;
+}
+
+type index_def = {
+  index_name : string;
+  index_table : string;
+  index_column : string;
+}
+
+type t
+
+val create : unit -> t
+val copy : t -> t
+(** Snapshot for transactions. *)
+
+val add_table : t -> string -> Schema.t -> (table_def, string) result
+(** Fails if a table or view with that (case-insensitive) name exists. *)
+
+val add_view : t -> string -> sql:string -> Schema.t -> (view_def, string) result
+val drop_table : t -> string -> (unit, string) result
+val drop_view : t -> string -> (unit, string) result
+val find_table : t -> string -> table_def option
+val find_view : t -> string -> view_def option
+val mem : t -> string -> bool
+(** True if the name is a table or a view. *)
+
+val tables : t -> table_def list
+(** Sorted by name. *)
+
+val views : t -> view_def list
+
+(** {1 Indexes} *)
+
+val add_index : t -> name:string -> table:string -> column:string -> (index_def, string) result
+(** Fails if the index name is taken or the table/column does not exist. *)
+
+val drop_index : t -> string -> (index_def, string) result
+(** Returns the dropped definition so the caller can update storage. *)
+
+val find_index : t -> string -> index_def option
+val indexes_on : t -> string -> index_def list
+(** All indexes of a table, sorted by name. *)
+
+val has_index : t -> table:string -> column:string -> bool
+val drop_table_indexes : t -> string -> unit

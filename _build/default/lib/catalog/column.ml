@@ -1,0 +1,7 @@
+type t = { name : string; ty : Perm_value.Dtype.t }
+
+let make name ty = { name = String.lowercase_ascii name; ty }
+let equal a b = String.equal a.name b.name && Perm_value.Dtype.equal a.ty b.ty
+
+let pp ppf { name; ty } =
+  Format.fprintf ppf "%s %s" name (Perm_value.Dtype.to_string ty)

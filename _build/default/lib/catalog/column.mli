@@ -1,0 +1,12 @@
+(** A named, typed column of a stored relation or view. *)
+
+type t = {
+  name : string;  (** lower-cased; SQL identifiers are case-insensitive *)
+  ty : Perm_value.Dtype.t;
+}
+
+val make : string -> Perm_value.Dtype.t -> t
+(** [make name ty] lower-cases [name]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,46 @@
+type t = Column.t array
+
+let make cols =
+  if cols = [] then Error "a relation schema must have at least one column"
+  else
+    let seen = Hashtbl.create 8 in
+    let rec check = function
+      | [] -> Ok (Array.of_list cols)
+      | (c : Column.t) :: rest ->
+        if Hashtbl.mem seen c.name then
+          Error (Printf.sprintf "duplicate column name %S" c.name)
+        else (
+          Hashtbl.add seen c.name ();
+          check rest)
+    in
+    check cols
+
+let make_exn cols =
+  match make cols with Ok t -> t | Error e -> invalid_arg e
+
+let columns t = Array.to_list t
+let arity = Array.length
+
+let find t name =
+  let name = String.lowercase_ascii name in
+  let rec go i =
+    if i >= Array.length t then None
+    else if String.equal t.(i).Column.name name then Some (i, t.(i))
+    else go (i + 1)
+  in
+  go 0
+
+let column_at t i = t.(i)
+let names t = Array.to_list (Array.map (fun (c : Column.t) -> c.name) t)
+let types t = Array.to_list (Array.map (fun (c : Column.t) -> c.ty) t)
+
+let equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> Column.equal x y) a b
+
+let pp ppf t =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Column.pp)
+    (columns t)

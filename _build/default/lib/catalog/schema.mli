@@ -1,0 +1,19 @@
+(** The schema of a stored relation: an ordered list of columns with
+    distinct names. *)
+
+type t
+
+val make : Column.t list -> (t, string) result
+(** Rejects duplicate column names (after lower-casing) and empty schemas. *)
+
+val make_exn : Column.t list -> t
+val columns : t -> Column.t list
+val arity : t -> int
+val find : t -> string -> (int * Column.t) option
+(** Case-insensitive lookup; returns the column position. *)
+
+val column_at : t -> int -> Column.t
+val names : t -> string list
+val types : t -> Perm_value.Dtype.t list
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/engine/csv.ml: Buffer List String

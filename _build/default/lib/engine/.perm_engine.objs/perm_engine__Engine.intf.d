@@ -1,0 +1,1 @@
+lib/engine/engine.mli: Perm_algebra Perm_catalog Perm_planner Perm_provenance Perm_storage Perm_value

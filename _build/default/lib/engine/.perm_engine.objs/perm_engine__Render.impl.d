@@ -1,0 +1,1 @@
+lib/engine/render.ml: Array Buffer List Perm_value Printf String

@@ -1,0 +1,1 @@
+lib/engine/render.mli: Perm_storage

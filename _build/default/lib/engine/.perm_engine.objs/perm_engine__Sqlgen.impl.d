@@ -1,0 +1,1 @@
+lib/engine/sqlgen.ml: Buffer Hashtbl List Perm_algebra Perm_value Printf String

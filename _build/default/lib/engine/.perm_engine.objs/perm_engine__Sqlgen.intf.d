@@ -1,0 +1,1 @@
+lib/engine/sqlgen.mli: Perm_algebra

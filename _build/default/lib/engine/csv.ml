@@ -1,0 +1,76 @@
+let parse input =
+  let n = String.length input in
+  let rows = ref [] and fields = ref [] in
+  let buf = Buffer.create 32 in
+  let quoted = ref false in
+  (* [quoted] marks that the *current finished field* was quoted, so an
+     empty quoted field is "" rather than NULL *)
+  let finish_field () =
+    let text = Buffer.contents buf in
+    let field =
+      if (not !quoted) && text = "" then None else Some text
+    in
+    fields := field :: !fields;
+    Buffer.clear buf;
+    quoted := false
+  in
+  let finish_row () =
+    finish_field ();
+    rows := List.rev !fields :: !rows;
+    fields := []
+  in
+  let rec plain i =
+    if i >= n then begin
+      if Buffer.length buf > 0 || !fields <> [] || !quoted then finish_row ();
+      Ok (List.rev !rows)
+    end
+    else
+      match input.[i] with
+      | ',' ->
+        finish_field ();
+        plain (i + 1)
+      | '\n' ->
+        finish_row ();
+        plain (i + 1)
+      | '\r' when i + 1 < n && input.[i + 1] = '\n' ->
+        finish_row ();
+        plain (i + 2)
+      | '"' when Buffer.length buf = 0 && not !quoted -> in_quotes (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        plain (i + 1)
+  and in_quotes i =
+    if i >= n then Error "unterminated quoted CSV field"
+    else
+      match input.[i] with
+      | '"' when i + 1 < n && input.[i + 1] = '"' ->
+        Buffer.add_char buf '"';
+        in_quotes (i + 2)
+      | '"' ->
+        quoted := true;
+        plain (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        in_quotes (i + 1)
+  in
+  plain 0
+
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s || s = ""
+
+let render_field = function
+  | None -> ""
+  | Some s ->
+    if needs_quoting s then begin
+      let buf = Buffer.create (String.length s + 2) in
+      Buffer.add_char buf '"';
+      String.iter
+        (fun c ->
+          if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+        s;
+      Buffer.add_char buf '"';
+      Buffer.contents buf
+    end
+    else s
+
+let render_row fields = String.concat "," (List.map render_field fields)

@@ -1,0 +1,13 @@
+(** Minimal RFC-4180 CSV codec for [COPY table FROM/TO 'file'].
+
+    Unquoted empty fields read as NULL (PostgreSQL's text-format
+    convention); quoted fields may contain commas, newlines and doubled
+    quotes. Values are coerced to the target column types on import. *)
+
+val parse : string -> (string option list list, string) result
+(** Rows of fields; [None] is an unquoted empty field (NULL). Handles
+    [\r\n] and a trailing newline. *)
+
+val render_row : string option list -> string
+(** One CSV line (no trailing newline); [None] renders as empty, fields are
+    quoted when needed. *)

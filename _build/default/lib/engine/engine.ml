@@ -1,0 +1,619 @@
+module Ast = Perm_sql.Ast
+module Parser = Perm_sql.Parser
+module Printer = Perm_sql.Printer
+module Plan = Perm_algebra.Plan
+module Attr = Perm_algebra.Attr
+module Pretty = Perm_algebra.Pretty
+module Analyzer = Perm_analyzer.Analyzer
+module Rewriter = Perm_provenance.Rewriter
+module Planner = Perm_planner.Planner
+module Executor = Perm_executor.Executor
+module Catalog = Perm_catalog.Catalog
+module Schema = Perm_catalog.Schema
+module Column = Perm_catalog.Column
+module Store = Perm_storage.Store
+module Heap = Perm_storage.Heap
+module Tuple = Perm_storage.Tuple
+module Value = Perm_value.Value
+module Dtype = Perm_value.Dtype
+
+type agg_strategy_setting = Use_join | Use_lateral | Use_heuristic | Use_cost_based
+
+type snapshot = {
+  snap_cat : Catalog.t;
+  snap_store : Store.t;
+  snap_prov : (string, string list) Hashtbl.t;
+}
+
+type t = {
+  mutable cat : Catalog.t;
+  mutable store : Store.t;
+  mutable prov_tables : (string, string list) Hashtbl.t;
+  mutable agg_strategy : agg_strategy_setting;
+  mutable planner_config : Planner.config;
+  mutable report : Rewriter.report option;
+  mutable snapshot : snapshot option;  (* Some while inside a transaction *)
+}
+
+let create () =
+  {
+    cat = Catalog.create ();
+    store = Store.create ();
+    prov_tables = Hashtbl.create 8;
+    agg_strategy = Use_heuristic;
+    planner_config = Planner.default_config;
+    report = None;
+    snapshot = None;
+  }
+
+type result_set = { columns : string list; rows : Tuple.t list }
+
+type explain = {
+  input_sql : string;
+  original_tree : string;
+  rewritten_tree : string;
+  optimized_tree : string;
+  rewritten_sql : string;
+  agg_strategies : string list;
+}
+
+type outcome =
+  | Rows of result_set
+  | Affected of int
+  | Message of string
+  | Explained of explain
+
+let catalog t = t.cat
+
+let stats t : Planner.stats =
+  {
+    Planner.table_rows =
+      (fun name ->
+        match Store.find t.store name with
+        | Some heap -> Heap.row_count heap
+        | None -> 0);
+    Planner.table_distinct =
+      (fun name col ->
+        match Store.find t.store name, Catalog.find_table t.cat name with
+        | Some heap, Some def -> (
+          match Schema.find def.Catalog.table_schema col with
+          | Some (pos, _) -> max 1 (Heap.distinct_estimate heap pos)
+          | None -> 1)
+        | _ -> 1);
+    Planner.has_index =
+      (fun table column -> Catalog.has_index t.cat ~table ~column);
+  }
+
+let rewriter_config t : Rewriter.config =
+  {
+    Rewriter.agg_mode =
+      (match t.agg_strategy with
+      | Use_join -> Rewriter.Fixed Rewriter.Agg_join
+      | Use_lateral -> Rewriter.Fixed Rewriter.Agg_lateral
+      | Use_heuristic -> Rewriter.Heuristic
+      | Use_cost_based ->
+        let s = stats t in
+        Rewriter.Cost_based (fun plan -> Planner.cost s plan));
+  }
+
+let set_agg_strategy t s = t.agg_strategy <- s
+let set_optimizer_config t c = t.planner_config <- c
+let last_report t = t.report
+let provenance_columns t name =
+  Hashtbl.find_opt t.prov_tables (String.lowercase_ascii name)
+
+let provider t : Executor.provider =
+  let heap_of table =
+    match Store.find t.store table with
+    | Some heap -> heap
+    | None ->
+      raise (Executor.Runtime_error (Printf.sprintf "table %S vanished" table))
+  in
+  {
+    Executor.scan_table = (fun table -> Heap.scan (heap_of table));
+    Executor.probe_index =
+      (fun table col key ->
+        let heap = heap_of table in
+        (* the planner only emits Index_scan for catalogued indexes, but the
+           index may have been created after the plan's statistics snapshot;
+           build it on demand *)
+        if not (Heap.has_index heap col) then Heap.create_index heap col;
+        Heap.index_probe heap col key);
+  }
+
+let ( let* ) = Result.bind
+
+(* ------------------------------------------------------------------ *)
+(* Query pipeline: analyze -> rewrite -> optimize -> execute            *)
+(* ------------------------------------------------------------------ *)
+
+let prepare t (q : Ast.query) =
+  let* analyzed = Analyzer.analyze_query t.cat q in
+  let* rewritten, report =
+    try Ok (Rewriter.rewrite ~config:(rewriter_config t) analyzed)
+    with Rewriter.Rewrite_error msg -> Error ("provenance rewrite failed: " ^ msg)
+  in
+  t.report <- Some report;
+  let optimized =
+    Planner.optimize ~config:t.planner_config (stats t) rewritten
+  in
+  Ok (analyzed, rewritten, optimized)
+
+let run_query t (q : Ast.query) =
+  let* analyzed, _rewritten, optimized = prepare t q in
+  let* rows = Executor.run ~provider:(provider t) optimized in
+  (* column names come from the analyzed plan's schema: the marker schema
+     already includes the provenance attributes with their public names *)
+  let columns = Analyzer.output_names analyzed in
+  Ok { columns; rows }
+
+let plan_query t sql =
+  match Parser.parse_query sql with
+  | Error e -> Error (Parser.error_to_string ~input:sql e)
+  | Ok q ->
+    let* analyzed, _rewritten, optimized = prepare t q in
+    Ok (analyzed, optimized)
+
+let run_plan t plan = Executor.run ~provider:(provider t) plan
+
+let explain_query t sql (q : Ast.query) =
+  let* analyzed, rewritten, optimized = prepare t q in
+  let report = Option.get t.report in
+  (* the executable tree carries cost/row estimates, EXPLAIN-style *)
+  let s = stats t in
+  let annotate plan =
+    Printf.sprintf "(cost=%.0f rows=%.0f)" (Planner.cost s plan)
+      (Planner.estimate_rows s plan)
+  in
+  Ok
+    {
+      input_sql = sql;
+      original_tree = Pretty.plan_to_string ~show_attrs:false analyzed;
+      rewritten_tree = Pretty.plan_to_string ~show_attrs:false rewritten;
+      optimized_tree = Pretty.plan_to_string ~show_attrs:false ~annotate optimized;
+      rewritten_sql = Sqlgen.plan_to_sql rewritten;
+      agg_strategies =
+        List.map
+          (function
+            | Rewriter.Agg_join -> "join"
+            | Rewriter.Agg_lateral -> "lateral")
+          report.Rewriter.agg_choices;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Schema derivation for CREATE TABLE AS / STORE PROVENANCE            *)
+(* ------------------------------------------------------------------ *)
+
+(* Result columns may repeat names and carry the Any type (all-NULL
+   columns); stored tables need unique names and concrete types. *)
+let schema_of_plan plan =
+  let seen = Hashtbl.create 8 in
+  let cols =
+    List.map
+      (fun (a : Attr.t) ->
+        let base = a.Attr.name in
+        let name =
+          match Hashtbl.find_opt seen base with
+          | None ->
+            Hashtbl.replace seen base 1;
+            base
+          | Some n ->
+            Hashtbl.replace seen base (n + 1);
+            Printf.sprintf "%s_%d" base n
+        in
+        let ty = match a.Attr.ty with Dtype.Any -> Dtype.Text | ty -> ty in
+        Column.make name ty)
+      (Plan.schema plan)
+  in
+  Schema.make cols
+
+let create_relation t name schema rows =
+  let* _def = Catalog.add_table t.cat name schema in
+  let* heap = Store.create_table t.store name schema in
+  let* () = Heap.insert_all heap rows in
+  Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* DML                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let find_heap t name =
+  match Catalog.find_table t.cat name, Store.find t.store name with
+  | Some def, Some heap -> Ok (def, heap)
+  | None, _ when Catalog.find_view t.cat name <> None ->
+    Error (Printf.sprintf "%S is a view; DML targets must be tables" name)
+  | _ -> Error (Printf.sprintf "table %S does not exist" name)
+
+let insert_values t name rows =
+  let* _def, heap = find_heap t name in
+  let rec eval_rows acc = function
+    | [] -> Ok (List.rev acc)
+    | row :: rest ->
+      let rec eval_row acc_v = function
+        | [] -> Ok (Array.of_list (List.rev acc_v))
+        | e :: es ->
+          let* e' = Analyzer.const_expr e in
+          let* v = Executor.eval_const e' in
+          eval_row (v :: acc_v) es
+      in
+      let* r = eval_row [] row in
+      eval_rows (r :: acc) rest
+  in
+  let* rows = eval_rows [] rows in
+  let* () = Heap.insert_all heap rows in
+  Ok (List.length rows)
+
+let insert_select t name q =
+  let* _def, heap = find_heap t name in
+  let* { rows; _ } = run_query t q in
+  let* () = Heap.insert_all heap rows in
+  Ok (List.length rows)
+
+(* DELETE/UPDATE row selection reuses the analyzer+executor through a
+   synthesized [SELECT * FROM name WHERE pred] plan so predicate semantics
+   (3VL, subqueries as WHERE conjuncts) match queries exactly. *)
+let matching_rows t name where =
+  let select =
+    {
+      Ast.empty_select with
+      Ast.items = [ Ast.Star ];
+      from = [ Ast.plain_from (Ast.From_table name) ];
+      where;
+    }
+  in
+  let* rs = run_query t (Ast.select_query select) in
+  Ok rs.rows
+
+let delete_rows t name where =
+  let* _def, heap = find_heap t name in
+  match where with
+  | None ->
+    let n = Heap.row_count heap in
+    Heap.truncate heap;
+    Ok n
+  | Some _ ->
+    let* matched = matching_rows t name where in
+    let victims = Tuple.Hash.create 64 in
+    List.iter (fun r -> Tuple.Hash.replace victims r ()) matched;
+    let keep =
+      List.filter (fun r -> not (Tuple.Hash.mem victims r)) (Heap.to_list heap)
+    in
+    let deleted = Heap.row_count heap - List.length keep in
+    Heap.truncate heap;
+    let* () = Heap.insert_all heap keep in
+    Ok deleted
+
+let update_rows t name assigns where =
+  let* def, heap = find_heap t name in
+  let schema = def.Catalog.table_schema in
+  (* validate the assigned columns exist *)
+  let* () =
+    List.fold_left
+      (fun acc (col, _) ->
+        let* () = acc in
+        match Schema.find schema col with
+        | Some _ -> Ok ()
+        | None -> Error (Printf.sprintf "column %S does not exist" col))
+      (Ok ()) assigns
+  in
+  (* one synthesized query yields the updated images of matching rows *)
+  let items =
+    List.map
+      (fun (c : Column.t) ->
+        match List.assoc_opt c.name (List.map (fun (k, v) -> (String.lowercase_ascii k, v)) assigns) with
+        | Some e -> Ast.Sel_expr (e, Some c.name)
+        | None -> Ast.Sel_expr (Ast.Ref (None, c.name), Some c.name))
+      (Schema.columns schema)
+  in
+  let select =
+    {
+      Ast.empty_select with
+      Ast.items;
+      from = [ Ast.plain_from (Ast.From_table name) ];
+      where;
+    }
+  in
+  let* updated = run_query t (Ast.select_query select) in
+  let* matched = matching_rows t name where in
+  let victims = Tuple.Hash.create 64 in
+  List.iter (fun r -> Tuple.Hash.replace victims r ()) matched;
+  let keep =
+    List.filter (fun r -> not (Tuple.Hash.mem victims r)) (Heap.to_list heap)
+  in
+  Heap.truncate heap;
+  let* () = Heap.insert_all heap keep in
+  let* () = Heap.insert_all heap updated.rows in
+  Ok (List.length updated.rows)
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Mark the query's leftmost SELECT with a PROVENANCE flag, exactly as if
+   the user had written [SELECT PROVENANCE ...] — so eager computation is
+   lazy computation plus materialization, by construction (including the
+   marker-vs-ORDER BY/LIMIT placement). *)
+let rec mark_provenance (q : Ast.query) =
+  match q.Ast.body with
+  | Ast.Select s ->
+    { q with Ast.body = Ast.Select { s with Ast.provenance = Some Ast.Influence } }
+  | Ast.Set_op { kind; all; left; right } ->
+    {
+      q with
+      Ast.body = Ast.Set_op { kind; all; left = mark_provenance left; right };
+    }
+
+let store_provenance t q name =
+  (* Eager provenance: make sure the query computes provenance (mark it if
+     the user did not write SELECT PROVENANCE), materialize, and remember
+     the provenance columns for later re-propagation. *)
+  let q = if Ast.query_uses_provenance q then q else mark_provenance q in
+  let* analyzed = Analyzer.analyze_query t.cat q in
+  let* rewritten, report =
+    try Ok (Rewriter.rewrite ~config:(rewriter_config t) analyzed)
+    with Rewriter.Rewrite_error msg -> Error ("provenance rewrite failed: " ^ msg)
+  in
+  t.report <- Some report;
+  let optimized = Planner.optimize ~config:t.planner_config (stats t) rewritten in
+  let* rows = Executor.run ~provider:(provider t) optimized in
+  let* schema = schema_of_plan analyzed in
+  let* () = create_relation t name schema rows in
+  let prov_cols =
+    List.filter
+      (fun (c : Column.t) ->
+        String.length c.name >= 5 && String.sub c.name 0 5 = "prov_")
+      (Schema.columns schema)
+  in
+  Hashtbl.replace t.prov_tables
+    (String.lowercase_ascii name)
+    (List.map (fun (c : Column.t) -> c.name) prov_cols);
+  Ok
+    (Message
+       (Printf.sprintf "stored provenance of query into table %S (%d rows, %d provenance columns)"
+          name (List.length rows) (List.length prov_cols)))
+
+(* ------------------------------------------------------------------ *)
+(* CSV import/export and dumps                                          *)
+(* ------------------------------------------------------------------ *)
+
+let copy_from t name path =
+  let* def, heap = find_heap t name in
+  let* text =
+    try Ok (In_channel.with_open_text path In_channel.input_all)
+    with Sys_error msg -> Error msg
+  in
+  let* rows = Csv.parse text in
+  let cols = Array.of_list (Schema.columns def.Catalog.table_schema) in
+  let rec load n = function
+    | [] -> Ok n
+    | fields :: rest ->
+      if List.length fields <> Array.length cols then
+        Error
+          (Printf.sprintf "CSV row %d has %d fields, table %S has %d columns"
+             (n + 1) (List.length fields) name (Array.length cols))
+      else
+        let rec build i acc = function
+          | [] -> Ok (Array.of_list (List.rev acc))
+          | field :: fields -> (
+            match field with
+            | None -> build (i + 1) (Value.Null :: acc) fields
+            | Some text -> (
+              match Value.cast cols.(i).Column.ty (Value.Text text) with
+              | Ok v -> build (i + 1) (v :: acc) fields
+              | Error msg ->
+                Error (Printf.sprintf "CSV row %d, column %S: %s" (n + 1) cols.(i).Column.name msg)))
+        in
+        let* row = build 0 [] fields in
+        let* () = Heap.insert heap row in
+        load (n + 1) rest
+  in
+  let* n = load 0 rows in
+  Ok (Affected n)
+
+let copy_to t name path =
+  let* _def, heap = find_heap t name in
+  let buf = Buffer.create 4096 in
+  Seq.iter
+    (fun row ->
+      let fields =
+        Array.to_list
+          (Array.map
+             (fun v ->
+               if Value.is_null v then None else Some (Value.to_string v))
+             row)
+      in
+      Buffer.add_string buf (Csv.render_row fields);
+      Buffer.add_char buf '\n')
+    (Heap.scan heap);
+  match
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc (Buffer.contents buf))
+  with
+  | () -> Ok (Affected (Heap.row_count heap))
+  | exception Sys_error msg -> Error msg
+
+(* A re-executable SQL script recreating the session's tables, rows and
+   views — the CLI's \save command. *)
+let dump_sql t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (def : Catalog.table_def) ->
+      Buffer.add_string buf
+        (Printf.sprintf "CREATE TABLE %s (%s);\n" def.Catalog.table_name
+           (String.concat ", "
+              (List.map
+                 (fun (c : Column.t) ->
+                   c.Column.name ^ " " ^ Dtype.to_string c.Column.ty)
+                 (Schema.columns def.Catalog.table_schema))));
+      match Store.find t.store def.Catalog.table_name with
+      | None -> ()
+      | Some heap ->
+        let rows = Heap.to_list heap in
+        let rec batches = function
+          | [] -> ()
+          | rows ->
+            let batch = List.filteri (fun i _ -> i < 200) rows in
+            let rest = List.filteri (fun i _ -> i >= 200) rows in
+            Buffer.add_string buf
+              (Printf.sprintf "INSERT INTO %s VALUES %s;\n" def.Catalog.table_name
+                 (String.concat ", "
+                    (List.map
+                       (fun row ->
+                         "("
+                         ^ String.concat ", "
+                             (Array.to_list (Array.map Value.to_sql row))
+                         ^ ")")
+                       batch)));
+            batches rest
+        in
+        batches rows)
+    (Catalog.tables t.cat);
+  List.iter
+    (fun (def : Catalog.table_def) ->
+      List.iter
+        (fun (d : Catalog.index_def) ->
+          Buffer.add_string buf
+            (Printf.sprintf "CREATE INDEX %s ON %s (%s);\n" d.Catalog.index_name
+               d.Catalog.index_table d.Catalog.index_column))
+        (Catalog.indexes_on t.cat def.Catalog.table_name))
+    (Catalog.tables t.cat);
+  List.iter
+    (fun (v : Catalog.view_def) ->
+      Buffer.add_string buf
+        (Printf.sprintf "CREATE VIEW %s AS %s;\n" v.Catalog.view_name
+           v.Catalog.view_sql))
+    (Catalog.views t.cat);
+  Buffer.contents buf
+
+let execute_statement t sql (st : Ast.statement) =
+  match st with
+  | Ast.St_query q ->
+    let* rs = run_query t q in
+    Ok (Rows rs)
+  | Ast.St_explain q ->
+    let* e = explain_query t sql q in
+    Ok (Explained e)
+  | Ast.St_create_table (name, cols) ->
+    let* schema = Schema.make (List.map (fun (n, ty) -> Column.make n ty) cols) in
+    let* () = create_relation t name schema [] in
+    Ok (Message (Printf.sprintf "created table %S" name))
+  | Ast.St_create_table_as (name, q) ->
+    let* analyzed = Analyzer.analyze_query t.cat q in
+    let* schema = schema_of_plan analyzed in
+    let* rs = run_query t q in
+    let* () = create_relation t name schema rs.rows in
+    Ok (Message (Printf.sprintf "created table %S (%d rows)" name (List.length rs.rows)))
+  | Ast.St_create_view (name, q) ->
+    (* validate now; store the SQL text for unfolding *)
+    let* analyzed = Analyzer.analyze_query t.cat q in
+    let* schema = schema_of_plan analyzed in
+    let* _def = Catalog.add_view t.cat name ~sql:(Printer.query_to_string q) schema in
+    Ok (Message (Printf.sprintf "created view %S" name))
+  | Ast.St_drop_table name ->
+    let* () = Catalog.drop_table t.cat name in
+    let* () = Store.drop_table t.store name in
+    Catalog.drop_table_indexes t.cat name;
+    Hashtbl.remove t.prov_tables (String.lowercase_ascii name);
+    Ok (Message (Printf.sprintf "dropped table %S" name))
+  | Ast.St_create_index { index; table; column } ->
+    let* def = Catalog.add_index t.cat ~name:index ~table ~column in
+    (match Store.find t.store table, Catalog.find_table t.cat table with
+    | Some heap, Some tdef -> (
+      match Schema.find tdef.Catalog.table_schema def.Catalog.index_column with
+      | Some (pos, _) -> Heap.create_index heap pos
+      | None -> ())
+    | _ -> ());
+    Ok (Message (Printf.sprintf "created index %S on %s(%s)" index table column))
+  | Ast.St_drop_index name ->
+    let* def = Catalog.drop_index t.cat name in
+    (match
+       ( Store.find t.store def.Catalog.index_table,
+         Catalog.find_table t.cat def.Catalog.index_table )
+     with
+    | Some heap, Some tdef -> (
+      match Schema.find tdef.Catalog.table_schema def.Catalog.index_column with
+      | Some (pos, _) -> Heap.drop_index heap pos
+      | None -> ())
+    | _ -> ());
+    Ok (Message (Printf.sprintf "dropped index %S" name))
+  | Ast.St_drop_view name ->
+    let* () = Catalog.drop_view t.cat name in
+    Ok (Message (Printf.sprintf "dropped view %S" name))
+  | Ast.St_insert_values (name, rows) ->
+    let* n = insert_values t name rows in
+    Ok (Affected n)
+  | Ast.St_insert_select (name, q) ->
+    let* n = insert_select t name q in
+    Ok (Affected n)
+  | Ast.St_delete (name, where) ->
+    let* n = delete_rows t name where in
+    Ok (Affected n)
+  | Ast.St_update (name, assigns, where) ->
+    let* n = update_rows t name assigns where in
+    Ok (Affected n)
+  | Ast.St_store_provenance (q, name) -> store_provenance t q name
+  | Ast.St_copy_from (name, path) -> copy_from t name path
+  | Ast.St_copy_to (name, path) -> copy_to t name path
+  | Ast.St_begin ->
+    if t.snapshot <> None then Error "already inside a transaction"
+    else begin
+      t.snapshot <-
+        Some
+          {
+            snap_cat = Catalog.copy t.cat;
+            snap_store = Store.copy t.store;
+            snap_prov = Hashtbl.copy t.prov_tables;
+          };
+      Ok (Message "transaction started")
+    end
+  | Ast.St_commit -> (
+    match t.snapshot with
+    | None -> Error "no transaction in progress"
+    | Some _ ->
+      t.snapshot <- None;
+      Ok (Message "transaction committed"))
+  | Ast.St_rollback -> (
+    match t.snapshot with
+    | None -> Error "no transaction in progress"
+    | Some snap ->
+      t.cat <- snap.snap_cat;
+      t.store <- snap.snap_store;
+      t.prov_tables <- snap.snap_prov;
+      t.snapshot <- None;
+      Ok (Message "transaction rolled back"))
+
+let execute t sql =
+  match Parser.parse_statement sql with
+  | Error e -> Error (Parser.error_to_string ~input:sql e)
+  | Ok st -> execute_statement t sql st
+
+let execute_script t sql =
+  match Parser.parse_script sql with
+  | Error e -> Error (Parser.error_to_string ~input:sql e)
+  | Ok statements ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | st :: rest ->
+        let* outcome = execute_statement t (Printer.statement_to_string st) st in
+        go (outcome :: acc) rest
+    in
+    go [] statements
+
+let query t sql =
+  let* outcome = execute t sql in
+  match outcome with
+  | Rows rs -> Ok rs
+  | Affected _ | Message _ | Explained _ ->
+    Error "statement did not return rows"
+
+let query_params t sql values =
+  match Parser.parse_query sql with
+  | Error e -> Error (Parser.error_to_string ~input:sql e)
+  | Ok q ->
+    let* bound = Ast.bind_params values q in
+    run_query t bound
+
+let explain t sql =
+  match Parser.parse_query sql with
+  | Error e -> Error (Parser.error_to_string ~input:sql e)
+  | Ok q -> explain_query t sql q

@@ -1,0 +1,96 @@
+(** The Perm provenance management system: sessions and end-to-end SQL-PLE
+    execution.
+
+    A session runs every query through the paper's Fig. 3 pipeline:
+    {e parser & analyzer} (syntactic/semantic analysis, view unfolding) →
+    {e provenance rewriter} → {e planner} (optimization) → {e executor}.
+    The rewriter runs unconditionally; queries without provenance
+    constructs pass through unchanged.
+
+    Lazy provenance is the default ([SELECT PROVENANCE ...] computes on the
+    fly); eager provenance materializes a provenance query with
+    [STORE PROVENANCE <query> INTO <table>] and registers the stored
+    provenance columns so follow-up queries can re-propagate them with the
+    [PROVENANCE (...)] FROM-item annotation (paper §1: "store the
+    provenance of a query for later reuse"). *)
+
+type t
+
+val create : unit -> t
+
+type result_set = {
+  columns : string list;
+  rows : Perm_storage.Tuple.t list;
+}
+
+(** The four Perm-browser panes for one query (paper Fig. 4): the input
+    SQL, both algebra trees, the rewritten query as SQL, plus the rewrite
+    strategy decisions taken. *)
+type explain = {
+  input_sql : string;
+  original_tree : string;  (** marker 3: algebra tree of the original query *)
+  rewritten_tree : string;  (** marker 4: tree after provenance rewriting *)
+  optimized_tree : string;  (** after the planner, what actually runs *)
+  rewritten_sql : string;  (** marker 2: rewritten query as SQL *)
+  agg_strategies : string list;
+      (** chosen aggregation rewrite strategy per rewritten aggregate *)
+}
+
+type outcome =
+  | Rows of result_set
+  | Affected of int  (** INSERT / DELETE / UPDATE row count *)
+  | Message of string  (** DDL confirmations *)
+  | Explained of explain
+
+val execute : t -> string -> (outcome, string) result
+(** Runs a single statement (optionally [;]-terminated). *)
+
+val execute_script : t -> string -> (outcome list, string) result
+(** Runs statements in order; stops at the first error (prior effects are
+    kept, as with autocommit). *)
+
+val query : t -> string -> (result_set, string) result
+(** [execute] specialised to row-returning statements. *)
+
+val query_params :
+  t -> string -> Perm_value.Value.t list -> (result_set, string) result
+(** Parameterized queries: positional [$1], [$2], ... are bound to the
+    given values (1-based) before analysis, so parameters are safe against
+    injection and participate in type checking as literals.
+    [query_params e "SELECT PROVENANCE text FROM messages WHERE mid = $1"
+    [Value.Int 4]] *)
+
+val explain : t -> string -> (explain, string) result
+
+(** {1 Rewrite-strategy and optimizer control (the demo's "activate or
+    deactivate rewrite strategies", §3)} *)
+
+type agg_strategy_setting = Use_join | Use_lateral | Use_heuristic | Use_cost_based
+
+val set_agg_strategy : t -> agg_strategy_setting -> unit
+(** Default [Use_heuristic]. [Use_cost_based] consults the planner's cost
+    model on the session's current table statistics. *)
+
+val set_optimizer_config : t -> Perm_planner.Planner.config -> unit
+
+val last_report : t -> Perm_provenance.Rewriter.report option
+(** Rewrite report of the most recent query execution. *)
+
+(** {1 Introspection} *)
+
+val catalog : t -> Perm_catalog.Catalog.t
+val stats : t -> Perm_planner.Planner.stats
+val provenance_columns : t -> string -> string list option
+(** For a table created by [STORE PROVENANCE]: its provenance column names. *)
+
+val dump_sql : t -> string
+(** A re-executable SQL script recreating all tables (schema + rows) and
+    views; feed it back through {!execute_script} to restore a session. *)
+
+(** {1 Plan-level access (benchmarks and tests)} *)
+
+val plan_query : t -> string -> (Perm_algebra.Plan.t * Perm_algebra.Plan.t, string) result
+(** [(analyzed plan with markers, rewritten+optimized executable plan)]. *)
+
+val run_plan : t -> Perm_algebra.Plan.t -> (Perm_storage.Tuple.t list, string) result
+(** Executes a marker-free plan against the session's storage. *)

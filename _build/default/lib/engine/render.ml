@@ -1,0 +1,32 @@
+module Value = Perm_value.Value
+
+let table ~columns ~rows =
+  let cells =
+    List.map
+      (fun row -> Array.to_list (Array.map Value.to_string row))
+      rows
+  in
+  let widths =
+    List.fold_left
+      (fun widths row ->
+        List.map2 (fun w cell -> max w (String.length cell)) widths row)
+      (List.map String.length columns)
+      (List.filter (fun r -> List.length r = List.length columns) cells)
+  in
+  let buf = Buffer.create 256 in
+  let pad s w = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  let render_row row =
+    Buffer.add_string buf " ";
+    Buffer.add_string buf
+      (String.concat " | " (List.map2 (fun cell w -> pad cell w) row widths));
+    Buffer.add_char buf '\n'
+  in
+  render_row columns;
+  Buffer.add_string buf
+    (String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths));
+  Buffer.add_char buf '\n';
+  List.iter render_row cells;
+  Buffer.add_string buf
+    (Printf.sprintf "(%d row%s)\n" (List.length rows)
+       (if List.length rows = 1 then "" else "s"));
+  Buffer.contents buf

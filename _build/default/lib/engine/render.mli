@@ -1,0 +1,11 @@
+(** psql-style result rendering for the CLI and examples (the result pane of
+    the Perm browser, paper Fig. 4 marker 5). *)
+
+val table : columns:string list -> rows:Perm_storage.Tuple.t list -> string
+(** Aligned text table with a header rule and a row-count footer, e.g.:
+    {v
+      mid | text        | prov_messages_mid
+     -----+-------------+-------------------
+      1   | lorem ipsum | 1
+     (1 row)
+    v} *)

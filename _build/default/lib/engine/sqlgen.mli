@@ -1,0 +1,17 @@
+(** Algebra-to-SQL deparser — renders rewritten plans as SQL statements,
+    the Perm browser's "rewritten query as an SQL statement" pane (paper
+    Fig. 4, marker 2).
+
+    Every operator becomes a nested subquery; attributes are given unique
+    column aliases (the attribute's display name, suffixed with its id when
+    the name is ambiguous within the plan — provenance attributes, whose
+    names are unique by construction, therefore print verbatim as
+    [prov_<rel>_<col>]).
+
+    Plans containing [Apply] operators (correlated subqueries and the
+    lateral aggregation-rewrite strategy) use a [LATERAL] rendering that our
+    own parser does not re-accept; the output is for display. Plans free of
+    [Apply] re-parse and re-analyze to an equivalent query (pinned by
+    round-trip tests). *)
+
+val plan_to_sql : Perm_algebra.Plan.t -> string

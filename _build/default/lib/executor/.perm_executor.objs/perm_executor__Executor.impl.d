@@ -1,0 +1,1 @@
+lib/executor/executor.ml: Array Hashtbl List Option Perm_algebra Perm_storage Perm_value Printf Seq

@@ -1,0 +1,1 @@
+lib/executor/executor.mli: Perm_algebra Perm_storage Perm_value Seq

@@ -1,0 +1,658 @@
+module Plan = Perm_algebra.Plan
+module Expr = Perm_algebra.Expr
+module Attr = Perm_algebra.Attr
+module Builtins = Perm_algebra.Builtins
+module Value = Perm_value.Value
+module Tristate = Perm_value.Tristate
+module Tuple = Perm_storage.Tuple
+
+exception Runtime_error of string
+
+let err msg = raise (Runtime_error msg)
+let errf fmt = Printf.ksprintf err fmt
+
+type provider = {
+  scan_table : string -> Tuple.t Seq.t;
+  probe_index : string -> int -> Value.t -> Tuple.t Seq.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Expression compilation                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Attribute resolution: position in the current row, or an outer accessor
+   installed by an enclosing Apply. *)
+type resolver = Attr.t -> (Tuple.t -> Value.t) option
+
+let resolver_of_schema (schema : Attr.t list) : resolver =
+  let table = Hashtbl.create 16 in
+  List.iteri (fun i (a : Attr.t) -> Hashtbl.replace table a.Attr.id i) schema;
+  fun a ->
+    match Hashtbl.find_opt table a.Attr.id with
+    | Some i -> Some (fun row -> row.(i))
+    | None -> None
+
+let combine_resolvers inner outer : resolver =
+ fun a -> match inner a with Some f -> Some f | None -> outer a
+
+let no_outer : resolver = fun _ -> None
+
+let unwrap = function Ok v -> v | Error msg -> err msg
+
+let rec compile_expr (resolve : resolver) (e : Expr.t) : Tuple.t -> Value.t =
+  match e with
+  | Expr.Const v -> fun _ -> v
+  | Expr.Attr a -> (
+    match resolve a with
+    | Some f -> f
+    | None -> errf "internal: unbound attribute %s#%d" a.Attr.name a.Attr.id)
+  | Expr.Binop (op, a, b) -> compile_binop resolve op a b
+  | Expr.Unop (Expr.Not, a) ->
+    let fa = compile_expr resolve a in
+    fun row ->
+      Tristate.to_value (Tristate.not_ (unwrap (Tristate.of_value (fa row))))
+  | Expr.Unop (Expr.Neg, a) ->
+    let fa = compile_expr resolve a in
+    fun row -> unwrap (Value.neg (fa row))
+  | Expr.Unop (Expr.Is_null, a) ->
+    let fa = compile_expr resolve a in
+    fun row -> Value.Bool (Value.is_null (fa row))
+  | Expr.Case { branches; else_ } ->
+    let branches =
+      List.map
+        (fun (c, r) -> (compile_expr resolve c, compile_expr resolve r))
+        branches
+    in
+    let felse =
+      match else_ with
+      | Some e -> compile_expr resolve e
+      | None -> fun _ -> Value.Null
+    in
+    fun row ->
+      let rec go = function
+        | [] -> felse row
+        | (fc, fr) :: rest ->
+          if Tristate.is_true (unwrap (Tristate.of_value (fc row))) then fr row
+          else go rest
+      in
+      go branches
+  | Expr.Cast (e, ty) ->
+    let fe = compile_expr resolve e in
+    fun row -> unwrap (Value.cast ty (fe row))
+  | Expr.Func (name, args) -> (
+    match Builtins.find name with
+    | None -> errf "unknown function %S" name
+    | Some s ->
+      let fargs = List.map (compile_expr resolve) args in
+      fun row -> unwrap (s.Builtins.eval (List.map (fun f -> f row) fargs)))
+
+and compile_binop resolve op a b =
+  let fa = compile_expr resolve a and fb = compile_expr resolve b in
+  match op with
+  | Expr.And ->
+    fun row ->
+      let va = unwrap (Tristate.of_value (fa row)) in
+      if va = Tristate.False then Value.Bool false
+      else
+        Tristate.to_value
+          Tristate.(va &&& unwrap (Tristate.of_value (fb row)))
+  | Expr.Or ->
+    fun row ->
+      let va = unwrap (Tristate.of_value (fa row)) in
+      if va = Tristate.True then Value.Bool true
+      else
+        Tristate.to_value
+          Tristate.(va ||| unwrap (Tristate.of_value (fb row)))
+  | Expr.Add -> fun row -> unwrap (Value.add (fa row) (fb row))
+  | Expr.Sub -> fun row -> unwrap (Value.sub (fa row) (fb row))
+  | Expr.Mul -> fun row -> unwrap (Value.mul (fa row) (fb row))
+  | Expr.Div -> fun row -> unwrap (Value.div (fa row) (fb row))
+  | Expr.Mod -> (
+    fun row ->
+      match fa row, fb row with
+      | Value.Null, _ | _, Value.Null -> Value.Null
+      | Value.Int _, Value.Int 0 -> err "division by zero"
+      | Value.Int x, Value.Int y -> Value.Int (x mod y)
+      | x, y ->
+        errf "%% expects integers, got %s and %s" (Value.to_string x)
+          (Value.to_string y))
+  | Expr.Eq -> fun row -> Value.sql_eq (fa row) (fb row)
+  | Expr.Neq -> fun row -> Value.sql_neq (fa row) (fb row)
+  | Expr.Lt -> fun row -> Value.sql_lt (fa row) (fb row)
+  | Expr.Leq -> fun row -> Value.sql_leq (fa row) (fb row)
+  | Expr.Gt -> fun row -> Value.sql_gt (fa row) (fb row)
+  | Expr.Geq -> fun row -> Value.sql_geq (fa row) (fb row)
+  | Expr.Concat -> fun row -> unwrap (Value.concat (fa row) (fb row))
+  | Expr.Like -> fun row -> Value.like (fa row) (fb row)
+
+let compile_pred resolve pred =
+  let f = compile_expr resolve pred in
+  fun row -> Tristate.is_true (unwrap (Tristate.of_value (f row)))
+
+(* ------------------------------------------------------------------ *)
+(* Join key extraction                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A hashable key pair: [l_expr] over the left schema equals [r_expr] over
+   the right schema, either with SQL semantics (NULL never matches) or
+   null-safe (the provenance rejoin pattern
+   [(a = b) OR (a IS NULL AND b IS NULL)]). *)
+type key_pair = { l_expr : Expr.t; r_expr : Expr.t; null_safe : bool }
+
+let subset_of attrs schema =
+  let ids = List.map (fun (a : Attr.t) -> a.Attr.id) schema in
+  Attr.Set.for_all (fun (a : Attr.t) -> List.mem a.Attr.id ids) attrs
+
+let orient left_schema right_schema a b ~null_safe =
+  let aa = Expr.attrs a and ab = Expr.attrs b in
+  if subset_of aa left_schema && subset_of ab right_schema then
+    Some { l_expr = a; r_expr = b; null_safe }
+  else if subset_of ab left_schema && subset_of aa right_schema then
+    Some { l_expr = b; r_expr = a; null_safe }
+  else None
+
+(* Recognize hashable conjuncts of a join predicate; remaining conjuncts
+   become a residual filter. *)
+let split_join_pred left_schema right_schema pred =
+  let conjuncts = Expr.conjuncts pred in
+  let keys = ref [] and residual = ref [] in
+  List.iter
+    (fun c ->
+      let recognized =
+        match c with
+        | Expr.Binop (Expr.Eq, a, b) ->
+          orient left_schema right_schema a b ~null_safe:false
+        | Expr.Binop
+            ( Expr.Or,
+              Expr.Binop (Expr.Eq, a, b),
+              Expr.Binop
+                ( Expr.And,
+                  Expr.Unop (Expr.Is_null, a'),
+                  Expr.Unop (Expr.Is_null, b') ) )
+          when (Expr.equal a a' && Expr.equal b b')
+               || (Expr.equal a b' && Expr.equal b a') ->
+          orient left_schema right_schema a b ~null_safe:true
+        | _ -> None
+      in
+      match recognized with
+      | Some k -> keys := k :: !keys
+      | None -> residual := c :: !residual)
+    conjuncts;
+  (List.rev !keys, List.rev !residual)
+
+(* ------------------------------------------------------------------ *)
+(* Aggregate state machines                                            *)
+(* ------------------------------------------------------------------ *)
+
+type agg_state = {
+  mutable count : int;
+  mutable sum : Value.t;  (* running sum for Sum/Avg; Null until first value *)
+  mutable sum_count : int;  (* non-null inputs seen, for Avg *)
+  mutable extreme : Value.t;  (* Min/Max *)
+  seen : unit Tuple.Hash.t option;  (* distinct filter *)
+}
+
+let new_agg_state (call : Plan.agg_call) =
+  {
+    count = 0;
+    sum = Value.Null;
+    sum_count = 0;
+    extreme = Value.Null;
+    seen = (if call.distinct then Some (Tuple.Hash.create 16) else None);
+  }
+
+let agg_feed (call : Plan.agg_call) state (v : Value.t option) =
+  (* [v = None] means count-star: every row counts *)
+  match call.agg, v with
+  | Plan.Count_star, _ -> state.count <- state.count + 1
+  | _, None -> ()
+  | _, Some Value.Null -> ()
+  | agg, Some v -> (
+    let fresh =
+      match state.seen with
+      | None -> true
+      | Some seen ->
+        let key = [| v |] in
+        if Tuple.Hash.mem seen key then false
+        else begin
+          Tuple.Hash.replace seen key ();
+          true
+        end
+    in
+    if fresh then
+      match agg with
+      | Plan.Count -> state.count <- state.count + 1
+      | Plan.Sum | Plan.Avg ->
+        state.sum_count <- state.sum_count + 1;
+        state.sum <-
+          (if Value.is_null state.sum then v
+           else
+             match Value.add state.sum v with
+             | Ok s -> s
+             | Error msg -> err msg)
+      | Plan.Min ->
+        if Value.is_null state.extreme || Value.compare v state.extreme < 0 then
+          state.extreme <- v
+      | Plan.Max ->
+        if Value.is_null state.extreme || Value.compare v state.extreme > 0 then
+          state.extreme <- v
+      | Plan.Bool_and | Plan.Bool_or -> (
+        let b =
+          match v with
+          | Value.Bool b -> b
+          | v -> errf "%s expects booleans, got %s"
+                   (if agg = Plan.Bool_and then "bool_and" else "bool_or")
+                   (Value.to_string v)
+        in
+        match state.extreme with
+        | Value.Null -> state.extreme <- Value.Bool b
+        | Value.Bool prev ->
+          state.extreme <-
+            Value.Bool (if agg = Plan.Bool_and then prev && b else prev || b)
+        | _ -> assert false)
+      | Plan.Count_star -> ())
+
+let agg_result (call : Plan.agg_call) state =
+  match call.agg with
+  | Plan.Count_star | Plan.Count -> Value.Int state.count
+  | Plan.Sum -> state.sum
+  | Plan.Avg ->
+    if state.sum_count = 0 then Value.Null
+    else
+      let total =
+        match state.sum with
+        | Value.Int i -> float_of_int i
+        | Value.Float f -> f
+        | v -> errf "avg over non-numeric value %s" (Value.to_string v)
+      in
+      Value.Float (total /. float_of_int state.sum_count)
+  | Plan.Min | Plan.Max | Plan.Bool_and | Plan.Bool_or -> state.extreme
+
+(* ------------------------------------------------------------------ *)
+(* Operator evaluation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let seq_of_list l = List.to_seq l
+
+(* Compilation produces a thunk so Apply can re-evaluate its right side per
+   outer row with fresh operator state. *)
+let rec compile ~(provider : provider) (outer : resolver) (plan : Plan.t) :
+    unit -> Tuple.t Seq.t =
+  match plan with
+  | Plan.Scan { table; _ } -> fun () -> provider.scan_table table
+  | Plan.Index_scan { table; key_col; key; _ } ->
+    let fkey = compile_expr outer key in
+    fun () -> provider.probe_index table key_col (fkey [||])
+  | Plan.Values { rows; _ } ->
+    let compiled =
+      List.map (fun row -> List.map (compile_expr no_outer) row) rows
+    in
+    fun () ->
+      seq_of_list
+        (List.map
+           (fun row -> Array.of_list (List.map (fun f -> f [||]) row))
+           compiled)
+  | Plan.Project { child; cols } ->
+    let child_schema = Plan.schema child in
+    let resolve = combine_resolvers (resolver_of_schema child_schema) outer in
+    let fs = List.map (fun (e, _) -> compile_expr resolve e) cols in
+    let fs = Array.of_list fs in
+    let run_child = compile ~provider outer child in
+    fun () -> Seq.map (fun row -> Array.map (fun f -> f row) fs) (run_child ())
+  | Plan.Filter { child; pred } ->
+    let resolve =
+      combine_resolvers (resolver_of_schema (Plan.schema child)) outer
+    in
+    let fpred = compile_pred resolve pred in
+    let run_child = compile ~provider outer child in
+    fun () -> Seq.filter fpred (run_child ())
+  | Plan.Join { kind; left; right; pred } -> compile_join ~provider outer kind left right pred
+  | Plan.Apply { kind; left; right } -> compile_apply ~provider outer kind left right
+  | Plan.Aggregate { child; group_by; aggs } ->
+    compile_aggregate ~provider outer child group_by aggs
+  | Plan.Distinct child ->
+    let run_child = compile ~provider outer child in
+    fun () ->
+      Seq.memoize
+        (fun () ->
+          let seen = Tuple.Hash.create 64 in
+          Seq.filter
+            (fun row ->
+              if Tuple.Hash.mem seen row then false
+              else begin
+                Tuple.Hash.replace seen row ();
+                true
+              end)
+            (run_child ())
+            ())
+  | Plan.Set_op { kind; all; left; right; _ } ->
+    compile_set_op ~provider outer kind all left right
+  | Plan.Sort { child; keys } ->
+    let resolve =
+      combine_resolvers (resolver_of_schema (Plan.schema child)) outer
+    in
+    let keyfs =
+      List.map (fun (e, dir) -> (compile_expr resolve e, dir)) keys
+    in
+    let cmp a b =
+      let rec go = function
+        | [] -> 0
+        | (f, dir) :: rest ->
+          let c = Value.compare (f a) (f b) in
+          let c = match dir with Plan.Asc -> c | Plan.Desc -> -c in
+          if c <> 0 then c else go rest
+      in
+      go keyfs
+    in
+    let run_child = compile ~provider outer child in
+    fun () ->
+      let rows = List.of_seq (run_child ()) in
+      seq_of_list (List.stable_sort cmp rows)
+  | Plan.Limit { child; limit; offset } ->
+    let run_child = compile ~provider outer child in
+    fun () ->
+      let s = run_child () in
+      let s = Seq.drop offset s in
+      (match limit with Some n -> Seq.take n s | None -> s)
+  | Plan.Prov _ ->
+    err "internal: provenance marker reached the executor (rewriter not run)"
+  | Plan.Baserel { child; _ } | Plan.External { child; _ } ->
+    compile ~provider outer child
+
+and compile_join ~provider outer kind left right pred =
+  let left_schema = Plan.schema left and right_schema = Plan.schema right in
+  let l_arity = List.length left_schema and r_arity = List.length right_schema in
+  let run_left = compile ~provider outer left in
+  let run_right = compile ~provider outer right in
+  let l_resolve = combine_resolvers (resolver_of_schema left_schema) outer in
+  let r_resolve = combine_resolvers (resolver_of_schema right_schema) outer in
+  let keys, residual =
+    match pred with
+    | None -> ([], [])
+    | Some p -> split_join_pred left_schema right_schema p
+  in
+  let lkey_fs = List.map (fun k -> compile_expr l_resolve k.l_expr) keys in
+  let rkey_fs = List.map (fun k -> compile_expr r_resolve k.r_expr) keys in
+  let null_safety = List.map (fun k -> k.null_safe) keys in
+  let combined_resolve =
+    combine_resolvers (resolver_of_schema (left_schema @ right_schema)) outer
+  in
+  let residual_f =
+    match residual with
+    | [] -> fun _ -> true
+    | preds -> compile_pred combined_resolve (Expr.conjoin preds)
+  in
+  let key_of fs row = Array.of_list (List.map (fun f -> f row) fs) in
+  (* a plain (non null-safe) key never matches when NULL *)
+  let key_usable key =
+    List.for_all2
+      (fun null_safe v -> null_safe || not (Value.is_null v))
+      null_safety (Array.to_list key)
+  in
+  let pad n = Array.make n Value.Null in
+  match kind with
+  | Plan.Cross | Plan.Inner | Plan.Left | Plan.Full | Plan.Semi | Plan.Anti ->
+    fun () ->
+      Seq.memoize
+        (fun () ->
+          (* build on the right *)
+          let table = Tuple.Hash.create 256 in
+          let right_rows = Array.of_seq (run_right ()) in
+          let matched_right = Array.make (Array.length right_rows) false in
+          Array.iteri
+            (fun idx rrow ->
+              let key = key_of rkey_fs rrow in
+              let prev =
+                match Tuple.Hash.find_opt table key with
+                | Some l -> l
+                | None -> []
+              in
+              Tuple.Hash.replace table key ((idx, rrow) :: prev))
+            right_rows;
+          let probe lrow =
+            let key = key_of lkey_fs lrow in
+            if not (key_usable key) then []
+            else
+              match Tuple.Hash.find_opt table key with
+              | None -> []
+              | Some candidates ->
+                List.filter_map
+                  (fun (idx, rrow) ->
+                    let combined = Tuple.concat lrow rrow in
+                    if residual_f combined then Some (idx, combined) else None)
+                  (List.rev candidates)
+          in
+          let left_seq = run_left () in
+          let main =
+            Seq.concat_map
+              (fun lrow ->
+                let matches = probe lrow in
+                match kind with
+                | Plan.Semi ->
+                  if matches <> [] then Seq.return lrow else Seq.empty
+                | Plan.Anti ->
+                  if matches = [] then Seq.return lrow else Seq.empty
+                | Plan.Inner | Plan.Cross ->
+                  seq_of_list (List.map snd matches)
+                | Plan.Left | Plan.Full ->
+                  if matches = [] then
+                    Seq.return (Tuple.concat lrow (pad r_arity))
+                  else begin
+                    List.iter (fun (idx, _) -> matched_right.(idx) <- true) matches;
+                    seq_of_list (List.map snd matches)
+                  end
+                | Plan.Right -> assert false)
+              left_seq
+          in
+          match kind with
+          | Plan.Full ->
+            (* main must be fully consumed before the right-pad tail so the
+               matched_right flags are complete; Seq.append is lazy and
+               ordered, which guarantees that *)
+            Seq.append main
+              (Seq.concat_map
+                 (fun i ->
+                   if matched_right.(i) then Seq.empty
+                   else Seq.return (Tuple.concat (pad l_arity) right_rows.(i)))
+                 (Seq.init (Array.length right_rows) (fun i -> i)))
+              ()
+          | _ -> main ())
+  | Plan.Right ->
+    (* evaluate as a left join with sides swapped, then reorder columns *)
+    let swapped =
+      Plan.Join { kind = Plan.Left; left = right; right = left; pred }
+    in
+    let run = compile ~provider outer swapped in
+    fun () ->
+      Seq.map
+        (fun row ->
+          let l = Array.sub row r_arity l_arity in
+          let r = Array.sub row 0 r_arity in
+          Tuple.concat l r)
+        (run ())
+
+and compile_apply ~provider outer kind left right =
+  let left_schema = Plan.schema left in
+  let run_left = compile ~provider outer left in
+  (* the right side resolves left attributes against the current outer row *)
+  let current_left : Tuple.t ref = ref [||] in
+  let left_positions = Hashtbl.create 16 in
+  List.iteri
+    (fun i (a : Attr.t) -> Hashtbl.replace left_positions a.Attr.id i)
+    left_schema;
+  let right_outer : resolver =
+   fun a ->
+    match Hashtbl.find_opt left_positions a.Attr.id with
+    | Some i -> Some (fun _ -> !current_left.(i))
+    | None -> outer a
+  in
+  let run_right = compile ~provider right_outer right in
+  let r_arity = List.length (Plan.schema right) in
+  fun () ->
+    Seq.concat_map
+      (fun lrow ->
+        current_left := lrow;
+        let rows = List.of_seq (run_right ()) in
+        match kind with
+        | Plan.A_cross ->
+          seq_of_list (List.map (fun r -> Tuple.concat lrow r) rows)
+        | Plan.A_outer ->
+          if rows = [] then
+            Seq.return (Tuple.concat lrow (Array.make r_arity Value.Null))
+          else seq_of_list (List.map (fun r -> Tuple.concat lrow r) rows)
+        | Plan.A_scalar _ -> (
+          match rows with
+          | [] -> Seq.return (Tuple.concat lrow [| Value.Null |])
+          | [ r ] -> Seq.return (Tuple.concat lrow [| r.(0) |])
+          | _ -> err "scalar subquery returned more than one row")
+        | Plan.A_semi -> if rows <> [] then Seq.return lrow else Seq.empty
+        | Plan.A_anti -> if rows = [] then Seq.return lrow else Seq.empty)
+      (run_left ())
+
+and compile_aggregate ~provider outer child group_by aggs =
+  let resolve =
+    combine_resolvers (resolver_of_schema (Plan.schema child)) outer
+  in
+  let group_fs = List.map (fun (e, _) -> compile_expr resolve e) group_by in
+  let agg_arg_fs =
+    List.map
+      (fun (c : Plan.agg_call) -> Option.map (compile_expr resolve) c.arg)
+      aggs
+  in
+  let run_child = compile ~provider outer child in
+  let global = group_by = [] in
+  fun () ->
+    Seq.memoize
+      (fun () ->
+        let groups : (Tuple.t * agg_state list) Tuple.Hash.t =
+          Tuple.Hash.create 64
+        in
+        let order = ref [] in
+        Seq.iter
+          (fun row ->
+            let key = Array.of_list (List.map (fun f -> f row) group_fs) in
+            let states =
+              match Tuple.Hash.find_opt groups key with
+              | Some (_, states) -> states
+              | None ->
+                let states = List.map new_agg_state aggs in
+                Tuple.Hash.replace groups key (key, states);
+                order := key :: !order;
+                states
+            in
+            List.iter2
+              (fun (call : Plan.agg_call) (state, argf) ->
+                let v =
+                  match argf with None -> None | Some f -> Some (f row)
+                in
+                agg_feed call state v)
+              aggs
+              (List.combine states agg_arg_fs))
+          (run_child ());
+        let emit key states =
+          Array.append key
+            (Array.of_list
+               (List.map2 (fun call st -> agg_result call st) aggs states))
+        in
+        if global && Tuple.Hash.length groups = 0 then
+          (* aggregate over an empty input: one row of defaults *)
+          Seq.return (emit [||] (List.map new_agg_state aggs)) ()
+        else
+          seq_of_list
+            (List.rev_map
+               (fun key ->
+                 let key, states = Tuple.Hash.find groups key in
+                 emit key states)
+               !order)
+            ())
+
+and compile_set_op ~provider outer kind all left right =
+  let run_left = compile ~provider outer left in
+  let run_right = compile ~provider outer right in
+  match kind, all with
+  | Plan.Union, true -> fun () -> Seq.append (run_left ()) (run_right ())
+  | Plan.Union, false ->
+    fun () ->
+      Seq.memoize
+        (fun () ->
+          let seen = Tuple.Hash.create 64 in
+          Seq.filter
+            (fun row ->
+              if Tuple.Hash.mem seen row then false
+              else begin
+                Tuple.Hash.replace seen row ();
+                true
+              end)
+            (Seq.append (run_left ()) (run_right ()))
+            ())
+  | (Plan.Intersect | Plan.Except), _ ->
+    fun () ->
+      Seq.memoize
+        (fun () ->
+          let counts = Tuple.Hash.create 64 in
+          Seq.iter
+            (fun row ->
+              let c =
+                match Tuple.Hash.find_opt counts row with
+                | Some c -> c
+                | None -> 0
+              in
+              Tuple.Hash.replace counts row (c + 1))
+            (run_right ());
+          let emitted = Tuple.Hash.create 64 in
+          Seq.filter
+            (fun row ->
+              let rc =
+                match Tuple.Hash.find_opt counts row with
+                | Some c -> c
+                | None -> 0
+              in
+              match kind, all with
+              | Plan.Intersect, true ->
+                if rc > 0 then begin
+                  Tuple.Hash.replace counts row (rc - 1);
+                  true
+                end
+                else false
+              | Plan.Intersect, false ->
+                if rc > 0 && not (Tuple.Hash.mem emitted row) then begin
+                  Tuple.Hash.replace emitted row ();
+                  true
+                end
+                else false
+              | Plan.Except, true ->
+                if rc > 0 then begin
+                  Tuple.Hash.replace counts row (rc - 1);
+                  false
+                end
+                else true
+              | Plan.Except, false ->
+                if rc = 0 && not (Tuple.Hash.mem emitted row) then begin
+                  Tuple.Hash.replace emitted row ();
+                  true
+                end
+                else false
+              | Plan.Union, _ -> assert false)
+            (run_left ())
+            ())
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run ~provider plan =
+  match List.of_seq ((compile ~provider no_outer plan) ()) with
+  | rows -> Ok rows
+  | exception Runtime_error msg -> Error msg
+
+let eval_const e =
+  match (compile_expr no_outer e) [||] with
+  | v -> Ok v
+  | exception Runtime_error msg -> Error msg
+
+let compile_row_predicate ~schema pred =
+  let resolve = resolver_of_schema schema in
+  fun row ->
+    match (compile_pred resolve pred) row with
+    | b -> Ok b
+    | exception Runtime_error msg -> Error msg

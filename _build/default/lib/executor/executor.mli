@@ -1,0 +1,44 @@
+(** Plan execution (paper Fig. 3, "Executor").
+
+    Interprets logical algebra plans directly over in-memory relations:
+    hash joins for equi- and null-safe-equality predicates (the shape the
+    provenance rewriter emits for its rejoin rules), nested-loop fallback,
+    hash aggregation and duplicate elimination, bag-semantics set
+    operations, stable sorting, and correlated [Apply] evaluation for
+    de-correlated subqueries.
+
+    Plans must be marker-free: [Plan.Prov] nodes are rejected (the engine
+    always runs the provenance rewriter first); stray [Baserel]/[External]
+    markers execute as identity.
+
+    NULL handling follows SQL: predicates use three-valued logic and only
+    [True] passes; grouping, DISTINCT and set operations use null-safe
+    equality; plain join equality never matches NULL keys. *)
+
+exception Runtime_error of string
+
+type provider = {
+  scan_table : string -> Perm_storage.Tuple.t Seq.t;
+      (** full scan of a base table *)
+  probe_index : string -> int -> Perm_value.Value.t -> Perm_storage.Tuple.t Seq.t;
+      (** [probe_index table col key]: rows whose column [col] equals [key]
+          — backs [Plan.Index_scan]; only called for indexes the planner
+          saw in its statistics *)
+}
+
+val run : provider:provider -> Perm_algebra.Plan.t -> (Perm_storage.Tuple.t list, string) result
+(** Executes the plan and materializes the result in plan-schema column
+    order. Runtime errors (division by zero, failing casts, scalar
+    subqueries returning several rows) are returned as [Error]. *)
+
+val eval_const : Perm_algebra.Expr.t -> (Perm_value.Value.t, string) result
+(** Evaluates a closed expression (no attribute references) — INSERT rows,
+    DEFAULT-style constants. *)
+
+val compile_row_predicate :
+  schema:Perm_algebra.Attr.t list ->
+  Perm_algebra.Expr.t ->
+  Perm_storage.Tuple.t ->
+  (bool, string) result
+(** Row-at-a-time predicate evaluation against a fixed schema (DELETE /
+    UPDATE row selection); [true] iff the predicate is SQL-[TRUE]. *)

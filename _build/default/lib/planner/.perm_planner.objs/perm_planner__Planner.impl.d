@@ -1,0 +1,1 @@
+lib/planner/planner.ml: List Option Perm_algebra Perm_value

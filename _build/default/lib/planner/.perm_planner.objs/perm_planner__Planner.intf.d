@@ -1,0 +1,1 @@
+lib/planner/planner.mli: Perm_algebra

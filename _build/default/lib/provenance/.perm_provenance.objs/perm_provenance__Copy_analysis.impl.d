@@ -1,0 +1,1 @@
+lib/provenance/copy_analysis.ml: List Perm_algebra Set Sources

@@ -1,0 +1,1 @@
+lib/provenance/copy_analysis.mli: Perm_algebra

@@ -1,0 +1,1 @@
+lib/provenance/rewriter.ml: Copy_analysis List Perm_algebra Perm_value Printf Sources

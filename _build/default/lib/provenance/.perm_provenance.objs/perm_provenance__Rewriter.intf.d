@@ -1,0 +1,1 @@
+lib/provenance/rewriter.mli: Perm_algebra

@@ -1,0 +1,1 @@
+lib/provenance/sources.ml: Hashtbl List Perm_algebra Perm_value Printf

@@ -1,0 +1,1 @@
+lib/provenance/sources.mli: Perm_algebra Perm_value

@@ -1,0 +1,1 @@
+lib/provenance/witness.ml: Array List Perm_value String

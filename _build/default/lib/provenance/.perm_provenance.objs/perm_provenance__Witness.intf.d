@@ -1,0 +1,1 @@
+lib/provenance/witness.mli: Perm_value

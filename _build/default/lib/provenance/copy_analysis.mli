@@ -1,0 +1,26 @@
+(** Static analysis behind the [COPY] contribution semantics
+    (Where-provenance, paper §1/§2.4).
+
+    Where-provenance only considers base tuples whose attribute {e values
+    are copied} to the query result. The analysis computes, for every
+    relation instance of a plan (in {!Sources.instances} order), whether it
+    qualifies:
+
+    - [Copy_partial]: at least one of the instance's attributes is copied
+      verbatim (through projections, joins, set operations, group-by keys)
+      to some output column;
+    - [Copy_complete]: every attribute of the instance is copied to the
+      output;
+    - [Influence]: every instance qualifies (no restriction).
+
+    Externally declared provenance and nested [SELECT PROVENANCE] columns
+    always qualify — they already {e are} provenance and are propagated
+    untouched.
+
+    The rewriter NULLs the provenance columns of non-qualifying instances,
+    producing Figure-2-shaped results where only copying branches carry
+    values. *)
+
+val qualifying :
+  Perm_algebra.Plan.prov_semantics -> Perm_algebra.Plan.t -> bool list
+(** One flag per {!Sources.instances} entry, same order. *)

@@ -1,0 +1,39 @@
+(** Provenance source computation.
+
+    Determines, for a plan subtree, which provenance attributes a rewrite
+    will append to its result: one column per attribute of every base
+    relation the query accesses (paper §2.1), in depth-first, left-to-right
+    order — the order of Figure 2 ("provenance attributes from messages",
+    then "from imports").
+
+    A {e relation instance} is one access to a base relation (a self-join
+    yields two instances), a [BASERELATION]-marked view/subquery (its output
+    schema plays the base-relation role), an external-provenance
+    declaration, or a nested [SELECT PROVENANCE] subquery (whose provenance
+    columns propagate, §2.2). Instances that can never contribute — the
+    right side of anti joins — are excluded, as are constant relations
+    ([VALUES]), which have no stored tuples.
+
+    The analyzer calls {!prov_sources} when it builds a [Plan.Prov] marker,
+    so enclosing queries can resolve [prov_*] column references before any
+    rewriting happens; the rewriter then binds exactly these attributes. *)
+
+type origin =
+  | From_scan of string  (** base table access *)
+  | From_baserel  (** BASERELATION boundary *)
+  | From_external  (** PROVENANCE (attrs) declaration — names kept as-is *)
+  | From_nested_prov  (** provenance columns of a nested SELECT PROVENANCE *)
+
+type instance = {
+  inst_rel : string;  (** display name used in [prov_<rel>_<col>] *)
+  inst_cols : (string * Perm_value.Dtype.t) list;
+  inst_origin : origin;
+}
+
+val instances : Perm_algebra.Plan.t -> instance list
+
+val prov_sources : Perm_algebra.Plan.t -> Perm_algebra.Plan.prov_source list
+(** Flattens {!instances} and allocates the output attributes with Perm's
+    naming scheme: [prov_<relation>_<column>], disambiguating repeated
+    relation names with a numeric infix ([prov_r_1_a] for the second access
+    to [r]); external attributes keep their declared names. *)

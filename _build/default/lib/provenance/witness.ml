@@ -1,0 +1,120 @@
+module Value = Perm_value.Value
+
+type block = {
+  rel : string;
+  occurrence : int;
+  columns : string list;
+  positions : int list;
+}
+
+type parsed = { p_rel : string; p_occ : int; p_col : string }
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* Parse "prov_<rel>[_<occ>]_<col>". Relation names may contain
+   underscores, so prefer the longest known relation match; fall back to
+   the first underscore split. *)
+let parse_prov_column ~known_rels name =
+  if not (starts_with ~prefix:"prov_" name) then None
+  else
+    let rest = String.sub name 5 (String.length name - 5) in
+    let try_rel rel =
+      if starts_with ~prefix:(rel ^ "_") rest then begin
+        let tail = String.sub rest (String.length rel + 1) (String.length rest - String.length rel - 1) in
+        (* optional numeric occurrence segment *)
+        match String.index_opt tail '_' with
+        | Some i when i > 0 -> (
+          let seg = String.sub tail 0 i in
+          match int_of_string_opt seg with
+          | Some occ when occ > 0 ->
+            Some { p_rel = rel; p_occ = occ; p_col = String.sub tail (i + 1) (String.length tail - i - 1) }
+          | _ -> Some { p_rel = rel; p_occ = 0; p_col = tail })
+        | _ -> Some { p_rel = rel; p_occ = 0; p_col = tail }
+      end
+      else None
+    in
+    let known_sorted =
+      List.sort (fun a b -> compare (String.length b) (String.length a)) known_rels
+    in
+    let rec first_known = function
+      | [] -> None
+      | rel :: rest_rels -> (
+        match try_rel (String.lowercase_ascii rel) with
+        | Some p -> Some p
+        | None -> first_known rest_rels)
+    in
+    match first_known known_sorted with
+    | Some p -> Some p
+    | None -> (
+      (* heuristic: rel is the first segment *)
+      match String.index_opt rest '_' with
+      | Some i when i > 0 ->
+        Some
+          {
+            p_rel = String.sub rest 0 i;
+            p_occ = 0;
+            p_col = String.sub rest (i + 1) (String.length rest - i - 1);
+          }
+      | _ -> Some { p_rel = rest; p_occ = 0; p_col = rest })
+
+let blocks ~columns ~known_rels =
+  let parsed =
+    List.mapi
+      (fun pos name -> (pos, parse_prov_column ~known_rels name))
+      columns
+  in
+  (* group consecutive columns of the same (rel, occurrence): provenance
+     blocks are contiguous by construction (DFS order) *)
+  let rec group acc current = function
+    | [] -> List.rev (match current with Some b -> b :: acc | None -> acc)
+    | (pos, Some p) :: rest -> (
+      match current with
+      | Some b when b.rel = p.p_rel && b.occurrence = p.p_occ ->
+        group acc
+          (Some
+             {
+               b with
+               columns = b.columns @ [ p.p_col ];
+               positions = b.positions @ [ pos ];
+             })
+          rest
+      | Some b ->
+        group (b :: acc)
+          (Some { rel = p.p_rel; occurrence = p.p_occ; columns = [ p.p_col ]; positions = [ pos ] })
+          rest
+      | None ->
+        group acc
+          (Some { rel = p.p_rel; occurrence = p.p_occ; columns = [ p.p_col ]; positions = [ pos ] })
+          rest)
+    | (_, None) :: rest -> (
+      match current with
+      | Some b -> group (b :: acc) None rest
+      | None -> group acc None rest)
+  in
+  group [] None parsed
+
+type witness = {
+  w_rel : string;
+  w_occurrence : int;
+  w_tuple : Value.t array;
+}
+
+let decode_row blocks row =
+  List.filter_map
+    (fun b ->
+      let tuple = Array.of_list (List.map (fun pos -> row.(pos)) b.positions) in
+      if Array.for_all Value.is_null tuple then None
+      else Some { w_rel = b.rel; w_occurrence = b.occurrence; w_tuple = tuple })
+    blocks
+
+let originals blocks row =
+  let prov_positions =
+    List.concat_map (fun b -> b.positions) blocks
+  in
+  let keep = Array.make (Array.length row) true in
+  List.iter (fun pos -> keep.(pos) <- false) prov_positions;
+  let out = ref [] in
+  Array.iteri (fun i v -> if keep.(i) then out := v :: !out) row;
+  Array.of_list (List.rev !out)

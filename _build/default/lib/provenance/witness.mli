@@ -1,0 +1,37 @@
+(** Structured decoding of provenance result sets.
+
+    Perm represents provenance as flat [prov_<rel>_<col>] columns appended
+    to the query result (paper §2.1). Downstream code usually wants the
+    structured view back: for each result row, the list of witness tuples
+    per base relation. This module recovers it from a result's column
+    names alone, so it works on lazy query results, stored provenance
+    tables, and CSV re-imports alike. *)
+
+type block = {
+  rel : string;  (** base relation display name, e.g. ["messages"] *)
+  occurrence : int;  (** 0 for [prov_r_*], k for [prov_r_k_*] (self-joins) *)
+  columns : string list;  (** base column names, in schema order *)
+  positions : int list;  (** column positions within the result row *)
+}
+
+val blocks : columns:string list -> known_rels:string list -> block list
+(** Groups a result's [prov_*] columns into per-relation-instance blocks.
+    [known_rels] disambiguates relation names containing underscores
+    (column names are parsed as [prov_<rel>[_<occ>]_<col>] with the longest
+    matching known relation name). Columns that match no known relation are
+    grouped by the longest prefix heuristic. *)
+
+type witness = {
+  w_rel : string;
+  w_occurrence : int;
+  w_tuple : Perm_value.Value.t array;  (** values in [columns] order *)
+}
+
+val decode_row :
+  block list -> Perm_value.Value.t array -> witness list
+(** The witnesses embedded in one provenance result row; all-NULL blocks
+    (the relation did not contribute to this row, Figure 2's padding) are
+    omitted. *)
+
+val originals : block list -> Perm_value.Value.t array -> Perm_value.Value.t array
+(** The row restricted to its non-provenance columns. *)

@@ -1,0 +1,318 @@
+(** Abstract syntax of the SQL-PLE dialect (SQL plus Perm's provenance
+    language extension, paper §2.4).
+
+    The SQL-PLE surface constructs are:
+    - [SELECT PROVENANCE ...] — compute provenance of this (sub)query;
+    - [... ON CONTRIBUTION (INFLUENCE | COPY | COPY COMPLETE)] — pick the
+      contribution semantics;
+    - [<from-item> BASERELATION] — treat a view/subquery as a base relation
+      (stop the rewrite at this boundary);
+    - [<from-item> PROVENANCE (a1, ..., an)] — declare existing columns as
+      externally produced provenance attributes to be propagated. *)
+
+module Value = Perm_value.Value
+module Dtype = Perm_value.Dtype
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Neq
+  | Lt
+  | Leq
+  | Gt
+  | Geq
+  | And
+  | Or
+  | Concat
+  | Like
+
+type unop = Not | Neg
+
+type agg_func = Count | Sum | Avg | Min | Max | Bool_and | Bool_or
+
+(** Contribution semantics (paper §2.4): [INFLUENCE] is Perm's
+    Why-provenance flavour; [COPY] variants are Where-provenance flavours
+    ("several types of Where-provenance"): [Copy_partial] keeps provenance
+    for a base tuple if {e any} of its attributes is copied to the output,
+    [Copy_complete] only if {e all} output values stemming from that
+    relation are copies. *)
+type contribution = Influence | Copy_partial | Copy_complete
+
+type order_dir = Asc | Desc
+
+type expr =
+  | Lit of Value.t
+  | Param of int  (** positional parameter [$n]; bound before analysis *)
+  | Ref of string option * string  (** [qualifier.column] or bare [column] *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Is_null of { negated : bool; arg : expr }
+  | Between of { negated : bool; arg : expr; low : expr; high : expr }
+  | In_list of { negated : bool; arg : expr; candidates : expr list }
+  | In_query of { negated : bool; arg : expr; subquery : query }
+  | Exists of { negated : bool; subquery : query }
+  | Scalar_subquery of query
+  | Case of {
+      operand : expr option;
+      branches : (expr * expr) list;
+      else_ : expr option;
+    }
+  | Cast of expr * Dtype.t
+  | Func of string * expr list  (** scalar function call *)
+  | Agg of { func : agg_func; distinct : bool; arg : expr option }
+      (** [arg = None] only for count-star *)
+
+and select_item =
+  | Star  (** [SELECT *] *)
+  | Table_star of string  (** [SELECT t.*] *)
+  | Sel_expr of expr * string option  (** expression with optional alias *)
+
+and from_item = {
+  source : from_source;
+  alias : string option;
+  baserelation : bool;  (** SQL-PLE [BASERELATION] *)
+  prov_attrs : string list option;  (** SQL-PLE [PROVENANCE (a, ...)] *)
+}
+
+and from_source =
+  | From_table of string
+  | From_subquery of query
+  | From_join of {
+      kind : join_kind;
+      left : from_item;
+      right : from_item;
+      cond : expr option;  (** [None] only for [Cross] *)
+    }
+
+and join_kind = Inner | Left | Right | Full | Cross
+
+and select = {
+  provenance : contribution option;  (** [SELECT PROVENANCE ...] marker *)
+  distinct : bool;
+  items : select_item list;
+  from : from_item list;  (** comma-separated items are a cross product *)
+  where : expr option;
+  group_by : expr list;
+  having : expr option;
+}
+
+and query_body =
+  | Select of select
+  | Set_op of { kind : set_kind; all : bool; left : query; right : query }
+
+and set_kind = Union | Intersect | Except
+
+and query = {
+  body : query_body;
+  order_by : (expr * order_dir) list;
+  limit : int option;
+  offset : int option;
+}
+
+type statement =
+  | St_query of query
+  | St_create_table of string * (string * Dtype.t) list
+  | St_create_table_as of string * query
+  | St_create_view of string * query
+  | St_drop_table of string
+  | St_drop_view of string
+  | St_insert_values of string * expr list list
+  | St_insert_select of string * query
+  | St_delete of string * expr option
+  | St_update of string * (string * expr) list * expr option
+  | St_store_provenance of query * string
+      (** [STORE PROVENANCE <query> INTO <table>] — eager provenance
+          (engine-level SQL-PLE extension; equivalent to Perm's
+          [CREATE TABLE t AS SELECT PROVENANCE ...]) *)
+  | St_explain of query
+      (** [EXPLAIN <query>] — the Perm-browser panes as text *)
+  | St_copy_from of string * string
+      (** [COPY <table> FROM '<path>'] — CSV import *)
+  | St_copy_to of string * string
+      (** [COPY <table> TO '<path>'] — CSV export *)
+  | St_create_index of { index : string; table : string; column : string }
+      (** [CREATE INDEX <name> ON <table> (<column>)] — hash index *)
+  | St_drop_index of string
+  | St_begin  (** [BEGIN [TRANSACTION]] — snapshot the session state *)
+  | St_commit  (** [COMMIT] — discard the snapshot, keep changes *)
+  | St_rollback  (** [ROLLBACK] — restore the snapshot *)
+
+(** {1 Constructors} *)
+
+let simple_query body = { body; order_by = []; limit = None; offset = None }
+
+let plain_from ?(alias = None) source =
+  { source; alias; baserelation = false; prov_attrs = None }
+
+let select_query sel = simple_query (Select sel)
+
+let empty_select =
+  {
+    provenance = None;
+    distinct = false;
+    items = [];
+    from = [];
+    where = None;
+    group_by = [];
+    having = None;
+  }
+
+(** {1 Inspection helpers} *)
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Leq -> "<="
+  | Gt -> ">"
+  | Geq -> ">="
+  | And -> "and"
+  | Or -> "or"
+  | Concat -> "||"
+  | Like -> "like"
+
+let agg_name = function
+  | Count -> "count"
+  | Sum -> "sum"
+  | Avg -> "avg"
+  | Min -> "min"
+  | Max -> "max"
+  | Bool_and -> "bool_and"
+  | Bool_or -> "bool_or"
+
+let contribution_name = function
+  | Influence -> "influence"
+  | Copy_partial -> "copy"
+  | Copy_complete -> "copy complete"
+
+(** [query_uses_provenance q] is true when any (sub)select of [q] carries a
+    [PROVENANCE] marker — used by the engine to decide whether the
+    provenance rewriter must run at all. *)
+(* [bind_params values q] replaces every positional parameter [$n] by the
+   n-th (1-based) value; fails if a parameter exceeds the binding list.
+   Extra values are allowed (and ignored). *)
+let bind_params values q =
+  let n = List.length values in
+  let missing = ref None in
+  let value k =
+    if k >= 1 && k <= n then Lit (List.nth values (k - 1))
+    else begin
+      if !missing = None then missing := Some k;
+      Param k
+    end
+  in
+  let rec expr = function
+    | Lit _ as e -> e
+    | Param k -> value k
+    | Ref _ as e -> e
+    | Binop (op, a, b) -> Binop (op, expr a, expr b)
+    | Unop (op, a) -> Unop (op, expr a)
+    | Is_null r -> Is_null { r with arg = expr r.arg }
+    | Between r ->
+      Between { r with arg = expr r.arg; low = expr r.low; high = expr r.high }
+    | In_list r ->
+      In_list { r with arg = expr r.arg; candidates = List.map expr r.candidates }
+    | In_query r -> In_query { r with arg = expr r.arg; subquery = query r.subquery }
+    | Exists r -> Exists { r with subquery = query r.subquery }
+    | Scalar_subquery q -> Scalar_subquery (query q)
+    | Case { operand; branches; else_ } ->
+      Case
+        {
+          operand = Option.map expr operand;
+          branches = List.map (fun (c, r) -> (expr c, expr r)) branches;
+          else_ = Option.map expr else_;
+        }
+    | Cast (e, ty) -> Cast (expr e, ty)
+    | Func (name, args) -> Func (name, List.map expr args)
+    | Agg r -> Agg { r with arg = Option.map expr r.arg }
+  and item = function
+    | (Star | Table_star _) as i -> i
+    | Sel_expr (e, alias) -> Sel_expr (expr e, alias)
+  and from (f : from_item) =
+    {
+      f with
+      source =
+        (match f.source with
+        | From_table _ as s -> s
+        | From_subquery q -> From_subquery (query q)
+        | From_join r ->
+          From_join
+            { r with left = from r.left; right = from r.right; cond = Option.map expr r.cond });
+    }
+  and select (s : select) =
+    {
+      s with
+      items = List.map item s.items;
+      from = List.map from s.from;
+      where = Option.map expr s.where;
+      group_by = List.map expr s.group_by;
+      having = Option.map expr s.having;
+    }
+  and body = function
+    | Select s -> Select (select s)
+    | Set_op r -> Set_op { r with left = query r.left; right = query r.right }
+  and query (q : query) =
+    {
+      q with
+      body = body q.body;
+      order_by = List.map (fun (e, d) -> (expr e, d)) q.order_by;
+    }
+  in
+  let q2 = query q in
+  match !missing with
+  | Some k ->
+    Error (Printf.sprintf "query references $%d but only %d value(s) were bound" k n)
+  | None -> Ok q2
+
+let rec query_uses_provenance q = body_uses_provenance q.body
+
+and body_uses_provenance = function
+  | Select s ->
+    s.provenance <> None
+    || List.exists item_uses (List.map (fun i -> `Item i) s.items)
+    || List.exists from_uses s.from
+    || opt_uses s.where || opt_uses s.having
+    || List.exists expr_uses s.group_by
+  | Set_op { left; right; _ } ->
+    query_uses_provenance left || query_uses_provenance right
+
+and item_uses = function
+  | `Item (Sel_expr (e, _)) -> expr_uses e
+  | `Item (Star | Table_star _) -> false
+
+and from_uses (f : from_item) =
+  match f.source with
+  | From_table _ -> false
+  | From_subquery q -> query_uses_provenance q
+  | From_join { left; right; cond; _ } ->
+    from_uses left || from_uses right || opt_uses cond
+
+and opt_uses = function None -> false | Some e -> expr_uses e
+
+and expr_uses = function
+  | Lit _ | Param _ | Ref _ -> false
+  | Binop (_, a, b) -> expr_uses a || expr_uses b
+  | Unop (_, a) | Cast (a, _) -> expr_uses a
+  | Is_null { arg; _ } -> expr_uses arg
+  | Between { arg; low; high; _ } ->
+    expr_uses arg || expr_uses low || expr_uses high
+  | In_list { arg; candidates; _ } ->
+    expr_uses arg || List.exists expr_uses candidates
+  | In_query { arg; subquery; _ } ->
+    expr_uses arg || query_uses_provenance subquery
+  | Exists { subquery; _ } -> query_uses_provenance subquery
+  | Scalar_subquery q -> query_uses_provenance q
+  | Case { operand; branches; else_ } ->
+    opt_uses operand || opt_uses else_
+    || List.exists (fun (c, r) -> expr_uses c || expr_uses r) branches
+  | Func (_, args) -> List.exists expr_uses args
+  | Agg { arg; _ } -> opt_uses arg

@@ -1,0 +1,14 @@
+(** SQL lexer: input text to located tokens.
+
+    Handles ['...'] string literals with [''] escaping, ["..."] quoted
+    identifiers, integer and float literals, [--] line comments and
+    [/* ... */] block comments (non-nesting, as in SQL). *)
+
+type error = { message : string; pos : int }
+
+val tokenize : string -> (Token.located list, error) result
+(** The result always ends with an [Eof] token. *)
+
+val describe_position : string -> int -> string
+(** [describe_position input pos] renders ["line L, column C"] for error
+    messages. *)

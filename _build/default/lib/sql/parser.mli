@@ -1,0 +1,18 @@
+(** Recursive-descent parser for the SQL-PLE dialect.
+
+    Accepts standard SQL (SELECT with joins, subqueries, grouping, set
+    operations, ORDER BY / LIMIT / OFFSET, DDL and DML) extended with the
+    Perm provenance constructs of paper §2.4. *)
+
+type error = { message : string; pos : int }
+
+val parse_query : string -> (Ast.query, error) result
+(** Parses a single query (no trailing semicolon required). *)
+
+val parse_statement : string -> (Ast.statement, error) result
+(** Parses a single statement, allowing one trailing semicolon. *)
+
+val parse_script : string -> (Ast.statement list, error) result
+(** Parses a semicolon-separated sequence of statements. *)
+
+val error_to_string : input:string -> error -> string

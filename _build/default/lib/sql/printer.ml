@@ -1,0 +1,240 @@
+module Value = Perm_value.Value
+module Dtype = Perm_value.Dtype
+
+(* Expressions are printed fully parenthesised below the boolean level: this
+   keeps the printer trivially correct w.r.t. precedence, and rewritten
+   queries are machine-generated anyway. Conjunctions/disjunctions are
+   flattened for readability. *)
+
+let rec expr_to_string (e : Ast.expr) =
+  match e with
+  | Lit v -> Value.to_sql v
+  | Param n -> "$" ^ string_of_int n
+  | Ref (None, c) -> c
+  | Ref (Some q, c) -> q ^ "." ^ c
+  | Binop (Ast.And, _, _) | Binop (Ast.Or, _, _) -> bool_to_string e
+  | Binop (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr_to_string a)
+      (String.uppercase_ascii (Ast.binop_name op))
+      (expr_to_string b)
+  | Unop (Ast.Not, a) -> Printf.sprintf "(NOT %s)" (expr_to_string a)
+  | Unop (Ast.Neg, a) -> Printf.sprintf "(- %s)" (expr_to_string a)
+  | Is_null { negated; arg } ->
+    Printf.sprintf "(%s IS %sNULL)" (expr_to_string arg)
+      (if negated then "NOT " else "")
+  | Between { negated; arg; low; high } ->
+    Printf.sprintf "(%s %sBETWEEN %s AND %s)" (expr_to_string arg)
+      (if negated then "NOT " else "")
+      (expr_to_string low) (expr_to_string high)
+  | In_list { negated; arg; candidates } ->
+    Printf.sprintf "(%s %sIN (%s))" (expr_to_string arg)
+      (if negated then "NOT " else "")
+      (String.concat ", " (List.map expr_to_string candidates))
+  | In_query { negated; arg; subquery } ->
+    Printf.sprintf "(%s %sIN (%s))" (expr_to_string arg)
+      (if negated then "NOT " else "")
+      (query_to_string subquery)
+  | Exists { negated; subquery } ->
+    Printf.sprintf "(%sEXISTS (%s))"
+      (if negated then "NOT " else "")
+      (query_to_string subquery)
+  | Scalar_subquery q -> Printf.sprintf "(%s)" (query_to_string q)
+  | Case { operand; branches; else_ } ->
+    let buf = Buffer.create 64 in
+    Buffer.add_string buf "CASE";
+    (match operand with
+    | Some e -> Buffer.add_string buf (" " ^ expr_to_string e)
+    | None -> ());
+    List.iter
+      (fun (c, r) ->
+        Buffer.add_string buf
+          (Printf.sprintf " WHEN %s THEN %s" (expr_to_string c)
+             (expr_to_string r)))
+      branches;
+    (match else_ with
+    | Some e -> Buffer.add_string buf (" ELSE " ^ expr_to_string e)
+    | None -> ());
+    Buffer.add_string buf " END";
+    Buffer.contents buf
+  | Cast (e, ty) ->
+    Printf.sprintf "CAST(%s AS %s)" (expr_to_string e) (Dtype.to_string ty)
+  | Func (name, args) ->
+    Printf.sprintf "%s(%s)" name
+      (String.concat ", " (List.map expr_to_string args))
+  | Agg { func; distinct; arg } ->
+    Printf.sprintf "%s(%s%s)"
+      (Ast.agg_name func)
+      (if distinct then "DISTINCT " else "")
+      (match arg with None -> "*" | Some e -> expr_to_string e)
+
+and bool_to_string e =
+  (* Flatten nested AND/OR chains of the same connective. *)
+  let rec collect op e acc =
+    match e with
+    | Ast.Binop (op', a, b) when op' = op -> collect op a (collect op b acc)
+    | e -> e :: acc
+  in
+  match e with
+  | Ast.Binop ((Ast.And | Ast.Or) as op, _, _) ->
+    let parts = collect op e [] in
+    let sep = if op = Ast.And then " AND " else " OR " in
+    "(" ^ String.concat sep (List.map expr_to_string parts) ^ ")"
+  | e -> expr_to_string e
+
+and select_item_to_string = function
+  | Ast.Star -> "*"
+  | Ast.Table_star t -> t ^ ".*"
+  | Ast.Sel_expr (e, None) -> expr_to_string e
+  | Ast.Sel_expr (e, Some a) -> expr_to_string e ^ " AS " ^ a
+
+and from_item_to_string (f : Ast.from_item) =
+  let base =
+    match f.source with
+    | From_table t -> t
+    | From_subquery q -> "(" ^ query_to_string q ^ ")"
+    | From_join { kind; left; right; cond } ->
+      let kw =
+        match kind with
+        | Ast.Inner -> "JOIN"
+        | Ast.Left -> "LEFT OUTER JOIN"
+        | Ast.Right -> "RIGHT OUTER JOIN"
+        | Ast.Full -> "FULL OUTER JOIN"
+        | Ast.Cross -> "CROSS JOIN"
+      in
+      let on =
+        match cond with
+        | Some c -> " ON " ^ expr_to_string c
+        | None -> ""
+      in
+      Printf.sprintf "%s %s %s%s"
+        (from_item_to_string left)
+        kw
+        (from_item_to_string right)
+        on
+  in
+  let with_alias =
+    match f.alias with None -> base | Some a -> base ^ " AS " ^ a
+  in
+  let with_base =
+    if f.baserelation then with_alias ^ " BASERELATION" else with_alias
+  in
+  match f.prov_attrs with
+  | None -> with_base
+  | Some attrs -> with_base ^ " PROVENANCE (" ^ String.concat ", " attrs ^ ")"
+
+and select_to_string (s : Ast.select) =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "SELECT";
+  (match s.provenance with
+  | Some Ast.Influence -> Buffer.add_string buf " PROVENANCE"
+  | Some Ast.Copy_partial ->
+    Buffer.add_string buf " PROVENANCE ON CONTRIBUTION (COPY)"
+  | Some Ast.Copy_complete ->
+    Buffer.add_string buf " PROVENANCE ON CONTRIBUTION (COPY COMPLETE)"
+  | None -> ());
+  if s.distinct then Buffer.add_string buf " DISTINCT";
+  Buffer.add_string buf " ";
+  Buffer.add_string buf
+    (String.concat ", " (List.map select_item_to_string s.items));
+  if s.from <> [] then begin
+    Buffer.add_string buf " FROM ";
+    Buffer.add_string buf
+      (String.concat ", " (List.map from_item_to_string s.from))
+  end;
+  (match s.where with
+  | Some e -> Buffer.add_string buf (" WHERE " ^ expr_to_string e)
+  | None -> ());
+  if s.group_by <> [] then begin
+    Buffer.add_string buf " GROUP BY ";
+    Buffer.add_string buf
+      (String.concat ", " (List.map expr_to_string s.group_by))
+  end;
+  (match s.having with
+  | Some e -> Buffer.add_string buf (" HAVING " ^ expr_to_string e)
+  | None -> ());
+  Buffer.contents buf
+
+and body_to_string = function
+  | Ast.Select s -> select_to_string s
+  | Ast.Set_op { kind; all; left; right } ->
+    let kw =
+      match kind with
+      | Ast.Union -> "UNION"
+      | Ast.Intersect -> "INTERSECT"
+      | Ast.Except -> "EXCEPT"
+    in
+    Printf.sprintf "(%s) %s%s (%s)" (query_to_string left) kw
+      (if all then " ALL" else "")
+      (query_to_string right)
+
+and query_to_string (q : Ast.query) =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (body_to_string q.body);
+  if q.order_by <> [] then begin
+    Buffer.add_string buf " ORDER BY ";
+    Buffer.add_string buf
+      (String.concat ", "
+         (List.map
+            (fun (e, dir) ->
+              expr_to_string e
+              ^ match dir with Ast.Asc -> " ASC" | Ast.Desc -> " DESC")
+            q.order_by))
+  end;
+  (match q.limit with
+  | Some n -> Buffer.add_string buf (Printf.sprintf " LIMIT %d" n)
+  | None -> ());
+  (match q.offset with
+  | Some n -> Buffer.add_string buf (Printf.sprintf " OFFSET %d" n)
+  | None -> ());
+  Buffer.contents buf
+
+let statement_to_string = function
+  | Ast.St_query q -> query_to_string q
+  | Ast.St_create_table (name, cols) ->
+    Printf.sprintf "CREATE TABLE %s (%s)" name
+      (String.concat ", "
+         (List.map
+            (fun (c, ty) -> c ^ " " ^ Dtype.to_string ty)
+            cols))
+  | Ast.St_create_table_as (name, q) ->
+    Printf.sprintf "CREATE TABLE %s AS %s" name (query_to_string q)
+  | Ast.St_create_view (name, q) ->
+    Printf.sprintf "CREATE VIEW %s AS %s" name (query_to_string q)
+  | Ast.St_drop_table name -> "DROP TABLE " ^ name
+  | Ast.St_drop_view name -> "DROP VIEW " ^ name
+  | Ast.St_insert_values (name, rows) ->
+    Printf.sprintf "INSERT INTO %s VALUES %s" name
+      (String.concat ", "
+         (List.map
+            (fun row ->
+              "(" ^ String.concat ", " (List.map expr_to_string row) ^ ")")
+            rows))
+  | Ast.St_insert_select (name, q) ->
+    Printf.sprintf "INSERT INTO %s %s" name (query_to_string q)
+  | Ast.St_delete (name, where) ->
+    Printf.sprintf "DELETE FROM %s%s" name
+      (match where with
+      | Some e -> " WHERE " ^ expr_to_string e
+      | None -> "")
+  | Ast.St_update (name, assigns, where) ->
+    Printf.sprintf "UPDATE %s SET %s%s" name
+      (String.concat ", "
+         (List.map
+            (fun (c, e) -> c ^ " = " ^ expr_to_string e)
+            assigns))
+      (match where with
+      | Some e -> " WHERE " ^ expr_to_string e
+      | None -> "")
+  | Ast.St_store_provenance (q, name) ->
+    Printf.sprintf "STORE PROVENANCE %s INTO %s" (query_to_string q) name
+  | Ast.St_explain q -> "EXPLAIN " ^ query_to_string q
+  | Ast.St_copy_from (name, path) ->
+    Printf.sprintf "COPY %s FROM %s" name (Value.to_sql (Value.Text path))
+  | Ast.St_copy_to (name, path) ->
+    Printf.sprintf "COPY %s TO %s" name (Value.to_sql (Value.Text path))
+  | Ast.St_create_index { index; table; column } ->
+    Printf.sprintf "CREATE INDEX %s ON %s (%s)" index table column
+  | Ast.St_drop_index name -> "DROP INDEX " ^ name
+  | Ast.St_begin -> "BEGIN"
+  | Ast.St_commit -> "COMMIT"
+  | Ast.St_rollback -> "ROLLBACK"

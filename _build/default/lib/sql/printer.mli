@@ -1,0 +1,10 @@
+(** SQL pretty-printer (deparser).
+
+    Renders ASTs back to parseable SQL-PLE text; [Parser.parse_query]
+    composed with {!query_to_string} is the identity on ASTs up to redundant
+    parentheses (pinned by a qcheck round-trip property). Used by the engine
+    to display rewritten queries as SQL, the Perm browser's pane 2. *)
+
+val expr_to_string : Ast.expr -> string
+val query_to_string : Ast.query -> string
+val statement_to_string : Ast.statement -> string

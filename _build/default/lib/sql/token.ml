@@ -1,0 +1,55 @@
+type t =
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Ident of string
+  | Param of int
+  | Quoted_ident of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Dot
+  | Star
+  | Plus
+  | Minus
+  | Slash
+  | Percent
+  | Eq
+  | Neq
+  | Lt
+  | Leq
+  | Gt
+  | Geq
+  | Concat
+  | Semicolon
+  | Eof
+
+type located = { token : t; pos : int }
+
+let to_string = function
+  | Int_lit i -> string_of_int i
+  | Float_lit f -> string_of_float f
+  | String_lit s -> "'" ^ s ^ "'"
+  | Ident s -> s
+  | Param n -> "$" ^ string_of_int n
+  | Quoted_ident s -> "\"" ^ s ^ "\""
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Comma -> ","
+  | Dot -> "."
+  | Star -> "*"
+  | Plus -> "+"
+  | Minus -> "-"
+  | Slash -> "/"
+  | Percent -> "%"
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Leq -> "<="
+  | Gt -> ">"
+  | Geq -> ">="
+  | Concat -> "||"
+  | Semicolon -> ";"
+  | Eof -> "<eof>"
+
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,37 @@
+(** Lexical tokens of the SQL-PLE dialect.
+
+    Keywords are lexed as [Ident] and classified by the parser, except the
+    small closed set that can never be identifiers; this keeps the lexer
+    stable as SQL-PLE adds keywords ([PROVENANCE], [BASERELATION], ...) that
+    remain valid column names in plain SQL contexts. *)
+
+type t =
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Ident of string  (** lower-cased bare identifier or keyword *)
+  | Param of int  (** positional parameter [$1], [$2], ... *)
+  | Quoted_ident of string  (** ["..."]-quoted, case preserved *)
+  | Lparen
+  | Rparen
+  | Comma
+  | Dot
+  | Star
+  | Plus
+  | Minus
+  | Slash
+  | Percent
+  | Eq
+  | Neq  (** [<>] or [!=] *)
+  | Lt
+  | Leq
+  | Gt
+  | Geq
+  | Concat  (** [||] *)
+  | Semicolon
+  | Eof
+
+type located = { token : t; pos : int  (** byte offset in the input *) }
+
+val to_string : t -> string
+val equal : t -> t -> bool

@@ -1,0 +1,1 @@
+lib/storage/heap.ml: Array Hashtbl List Perm_catalog Perm_value Printf Seq Tuple Vec

@@ -1,0 +1,1 @@
+lib/storage/heap.mli: Perm_catalog Perm_value Seq Tuple

@@ -1,0 +1,1 @@
+lib/storage/store.ml: Hashtbl Heap List Printf String

@@ -1,0 +1,1 @@
+lib/storage/store.mli: Heap Perm_catalog

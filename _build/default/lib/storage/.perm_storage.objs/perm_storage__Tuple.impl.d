@@ -1,0 +1,1 @@
+lib/storage/tuple.ml: Array Format Hashtbl List Perm_value String

@@ -1,0 +1,20 @@
+(** Tuples are immutable-by-convention arrays of values. *)
+
+type t = Perm_value.Value.t array
+
+val arity : t -> int
+val equal : t -> t -> bool
+(** Null-safe positional equality ({!Perm_value.Value.equal}), the notion
+    used for grouping, DISTINCT, set operations and provenance rejoins. *)
+
+val compare : t -> t -> int
+val hash : t -> int
+val concat : t -> t -> t
+val project : int list -> t -> t
+val to_string : t -> string
+(** Comma-separated, parenthesised, e.g. [(1, lorem, null)]. *)
+
+val pp : Format.formatter -> t -> unit
+
+module Hash : Hashtbl.S with type key = t
+(** Hash table keyed by tuples under null-safe equality. *)

@@ -1,0 +1,1 @@
+lib/value/dtype.mli: Format

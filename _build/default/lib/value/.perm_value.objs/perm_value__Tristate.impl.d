@@ -1,0 +1,1 @@
+lib/value/tristate.ml: Dtype Format Value

@@ -1,0 +1,1 @@
+lib/value/tristate.mli: Format Value

@@ -1,0 +1,1 @@
+lib/value/value.ml: Buffer Dtype Float Format Hashtbl Printf Stdlib String

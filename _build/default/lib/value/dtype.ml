@@ -1,0 +1,36 @@
+type t = Int | Float | Bool | Text | Date | Any
+
+let equal a b =
+  match a, b with
+  | Int, Int | Float, Float | Bool, Bool | Text, Text | Date, Date | Any, Any ->
+    true
+  | (Int | Float | Bool | Text | Date | Any), _ -> false
+
+let unify a b =
+  match a, b with
+  | Any, t | t, Any -> Some t
+  | Int, Float | Float, Int -> Some Float
+  | a, b -> if equal a b then Some a else None
+
+let is_numeric = function
+  | Int | Float -> true
+  | Bool | Text | Date | Any -> false
+
+let to_string = function
+  | Int -> "int"
+  | Float -> "float"
+  | Bool -> "bool"
+  | Text -> "text"
+  | Date -> "date"
+  | Any -> "any"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "int" | "integer" | "bigint" | "smallint" | "int4" | "int8" -> Some Int
+  | "float" | "double" | "real" | "numeric" | "decimal" | "float8" -> Some Float
+  | "bool" | "boolean" -> Some Bool
+  | "date" -> Some Date
+  | "text" | "varchar" | "char" | "string" -> Some Text
+  | _ -> None
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

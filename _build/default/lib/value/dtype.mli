@@ -1,0 +1,32 @@
+(** SQL data types supported by the engine.
+
+    Perm inherits PostgreSQL's type system; this engine supports the subset
+    exercised by the paper's example database and benchmarks: integers,
+    floats, booleans and text. [Any] is the type of an untyped [NULL]
+    literal; it unifies with every other type. *)
+
+type t =
+  | Int
+  | Float
+  | Bool
+  | Text
+  | Date  (** calendar dates, stored as days since 1970-01-01 *)
+  | Any  (** type of a bare [NULL] literal; unifies with everything *)
+
+val equal : t -> t -> bool
+
+val unify : t -> t -> t option
+(** [unify a b] is the common type of [a] and [b] if they are compatible:
+    equal types unify to themselves, [Any] unifies with anything, and
+    [Int]/[Float] unify to [Float] (SQL numeric promotion). *)
+
+val is_numeric : t -> bool
+
+val to_string : t -> string
+(** Lower-case SQL-ish name, e.g. ["int"], ["float"], ["text"]. *)
+
+val of_string : string -> t option
+(** Parses type names as written in [CREATE TABLE]; accepts common synonyms
+    ([integer], [bigint], [double], [real], [varchar], [boolean], ...). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,40 @@
+type t = True | False | Unknown
+
+let of_bool b = if b then True else False
+
+let of_value = function
+  | Value.Null -> Ok Unknown
+  | Value.Bool b -> Ok (of_bool b)
+  | v ->
+    Error
+      ("expected a boolean predicate value, got "
+      ^ Dtype.to_string (Value.type_of v))
+
+let to_value = function
+  | True -> Value.Bool true
+  | False -> Value.Bool false
+  | Unknown -> Value.Null
+
+let ( &&& ) a b =
+  match a, b with
+  | False, _ | _, False -> False
+  | True, True -> True
+  | (True | Unknown), (True | Unknown) -> Unknown
+
+let ( ||| ) a b =
+  match a, b with
+  | True, _ | _, True -> True
+  | False, False -> False
+  | (False | Unknown), (False | Unknown) -> Unknown
+
+let not_ = function True -> False | False -> True | Unknown -> Unknown
+let is_true = function True -> true | False | Unknown -> false
+
+let equal a b =
+  match a, b with
+  | True, True | False, False | Unknown, Unknown -> true
+  | (True | False | Unknown), _ -> false
+
+let pp ppf t =
+  Format.pp_print_string ppf
+    (match t with True -> "true" | False -> "false" | Unknown -> "unknown")

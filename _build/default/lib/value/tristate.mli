@@ -1,0 +1,26 @@
+(** SQL three-valued predicate logic.
+
+    WHERE/HAVING/JOIN predicates evaluate to [True], [False] or [Unknown];
+    only [True] keeps a tuple. [Unknown] arises from comparisons against
+    [NULL]. *)
+
+type t = True | False | Unknown
+
+val of_bool : bool -> t
+
+val of_value : Value.t -> (t, string) result
+(** [Null -> Unknown], [Bool b -> of_bool b]; other types are a type error. *)
+
+val to_value : t -> Value.t
+(** [Unknown -> Null]. *)
+
+val ( &&& ) : t -> t -> t
+(** Kleene AND: [False] dominates. *)
+
+val ( ||| ) : t -> t -> t
+(** Kleene OR: [True] dominates. *)
+
+val not_ : t -> t
+val is_true : t -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

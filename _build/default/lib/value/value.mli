@@ -1,0 +1,90 @@
+(** Runtime SQL values.
+
+    A value is either [Null] or a typed constant. All engine tuples are
+    arrays of values. Comparison and arithmetic follow SQL semantics:
+    operations involving [Null] yield [Null] (see {!Tristate} for predicate
+    logic), and mixed int/float arithmetic promotes to float. *)
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Text of string
+  | Date of int  (** days since 1970-01-01 (may be negative) *)
+
+val type_of : t -> Dtype.t
+(** [type_of Null] is {!Dtype.Any}. *)
+
+val is_null : t -> bool
+
+(** {1 Comparison} *)
+
+val equal : t -> t -> bool
+(** Structural equality; [equal Null Null = true]. Int/float cross-type
+    numeric equality holds when values coincide ([Int 1 = Float 1.0]).
+    This is the *null-safe* notion used for grouping, set operations and
+    provenance rejoin predicates — not SQL [=], which is {!sql_eq}. *)
+
+val compare : t -> t -> int
+(** Total order used by ORDER BY and sort-based operators. [Null] sorts
+    first (NULLS FIRST, PostgreSQL's default for ASC is NULLS LAST, but a
+    fixed convention is enough for the engine; tests pin it). Numeric values
+    compare numerically across Int/Float. Comparing incomparable types
+    (e.g. [Int] vs [Text]) orders by type tag — it cannot arise in
+    well-typed plans but keeps the order total. *)
+
+val hash : t -> int
+(** Compatible with {!equal}: equal values hash equally (numeric values
+    hash via their float embedding). *)
+
+(** {1 SQL operations — all return [Null] on [Null] input} *)
+
+val sql_eq : t -> t -> t
+val sql_neq : t -> t -> t
+val sql_lt : t -> t -> t
+val sql_leq : t -> t -> t
+val sql_gt : t -> t -> t
+val sql_geq : t -> t -> t
+
+(** {1 Calendar dates} *)
+
+val date_of_ymd : int -> int -> int -> (t, string) result
+(** [date_of_ymd y m d] validates the civil date (rejecting e.g. Feb 30). *)
+
+val date_to_ymd : int -> int * int * int
+(** Inverse of the epoch-day encoding. *)
+
+val date_of_string : string -> (t, string) result
+(** Parses [YYYY-MM-DD]. *)
+
+(** {1 SQL operations — all return [Null] on [Null] input}
+
+    [add]/[sub] also implement date arithmetic: [date + int] / [date - int]
+    shift by days, [date - date] is the day difference. *)
+
+val add : t -> t -> (t, string) result
+val sub : t -> t -> (t, string) result
+val mul : t -> t -> (t, string) result
+val div : t -> t -> (t, string) result
+(** [div] returns [Error] on division by zero. *)
+
+val neg : t -> (t, string) result
+val concat : t -> t -> (t, string) result
+val like : t -> t -> t
+(** SQL [LIKE] with [%] and [_] wildcards. *)
+
+val cast : Dtype.t -> t -> (t, string) result
+(** Explicit cast; [Null] casts to [Null] of any type. Text parses to
+    numerics/bools PostgreSQL-style; anything casts to text. *)
+
+(** {1 Formatting} *)
+
+val to_string : t -> string
+(** Unquoted rendering; [Null] prints as ["null"] (matches the paper's
+    Figure 2 rendering). *)
+
+val to_sql : t -> string
+(** SQL literal syntax: text is single-quoted with quote doubling. *)
+
+val pp : Format.formatter -> t -> unit

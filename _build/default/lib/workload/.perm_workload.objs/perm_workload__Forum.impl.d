@@ -1,0 +1,1 @@
+lib/workload/forum.ml: Array List Perm_engine Printf String

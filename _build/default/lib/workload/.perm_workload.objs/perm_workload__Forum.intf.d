@@ -1,0 +1,1 @@
+lib/workload/forum.mli: Perm_engine

@@ -1,0 +1,1 @@
+lib/workload/star.ml: Array List Perm_engine Printf String

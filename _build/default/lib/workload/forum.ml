@@ -1,0 +1,104 @@
+module Engine = Perm_engine.Engine
+
+let run_or_fail engine sql =
+  match Engine.execute engine sql with
+  | Ok _ -> ()
+  | Error msg -> failwith (Printf.sprintf "forum setup failed on %S: %s" sql msg)
+
+let schema_sql =
+  [
+    "CREATE TABLE messages (mid int, text text, uid int)";
+    "CREATE TABLE users (uid int, name text)";
+    "CREATE TABLE imports (mid int, text text, origin text)";
+    "CREATE TABLE approved (uid int, mid int)";
+    "CREATE VIEW v1 AS SELECT mid, text FROM messages UNION SELECT mid, text \
+     FROM imports";
+  ]
+
+let load engine =
+  List.iter (run_or_fail engine) schema_sql;
+  List.iter (run_or_fail engine)
+    [
+      "INSERT INTO messages VALUES (1, 'lorem ipsum ...', 3), (4, 'hi there ...', 2)";
+      "INSERT INTO users VALUES (1, 'Bert'), (2, 'Gert'), (3, 'Gertrud')";
+      "INSERT INTO imports VALUES (2, 'hello ...', 'superForum'), (3, 'I don''t ...', 'HiBoard')";
+      "INSERT INTO approved VALUES (2, 2), (1, 4), (2, 4), (3, 4)";
+    ]
+
+let q1 = "SELECT mid, text FROM messages UNION SELECT mid, text FROM imports"
+
+let q3 =
+  "SELECT count(*), text FROM v1 JOIN approved a ON (v1.mid = a.mid) GROUP BY \
+   v1.mid, text"
+
+let q1_provenance =
+  "SELECT PROVENANCE mid, text FROM messages UNION SELECT mid, text FROM \
+   imports"
+
+(* Small deterministic PRNG (xorshift) so scaled datasets are reproducible
+   without touching global Random state. *)
+let make_rng seed =
+  let state = ref (if seed = 0 then 0x2545F491 else seed) in
+  fun bound ->
+    let x = !state in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 7) in
+    let x = x lxor (x lsl 17) in
+    state := x land 0x3FFFFFFF;
+    !state mod bound
+
+let words =
+  [|
+    "lorem"; "ipsum"; "dolor"; "sit"; "amet"; "hello"; "world"; "forum";
+    "post"; "reply"; "thread"; "topic"; "question"; "answer"; "idea";
+  |]
+
+let origins = [| "superForum"; "HiBoard"; "otherBoard"; "newsNet" |]
+
+let batched_insert engine table rows =
+  (* Chunked multi-row INSERTs keep parsing overhead out of benchmarks. *)
+  let rec go = function
+    | [] -> ()
+    | rows ->
+      let batch, rest =
+        let rec split n acc = function
+          | [] -> (List.rev acc, [])
+          | rows when n = 0 -> (List.rev acc, rows)
+          | r :: rows -> split (n - 1) (r :: acc) rows
+        in
+        split 500 [] rows
+      in
+      run_or_fail engine
+        (Printf.sprintf "INSERT INTO %s VALUES %s" table (String.concat ", " batch));
+      go rest
+  in
+  go rows
+
+let load_scaled engine ~messages ~users ?imports ?(approvals_per_message = 3)
+    ?(seed = 42) () =
+  let imports = match imports with Some i -> i | None -> messages / 2 in
+  let rng = make_rng seed in
+  let text () =
+    Printf.sprintf "'%s %s %s'"
+      words.(rng (Array.length words))
+      words.(rng (Array.length words))
+      words.(rng (Array.length words))
+  in
+  List.iter (run_or_fail engine) schema_sql;
+  batched_insert engine "users"
+    (List.init users (fun i -> Printf.sprintf "(%d, 'user%d')" (i + 1) (i + 1)));
+  batched_insert engine "messages"
+    (List.init messages (fun i ->
+         Printf.sprintf "(%d, %s, %d)" (i + 1) (text ()) (1 + rng (max 1 users))));
+  batched_insert engine "imports"
+    (List.init imports (fun i ->
+         Printf.sprintf "(%d, %s, '%s')" (messages + i + 1) (text ())
+           origins.(rng (Array.length origins))));
+  let approvals =
+    List.concat_map
+      (fun m ->
+        List.init (rng (approvals_per_message + 1)) (fun _ ->
+            Printf.sprintf "(%d, %d)" (1 + rng (max 1 users)) (m + 1)))
+      (List.init (messages + imports) (fun i -> i))
+  in
+  if approvals <> [] then batched_insert engine "approved" approvals

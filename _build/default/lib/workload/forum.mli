@@ -1,0 +1,30 @@
+(** The paper's example database (Figure 1): an online forum with [users],
+    [messages], [imports] and [approved], plus the view [v1] (query q2) —
+    loaded verbatim, or scaled up synthetically for benchmarks. *)
+
+val load : Perm_engine.Engine.t -> unit
+(** Creates the four tables and view [v1] with exactly the Figure 1 rows.
+    @raise Failure if any setup statement fails (engine bug). *)
+
+val q1 : string
+(** All messages, entered or imported (Figure 1). *)
+
+val q3 : string
+(** Message approval counts over [v1] (Figure 1). *)
+
+val q1_provenance : string
+(** [SELECT PROVENANCE] variant of q1 — its result is paper Figure 2. *)
+
+val load_scaled :
+  Perm_engine.Engine.t ->
+  messages:int ->
+  users:int ->
+  ?imports:int ->
+  ?approvals_per_message:int ->
+  ?seed:int ->
+  unit ->
+  unit
+(** Synthetic forum with the same schema and view: deterministic
+    pseudo-random content ([seed] defaults to 42), [imports] defaults to
+    [messages / 2], [approvals_per_message] to 3. Message ids are disjoint
+    between [messages] and [imports], as in the paper's data. *)

@@ -1,0 +1,106 @@
+module Engine = Perm_engine.Engine
+
+let run_or_fail engine sql =
+  match Engine.execute engine sql with
+  | Ok _ -> ()
+  | Error msg -> failwith (Printf.sprintf "star setup failed on %S: %s" sql msg)
+
+let make_rng seed =
+  let state = ref (if seed = 0 then 0x9E3779B9 else seed) in
+  fun bound ->
+    let x = !state in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 7) in
+    let x = x lxor (x lsl 17) in
+    state := x land 0x3FFFFFFF;
+    !state mod bound
+
+let nations = [| "DE"; "CH"; "US"; "JP"; "BR"; "IN"; "FR"; "AU" |]
+let segments = [| "BUILDING"; "AUTOMOBILE"; "MACHINERY"; "HOUSEHOLD" |]
+let brands = [| "acme"; "globex"; "initech"; "umbrella"; "stark"; "wayne" |]
+let priorities = [| "1-URGENT"; "2-HIGH"; "3-MEDIUM"; "4-LOW" |]
+
+let batched_insert engine table rows =
+  let rec go = function
+    | [] -> ()
+    | rows ->
+      let rec split n acc = function
+        | [] -> (List.rev acc, [])
+        | rest when n = 0 -> (List.rev acc, rest)
+        | r :: rest -> split (n - 1) (r :: acc) rest
+      in
+      let batch, rest = split 500 [] rows in
+      run_or_fail engine
+        (Printf.sprintf "INSERT INTO %s VALUES %s" table (String.concat ", " batch));
+      go rest
+  in
+  go rows
+
+let load engine ~scale ?(seed = 7) () =
+  let rng = make_rng seed in
+  let customers = max 4 (scale / 10) in
+  let parts = max 4 (scale / 5) in
+  List.iter (run_or_fail engine)
+    [
+      "CREATE TABLE customer (custkey int, name text, nation text, segment text)";
+      "CREATE TABLE part (partkey int, name text, brand text, price float)";
+      "CREATE TABLE orders (orderkey int, custkey int, odate date, priority text)";
+      "CREATE TABLE lineitem (orderkey int, partkey int, qty int, extendedprice \
+       float, discount float)";
+    ];
+  batched_insert engine "customer"
+    (List.init customers (fun i ->
+         Printf.sprintf "(%d, 'customer%d', '%s', '%s')" (i + 1) (i + 1)
+           nations.(rng (Array.length nations))
+           segments.(rng (Array.length segments))));
+  batched_insert engine "part"
+    (List.init parts (fun i ->
+         Printf.sprintf "(%d, 'part%d', '%s', %d.%02d)" (i + 1) (i + 1)
+           brands.(rng (Array.length brands))
+           (1 + rng 500) (rng 100)));
+  batched_insert engine "orders"
+    (List.init scale (fun i ->
+         (* order dates spread over 1992-1998, as in TPC-H *)
+         let y = 1992 + rng 7 and m = 1 + rng 12 and d = 1 + rng 28 in
+         Printf.sprintf "(%d, %d, DATE '%04d-%02d-%02d', '%s')" (i + 1)
+           (1 + rng customers) y m d
+           priorities.(rng (Array.length priorities))));
+  let lineitems =
+    List.concat_map
+      (fun o ->
+        List.init
+          (1 + rng 6)
+          (fun _ ->
+            Printf.sprintf "(%d, %d, %d, %d.%02d, 0.0%d)" (o + 1)
+              (1 + rng parts) (1 + rng 50) (1 + rng 10000) (rng 100) (rng 10)))
+      (List.init scale (fun i -> i))
+  in
+  batched_insert engine "lineitem" lineitems
+
+let revenue_by_brand =
+  "SELECT p.brand, sum(l.extendedprice * (1.0 - l.discount)) AS revenue, \
+   count(*) AS items FROM lineitem l JOIN part p ON l.partkey = p.partkey \
+   GROUP BY p.brand ORDER BY revenue DESC"
+
+let top_customers =
+  "SELECT c.name, count(*) AS orders_cnt, sum(l.qty) AS total_qty FROM \
+   customer c JOIN orders o ON c.custkey = o.custkey JOIN lineitem l ON \
+   o.orderkey = l.orderkey GROUP BY c.custkey, c.name HAVING sum(l.qty) > 50 \
+   ORDER BY total_qty DESC LIMIT 10"
+
+let segment_revenue =
+  "SELECT c.segment, sum(l.extendedprice) AS revenue FROM customer c JOIN \
+   orders o ON c.custkey = o.custkey JOIN lineitem l ON o.orderkey = \
+   l.orderkey WHERE c.segment = 'BUILDING' AND o.odate >= DATE '1995-01-01' \
+   GROUP BY c.segment"
+
+let provenance_of sql =
+  (* all query texts above start with SELECT *)
+  "SELECT PROVENANCE " ^ String.sub sql 7 (String.length sql - 7)
+
+let queries =
+  [
+    ("Q1-revenue-by-brand", revenue_by_brand, provenance_of revenue_by_brand);
+    ("Q18-top-customers", top_customers, provenance_of top_customers);
+    ("Q3-segment-revenue", segment_revenue, provenance_of segment_revenue);
+  ]

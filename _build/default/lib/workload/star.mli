@@ -1,0 +1,23 @@
+(** A TPC-H-like star schema for the warehouse benchmarks.
+
+    Perm's companion evaluation (ICDE'09) ran on TPC-H; this module
+    generates a laptop-scale analogue with the same shape: a wide fact
+    table ([lineitem]) joined to dimensions ([orders], [customer], [part]),
+    plus a set of analytics queries with provenance variants. Deterministic
+    given [seed]. *)
+
+val load : Perm_engine.Engine.t -> scale:int -> ?seed:int -> unit -> unit
+(** [scale] is roughly the number of orders; [lineitem] gets about
+    [4 * scale] rows, [customer] [scale / 10], [part] [scale / 5]. *)
+
+(** The query set: each is [(name, plain SQL, SELECT PROVENANCE SQL)]. *)
+val queries : (string * string * string) list
+
+val revenue_by_brand : string
+(** Aggregate revenue per part brand (TPC-H Q1 flavour). *)
+
+val top_customers : string
+(** Three-way join + grouping + HAVING + ORDER + LIMIT (Q18 flavour). *)
+
+val segment_revenue : string
+(** Full star join with dimension and date-range filters (Q3 flavour). *)

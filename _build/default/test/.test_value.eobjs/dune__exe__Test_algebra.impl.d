@@ -1,0 +1,1 @@
+test/test_algebra.ml: Alcotest List Option Perm_algebra Perm_testkit Perm_value Result String

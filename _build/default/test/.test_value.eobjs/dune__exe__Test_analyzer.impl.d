@@ -1,0 +1,1 @@
+test/test_analyzer.ml: Alcotest List Perm_algebra Perm_engine Perm_testkit String

@@ -1,0 +1,1 @@
+test/test_catalog.ml: Alcotest List Perm_catalog Perm_testkit Perm_value Result

@@ -1,0 +1,1 @@
+test/test_conformance.ml: Alcotest Filename Lazy Perm_engine Perm_testkit Perm_value Printf Result String Sys

@@ -1,0 +1,1 @@
+test/test_csv.ml: Alcotest Filename Gen List Out_channel Perm_engine Perm_testkit Perm_workload Printf QCheck Result String Sys

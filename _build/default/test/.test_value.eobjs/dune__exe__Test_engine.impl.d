@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest List Perm_engine Perm_planner Perm_provenance Perm_testkit Perm_workload String

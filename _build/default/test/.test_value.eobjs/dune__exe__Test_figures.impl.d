@@ -1,0 +1,1 @@
+test/test_figures.ml: Alcotest List Perm_algebra Perm_engine Perm_planner Perm_testkit Perm_workload String

@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest List Perm_algebra Perm_catalog Perm_engine Perm_planner Perm_storage Perm_testkit Perm_value Result String

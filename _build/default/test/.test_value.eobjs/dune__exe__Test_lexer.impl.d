@@ -1,0 +1,1 @@
+test/test_lexer.ml: Alcotest List Perm_sql Perm_testkit String

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest List Perm_sql Perm_testkit Perm_value QCheck String

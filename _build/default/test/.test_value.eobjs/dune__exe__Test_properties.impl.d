@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array List Perm_engine Perm_planner Perm_provenance Perm_testkit Perm_value Printf QCheck String

@@ -1,0 +1,1 @@
+test/test_rewriter.ml: Alcotest List Perm_algebra Perm_engine Perm_provenance Perm_testkit Perm_workload

@@ -1,0 +1,1 @@
+test/test_rewriter_prop.ml: Alcotest Array List Perm_algebra Perm_executor Perm_planner Perm_provenance Perm_storage Perm_testkit Perm_value QCheck Seq String

@@ -1,0 +1,1 @@
+test/test_sqlgen.ml: Alcotest List Perm_engine Perm_provenance Perm_testkit Perm_workload String

@@ -1,0 +1,1 @@
+test/test_sqlple.ml: Alcotest List Perm_engine Perm_testkit Perm_workload String

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array List Perm_catalog Perm_storage Perm_testkit Perm_value QCheck Result

@@ -1,0 +1,1 @@
+test/test_transactions.ml: Alcotest Perm_engine Perm_testkit Result

@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Gen List Perm_testkit Perm_value QCheck Result

@@ -1,0 +1,1 @@
+test/test_witness.ml: Alcotest Array List Perm_engine Perm_provenance Perm_testkit Perm_value Perm_workload

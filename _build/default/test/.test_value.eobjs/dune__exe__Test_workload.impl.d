@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest List Perm_engine Perm_testkit Perm_workload Printf

@@ -1,0 +1,1 @@
+test/kit/kit.ml: Alcotest Array List Perm_engine Perm_storage Perm_value Perm_workload Printf QCheck_alcotest

@@ -1,0 +1,71 @@
+(* Shared helpers for the Perm test suites. *)
+
+module Value = Perm_value.Value
+module Dtype = Perm_value.Dtype
+module Tuple = Perm_storage.Tuple
+module Engine = Perm_engine.Engine
+
+(* Value shorthands *)
+let i n = Value.Int n
+let f x = Value.Float x
+let s x = Value.Text x
+let b x = Value.Bool x
+let nl = Value.Null
+
+let row vs = Array.of_list vs
+
+(* A fresh engine; [forum] loads the paper's Figure 1 data. *)
+let engine () = Engine.create ()
+
+let forum_engine () =
+  let e = Engine.create () in
+  Perm_workload.Forum.load e;
+  e
+
+let exec_ok e sql =
+  match Engine.execute e sql with
+  | Ok outcome -> outcome
+  | Error msg -> Alcotest.failf "unexpected error on %S: %s" sql msg
+
+let exec_all e statements = List.iter (fun sql -> ignore (exec_ok e sql)) statements
+
+let query_ok e sql =
+  match Engine.query e sql with
+  | Ok rs -> rs
+  | Error msg -> Alcotest.failf "unexpected error on %S: %s" sql msg
+
+let query_err e sql =
+  match Engine.query e sql with
+  | Ok _ -> Alcotest.failf "expected an error on %S" sql
+  | Error msg -> msg
+
+(* Render rows as string lists for readable assertions. *)
+let strings_of_rows rows =
+  List.map (fun r -> Array.to_list (Array.map Value.to_string r)) rows
+
+let rows_testable = Alcotest.(list (list string))
+
+let check_rows ?(ordered = false) e sql expected =
+  let rs = query_ok e sql in
+  let actual = strings_of_rows rs.Engine.rows in
+  let norm l = if ordered then l else List.sort compare l in
+  Alcotest.(check rows_testable) sql (norm expected) (norm actual)
+
+let check_columns e sql expected =
+  let rs = query_ok e sql in
+  Alcotest.(check (list string)) (sql ^ " [columns]") expected rs.Engine.columns
+
+let check_count e sql expected =
+  let rs = query_ok e sql in
+  Alcotest.(check int) (sql ^ " [row count]") expected (List.length rs.Engine.rows)
+
+(* Two queries must return identical multisets of rows. *)
+let check_same e sql_a sql_b =
+  let a = strings_of_rows (query_ok e sql_a).Engine.rows in
+  let b = strings_of_rows (query_ok e sql_b).Engine.rows in
+  Alcotest.(check rows_testable)
+    (Printf.sprintf "%s == %s" sql_a sql_b)
+    (List.sort compare a) (List.sort compare b)
+
+let case name fn = Alcotest.test_case name `Quick fn
+let qcheck t = QCheck_alcotest.to_alcotest t

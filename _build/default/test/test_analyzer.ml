@@ -1,0 +1,279 @@
+(* Analyzer tests: name resolution, typing, GROUP BY validation, star
+   expansion, view unfolding, subquery restrictions — mostly asserted
+   through the engine's error surface and plan shapes. *)
+
+module Plan = Perm_algebra.Plan
+module Pretty = Perm_algebra.Pretty
+module Engine = Perm_engine.Engine
+open Perm_testkit.Kit
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go idx = idx + n <= h && (String.sub hay idx n = needle || go (idx + 1)) in
+  n = 0 || go 0
+
+let setup () =
+  let e = engine () in
+  exec_all e
+    [
+      "CREATE TABLE r (a int, b text, c float)";
+      "CREATE TABLE s (a int, d text)";
+      "INSERT INTO r VALUES (1, 'x', 1.5), (2, 'y', 2.5)";
+      "INSERT INTO s VALUES (1, 'dx'), (3, 'dz')";
+    ];
+  e
+
+let check_err_contains e sql fragment =
+  let msg = query_err e sql in
+  if not (contains ~needle:fragment msg) then
+    Alcotest.failf "error for %S was %S, expected it to mention %S" sql msg fragment
+
+let resolution_tests =
+  [
+    case "unknown relation" (fun () ->
+        check_err_contains (setup ()) "SELECT a FROM nope" "does not exist");
+    case "unknown column" (fun () ->
+        check_err_contains (setup ()) "SELECT zz FROM r" "does not exist");
+    case "unknown qualified column" (fun () ->
+        check_err_contains (setup ()) "SELECT r.zz FROM r" "r.zz");
+    case "ambiguous column across tables" (fun () ->
+        check_err_contains (setup ()) "SELECT a FROM r, s" "ambiguous");
+    case "qualification disambiguates" (fun () ->
+        check_count (setup ()) "SELECT r.a FROM r, s" 4);
+    case "alias hides table name" (fun () ->
+        check_err_contains (setup ()) "SELECT r.a FROM r AS x" "r.a");
+    case "duplicate range variables rejected" (fun () ->
+        check_err_contains (setup ()) "SELECT 1 FROM r, r" "more than once");
+    case "self join with aliases works" (fun () ->
+        check_count (setup ()) "SELECT x.a, y.a FROM r x, r y" 4);
+    case "case-insensitive resolution" (fun () ->
+        check_count (setup ()) "SELECT R.A FROM r" 2);
+  ]
+
+let typing_tests =
+  [
+    case "arithmetic on text rejected" (fun () ->
+        check_err_contains (setup ()) "SELECT b + 1 FROM r" "numeric");
+    case "and on int rejected" (fun () ->
+        check_err_contains (setup ()) "SELECT 1 FROM r WHERE a AND a" "boolean");
+    case "comparison of incompatible types" (fun () ->
+        check_err_contains (setup ()) "SELECT 1 FROM r WHERE a = b" "incompatible");
+    case "where must be boolean" (fun () ->
+        check_err_contains (setup ()) "SELECT 1 FROM r WHERE a + 1" "boolean");
+    case "like needs text" (fun () ->
+        check_err_contains (setup ()) "SELECT 1 FROM r WHERE a LIKE 'x'" "text");
+    case "sum needs numeric" (fun () ->
+        check_err_contains (setup ()) "SELECT sum(b) FROM r" "numeric");
+    case "unknown function" (fun () ->
+        check_err_contains (setup ()) "SELECT frob(a) FROM r" "unknown function");
+    case "function arity errors" (fun () ->
+        check_err_contains (setup ()) "SELECT abs(a, a) FROM r" "abs");
+    case "int/float comparison is fine" (fun () ->
+        check_count (setup ()) "SELECT 1 FROM r WHERE a < c" 2);
+    case "null literal unifies anywhere" (fun () ->
+        check_count (setup ()) "SELECT 1 FROM r WHERE b = null OR a = 1" 1);
+  ]
+
+let grouping_tests =
+  [
+    case "non-grouped column rejected" (fun () ->
+        check_err_contains (setup ()) "SELECT a, b FROM r GROUP BY a" "GROUP BY");
+    case "grouped expression allowed" (fun () ->
+        check_count (setup ()) "SELECT a % 2, count(*) FROM r GROUP BY a % 2" 2);
+    case "having without group by makes a global aggregate" (fun () ->
+        check_rows (setup ()) "SELECT count(*) FROM r HAVING count(*) > 1" [ [ "2" ] ]);
+    case "having rejects non-grouped columns" (fun () ->
+        check_err_contains (setup ())
+          "SELECT count(*) FROM r GROUP BY a HAVING b = 'x'" "GROUP BY");
+    case "aggregate in where rejected" (fun () ->
+        check_err_contains (setup ()) "SELECT a FROM r WHERE count(*) > 1"
+          "not allowed in the WHERE");
+    case "nested aggregates rejected" (fun () ->
+        check_err_contains (setup ()) "SELECT sum(count(*)) FROM r" "nested");
+    case "same aggregate shared between select and having" (fun () ->
+        let e = setup () in
+        check_rows e "SELECT a, count(*) FROM r GROUP BY a HAVING count(*) = 1"
+          [ [ "1"; "1" ]; [ "2"; "1" ] ]);
+    case "order by aggregate in grouped query" (fun () ->
+        check_rows ~ordered:true (setup ())
+          "SELECT b, count(*) FROM r GROUP BY b ORDER BY count(*) DESC, b"
+          [ [ "x"; "1" ]; [ "y"; "1" ] ]);
+  ]
+
+let star_tests =
+  [
+    case "star expands in order" (fun () ->
+        check_columns (setup ()) "SELECT * FROM r" [ "a"; "b"; "c" ]);
+    case "table star" (fun () ->
+        check_columns (setup ()) "SELECT s.*, r.a FROM r, s" [ "a"; "d"; "a" ]);
+    case "table star unknown table" (fun () ->
+        check_err_contains (setup ()) "SELECT z.* FROM r" "missing FROM-clause");
+    case "star in grouped query needs grouping" (fun () ->
+        check_err_contains (setup ()) "SELECT * FROM r GROUP BY a" "GROUP BY");
+  ]
+
+let view_tests =
+  [
+    case "view unfolds" (fun () ->
+        let e = setup () in
+        exec_all e [ "CREATE VIEW v AS SELECT a, b FROM r WHERE a > 1" ];
+        check_rows e "SELECT * FROM v" [ [ "2"; "y" ] ]);
+    case "view over view" (fun () ->
+        let e = setup () in
+        exec_all e
+          [
+            "CREATE VIEW v AS SELECT a FROM r";
+            "CREATE VIEW w AS SELECT a + 1 AS a1 FROM v";
+          ];
+        check_rows e "SELECT * FROM w" [ [ "2" ]; [ "3" ] ]);
+    case "view columns are renamable via alias" (fun () ->
+        let e = setup () in
+        exec_all e [ "CREATE VIEW v AS SELECT a AS k FROM r" ];
+        check_rows e "SELECT x.k FROM v AS x WHERE x.k = 1" [ [ "1" ] ]);
+    case "view referencing dropped table fails at use" (fun () ->
+        let e = setup () in
+        exec_all e [ "CREATE VIEW v AS SELECT a FROM s"; "DROP TABLE s" ];
+        check_err_contains e "SELECT * FROM v" "does not exist");
+    case "order inside view body is preserved at creation" (fun () ->
+        let e = setup () in
+        exec_all e [ "CREATE VIEW v AS SELECT a FROM r ORDER BY a DESC" ];
+        check_count e "SELECT * FROM v" 2);
+  ]
+
+let subquery_tests =
+  [
+    case "scalar subquery in select" (fun () ->
+        check_rows (setup ()) "SELECT a, (SELECT max(a) FROM s) FROM r"
+          [ [ "1"; "3" ]; [ "2"; "3" ] ]);
+    case "correlated scalar subquery" (fun () ->
+        check_rows (setup ())
+          "SELECT a, (SELECT count(*) FROM s WHERE s.a = r.a) FROM r"
+          [ [ "1"; "1" ]; [ "2"; "0" ] ]);
+    case "scalar subquery must be single column" (fun () ->
+        check_err_contains (setup ()) "SELECT (SELECT a, d FROM s) FROM r"
+          "exactly one column");
+    case "scalar subquery more than one row is runtime error" (fun () ->
+        check_err_contains (setup ()) "SELECT (SELECT a FROM r) FROM s"
+          "more than one row");
+    case "in subquery" (fun () ->
+        check_rows (setup ()) "SELECT a FROM r WHERE a IN (SELECT a FROM s)"
+          [ [ "1" ] ]);
+    case "not in subquery" (fun () ->
+        check_rows (setup ()) "SELECT a FROM r WHERE a NOT IN (SELECT a FROM s)"
+          [ [ "2" ] ]);
+    case "exists correlated" (fun () ->
+        check_rows (setup ())
+          "SELECT a FROM r WHERE EXISTS (SELECT 1 FROM s WHERE s.a = r.a)"
+          [ [ "1" ] ]);
+    case "not exists correlated" (fun () ->
+        check_rows (setup ())
+          "SELECT a FROM r WHERE NOT EXISTS (SELECT 1 FROM s WHERE s.a = r.a)"
+          [ [ "2" ] ]);
+    case "in subquery must be single column" (fun () ->
+        check_err_contains (setup ())
+          "SELECT a FROM r WHERE a IN (SELECT a, d FROM s)" "exactly one column");
+    case "exists under OR is rejected with a clear message" (fun () ->
+        check_err_contains (setup ())
+          "SELECT a FROM r WHERE a = 1 OR EXISTS (SELECT 1 FROM s)"
+          "top-level conjuncts");
+    case "subquery in having rejected" (fun () ->
+        check_err_contains (setup ())
+          "SELECT count(*) FROM r HAVING count(*) > (SELECT count(*) FROM s)"
+          "not allowed");
+  ]
+
+let order_limit_tests =
+  [
+    case "order by alias" (fun () ->
+        check_rows ~ordered:true (setup ())
+          "SELECT a * -1 AS neg FROM r ORDER BY neg" [ [ "-2" ]; [ "-1" ] ]);
+    case "order by position" (fun () ->
+        check_rows ~ordered:true (setup ()) "SELECT a FROM r ORDER BY 1 DESC"
+          [ [ "2" ]; [ "1" ] ]);
+    case "order by position out of range" (fun () ->
+        check_err_contains (setup ()) "SELECT a FROM r ORDER BY 5" "position");
+    case "order by non-selected column works for plain selects" (fun () ->
+        check_rows ~ordered:true (setup ()) "SELECT b FROM r ORDER BY a DESC"
+          [ [ "y" ]; [ "x" ] ]);
+    case "distinct restricts order keys" (fun () ->
+        check_err_contains (setup ()) "SELECT DISTINCT b FROM r ORDER BY a"
+          "select list");
+    case "distinct ordered by selected column" (fun () ->
+        check_rows ~ordered:true (setup ()) "SELECT DISTINCT b FROM r ORDER BY b"
+          [ [ "x" ]; [ "y" ] ]);
+    case "set op order by name" (fun () ->
+        check_rows ~ordered:true (setup ())
+          "SELECT a FROM r UNION SELECT a FROM s ORDER BY a DESC"
+          [ [ "3" ]; [ "2" ]; [ "1" ] ]);
+    case "set op order by expression rejected" (fun () ->
+        check_err_contains (setup ())
+          "SELECT a FROM r UNION SELECT a FROM s ORDER BY a + 1"
+          "name an output column");
+    case "set op arity mismatch" (fun () ->
+        check_err_contains (setup ()) "SELECT a, b FROM r UNION SELECT a FROM s"
+          "same number of columns");
+    case "set op type mismatch" (fun () ->
+        check_err_contains (setup ()) "SELECT a FROM r UNION SELECT d FROM s"
+          "incompatible");
+    case "empty select list impossible (parser catches)" (fun () ->
+        let msg = query_err (setup ()) "SELECT FROM r" in
+        Alcotest.(check bool) "" true (String.length msg > 0));
+  ]
+
+let plan_shape_tests =
+  [
+    case "where becomes a filter under the projection" (fun () ->
+        let e = setup () in
+        match Engine.plan_query e "SELECT a FROM r WHERE a = 1" with
+        | Ok (analyzed, _) ->
+          let txt = Pretty.plan_summary analyzed in
+          Alcotest.(check string) "" "Project(Select(Scan(r)))" txt
+        | Error msg -> Alcotest.fail msg);
+    case "group by builds aggregate" (fun () ->
+        let e = setup () in
+        match Engine.plan_query e "SELECT b, count(*) FROM r GROUP BY b" with
+        | Ok (analyzed, _) ->
+          Alcotest.(check string) "" "Project(Aggregate(Scan(r)))"
+            (Pretty.plan_summary analyzed)
+        | Error msg -> Alcotest.fail msg);
+    case "provenance marker wraps the block" (fun () ->
+        let e = setup () in
+        match Engine.plan_query e "SELECT PROVENANCE a FROM r" with
+        | Ok (analyzed, _) -> (
+          match analyzed with
+          | Plan.Prov { sources; _ } ->
+            Alcotest.(check (list string)) "source names"
+              [ "prov_r_a"; "prov_r_b"; "prov_r_c" ]
+              (List.map
+                 (fun (s : Plan.prov_source) -> s.Plan.prov_attr.Perm_algebra.Attr.name)
+                 sources)
+          | _ -> Alcotest.fail "expected a Prov root")
+        | Error msg -> Alcotest.fail msg);
+    case "self-join provenance names disambiguated" (fun () ->
+        let e = setup () in
+        match Engine.plan_query e "SELECT PROVENANCE x.a FROM r x, r y" with
+        | Ok (Plan.Prov { sources; _ }, _) ->
+          let names =
+            List.map
+              (fun (s : Plan.prov_source) -> s.Plan.prov_attr.Perm_algebra.Attr.name)
+              sources
+          in
+          Alcotest.(check (list string)) ""
+            [ "prov_r_a"; "prov_r_b"; "prov_r_c"; "prov_r_1_a"; "prov_r_1_b"; "prov_r_1_c" ]
+            names
+        | Ok _ -> Alcotest.fail "expected a Prov root"
+        | Error msg -> Alcotest.fail msg);
+  ]
+
+let () =
+  Alcotest.run "analyzer"
+    [
+      ("resolution", resolution_tests);
+      ("typing", typing_tests);
+      ("grouping", grouping_tests);
+      ("stars", star_tests);
+      ("views", view_tests);
+      ("subqueries", subquery_tests);
+      ("order-limit", order_limit_tests);
+      ("plan-shape", plan_shape_tests);
+    ]

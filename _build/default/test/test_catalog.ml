@@ -1,0 +1,90 @@
+(* Unit tests for the catalog layer: columns, schemas, table/view registry. *)
+
+module Catalog = Perm_catalog.Catalog
+module Schema = Perm_catalog.Schema
+module Column = Perm_catalog.Column
+module Dtype = Perm_value.Dtype
+open Perm_testkit.Kit
+
+let col n ty = Column.make n ty
+
+let schema_tests =
+  [
+    case "make lowercases names" (fun () ->
+        let c = col "MiD" Dtype.Int in
+        Alcotest.(check string) "" "mid" c.Column.name);
+    case "make rejects duplicates" (fun () ->
+        Alcotest.(check bool) "" true
+          (Result.is_error (Schema.make [ col "a" Dtype.Int; col "A" Dtype.Text ])));
+    case "make rejects empty" (fun () ->
+        Alcotest.(check bool) "" true (Result.is_error (Schema.make [])));
+    case "find is case-insensitive with position" (fun () ->
+        let s = Schema.make_exn [ col "a" Dtype.Int; col "b" Dtype.Text ] in
+        match Schema.find s "B" with
+        | Some (1, c) -> Alcotest.(check string) "" "b" c.Column.name
+        | _ -> Alcotest.fail "expected position 1");
+    case "find missing" (fun () ->
+        let s = Schema.make_exn [ col "a" Dtype.Int ] in
+        Alcotest.(check bool) "" true (Schema.find s "z" = None));
+    case "names and types in order" (fun () ->
+        let s = Schema.make_exn [ col "a" Dtype.Int; col "b" Dtype.Text ] in
+        Alcotest.(check (list string)) "" [ "a"; "b" ] (Schema.names s);
+        Alcotest.(check int) "" 2 (Schema.arity s));
+    case "equal" (fun () ->
+        let s1 = Schema.make_exn [ col "a" Dtype.Int ] in
+        let s2 = Schema.make_exn [ col "a" Dtype.Int ] in
+        let s3 = Schema.make_exn [ col "a" Dtype.Text ] in
+        Alcotest.(check bool) "same" true (Schema.equal s1 s2);
+        Alcotest.(check bool) "different type" false (Schema.equal s1 s3));
+  ]
+
+let catalog_tests =
+  let schema = Schema.make_exn [ col "a" Dtype.Int ] in
+  [
+    case "add and find table" (fun () ->
+        let c = Catalog.create () in
+        ignore (Result.get_ok (Catalog.add_table c "T1" schema));
+        match Catalog.find_table c "t1" with
+        | Some def -> Alcotest.(check string) "" "t1" def.Catalog.table_name
+        | None -> Alcotest.fail "missing table");
+    case "duplicate table rejected" (fun () ->
+        let c = Catalog.create () in
+        ignore (Result.get_ok (Catalog.add_table c "t" schema));
+        Alcotest.(check bool) "" true (Result.is_error (Catalog.add_table c "T" schema)));
+    case "view and table share a namespace" (fun () ->
+        let c = Catalog.create () in
+        ignore (Result.get_ok (Catalog.add_view c "v" ~sql:"SELECT 1" schema));
+        Alcotest.(check bool) "" true (Result.is_error (Catalog.add_table c "v" schema)));
+    case "drop table" (fun () ->
+        let c = Catalog.create () in
+        ignore (Result.get_ok (Catalog.add_table c "t" schema));
+        Alcotest.(check bool) "drop ok" true (Result.is_ok (Catalog.drop_table c "t"));
+        Alcotest.(check bool) "gone" true (Catalog.find_table c "t" = None);
+        Alcotest.(check bool) "double drop" true (Result.is_error (Catalog.drop_table c "t")));
+    case "drop view does not drop tables" (fun () ->
+        let c = Catalog.create () in
+        ignore (Result.get_ok (Catalog.add_table c "t" schema));
+        Alcotest.(check bool) "" true (Result.is_error (Catalog.drop_view c "t")));
+    case "tables listed sorted" (fun () ->
+        let c = Catalog.create () in
+        ignore (Result.get_ok (Catalog.add_table c "zeta" schema));
+        ignore (Result.get_ok (Catalog.add_table c "alpha" schema));
+        Alcotest.(check (list string)) "" [ "alpha"; "zeta" ]
+          (List.map (fun d -> d.Catalog.table_name) (Catalog.tables c)));
+    case "view stores sql text" (fun () ->
+        let c = Catalog.create () in
+        ignore (Result.get_ok (Catalog.add_view c "v" ~sql:"SELECT a FROM t" schema));
+        match Catalog.find_view c "v" with
+        | Some def -> Alcotest.(check string) "" "SELECT a FROM t" def.Catalog.view_sql
+        | None -> Alcotest.fail "missing view");
+    case "mem covers both" (fun () ->
+        let c = Catalog.create () in
+        ignore (Result.get_ok (Catalog.add_table c "t" schema));
+        ignore (Result.get_ok (Catalog.add_view c "v" ~sql:"x" schema));
+        Alcotest.(check bool) "t" true (Catalog.mem c "t");
+        Alcotest.(check bool) "v" true (Catalog.mem c "V");
+        Alcotest.(check bool) "w" false (Catalog.mem c "w"));
+  ]
+
+let () =
+  Alcotest.run "catalog" [ ("schema", schema_tests); ("catalog", catalog_tests) ]

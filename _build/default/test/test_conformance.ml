@@ -1,0 +1,307 @@
+(* SQL conformance suite: systematic, table-driven expression and feature
+   coverage. Each entry is one scalar query (mostly FROM-less) with its
+   expected rendering — quick to scan, easy to extend, and each case pins a
+   distinct behaviour of the expression evaluator / type system. *)
+
+open Perm_testkit.Kit
+
+(* one engine for the whole suite; scalar cases don't touch tables *)
+let shared = lazy (forum_engine ())
+
+let scalar sql expected =
+  case sql (fun () ->
+      let e = Lazy.force shared in
+      check_rows e ("SELECT " ^ sql) [ [ expected ] ])
+
+let scalar_err sql =
+  case (sql ^ " [errors]") (fun () ->
+      let e = Lazy.force shared in
+      ignore (query_err e ("SELECT " ^ sql)))
+
+let arithmetic =
+  [
+    scalar "1 + 2 * 3" "7";
+    scalar "(1 + 2) * 3" "9";
+    scalar "7 / 2" "3";
+    scalar "7.0 / 2" "3.5";
+    scalar "7 % 3" "1";
+    scalar "-7 % 3" "-1";
+    scalar "- (1 + 2)" "-3";
+    scalar "1 + 2.5" "3.5";
+    scalar "2 * 3.0" "6.0";
+    scalar_err "1 / 0";
+    scalar_err "1 % 0";
+    scalar "1 + null" "null";
+    scalar "null * 3" "null";
+    scalar "abs(-4)" "4";
+    scalar "abs(-4.5)" "4.5";
+    scalar "floor(2.7)" "2.0";
+    scalar "ceil(2.2)" "3.0";
+    scalar "round(2.5)" "3.0";
+    scalar "round(-2.5)" "-3.0";
+    scalar "sign(-9)" "-1";
+    scalar "sign(0)" "0";
+    scalar "sqrt(9)" "3.0";
+    scalar_err "sqrt(-1)";
+    scalar "power(2, 10)" "1024.0";
+    scalar "exp(0)" "1.0";
+    scalar "ln(1)" "0.0";
+    scalar "mod(10, 3)" "1";
+    scalar "greatest(1, 9, 3)" "9";
+    scalar "least(1.5, 2, 0.5)" "0.5";
+  ]
+
+let comparison_and_logic =
+  [
+    scalar "1 = 1" "true";
+    scalar "1 = 1.0" "true";
+    scalar "1 <> 2" "true";
+    scalar "1 < 2" "true";
+    scalar "2 <= 2" "true";
+    scalar "3 > 2" "true";
+    scalar "3 >= 4" "false";
+    scalar "'abc' < 'abd'" "true";
+    scalar "null = null" "null";
+    scalar "null <> null" "null";
+    scalar "1 = null" "null";
+    scalar "true AND false" "false";
+    scalar "true OR false" "true";
+    scalar "NOT true" "false";
+    scalar "NOT null" "null";
+    scalar "true AND null" "null";
+    scalar "false AND null" "false";
+    scalar "true OR null" "true";
+    scalar "false OR null" "null";
+    scalar "null IS NULL" "true";
+    scalar "1 IS NULL" "false";
+    scalar "1 IS NOT NULL" "true";
+    scalar "2 BETWEEN 1 AND 3" "true";
+    scalar "0 BETWEEN 1 AND 3" "false";
+    scalar "2 NOT BETWEEN 1 AND 3" "false";
+    scalar "2 IN (1, 2, 3)" "true";
+    scalar "5 IN (1, 2, 3)" "false";
+    scalar "5 NOT IN (1, 2, 3)" "true";
+    scalar "null IN (1, 2)" "null";
+    scalar "5 IN (1, null)" "null";
+    scalar_err "1 AND true";
+    scalar_err "1 = 'x'";
+  ]
+
+let text_ops =
+  [
+    scalar "'a' || 'b'" "ab";
+    scalar "'a' || null" "null";
+    scalar "length('hello')" "5";
+    scalar "length('')" "0";
+    scalar "lower('MiXeD')" "mixed";
+    scalar "upper('MiXeD')" "MIXED";
+    scalar "trim('  x  ')" "x";
+    scalar "reverse('abc')" "cba";
+    scalar "substr('hello', 2)" "ello";
+    scalar "substr('hello', 2, 3)" "ell";
+    scalar "substr('hello', 99)" "";
+    scalar "replace('banana', 'an', 'AN')" "bANANa";
+    scalar "strpos('hello', 'll')" "3";
+    scalar "strpos('hello', 'zz')" "0";
+    scalar "starts_with('hello', 'he')" "true";
+    scalar "starts_with('hello', 'lo')" "false";
+    scalar "repeat('ab', 3)" "ababab";
+    scalar "'hello' LIKE 'h%'" "true";
+    scalar "'hello' LIKE '_ello'" "true";
+    scalar "'hello' LIKE 'h_llo'" "true";
+    scalar "'hello' NOT LIKE 'x%'" "true";
+    scalar "'100%' LIKE '100%'" "true";
+    scalar "coalesce(null, null, 'x')" "x";
+    scalar "coalesce(null, null)" "null";
+    scalar "nullif('a', 'a')" "null";
+    scalar "nullif('a', 'b')" "a";
+  ]
+
+let casts_and_case =
+  [
+    scalar "cast('42' AS int)" "42";
+    scalar "cast(' 42 ' AS int)" "42";
+    scalar "cast(42 AS text)" "42";
+    scalar "cast(42 AS float)" "42.0";
+    scalar "cast(2.9 AS int)" "2";
+    scalar "cast('t' AS bool)" "true";
+    scalar "cast('off' AS bool)" "false";
+    scalar "cast(null AS int)" "null";
+    scalar "cast(true AS int)" "1";
+    scalar_err "cast('zap' AS int)";
+    scalar "CASE WHEN true THEN 1 ELSE 2 END" "1";
+    scalar "CASE WHEN false THEN 1 ELSE 2 END" "2";
+    scalar "CASE WHEN null THEN 1 ELSE 2 END" "2";
+    scalar "CASE WHEN false THEN 1 END" "null";
+    scalar "CASE 2 WHEN 1 THEN 'a' WHEN 2 THEN 'b' ELSE 'c' END" "b";
+    scalar "CASE 9 WHEN 1 THEN 'a' END" "null";
+    scalar "CASE WHEN 1 = 1 THEN 'x' WHEN 1 / 0 = 1 THEN 'boom' END" "x";
+  ]
+
+let dates =
+  [
+    scalar "DATE '2009-06-29'" "2009-06-29";
+    scalar "DATE '2009-06-29' + 3" "2009-07-02";
+    scalar "DATE '2009-07-02' - 3" "2009-06-29";
+    scalar "DATE '2009-07-02' - DATE '2009-06-29'" "3";
+    scalar "DATE '2000-02-29' + 1" "2000-03-01";
+    scalar "DATE '1999-12-31' + 1" "2000-01-01";
+    scalar "DATE '1969-12-31' + 1" "1970-01-01";
+    scalar "DATE '2009-06-29' < DATE '2009-07-02'" "true";
+    scalar "DATE '2009-06-29' = DATE '2009-06-29'" "true";
+    scalar "DATE '2009-06-29' BETWEEN DATE '2009-01-01' AND DATE '2009-12-31'" "true";
+    scalar "date_part('year', DATE '2009-06-29')" "2009";
+    scalar "date_part('month', DATE '2009-06-29')" "6";
+    scalar "date_part('day', DATE '2009-06-29')" "29";
+    scalar "make_date(2009, 6, 29)" "2009-06-29";
+    scalar_err "make_date(2009, 2, 30)";
+    scalar "cast('2009-06-29' AS date)" "2009-06-29";
+    scalar "cast(DATE '2009-06-29' AS text)" "2009-06-29";
+    scalar_err "DATE '2009-13-01'";
+    scalar "make_date(2400, 2, 29)" "2400-02-29" (* 400-year leap rule *);
+    scalar_err "make_date(2100, 2, 29)" (* century non-leap *);
+  ]
+
+let aggregates =
+  let agg sql expected =
+    case sql (fun () ->
+        let e = engine () in
+        exec_all e
+          [
+            "CREATE TABLE n (x int, b bool)";
+            "INSERT INTO n VALUES (1, true), (2, true), (3, false), (null, null)";
+          ];
+        check_rows e ("SELECT " ^ sql ^ " FROM n") [ [ expected ] ])
+  in
+  [
+    agg "count(*)" "4";
+    agg "count(x)" "3";
+    agg "count(DISTINCT b)" "2";
+    agg "sum(x)" "6";
+    agg "avg(x)" "2.0";
+    agg "min(x)" "1";
+    agg "max(x)" "3";
+    agg "bool_and(b)" "false";
+    agg "bool_or(b)" "true";
+    agg "bool_and(x > 0)" "true";
+    agg "bool_or(x > 5)" "false";
+    case "bool_and over empty input is null" (fun () ->
+        let e = engine () in
+        exec_all e [ "CREATE TABLE n (b bool)" ];
+        check_rows e "SELECT bool_and(b), bool_or(b) FROM n" [ [ "null"; "null" ] ]);
+    case "bool aggregates reject non-bool" (fun () ->
+        let e = engine () in
+        exec_all e [ "CREATE TABLE n (x int)" ];
+        ignore (query_err e "SELECT bool_and(x) FROM n"));
+    case "bool aggregates group correctly" (fun () ->
+        let e = engine () in
+        exec_all e
+          [
+            "CREATE TABLE n (g int, b bool)";
+            "INSERT INTO n VALUES (1, true), (1, true), (2, true), (2, false)";
+          ];
+        check_rows e "SELECT g, bool_and(b) FROM n GROUP BY g"
+          [ [ "1"; "true" ]; [ "2"; "false" ] ]);
+  ]
+
+let date_tables =
+  [
+    case "date columns: storage, sort, group, join, provenance" (fun () ->
+        let e = engine () in
+        exec_all e
+          [
+            "CREATE TABLE ev (name text, day date)";
+            "INSERT INTO ev VALUES ('b', DATE '2009-07-02'), ('a', DATE '2009-06-29'), ('c', null)";
+          ];
+        check_rows ~ordered:true e "SELECT name FROM ev ORDER BY day DESC"
+          [ [ "b" ]; [ "a" ]; [ "c" ] ];
+        check_rows e "SELECT day, count(*) FROM ev GROUP BY day"
+          [ [ "2009-06-29"; "1" ]; [ "2009-07-02"; "1" ]; [ "null"; "1" ] ];
+        check_rows e "SELECT PROVENANCE name FROM ev WHERE day = DATE '2009-06-29'"
+          [ [ "a"; "a"; "2009-06-29" ] ]);
+    case "date round-trips through CSV" (fun () ->
+        let e = engine () in
+        exec_all e
+          [
+            "CREATE TABLE ev (day date)";
+            "INSERT INTO ev VALUES (DATE '2009-06-29'), (null)";
+          ];
+        let path = Filename.temp_file "perm_date" ".csv" in
+        ignore (exec_ok e (Printf.sprintf "COPY ev TO '%s'" path));
+        exec_all e [ "CREATE TABLE ev2 (day date)" ];
+        ignore (exec_ok e (Printf.sprintf "COPY ev2 FROM '%s'" path));
+        Sys.remove path;
+        check_same e "SELECT * FROM ev" "SELECT * FROM ev2");
+    case "date round-trips through dump/restore" (fun () ->
+        let e = engine () in
+        exec_all e
+          [
+            "CREATE TABLE ev (day date)";
+            "INSERT INTO ev VALUES (DATE '2009-06-29')";
+          ];
+        let e2 = engine () in
+        (match Perm_engine.Engine.execute_script e2 (Perm_engine.Engine.dump_sql e) with
+        | Ok _ -> ()
+        | Error msg -> Alcotest.failf "restore failed: %s" msg);
+        check_rows e2 "SELECT * FROM ev" [ [ "2009-06-29" ] ]);
+  ]
+
+let params =
+  let module Engine = Perm_engine.Engine in
+  let q e sql values =
+    match Engine.query_params e sql values with
+    | Ok rs -> strings_of_rows rs.Engine.rows
+    | Error msg -> Alcotest.failf "query_params failed: %s" msg
+  in
+  [
+    case "$1 binds a value" (fun () ->
+        let e = Lazy.force shared in
+        Alcotest.(check rows_testable) ""
+          [ [ "hi there ..." ] ]
+          (q e "SELECT text FROM messages WHERE mid = $1" [ i 4 ]));
+    case "parameters repeat and mix types" (fun () ->
+        let e = Lazy.force shared in
+        Alcotest.(check rows_testable) ""
+          [ [ "8"; "x" ] ]
+          (q e "SELECT $1 + $1, $2" [ i 4; s "x" ]));
+    case "parameters work under provenance" (fun () ->
+        let e = Lazy.force shared in
+        Alcotest.(check rows_testable) ""
+          [ [ "4"; "hi there ..."; "4"; "hi there ..."; "2" ] ]
+          (q e "SELECT PROVENANCE mid, text FROM messages WHERE mid = $1" [ i 4 ]));
+    case "text parameters are injection-safe" (fun () ->
+        let e = Lazy.force shared in
+        Alcotest.(check rows_testable) "" []
+          (q e "SELECT mid FROM messages WHERE text = $1"
+             [ s "' OR '1'='1" ]));
+    case "unbound parameter errors" (fun () ->
+        let e = Lazy.force shared in
+        match Engine.query_params e "SELECT $2" [ i 1 ] with
+        | Error msg ->
+          Alcotest.(check bool) "" true (String.length msg > 0)
+        | Ok _ -> Alcotest.fail "expected error");
+    case "unparameterized execute rejects $n" (fun () ->
+        let e = Lazy.force shared in
+        ignore (query_err e "SELECT $1"));
+    case "null parameter" (fun () ->
+        let e = Lazy.force shared in
+        Alcotest.(check rows_testable) "" [ [ "true" ] ]
+          (q e "SELECT $1 IS NULL" [ nl ]));
+    case "date parameter" (fun () ->
+        let e = Lazy.force shared in
+        Alcotest.(check rows_testable) "" [ [ "2009-07-02" ] ]
+          (q e "SELECT $1 + 3" [ Result.get_ok (Perm_value.Value.date_of_ymd 2009 6 29) ]));
+  ]
+
+let () =
+  Alcotest.run "conformance"
+    [
+      ("params", params);
+      ("arithmetic", arithmetic);
+      ("comparison-logic", comparison_and_logic);
+      ("text", text_ops);
+      ("casts-case", casts_and_case);
+      ("dates", dates);
+      ("aggregates", aggregates);
+      ("date-tables", date_tables);
+    ]

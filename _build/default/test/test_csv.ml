@@ -1,0 +1,156 @@
+(* CSV codec, COPY FROM/TO round trips, and SQL dump/restore. *)
+
+module Csv = Perm_engine.Csv
+module Engine = Perm_engine.Engine
+open Perm_testkit.Kit
+
+let parse_ok text =
+  match Csv.parse text with
+  | Ok rows -> rows
+  | Error msg -> Alcotest.failf "csv parse failed: %s" msg
+
+let field_t = Alcotest.(option string)
+let rows_t = Alcotest.(list (list field_t))
+
+let codec_tests =
+  [
+    case "simple rows" (fun () ->
+        Alcotest.(check rows_t) ""
+          [ [ Some "1"; Some "a" ]; [ Some "2"; Some "b" ] ]
+          (parse_ok "1,a\n2,b\n"));
+    case "no trailing newline" (fun () ->
+        Alcotest.(check rows_t) "" [ [ Some "1"; Some "a" ] ] (parse_ok "1,a"));
+    case "crlf" (fun () ->
+        Alcotest.(check rows_t) ""
+          [ [ Some "1" ]; [ Some "2" ] ]
+          (parse_ok "1\r\n2\r\n"));
+    case "empty unquoted field is null" (fun () ->
+        Alcotest.(check rows_t) "" [ [ Some "1"; None; Some "3" ] ] (parse_ok "1,,3"));
+    case "quoted empty field is empty string" (fun () ->
+        Alcotest.(check rows_t) "" [ [ Some "" ] ] (parse_ok "\"\""));
+    case "quoted comma and newline" (fun () ->
+        Alcotest.(check rows_t) ""
+          [ [ Some "a,b"; Some "c\nd" ] ]
+          (parse_ok "\"a,b\",\"c\nd\""));
+    case "doubled quotes" (fun () ->
+        Alcotest.(check rows_t) "" [ [ Some "say \"hi\"" ] ]
+          (parse_ok "\"say \"\"hi\"\"\""));
+    case "unterminated quote errors" (fun () ->
+        Alcotest.(check bool) "" true (Result.is_error (Csv.parse "\"abc")));
+    case "render quotes when needed" (fun () ->
+        Alcotest.(check string) "" "a,\"b,c\",,\"say \"\"hi\"\"\""
+          (Csv.render_row [ Some "a"; Some "b,c"; None; Some "say \"hi\"" ]));
+    qcheck
+      (QCheck.Test.make ~name:"render/parse round-trips a row" ~count:300
+         QCheck.(
+           list_of_size (Gen.int_range 1 5)
+             (option (string_gen_of_size (Gen.int_bound 8) Gen.printable)))
+         (fun fields ->
+           (* unquoted empty renders identically to None; normalize *)
+           let norm = List.map (function Some "" -> Some "" | f -> f) fields in
+           let no_cr =
+             List.for_all
+               (function Some s -> not (String.contains s '\r') | None -> true)
+               norm
+           in
+           QCheck.assume no_cr;
+           match Csv.parse (Csv.render_row norm ^ "\n") with
+           | Ok [ parsed ] -> parsed = norm
+           | _ -> false));
+  ]
+
+let copy_tests =
+  [
+    case "copy to and back" (fun () ->
+        let e = engine () in
+        exec_all e
+          [
+            "CREATE TABLE t (a int, b text, c float)";
+            "INSERT INTO t VALUES (1, 'x,y', 1.5), (2, null, null), (3, 'say \"hi\"', 0.25)";
+          ];
+        let path = Filename.temp_file "perm_csv" ".csv" in
+        (match exec_ok e (Printf.sprintf "COPY t TO '%s'" path) with
+        | Engine.Affected 3 -> ()
+        | _ -> Alcotest.fail "expected 3 rows exported");
+        exec_all e [ "CREATE TABLE t2 (a int, b text, c float)" ];
+        (match exec_ok e (Printf.sprintf "COPY t2 FROM '%s'" path) with
+        | Engine.Affected 3 -> ()
+        | _ -> Alcotest.fail "expected 3 rows imported");
+        Sys.remove path;
+        check_same e "SELECT * FROM t" "SELECT * FROM t2");
+    case "copy from with wrong arity fails" (fun () ->
+        let e = engine () in
+        exec_all e [ "CREATE TABLE t (a int, b int)" ];
+        let path = Filename.temp_file "perm_csv" ".csv" in
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc "1,2\n3\n");
+        let r = Engine.execute e (Printf.sprintf "COPY t FROM '%s'" path) in
+        Sys.remove path;
+        match r with
+        | Error msg ->
+          Alcotest.(check bool) "mentions row" true
+            (String.length msg > 0)
+        | Ok _ -> Alcotest.fail "expected error");
+    case "copy from coerces by column type" (fun () ->
+        let e = engine () in
+        exec_all e [ "CREATE TABLE t (a int, b bool)" ];
+        let path = Filename.temp_file "perm_csv" ".csv" in
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc "42,true\n,false\n");
+        ignore (exec_ok e (Printf.sprintf "COPY t FROM '%s'" path));
+        Sys.remove path;
+        check_rows e "SELECT * FROM t" [ [ "42"; "true" ]; [ "null"; "false" ] ]);
+    case "copy from bad value reports column" (fun () ->
+        let e = engine () in
+        exec_all e [ "CREATE TABLE t (a int)" ];
+        let path = Filename.temp_file "perm_csv" ".csv" in
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc "oops\n");
+        let r = Engine.execute e (Printf.sprintf "COPY t FROM '%s'" path) in
+        Sys.remove path;
+        Alcotest.(check bool) "" true (Result.is_error r));
+    case "copy missing file" (fun () ->
+        let e = engine () in
+        exec_all e [ "CREATE TABLE t (a int)" ];
+        Alcotest.(check bool) "" true
+          (Result.is_error (Engine.execute e "COPY t FROM '/nonexistent/x.csv'")));
+  ]
+
+let dump_tests =
+  [
+    case "dump and restore reproduces data and views" (fun () ->
+        let e = forum_engine () in
+        let script = Engine.dump_sql e in
+        let e2 = engine () in
+        (match Engine.execute_script e2 script with
+        | Ok _ -> ()
+        | Error msg -> Alcotest.failf "restore failed: %s" msg);
+        List.iter
+          (fun sql ->
+            let a = strings_of_rows (query_ok e sql).Engine.rows in
+            let b = strings_of_rows (query_ok e2 sql).Engine.rows in
+            Alcotest.(check rows_testable) sql (List.sort compare a) (List.sort compare b))
+          [
+            "SELECT * FROM messages"; "SELECT * FROM users";
+            "SELECT * FROM imports"; "SELECT * FROM approved";
+            "SELECT * FROM v1";
+            Perm_workload.Forum.q1_provenance;
+          ]);
+    case "dump quotes text values" (fun () ->
+        let e = engine () in
+        exec_all e
+          [ "CREATE TABLE t (a text)"; "INSERT INTO t VALUES ('it''s, \"quoted\"')" ];
+        let script = Engine.dump_sql e in
+        let e2 = engine () in
+        (match Engine.execute_script e2 script with
+        | Ok _ -> ()
+        | Error msg -> Alcotest.failf "restore failed: %s" msg);
+        check_same e "SELECT * FROM t" "SELECT * FROM t";
+        check_rows e2 "SELECT * FROM t" [ [ "it's, \"quoted\"" ] ]);
+    case "empty engine dumps to empty script" (fun () ->
+        Alcotest.(check string) "" "" (Engine.dump_sql (engine ())));
+  ]
+
+let () =
+  Alcotest.run "csv"
+    [ ("codec", codec_tests); ("copy", copy_tests); ("dump", dump_tests) ]

@@ -1,0 +1,199 @@
+(* Executor tests: operator semantics through end-to-end SQL, with special
+   attention to NULL handling, join kinds, aggregates, and bag-semantics
+   set operations. *)
+
+open Perm_testkit.Kit
+
+let setup () =
+  let e = engine () in
+  exec_all e
+    [
+      "CREATE TABLE t (a int, b text)";
+      "INSERT INTO t VALUES (1, 'x'), (2, 'y'), (2, 'y'), (3, null), (null, 'z')";
+      "CREATE TABLE u (a int, c text)";
+      "INSERT INTO u VALUES (2, 'cx'), (3, 'cy'), (4, 'cz'), (null, 'cn')";
+    ];
+  e
+
+let filter_tests =
+  [
+    case "filter keeps only TRUE (3VL)" (fun () ->
+        (* a > 1 is unknown for the NULL row: excluded *)
+        check_rows (setup ()) "SELECT a FROM t WHERE a > 1"
+          [ [ "2" ]; [ "2" ]; [ "3" ] ]);
+    case "not of unknown stays unknown" (fun () ->
+        check_rows (setup ()) "SELECT a FROM t WHERE NOT (a > 1)" [ [ "1" ] ]);
+    case "is null / is not null" (fun () ->
+        check_rows (setup ()) "SELECT b FROM t WHERE a IS NULL" [ [ "z" ] ];
+        check_count (setup ()) "SELECT 1 FROM t WHERE a IS NOT NULL" 4);
+    case "null = null is unknown in where" (fun () ->
+        check_count (setup ()) "SELECT 1 FROM t WHERE null = null" 0);
+    case "or short-circuits around unknown" (fun () ->
+        check_count (setup ()) "SELECT 1 FROM t WHERE a IS NULL OR a > 0" 5);
+    case "division by zero is a runtime error" (fun () ->
+        let msg = query_err (setup ()) "SELECT 1 / 0 FROM t" in
+        Alcotest.(check string) "" "division by zero" msg);
+    case "division by zero behind a filter can be avoided" (fun () ->
+        check_count (setup ()) "SELECT 10 / a FROM t WHERE a > 1" 3);
+    case "case expression" (fun () ->
+        check_rows (setup ())
+          "SELECT CASE WHEN a IS NULL THEN 'none' WHEN a >= 2 THEN 'big' ELSE 'small' END FROM t"
+          [ [ "small" ]; [ "big" ]; [ "big" ]; [ "big" ]; [ "none" ] ]);
+    case "between desugars inclusively" (fun () ->
+        check_count (setup ()) "SELECT 1 FROM t WHERE a BETWEEN 2 AND 3" 3);
+    case "in list with null member" (fun () ->
+        (* a IN (2, null): true for 2, unknown for others *)
+        check_count (setup ()) "SELECT 1 FROM t WHERE a IN (2, null)" 2);
+  ]
+
+let join_tests =
+  [
+    case "inner join equi" (fun () ->
+        check_rows (setup ()) "SELECT t.a, u.c FROM t JOIN u ON t.a = u.a"
+          [ [ "2"; "cx" ]; [ "2"; "cx" ]; [ "3"; "cy" ] ]);
+    case "null keys never match in joins" (fun () ->
+        check_count (setup ()) "SELECT 1 FROM t JOIN u ON t.a = u.a" 3);
+    case "left join pads" (fun () ->
+        check_rows (setup ())
+          "SELECT t.a, u.c FROM t LEFT JOIN u ON t.a = u.a"
+          [ [ "1"; "null" ]; [ "2"; "cx" ]; [ "2"; "cx" ]; [ "3"; "cy" ]; [ "null"; "null" ] ]);
+    case "right join pads the left side" (fun () ->
+        check_rows (setup ())
+          "SELECT t.a, u.c FROM t RIGHT JOIN u ON t.a = u.a"
+          [ [ "2"; "cx" ]; [ "2"; "cx" ]; [ "3"; "cy" ]; [ "null"; "cz" ]; [ "null"; "cn" ] ]);
+    case "full join pads both" (fun () ->
+        check_count (setup ()) "SELECT 1 FROM t FULL JOIN u ON t.a = u.a" 7);
+    case "cross join multiplies" (fun () ->
+        check_count (setup ()) "SELECT 1 FROM t CROSS JOIN u" 20);
+    case "theta join falls back to nested loop" (fun () ->
+        (* 1<{2,3,4}, 2<{3,4} twice, 3<{4} *)
+        check_count (setup ()) "SELECT 1 FROM t JOIN u ON t.a < u.a" 8);
+    case "residual predicate on equi join" (fun () ->
+        check_rows (setup ())
+          "SELECT t.a, u.c FROM t JOIN u ON t.a = u.a AND u.c LIKE 'cy%'"
+          [ [ "3"; "cy" ] ]);
+    case "join with constant-true condition behaves as cross" (fun () ->
+        check_count (setup ()) "SELECT 1 FROM t JOIN u ON 1 = 1" 20);
+    case "duplicate left rows keep multiplicity" (fun () ->
+        check_count (setup ()) "SELECT 1 FROM t JOIN u ON t.a = u.a WHERE t.a = 2" 2);
+  ]
+
+let aggregate_tests =
+  [
+    case "count star counts rows, count(col) skips nulls" (fun () ->
+        check_rows (setup ()) "SELECT count(*), count(a), count(b) FROM t"
+          [ [ "5"; "4"; "4" ] ]);
+    case "sum avg min max" (fun () ->
+        check_rows (setup ()) "SELECT sum(a), avg(a), min(a), max(a) FROM t"
+          [ [ "8"; "2.0"; "1"; "3" ] ]);
+    case "aggregates over empty input" (fun () ->
+        check_rows (setup ())
+          "SELECT count(*), sum(a), min(a) FROM t WHERE a > 100"
+          [ [ "0"; "null"; "null" ] ]);
+    case "group by with empty input yields no rows" (fun () ->
+        check_count (setup ()) "SELECT a, count(*) FROM t WHERE a > 100 GROUP BY a" 0);
+    case "group by groups nulls together" (fun () ->
+        check_rows (setup ()) "SELECT b, count(*) FROM t GROUP BY b"
+          [ [ "x"; "1" ]; [ "y"; "2" ]; [ "null"; "1" ]; [ "z"; "1" ] ]);
+    case "count distinct" (fun () ->
+        check_rows (setup ()) "SELECT count(DISTINCT a) FROM t" [ [ "3" ] ]);
+    case "sum distinct" (fun () ->
+        check_rows (setup ()) "SELECT sum(DISTINCT a) FROM t" [ [ "6" ] ]);
+    case "avg of ints is float" (fun () ->
+        check_rows (setup ()) "SELECT avg(a) FROM t WHERE a = 1" [ [ "1.0" ] ]);
+    case "min/max on text" (fun () ->
+        check_rows (setup ()) "SELECT min(b), max(b) FROM t" [ [ "x"; "z" ] ]);
+    case "group by expression" (fun () ->
+        check_rows (setup ()) "SELECT a % 2, count(*) FROM t WHERE a IS NOT NULL GROUP BY a % 2"
+          [ [ "0"; "2" ]; [ "1"; "2" ] ]);
+    case "having filters groups" (fun () ->
+        check_rows (setup ())
+          "SELECT b, count(*) FROM t GROUP BY b HAVING count(*) > 1" [ [ "y"; "2" ] ]);
+  ]
+
+let setop_tests =
+  [
+    case "union distinct dedups" (fun () ->
+        check_rows (setup ()) "SELECT a FROM t UNION SELECT a FROM u"
+          [ [ "1" ]; [ "2" ]; [ "3" ]; [ "4" ]; [ "null" ] ]);
+    case "union all keeps duplicates" (fun () ->
+        check_count (setup ()) "SELECT a FROM t UNION ALL SELECT a FROM u" 9);
+    case "intersect distinct" (fun () ->
+        (* NULL = NULL for set operations, per SQL *)
+        check_rows (setup ()) "SELECT a FROM t INTERSECT SELECT a FROM u"
+          [ [ "2" ]; [ "3" ]; [ "null" ] ]);
+    case "intersect all respects multiplicity" (fun () ->
+        let e = setup () in
+        exec_all e [ "INSERT INTO u VALUES (2, 'again')" ];
+        check_rows e "SELECT a FROM t INTERSECT ALL SELECT a FROM u"
+          [ [ "2" ]; [ "2" ]; [ "3" ]; [ "null" ] ]);
+    case "except distinct" (fun () ->
+        check_rows (setup ()) "SELECT a FROM t EXCEPT SELECT a FROM u" [ [ "1" ] ]);
+    case "except all subtracts occurrences" (fun () ->
+        let e = setup () in
+        exec_all e [ "INSERT INTO t VALUES (2, 'y3')" ];
+        (* t has a=2 three times, u once: 2 copies remain *)
+        check_rows e "SELECT a FROM t EXCEPT ALL SELECT a FROM u"
+          [ [ "1" ]; [ "2" ]; [ "2" ] ]);
+    case "int/float columns unify across a union" (fun () ->
+        let e = setup () in
+        exec_all e
+          [ "CREATE TABLE ft (x float)"; "INSERT INTO ft VALUES (1.5)" ];
+        check_rows e "SELECT a FROM t WHERE a = 1 UNION SELECT x FROM ft"
+          [ [ "1" ]; [ "1.5" ] ]);
+  ]
+
+let sort_limit_tests =
+  [
+    case "order asc puts nulls first" (fun () ->
+        check_rows ~ordered:true (setup ()) "SELECT a FROM t ORDER BY a"
+          [ [ "null" ]; [ "1" ]; [ "2" ]; [ "2" ]; [ "3" ] ]);
+    case "order desc" (fun () ->
+        check_rows ~ordered:true (setup ()) "SELECT a FROM t ORDER BY a DESC"
+          [ [ "3" ]; [ "2" ]; [ "2" ]; [ "1" ]; [ "null" ] ]);
+    case "multi-key sort is stable" (fun () ->
+        check_rows ~ordered:true (setup ())
+          "SELECT a, b FROM t WHERE a IS NOT NULL ORDER BY a DESC, b"
+          [ [ "3"; "null" ]; [ "2"; "y" ]; [ "2"; "y" ]; [ "1"; "x" ] ]);
+    case "limit" (fun () ->
+        check_rows ~ordered:true (setup ()) "SELECT a FROM t ORDER BY a LIMIT 2"
+          [ [ "null" ]; [ "1" ] ]);
+    case "offset" (fun () ->
+        check_rows ~ordered:true (setup ())
+          "SELECT a FROM t ORDER BY a LIMIT 2 OFFSET 3"
+          [ [ "2" ]; [ "3" ] ]);
+    case "offset past the end" (fun () ->
+        check_count (setup ()) "SELECT a FROM t LIMIT 10 OFFSET 99" 0);
+    case "limit zero" (fun () ->
+        check_count (setup ()) "SELECT a FROM t LIMIT 0" 0);
+  ]
+
+let misc_tests =
+  [
+    case "select without from" (fun () ->
+        check_rows (setup ()) "SELECT 1 + 2, 'x' || 'y'" [ [ "3"; "xy" ] ]);
+    case "distinct treats nulls as equal" (fun () ->
+        let e = setup () in
+        exec_all e [ "INSERT INTO t VALUES (null, 'z')" ];
+        check_rows e "SELECT DISTINCT a, b FROM t WHERE b = 'z'" [ [ "null"; "z" ] ]);
+    case "projection expressions" (fun () ->
+        check_rows (setup ()) "SELECT a * 10 + 1 FROM t WHERE a = 2 LIMIT 1" [ [ "21" ] ]);
+    case "cast in projection" (fun () ->
+        check_rows (setup ()) "SELECT cast(a AS text) || '!' FROM t WHERE a = 1"
+          [ [ "1!" ] ]);
+    case "coalesce over nullable column" (fun () ->
+        check_rows (setup ()) "SELECT coalesce(b, '?') FROM t WHERE a = 3" [ [ "?" ] ]);
+    case "concat with null yields null" (fun () ->
+        check_rows (setup ()) "SELECT 'v' || b FROM t WHERE a = 3" [ [ "null" ] ]);
+  ]
+
+let () =
+  Alcotest.run "executor"
+    [
+      ("filter-null", filter_tests);
+      ("joins", join_tests);
+      ("aggregates", aggregate_tests);
+      ("set-ops", setop_tests);
+      ("sort-limit", sort_limit_tests);
+      ("misc", misc_tests);
+    ]

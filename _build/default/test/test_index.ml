@@ -1,0 +1,171 @@
+(* Hash index tests: DDL, planner index selection, executor correctness,
+   maintenance under DML, interaction with provenance rewriting. *)
+
+module Engine = Perm_engine.Engine
+module Planner = Perm_planner.Planner
+module Pretty = Perm_algebra.Pretty
+module Heap = Perm_storage.Heap
+module Schema = Perm_catalog.Schema
+module Column = Perm_catalog.Column
+module Dtype = Perm_value.Dtype
+open Perm_testkit.Kit
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go idx = idx + n <= h && (String.sub hay idx n = needle || go (idx + 1)) in
+  n = 0 || go 0
+
+let setup () =
+  let e = engine () in
+  exec_all e
+    [
+      "CREATE TABLE t (a int, b text)";
+      "INSERT INTO t VALUES (1, 'x'), (2, 'y'), (2, 'z'), (null, 'n')";
+      "CREATE INDEX t_a ON t (a)";
+    ];
+  e
+
+let heap_tests =
+  let schema = Schema.make_exn [ Column.make "a" Dtype.Int ] in
+  [
+    case "probe finds all matches, newest data included" (fun () ->
+        let h = Heap.create schema in
+        Heap.create_index h 0;
+        ignore (Result.get_ok (Heap.insert_all h [ row [ i 1 ]; row [ i 2 ]; row [ i 1 ] ]));
+        Alcotest.(check int) "two ones" 2
+          (List.length (List.of_seq (Heap.index_probe h 0 (i 1))));
+        ignore (Result.get_ok (Heap.insert h (row [ i 1 ])));
+        Alcotest.(check int) "three after insert" 3
+          (List.length (List.of_seq (Heap.index_probe h 0 (i 1)))));
+    case "null keys not indexed, null probe empty" (fun () ->
+        let h = Heap.create schema in
+        Heap.create_index h 0;
+        ignore (Result.get_ok (Heap.insert h (row [ nl ])));
+        Alcotest.(check int) "" 0 (List.length (List.of_seq (Heap.index_probe h 0 nl))));
+    case "index built over existing rows" (fun () ->
+        let h = Heap.create schema in
+        ignore (Result.get_ok (Heap.insert_all h [ row [ i 7 ]; row [ i 7 ] ]));
+        Heap.create_index h 0;
+        Alcotest.(check int) "" 2 (List.length (List.of_seq (Heap.index_probe h 0 (i 7)))));
+    case "truncate empties index contents" (fun () ->
+        let h = Heap.create schema in
+        Heap.create_index h 0;
+        ignore (Result.get_ok (Heap.insert h (row [ i 1 ])));
+        Heap.truncate h;
+        Alcotest.(check int) "" 0 (List.length (List.of_seq (Heap.index_probe h 0 (i 1)))));
+    case "probe on unindexed column raises" (fun () ->
+        let h = Heap.create schema in
+        Alcotest.check_raises "" (Invalid_argument "Heap.index_probe: column is not indexed")
+          (fun () -> ignore (List.of_seq (Heap.index_probe h 0 (i 1)))));
+  ]
+
+let ddl_tests =
+  [
+    case "create and drop index" (fun () ->
+        let e = setup () in
+        (match exec_ok e "DROP INDEX t_a" with
+        | Engine.Message _ -> ()
+        | _ -> Alcotest.fail "expected message");
+        match Engine.execute e "DROP INDEX t_a" with
+        | Error msg -> Alcotest.(check bool) "" true (contains ~needle:"does not exist" msg)
+        | Ok _ -> Alcotest.fail "expected error");
+    case "duplicate index name rejected" (fun () ->
+        let e = setup () in
+        match Engine.execute e "CREATE INDEX t_a ON t (b)" with
+        | Error msg -> Alcotest.(check bool) "" true (contains ~needle:"already exists" msg)
+        | Ok _ -> Alcotest.fail "expected error");
+    case "index on missing table/column rejected" (fun () ->
+        let e = setup () in
+        Alcotest.(check bool) "table" true
+          (Result.is_error (Engine.execute e "CREATE INDEX i1 ON missing (a)"));
+        Alcotest.(check bool) "column" true
+          (Result.is_error (Engine.execute e "CREATE INDEX i2 ON t (zz)")));
+    case "dropping the table drops its indexes" (fun () ->
+        let e = setup () in
+        ignore (exec_ok e "DROP TABLE t");
+        exec_all e [ "CREATE TABLE t (a int)" ];
+        (* the old index name is free again *)
+        match Engine.execute e "CREATE INDEX t_a ON t (a)" with
+        | Ok _ -> ()
+        | Error msg -> Alcotest.failf "index name not freed: %s" msg);
+    case "dump includes index definitions" (fun () ->
+        let e = setup () in
+        Alcotest.(check bool) "" true
+          (contains ~needle:"CREATE INDEX t_a ON t (a);" (Engine.dump_sql e)));
+  ]
+
+let plan_tests =
+  [
+    case "equality filter over indexed column becomes an IndexScan" (fun () ->
+        let e = setup () in
+        match Engine.plan_query e "SELECT b FROM t WHERE a = 2" with
+        | Ok (_, optimized) ->
+          Alcotest.(check bool) "" true
+            (contains ~needle:"IndexScan(t)"
+               (Pretty.plan_to_string ~show_attrs:false optimized))
+        | Error msg -> Alcotest.fail msg);
+    case "residual conjuncts stay as a filter" (fun () ->
+        let e = setup () in
+        match Engine.plan_query e "SELECT b FROM t WHERE a = 2 AND b LIKE 'z%'" with
+        | Ok (_, optimized) ->
+          let txt = Pretty.plan_to_string ~show_attrs:false optimized in
+          Alcotest.(check bool) "index" true (contains ~needle:"IndexScan(t)" txt);
+          Alcotest.(check bool) "residual" true (contains ~needle:"LIKE" txt)
+        | Error msg -> Alcotest.fail msg);
+    case "no index, no IndexScan" (fun () ->
+        let e = setup () in
+        match Engine.plan_query e "SELECT a FROM t WHERE b = 'x'" with
+        | Ok (_, optimized) ->
+          Alcotest.(check bool) "" false
+            (contains ~needle:"IndexScan"
+               (Pretty.plan_to_string ~show_attrs:false optimized))
+        | Error msg -> Alcotest.fail msg);
+    case "use_indexes=false disables the rewrite" (fun () ->
+        let e = setup () in
+        Engine.set_optimizer_config e
+          { Planner.default_config with Planner.use_indexes = false };
+        match Engine.plan_query e "SELECT b FROM t WHERE a = 2" with
+        | Ok (_, optimized) ->
+          Alcotest.(check bool) "" false
+            (contains ~needle:"IndexScan"
+               (Pretty.plan_to_string ~show_attrs:false optimized))
+        | Error msg -> Alcotest.fail msg);
+  ]
+
+let semantics_tests =
+  [
+    case "index scan returns the same rows as a full scan" (fun () ->
+        let e = setup () in
+        let with_index = strings_of_rows (query_ok e "SELECT b FROM t WHERE a = 2").Engine.rows in
+        Engine.set_optimizer_config e
+          { Planner.default_config with Planner.use_indexes = false };
+        let without = strings_of_rows (query_ok e "SELECT b FROM t WHERE a = 2").Engine.rows in
+        Alcotest.(check rows_testable) ""
+          (List.sort compare without) (List.sort compare with_index));
+    case "index maintained through UPDATE and DELETE" (fun () ->
+        let e = setup () in
+        exec_all e [ "UPDATE t SET a = 9 WHERE b = 'y'"; "DELETE FROM t WHERE b = 'z'" ];
+        check_rows e "SELECT b FROM t WHERE a = 9" [ [ "y" ] ];
+        check_count e "SELECT b FROM t WHERE a = 2" 0);
+    case "null equality finds nothing through the index" (fun () ->
+        let e = setup () in
+        check_count e "SELECT b FROM t WHERE a = null" 0);
+    case "provenance query over an indexed table" (fun () ->
+        let e = setup () in
+        check_rows e "SELECT PROVENANCE b FROM t WHERE a = 1" [ [ "x"; "1"; "x" ] ]);
+    case "joins still work with indexes present" (fun () ->
+        let e = setup () in
+        exec_all e
+          [ "CREATE TABLE s (a int)"; "INSERT INTO s VALUES (2)";
+            "CREATE INDEX s_a ON s (a)" ];
+        check_count e "SELECT 1 FROM t JOIN s ON t.a = s.a" 2);
+  ]
+
+let () =
+  Alcotest.run "index"
+    [
+      ("heap", heap_tests);
+      ("ddl", ddl_tests);
+      ("plans", plan_tests);
+      ("semantics", semantics_tests);
+    ]

@@ -1,0 +1,251 @@
+(* Planner tests: constant folding, predicate pushdown, projection pruning
+   must preserve semantics; the cost model must rank plans sensibly. *)
+
+module Plan = Perm_algebra.Plan
+module Expr = Perm_algebra.Expr
+module Attr = Perm_algebra.Attr
+module Pretty = Perm_algebra.Pretty
+module Planner = Perm_planner.Planner
+module Engine = Perm_engine.Engine
+module Value = Perm_value.Value
+module Dtype = Perm_value.Dtype
+open Perm_testkit.Kit
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go idx = idx + n <= h && (String.sub hay idx n = needle || go (idx + 1)) in
+  n = 0 || go 0
+
+let setup () =
+  let e = engine () in
+  exec_all e
+    [
+      "CREATE TABLE r (a int, b text)";
+      "INSERT INTO r VALUES (1, 'x'), (2, 'y'), (3, 'z'), (3, 'w')";
+      "CREATE TABLE s (a int, c int)";
+      "INSERT INTO s VALUES (1, 10), (2, 20), (9, 90)";
+    ];
+  e
+
+(* run the same query with the optimizer on and off; results must agree *)
+let check_equivalent sql =
+  let run config =
+    let e = setup () in
+    Engine.set_optimizer_config e config;
+    strings_of_rows (query_ok e sql).Engine.rows |> List.sort compare
+  in
+  Alcotest.(check rows_testable)
+    sql
+    (run Planner.disabled_config)
+    (run Planner.default_config)
+
+let equivalence_corpus =
+  [
+    "SELECT a + 0 FROM r WHERE 1 = 1 AND a > 1";
+    "SELECT r.a, s.c FROM r, s WHERE r.a = s.a AND r.b <> 'zzz'";
+    "SELECT x.b FROM (SELECT a * 2 AS d, b FROM r) x WHERE x.d > 2";
+    "SELECT b, count(*) FROM r WHERE a >= 1 GROUP BY b HAVING count(*) >= 1";
+    "SELECT a FROM r WHERE a IN (SELECT a FROM s) ORDER BY a";
+    "SELECT DISTINCT b FROM r WHERE a = 3";
+    "SELECT a FROM r UNION ALL SELECT a FROM s ORDER BY a LIMIT 4";
+    "SELECT r.a FROM r LEFT JOIN s ON r.a = s.a WHERE r.a > 1";
+    "SELECT PROVENANCE a, b FROM r WHERE a = 3";
+    "SELECT PROVENANCE count(*), b FROM r GROUP BY b";
+    "SELECT a, (SELECT max(c) FROM s) FROM r LIMIT 2";
+    "SELECT CASE WHEN 1 = 1 THEN a ELSE 0 END FROM r";
+  ]
+
+let equivalence_tests =
+  [
+    case "optimizer preserves semantics on corpus" (fun () ->
+        List.iter check_equivalent equivalence_corpus);
+  ]
+
+let folding_tests =
+  [
+    case "constants fold" (fun () ->
+        let e = Planner.optimize Planner.no_stats
+            (Plan.Filter
+               {
+                 child = Plan.Values { attrs = []; rows = [ [] ] };
+                 pred =
+                   Expr.Binop
+                     ( Expr.Eq,
+                       Expr.Binop (Expr.Add, Expr.Const (Value.Int 1), Expr.Const (Value.Int 2)),
+                       Expr.Const (Value.Int 3) );
+               })
+        in
+        (* 1+2=3 folds to TRUE and the filter disappears *)
+        match e with
+        | Plan.Values _ -> ()
+        | p -> Alcotest.failf "expected filter elimination, got %s" (Pretty.plan_summary p));
+    case "division by zero is not folded away" (fun () ->
+        let pred =
+          Expr.Binop
+            (Expr.Eq, Expr.Binop (Expr.Div, Expr.Const (Value.Int 1), Expr.Const (Value.Int 0)),
+             Expr.Const (Value.Int 1))
+        in
+        let p =
+          Planner.optimize Planner.no_stats
+            (Plan.Filter { child = Plan.Values { attrs = []; rows = [ [] ] }; pred })
+        in
+        match p with
+        | Plan.Filter _ -> ()
+        | p -> Alcotest.failf "fold must keep the error: %s" (Pretty.plan_summary p));
+    case "kleene shortcuts respect three-valued logic" (fun () ->
+        (* false AND unknown folds to false; true AND x folds to x *)
+        let a = Attr.fresh "a" Dtype.Bool in
+        let x = Expr.Attr a in
+        let fold e =
+          let p =
+            Planner.optimize Planner.no_stats
+              (Plan.Filter { child = Plan.Scan { table = "t"; attrs = [ a ] }; pred = e })
+          in
+          match p with
+          | Plan.Filter { pred; _ } -> Some pred
+          | Plan.Scan _ -> None
+          | _ -> Alcotest.fail "unexpected plan"
+        in
+        (match fold (Expr.Binop (Expr.And, Expr.Const (Value.Bool true), x)) with
+        | Some (Expr.Attr _) -> ()
+        | _ -> Alcotest.fail "true AND x should fold to x");
+        match fold (Expr.Binop (Expr.Or, x, Expr.Const (Value.Bool false))) with
+        | Some (Expr.Attr _) -> ()
+        | _ -> Alcotest.fail "x OR false should fold to x");
+  ]
+
+let structure_tests =
+  [
+    case "predicate pushes below projection into the join side" (fun () ->
+        let e = setup () in
+        match Engine.plan_query e "SELECT r.b FROM r, s WHERE r.a = 1 AND s.c > 5" with
+        | Ok (_, optimized) ->
+          let txt = Pretty.plan_to_string ~show_attrs:false optimized in
+          (* both single-side conjuncts must sit below the join *)
+          let join_line =
+            String.split_on_char '\n' txt
+            |> List.find_opt (fun l -> contains ~needle:"Join" l)
+          in
+          Alcotest.(check bool) "join exists" true (join_line <> None);
+          Alcotest.(check bool) "filters below join" true
+            (let lines = String.split_on_char '\n' txt in
+             let join_idx = ref (-1) and filter_idx = ref (-1) in
+             List.iteri
+               (fun idx l ->
+                 if contains ~needle:"CrossJoin" l && !join_idx < 0 then join_idx := idx;
+                 if contains ~needle:"Select" l && !filter_idx < 0 then filter_idx := idx)
+               lines;
+             !join_idx >= 0 && !filter_idx > !join_idx)
+        | Error msg -> Alcotest.fail msg);
+    case "pruning removes unused aggregate calls" (fun () ->
+        let e = setup () in
+        match
+          Engine.plan_query e
+            "SELECT x.b FROM (SELECT b, count(*) AS c, sum(a) AS s1 FROM r GROUP BY b) x"
+        with
+        | Ok (_, optimized) ->
+          let txt = Pretty.plan_to_string ~show_attrs:false optimized in
+          Alcotest.(check bool) "sum pruned" false (contains ~needle:"sum" txt)
+        | Error msg -> Alcotest.fail msg);
+    case "top projection kept (it renames), nothing else added" (fun () ->
+        (* identity-project elimination only fires on rewriter-generated
+           self-maps; the analyzer's top projection introduces fresh output
+           attributes and must stay *)
+        let e = setup () in
+        match Engine.plan_query e "SELECT a, b FROM r" with
+        | Ok (_, optimized) ->
+          Alcotest.(check string) "" "Project(Scan(r))" (Pretty.plan_summary optimized)
+        | Error msg -> Alcotest.fail msg);
+    case "rewriter-generated identity projections are dropped" (fun () ->
+        let e = setup () in
+        match Engine.plan_query e "SELECT PROVENANCE a, b FROM r" with
+        | Ok (_, optimized) ->
+          (* the unoptimized rewrite stacks three projections over the scan;
+             pruning must collapse the pure-identity ones *)
+          Alcotest.(check bool) "few operators" true (Plan.count_operators optimized <= 3)
+        | Error msg -> Alcotest.fail msg);
+    case "no pushdown past outer joins" (fun () ->
+        let e = setup () in
+        match
+          Engine.plan_query e "SELECT r.a FROM r LEFT JOIN s ON r.a = s.a WHERE s.c IS NULL"
+        with
+        | Ok (_, optimized) ->
+          let txt = Pretty.plan_to_string ~show_attrs:false optimized in
+          let lines = String.split_on_char '\n' txt in
+          let filter_idx = ref (-1) and join_idx = ref (-1) in
+          List.iteri
+            (fun idx l ->
+              if contains ~needle:"Select" l && !filter_idx < 0 then filter_idx := idx;
+              if contains ~needle:"LeftJoin" l && !join_idx < 0 then join_idx := idx)
+            lines;
+          Alcotest.(check bool) "filter above left join" true
+            (!filter_idx >= 0 && !join_idx > !filter_idx)
+        | Error msg -> Alcotest.fail msg);
+  ]
+
+let cost_tests =
+  let stats =
+    {
+      Planner.table_rows = (function "big" -> 100000 | _ -> 10);
+      Planner.table_distinct = (fun _ _ -> 10);
+      Planner.has_index = (fun _ _ -> false);
+    }
+  in
+  let scan_big =
+    Plan.Scan { table = "big"; attrs = [ Attr.fresh "x" Dtype.Int ] }
+  in
+  let scan_small =
+    Plan.Scan { table = "small"; attrs = [ Attr.fresh "y" Dtype.Int ] }
+  in
+  [
+    case "bigger tables cost more" (fun () ->
+        Alcotest.(check bool) "" true
+          (Planner.cost stats scan_big > Planner.cost stats scan_small));
+    case "filters reduce estimated rows" (fun () ->
+        let x = match Plan.schema scan_big with [ x ] -> x | _ -> assert false in
+        let filtered =
+          Plan.Filter
+            {
+              child = scan_big;
+              pred = Expr.Binop (Expr.Eq, Expr.Attr x, Expr.Const (Value.Int 1));
+            }
+        in
+        Alcotest.(check bool) "" true
+          (Planner.estimate_rows stats filtered < Planner.estimate_rows stats scan_big));
+    case "hash join cheaper than nested loop apply" (fun () ->
+        let join =
+          Plan.Join
+            {
+              kind = Plan.Inner;
+              left = scan_big;
+              right = scan_small;
+              pred =
+                Some
+                  (Expr.Binop
+                     ( Expr.Eq,
+                       Expr.Attr (List.hd (Plan.schema scan_big)),
+                       Expr.Attr (List.hd (Plan.schema scan_small)) ));
+            }
+        in
+        let apply = Plan.Apply { kind = Plan.A_cross; left = scan_big; right = scan_small } in
+        Alcotest.(check bool) "" true (Planner.cost stats join < Planner.cost stats apply));
+    case "estimate: distinct group count bounded by input" (fun () ->
+        let x = List.hd (Plan.schema scan_small) in
+        let agg =
+          Plan.Aggregate
+            { child = scan_small; group_by = [ (Expr.Attr x, Attr.fresh "g" Dtype.Int) ]; aggs = [] }
+        in
+        Alcotest.(check bool) "" true (Planner.estimate_rows stats agg <= 10.));
+    case "limit caps the estimate" (fun () ->
+        let lim = Plan.Limit { child = scan_big; limit = Some 5; offset = 0 } in
+        Alcotest.(check bool) "" true (Planner.estimate_rows stats lim <= 5.));
+  ]
+
+let () =
+  Alcotest.run "planner"
+    [
+      ("equivalence", equivalence_tests);
+      ("folding", folding_tests);
+      ("structure", structure_tests);
+      ("cost", cost_tests);
+    ]

@@ -1,0 +1,329 @@
+(* Provenance rewriter tests: one behavioural test per rewrite rule
+   (paper §2.2), the source/naming computation, the copy-semantics
+   analysis, and agreement between the aggregation strategies. *)
+
+module Plan = Perm_algebra.Plan
+module Attr = Perm_algebra.Attr
+module Engine = Perm_engine.Engine
+module Rewriter = Perm_provenance.Rewriter
+module Sources = Perm_provenance.Sources
+open Perm_testkit.Kit
+
+let setup () =
+  let e = engine () in
+  exec_all e
+    [
+      "CREATE TABLE r (a int, b text)";
+      "INSERT INTO r VALUES (1, 'x'), (2, 'y'), (2, 'y'), (3, null)";
+      "CREATE TABLE s (a int, c int)";
+      "INSERT INTO s VALUES (2, 20), (3, 30), (3, 33), (9, 90)";
+    ];
+  e
+
+(* Projecting the provenance result onto the original columns must give back
+   the original rows for queries whose rewrite does not replicate (pure
+   SPJ); for replicating rewrites, the original rows must equal the DISTINCT
+   projection. *)
+let originals rows arity =
+  List.map (fun r -> List.filteri (fun idx _ -> idx < arity) r) rows
+
+let rule_tests =
+  [
+    case "base relation: attributes duplicated" (fun () ->
+        check_rows (setup ()) "SELECT PROVENANCE a, b FROM r WHERE a = 1"
+          [ [ "1"; "x"; "1"; "x" ] ]);
+    case "projection keeps provenance" (fun () ->
+        check_rows (setup ()) "SELECT PROVENANCE b FROM r WHERE a = 3"
+          [ [ "null"; "3"; "null" ] ]);
+    case "selection commutes with rewrite" (fun () ->
+        check_count (setup ()) "SELECT PROVENANCE a FROM r WHERE a = 2" 2);
+    case "inner join concatenates provenance" (fun () ->
+        check_rows (setup ())
+          "SELECT PROVENANCE r.a FROM r JOIN s ON r.a = s.a WHERE s.c = 20"
+          [ [ "2"; "2"; "y"; "2"; "20" ]; [ "2"; "2"; "y"; "2"; "20" ] ]);
+    case "left join NULL-pads right provenance" (fun () ->
+        check_rows (setup ())
+          "SELECT PROVENANCE r.a FROM r LEFT JOIN s ON r.a = s.a WHERE r.a = 1"
+          [ [ "1"; "1"; "x"; "null"; "null" ] ]);
+    case "full join pads both sides" (fun () ->
+        let rs = query_ok (setup ())
+            "SELECT PROVENANCE r.a, s.a FROM r FULL JOIN s ON r.a = s.a" in
+        (* the s-only row a=9 must appear with NULL r-provenance *)
+        let rows = strings_of_rows rs.Engine.rows in
+        Alcotest.(check bool) "" true
+          (List.exists
+             (fun row -> List.nth row 1 = "9" && List.nth row 2 = "null")
+             rows));
+    case "aggregation: each group joined with its witnesses" (fun () ->
+        check_rows (setup ())
+          "SELECT PROVENANCE count(*) AS c, a FROM s GROUP BY a"
+          [
+            [ "1"; "2"; "2"; "20" ];
+            [ "2"; "3"; "3"; "30" ];
+            [ "2"; "3"; "3"; "33" ];
+            [ "1"; "9"; "9"; "90" ];
+          ]);
+    case "global aggregate over empty input keeps its row, NULL provenance" (fun () ->
+        check_rows (setup ())
+          "SELECT PROVENANCE count(*) FROM r WHERE a > 100"
+          [ [ "0"; "null"; "null" ] ]);
+    case "group by null groups rejoin null-safely" (fun () ->
+        check_rows (setup ())
+          "SELECT PROVENANCE count(*), b FROM r WHERE a = 3 GROUP BY b"
+          [ [ "1"; "null"; "3"; "null" ] ]);
+    case "distinct: one row per duplicate witness" (fun () ->
+        check_rows (setup ()) "SELECT PROVENANCE DISTINCT a FROM r WHERE a = 2"
+          [ [ "2"; "2"; "y" ]; [ "2"; "2"; "y" ] ]);
+    case "union all pads the other branch" (fun () ->
+        check_rows (setup ())
+          "SELECT PROVENANCE a FROM r WHERE a = 1 UNION ALL SELECT a FROM s WHERE a = 9"
+          [
+            [ "1"; "1"; "x"; "null"; "null" ];
+            [ "9"; "null"; "null"; "9"; "90" ];
+          ]);
+    case "union distinct rejoins each result tuple with all witnesses" (fun () ->
+        (* a=2 appears twice in r and once in s: 3 provenance rows for 1 result *)
+        check_count (setup ())
+          "SELECT PROVENANCE a FROM r WHERE a = 2 UNION SELECT a FROM s WHERE a = 2"
+          3);
+    case "intersect joins witnesses from both branches" (fun () ->
+        (* a=3: one r witness x two s witnesses *)
+        check_rows (setup ())
+          "SELECT PROVENANCE a FROM r WHERE a = 3 INTERSECT SELECT a FROM s WHERE a = 3"
+          [
+            [ "3"; "3"; "null"; "3"; "30" ];
+            [ "3"; "3"; "null"; "3"; "33" ];
+          ]);
+    case "except keeps left witnesses, right provenance NULL" (fun () ->
+        check_rows (setup ())
+          "SELECT PROVENANCE a FROM r EXCEPT SELECT a FROM s"
+          [ [ "1"; "1"; "x"; "null"; "null" ] ]);
+    case "limit rejoins only surviving tuples" (fun () ->
+        check_rows ~ordered:true (setup ())
+          "SELECT PROVENANCE a FROM r WHERE a < 2 ORDER BY a LIMIT 1"
+          [ [ "1"; "1"; "x" ] ]);
+    case "semi join (IN) exposes subquery witnesses" (fun () ->
+        check_rows (setup ())
+          "SELECT PROVENANCE b FROM r WHERE a IN (SELECT a FROM s WHERE c = 20)"
+          [ [ "y"; "2"; "y"; "2"; "20" ]; [ "y"; "2"; "y"; "2"; "20" ] ]);
+    case "anti join (NOT IN): subquery contributes nothing" (fun () ->
+        check_rows (setup ())
+          "SELECT PROVENANCE a FROM r WHERE a NOT IN (SELECT a FROM s)"
+          [ [ "1"; "1"; "x" ] ]);
+    case "correlated EXISTS provenance" (fun () ->
+        (* a=2 twice x 1 witness, a=3 once x 2 witnesses *)
+        check_count (setup ())
+          "SELECT PROVENANCE a FROM r WHERE EXISTS (SELECT 1 FROM s WHERE s.a = r.a)"
+          4);
+    case "scalar subquery contributes provenance" (fun () ->
+        check_rows (setup ())
+          "SELECT PROVENANCE a, (SELECT max(c) FROM s) AS mx FROM r WHERE a = 1"
+          [
+            [ "1"; "90"; "1"; "x"; "2"; "20" ];
+            [ "1"; "90"; "1"; "x"; "3"; "30" ];
+            [ "1"; "90"; "1"; "x"; "3"; "33" ];
+            [ "1"; "90"; "1"; "x"; "9"; "90" ];
+          ]);
+    case "baserelation stops rewriting" (fun () ->
+        let e = setup () in
+        exec_all e [ "CREATE VIEW rv AS SELECT a + 1 AS a1 FROM r" ];
+        check_rows e "SELECT PROVENANCE a1 FROM rv BASERELATION WHERE a1 = 2"
+          [ [ "2"; "2" ] ]);
+    case "external provenance passes through" (fun () ->
+        let e = setup () in
+        exec_all e
+          [
+            "CREATE TABLE ext (v int, prov_x text)";
+            "INSERT INTO ext VALUES (1, 'p1'), (2, 'p2')";
+          ];
+        check_rows e "SELECT PROVENANCE v FROM ext PROVENANCE (prov_x) WHERE v = 2"
+          [ [ "2"; "p2" ] ]);
+    case "no marker means no rewrite effect" (fun () ->
+        check_same (setup ()) "SELECT a FROM r" "SELECT a FROM r");
+  ]
+
+let invariant_tests =
+  [
+    case "projection of q+ onto original columns = distinct q (replicating query)" (fun () ->
+        let e = setup () in
+        let q = "SELECT count(*), a FROM s GROUP BY a" in
+        let qp = "SELECT PROVENANCE count(*), a FROM s GROUP BY a" in
+        let orig = strings_of_rows (query_ok e q).Engine.rows in
+        let prov = strings_of_rows (query_ok e qp).Engine.rows in
+        let projected = List.sort_uniq compare (originals prov 2) in
+        Alcotest.(check rows_testable) "" (List.sort compare orig) projected);
+    case "spj query: q+ projection equals q exactly (no replication)" (fun () ->
+        let e = setup () in
+        let q = "SELECT b FROM r WHERE a = 2" in
+        let qp = "SELECT PROVENANCE b FROM r WHERE a = 2" in
+        let orig = strings_of_rows (query_ok e q).Engine.rows in
+        let prov = strings_of_rows (query_ok e qp).Engine.rows in
+        Alcotest.(check rows_testable) "" (List.sort compare orig)
+          (List.sort compare (originals prov 1)));
+    case "provenance tuples exist in their base relations" (fun () ->
+        let e = setup () in
+        let prov =
+          strings_of_rows
+            (query_ok e "SELECT PROVENANCE r.b FROM r JOIN s ON r.a = s.a").Engine.rows
+        in
+        let r_rows = strings_of_rows (query_ok e "SELECT a, b FROM r").Engine.rows in
+        let s_rows = strings_of_rows (query_ok e "SELECT a, c FROM s").Engine.rows in
+        List.iter
+          (fun row ->
+            match row with
+            | [ _; ra; rb; sa; sc ] ->
+              if ra <> "null" || rb <> "null" then
+                Alcotest.(check bool) "r witness exists" true
+                  (List.mem [ ra; rb ] r_rows);
+              if sa <> "null" || sc <> "null" then
+                Alcotest.(check bool) "s witness exists" true
+                  (List.mem [ sa; sc ] s_rows)
+            | _ -> Alcotest.fail "unexpected arity")
+          prov);
+  ]
+
+let strategy_tests =
+  [
+    case "join and lateral aggregation strategies agree" (fun () ->
+        let sqls =
+          [
+            "SELECT PROVENANCE count(*), a FROM s GROUP BY a";
+            "SELECT PROVENANCE sum(c) FROM s";
+            "SELECT PROVENANCE count(*), b FROM r GROUP BY b HAVING count(*) >= 1";
+          ]
+        in
+        List.iter
+          (fun sql ->
+            let run strategy =
+              let e = setup () in
+              Engine.set_agg_strategy e strategy;
+              List.sort compare (strings_of_rows (query_ok e sql).Engine.rows)
+            in
+            Alcotest.(check rows_testable) sql (run Engine.Use_join) (run Engine.Use_lateral))
+          sqls);
+    case "report records strategy choice" (fun () ->
+        let e = setup () in
+        Engine.set_agg_strategy e Engine.Use_lateral;
+        ignore (query_ok e "SELECT PROVENANCE count(*) FROM r");
+        match Engine.last_report e with
+        | Some r ->
+          Alcotest.(check bool) "" true (r.Rewriter.agg_choices = [ Rewriter.Agg_lateral ])
+        | None -> Alcotest.fail "no report");
+    case "cost-based mode picks a strategy and stays correct" (fun () ->
+        let e = setup () in
+        Engine.set_agg_strategy e Engine.Use_cost_based;
+        check_count e "SELECT PROVENANCE count(*), a FROM s GROUP BY a" 4;
+        match Engine.last_report e with
+        | Some r -> Alcotest.(check int) "one choice" 1 (List.length r.Rewriter.agg_choices)
+        | None -> Alcotest.fail "no report");
+    case "heuristic default picks the join strategy" (fun () ->
+        let e = setup () in
+        ignore (query_ok e "SELECT PROVENANCE count(*) FROM r");
+        match Engine.last_report e with
+        | Some r ->
+          Alcotest.(check bool) "" true (r.Rewriter.agg_choices = [ Rewriter.Agg_join ])
+        | None -> Alcotest.fail "no report");
+    case "marker count reported" (fun () ->
+        let e = setup () in
+        ignore (query_ok e "SELECT PROVENANCE a FROM (SELECT PROVENANCE a, b FROM r) x");
+        match Engine.last_report e with
+        | Some r -> Alcotest.(check int) "" 2 r.Rewriter.rewritten_markers
+        | None -> Alcotest.fail "no report");
+  ]
+
+let sources_tests =
+  [
+    case "sources in DFS order with figure-2 naming" (fun () ->
+        let e = forum_engine () in
+        match Engine.plan_query e Perm_workload.Forum.q1_provenance with
+        | Ok (Plan.Prov { sources; _ }, _) ->
+          Alcotest.(check (list string)) ""
+            [
+              "prov_messages_mid"; "prov_messages_text"; "prov_messages_uid";
+              "prov_imports_mid"; "prov_imports_text"; "prov_imports_origin";
+            ]
+            (List.map (fun (s : Plan.prov_source) -> s.Plan.prov_attr.Attr.name) sources)
+        | Ok _ -> Alcotest.fail "expected Prov root"
+        | Error msg -> Alcotest.fail msg);
+    case "anti join right side excluded from sources" (fun () ->
+        let e = setup () in
+        match Engine.plan_query e
+                "SELECT PROVENANCE a FROM r WHERE a NOT IN (SELECT a FROM s)"
+        with
+        | Ok (Plan.Prov { sources; _ }, _) ->
+          Alcotest.(check int) "only r columns" 2 (List.length sources)
+        | Ok _ -> Alcotest.fail "expected Prov root"
+        | Error msg -> Alcotest.fail msg);
+    case "values contribute no sources" (fun () ->
+        let e = setup () in
+        match Engine.plan_query e "SELECT PROVENANCE 1 + 1" with
+        | Ok (Plan.Prov { sources; _ }, _) ->
+          Alcotest.(check int) "" 0 (List.length sources)
+        | Ok _ -> Alcotest.fail "expected Prov root"
+        | Error msg -> Alcotest.fail msg);
+  ]
+
+let copy_tests =
+  [
+    case "copy: uncopied relation provenance is NULL" (fun () ->
+        check_rows (setup ())
+          "SELECT PROVENANCE ON CONTRIBUTION (COPY) r.b FROM r JOIN s ON r.a = s.a WHERE s.c = 20"
+          [
+            [ "y"; "2"; "y"; "null"; "null" ];
+            [ "y"; "2"; "y"; "null"; "null" ];
+          ]);
+    case "copy: both relations copied keeps both" (fun () ->
+        check_rows (setup ())
+          "SELECT PROVENANCE ON CONTRIBUTION (COPY) r.b, s.c FROM r JOIN s ON r.a = s.a WHERE s.c = 20"
+          [
+            [ "y"; "20"; "2"; "y"; "2"; "20" ];
+            [ "y"; "20"; "2"; "y"; "2"; "20" ];
+          ]);
+    case "copy complete needs every column copied" (fun () ->
+        let e = setup () in
+        (* only a copied: r does not qualify under COMPLETE *)
+        check_rows e
+          "SELECT PROVENANCE ON CONTRIBUTION (COPY COMPLETE) a FROM r WHERE a = 1"
+          [ [ "1"; "null"; "null" ] ];
+        (* both a and b copied: qualifies *)
+        check_rows e
+          "SELECT PROVENANCE ON CONTRIBUTION (COPY COMPLETE) a, b FROM r WHERE a = 1"
+          [ [ "1"; "x"; "1"; "x" ] ]);
+    case "copy through union branches" (fun () ->
+        (* b copied from r-branch; s-branch copies a only *)
+        check_rows (setup ())
+          "SELECT PROVENANCE ON CONTRIBUTION (COPY) b FROM r WHERE a = 1 UNION ALL SELECT 'k' FROM s WHERE a = 9"
+          [
+            [ "x"; "1"; "x"; "null"; "null" ];
+            [ "k"; "null"; "null"; "null"; "null" ];
+          ]);
+    case "copy: group-by key counts as copied" (fun () ->
+        check_rows (setup ())
+          "SELECT PROVENANCE ON CONTRIBUTION (COPY) a, count(*) FROM s GROUP BY a"
+          [
+            [ "2"; "1"; "2"; "20" ];
+            [ "3"; "2"; "3"; "30" ];
+            [ "3"; "2"; "3"; "33" ];
+            [ "9"; "1"; "9"; "90" ];
+          ]);
+    case "external provenance always qualifies under copy" (fun () ->
+        let e = setup () in
+        exec_all e
+          [
+            "CREATE TABLE ext (v int, prov_x text)";
+            "INSERT INTO ext VALUES (7, 'p7')";
+          ];
+        check_rows e
+          "SELECT PROVENANCE ON CONTRIBUTION (COPY) v + 1 FROM ext PROVENANCE (prov_x)"
+          [ [ "8"; "p7" ] ]);
+  ]
+
+let () =
+  Alcotest.run "rewriter"
+    [
+      ("rules", rule_tests);
+      ("invariants", invariant_tests);
+      ("strategies", strategy_tests);
+      ("sources", sources_tests);
+      ("copy-semantics", copy_tests);
+    ]

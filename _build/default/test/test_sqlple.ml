@@ -1,0 +1,169 @@
+(* SQL-PLE surface tests (paper §2.4): every language construct the demo
+   shows, executed end to end on the paper's database. *)
+
+module Engine = Perm_engine.Engine
+open Perm_testkit.Kit
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go idx = idx + n <= h && (String.sub hay idx n = needle || go (idx + 1)) in
+  n = 0 || go 0
+
+let keyword_tests =
+  [
+    case "SELECT PROVENANCE defaults to influence" (fun () ->
+        let e = forum_engine () in
+        check_columns e "SELECT PROVENANCE mid FROM messages"
+          [ "mid"; "prov_messages_mid"; "prov_messages_text"; "prov_messages_uid" ]);
+    case "ON CONTRIBUTION (INFLUENCE) is explicit default" (fun () ->
+        let e = forum_engine () in
+        check_same e "SELECT PROVENANCE mid FROM messages"
+          "SELECT PROVENANCE ON CONTRIBUTION (INFLUENCE) mid FROM messages");
+    case "ON CONTRIBUTION (COPY) differs where values are not copied" (fun () ->
+        let e = forum_engine () in
+        (* uid is not copied: its relation (users) would not qualify *)
+        check_rows e
+          "SELECT PROVENANCE ON CONTRIBUTION (COPY) count(*) FROM users"
+          [ [ "3"; "null"; "null" ]; [ "3"; "null"; "null" ]; [ "3"; "null"; "null" ] ]);
+    case "provenance column naming matches the paper (2.1)" (fun () ->
+        let e = forum_engine () in
+        check_columns e Perm_workload.Forum.q1_provenance
+          [
+            "mid"; "text"; "prov_messages_mid"; "prov_messages_text";
+            "prov_messages_uid"; "prov_imports_mid"; "prov_imports_text";
+            "prov_imports_origin";
+          ]);
+    case "provenance marker in a subquery only affects that subquery" (fun () ->
+        let e = forum_engine () in
+        check_columns e
+          "SELECT mid FROM (SELECT PROVENANCE mid, text FROM messages) m"
+          [ "mid" ]);
+    case "querying provenance attributes with plain SQL (paper 2.4)" (fun () ->
+        let e = forum_engine () in
+        check_rows e
+          "SELECT text, prov_imports_origin FROM (SELECT PROVENANCE count(*) AS cnt, \
+           text FROM v1 JOIN approved a ON v1.mid = a.mid GROUP BY v1.mid, text) AS \
+           prov WHERE cnt > 0 AND prov_imports_origin = 'superForum'"
+          [ [ "hello ..."; "superForum" ] ]);
+    case "provenance result stored as a view" (fun () ->
+        let e = forum_engine () in
+        exec_all e
+          [ "CREATE VIEW pv AS SELECT PROVENANCE mid, text FROM messages" ];
+        check_count e "SELECT prov_messages_uid FROM pv" 2);
+  ]
+
+let baserelation_tests =
+  [
+    case "view treated as base relation (paper 2.4 example)" (fun () ->
+        let e = forum_engine () in
+        check_columns e "SELECT PROVENANCE text FROM v1 BASERELATION"
+          [ "text"; "prov_v1_mid"; "prov_v1_text" ]);
+    case "baserelation on subquery" (fun () ->
+        let e = forum_engine () in
+        check_rows e
+          "SELECT PROVENANCE m FROM (SELECT mid * 2 AS m FROM messages) sq \
+           BASERELATION WHERE m = 2"
+          [ [ "2"; "2" ] ]);
+    case "baserelation uses the alias as relation name" (fun () ->
+        let e = forum_engine () in
+        check_columns e "SELECT PROVENANCE text FROM v1 AS myview BASERELATION"
+          [ "text"; "prov_myview_mid"; "prov_myview_text" ]);
+    case "baserelation without provenance marker is transparent" (fun () ->
+        let e = forum_engine () in
+        check_same e "SELECT text FROM v1 BASERELATION" "SELECT text FROM v1");
+    case "baserelation + provenance list rejected" (fun () ->
+        let e = forum_engine () in
+        let msg = query_err e "SELECT PROVENANCE mid FROM v1 BASERELATION PROVENANCE (mid)" in
+        Alcotest.(check bool) "" true (contains ~needle:"cannot be combined" msg));
+    case "baserelation on a subquery wrapping a join is fine" (fun () ->
+        let e = forum_engine () in
+        check_count e
+          "SELECT PROVENANCE mid FROM (SELECT m.mid FROM messages m JOIN \
+           approved a ON m.mid = a.mid) j BASERELATION"
+          3);
+    case "baserelation directly after a join chain is rejected" (fun () ->
+        let e = forum_engine () in
+        match
+          Engine.query e
+            "SELECT PROVENANCE m.mid FROM messages m JOIN approved a ON m.mid = a.mid BASERELATION"
+        with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected error");
+  ]
+
+let external_tests =
+  [
+    case "manual provenance attributes propagate unchanged" (fun () ->
+        let e = engine () in
+        exec_all e
+          [
+            "CREATE TABLE c (x int, prov_db text, prov_id int)";
+            "INSERT INTO c VALUES (1, 'gdb', 10), (2, 'kegg', 20)";
+          ];
+        check_rows e
+          "SELECT PROVENANCE x FROM c PROVENANCE (prov_db, prov_id) WHERE x = 2"
+          [ [ "2"; "kegg"; "20" ] ]);
+    case "unknown provenance attribute rejected" (fun () ->
+        let e = engine () in
+        exec_all e [ "CREATE TABLE c (x int)" ];
+        let msg = query_err e "SELECT PROVENANCE x FROM c PROVENANCE (nope)" in
+        Alcotest.(check bool) "" true (contains ~needle:"does not exist" msg));
+    case "external keeps declared column order" (fun () ->
+        let e = engine () in
+        exec_all e
+          [
+            "CREATE TABLE c (x int, p1 text, p2 text)";
+            "INSERT INTO c VALUES (1, 'a', 'b')";
+          ];
+        check_rows e "SELECT PROVENANCE x FROM c PROVENANCE (p2, p1)"
+          [ [ "1"; "b"; "a" ] ]);
+    case "external provenance without marker is transparent" (fun () ->
+        let e = engine () in
+        exec_all e
+          [ "CREATE TABLE c (x int, p text)"; "INSERT INTO c VALUES (1, 'p')" ];
+        check_rows e "SELECT x FROM c PROVENANCE (p)" [ [ "1" ] ]);
+    case "mix of external and computed provenance" (fun () ->
+        let e = forum_engine () in
+        exec_all e
+          [
+            "CREATE TABLE notes (mid int, note text, prov_author text)";
+            "INSERT INTO notes VALUES (1, 'check this', 'alice')";
+          ];
+        check_rows e
+          "SELECT PROVENANCE m.text, n.note FROM messages m JOIN notes n \
+           PROVENANCE (prov_author) ON m.mid = n.mid"
+          [ [ "lorem ipsum ..."; "check this"; "1"; "lorem ipsum ..."; "3"; "alice" ] ]);
+  ]
+
+let nested_tests =
+  [
+    case "leading provenance applies to a whole union" (fun () ->
+        let e = forum_engine () in
+        check_count e Perm_workload.Forum.q1_provenance 4);
+    case "provenance of provenance propagates inner columns" (fun () ->
+        let e = forum_engine () in
+        let rs =
+          query_ok e
+            "SELECT PROVENANCE mid FROM (SELECT PROVENANCE mid, text FROM messages) m"
+        in
+        (* inner prov columns appear both as data and as outer provenance *)
+        Alcotest.(check bool) "has inner prov as data" true
+          (List.mem "prov_messages_mid" rs.Engine.columns);
+        Alcotest.(check int) "rows" 2 (List.length rs.Engine.rows));
+    case "incremental: stop at stored provenance and continue later" (fun () ->
+        let e = forum_engine () in
+        ignore (exec_ok e "STORE PROVENANCE SELECT mid, text FROM messages INTO stage1");
+        check_rows e
+          "SELECT PROVENANCE text FROM stage1 PROVENANCE (prov_messages_mid, \
+           prov_messages_text, prov_messages_uid) WHERE mid = 4"
+          [ [ "hi there ..."; "4"; "hi there ..."; "2" ] ]);
+  ]
+
+let () =
+  Alcotest.run "sqlple"
+    [
+      ("keywords", keyword_tests);
+      ("baserelation", baserelation_tests);
+      ("external", external_tests);
+      ("nested", nested_tests);
+    ]

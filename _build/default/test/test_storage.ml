@@ -1,0 +1,150 @@
+(* Unit tests for storage: growable vectors, tuples, heaps, the store. *)
+
+module Vec = Perm_storage.Vec
+module Tuple = Perm_storage.Tuple
+module Heap = Perm_storage.Heap
+module Store = Perm_storage.Store
+module Schema = Perm_catalog.Schema
+module Column = Perm_catalog.Column
+module Dtype = Perm_value.Dtype
+open Perm_testkit.Kit
+
+let vec_tests =
+  [
+    case "push/get/length" (fun () ->
+        let v = Vec.create () in
+        for k = 0 to 99 do
+          Vec.push v k
+        done;
+        Alcotest.(check int) "length" 100 (Vec.length v);
+        Alcotest.(check int) "get 57" 57 (Vec.get v 57));
+    case "get out of bounds" (fun () ->
+        let v = Vec.create () in
+        Vec.push v 1;
+        Alcotest.check_raises "negative" (Invalid_argument "Vec.get: index out of bounds")
+          (fun () -> ignore (Vec.get v (-1)));
+        Alcotest.check_raises "past end" (Invalid_argument "Vec.get: index out of bounds")
+          (fun () -> ignore (Vec.get v 1)));
+    case "to_list round trip" (fun () ->
+        let l = [ 3; 1; 4; 1; 5 ] in
+        Alcotest.(check (list int)) "" l (Vec.to_list (Vec.of_list l)));
+    case "clear" (fun () ->
+        let v = Vec.of_list [ 1; 2 ] in
+        Vec.clear v;
+        Alcotest.(check int) "" 0 (Vec.length v));
+    case "fold and iteri" (fun () ->
+        let v = Vec.of_list [ 1; 2; 3 ] in
+        Alcotest.(check int) "fold" 6 (Vec.fold ( + ) 0 v);
+        let acc = ref [] in
+        Vec.iteri (fun idx x -> acc := (idx, x) :: !acc) v;
+        Alcotest.(check int) "iteri count" 3 (List.length !acc));
+    case "to_seq is lazy over current contents" (fun () ->
+        let v = Vec.of_list [ 1; 2; 3 ] in
+        Alcotest.(check (list int)) "" [ 1; 2; 3 ] (List.of_seq (Vec.to_seq v)));
+    qcheck
+      (QCheck.Test.make ~name:"vec behaves like a list" ~count:200
+         QCheck.(small_list small_int)
+         (fun l -> Vec.to_list (Vec.of_list l) = l));
+  ]
+
+let tuple_tests =
+  [
+    case "equal is null-safe" (fun () ->
+        Alcotest.(check bool) "" true (Tuple.equal (row [ nl; i 1 ]) (row [ nl; i 1 ])));
+    case "equal numeric cross-type" (fun () ->
+        Alcotest.(check bool) "" true (Tuple.equal (row [ i 1 ]) (row [ f 1.0 ])));
+    case "unequal arity" (fun () ->
+        Alcotest.(check bool) "" false (Tuple.equal (row [ i 1 ]) (row [ i 1; i 2 ])));
+    case "hash consistent with equal" (fun () ->
+        Alcotest.(check int) ""
+          (Tuple.hash (row [ nl; i 2 ]))
+          (Tuple.hash (row [ nl; f 2.0 ])));
+    case "compare lexicographic" (fun () ->
+        Alcotest.(check bool) "" true
+          (Tuple.compare (row [ i 1; i 9 ]) (row [ i 2; i 0 ]) < 0));
+    case "project" (fun () ->
+        Alcotest.(check string) "" "(3, 1)"
+          (Tuple.to_string (Tuple.project [ 2; 0 ] (row [ i 1; i 2; i 3 ]))));
+    case "concat" (fun () ->
+        Alcotest.(check string) "" "(1, a)"
+          (Tuple.to_string (Tuple.concat (row [ i 1 ]) (row [ s "a" ]))));
+  ]
+
+let forum_schema =
+  Schema.make_exn
+    [ Column.make "mid" Dtype.Int; Column.make "text" Dtype.Text; Column.make "uid" Dtype.Int ]
+
+let heap_tests =
+  [
+    case "insert validates arity" (fun () ->
+        let h = Heap.create forum_schema in
+        Alcotest.(check bool) "" true (Result.is_error (Heap.insert h (row [ i 1 ]))));
+    case "insert validates types" (fun () ->
+        let h = Heap.create forum_schema in
+        Alcotest.(check bool) "" true
+          (Result.is_error (Heap.insert h (row [ s "x"; s "t"; i 1 ]))));
+    case "insert accepts nulls" (fun () ->
+        let h = Heap.create forum_schema in
+        Alcotest.(check bool) "" true (Result.is_ok (Heap.insert h (row [ nl; nl; nl ]))));
+    case "int widens to float column" (fun () ->
+        let schema = Schema.make_exn [ Column.make "x" Dtype.Float ] in
+        let h = Heap.create schema in
+        Alcotest.(check bool) "insert" true (Result.is_ok (Heap.insert h (row [ i 3 ])));
+        match Heap.to_list h with
+        | [ r ] -> Alcotest.(check string) "widened" "3.0" (Perm_value.Value.to_string r.(0))
+        | _ -> Alcotest.fail "expected one row");
+    case "scan in insertion order" (fun () ->
+        let h = Heap.create forum_schema in
+        ignore (Result.get_ok (Heap.insert h (row [ i 1; s "a"; i 1 ])));
+        ignore (Result.get_ok (Heap.insert h (row [ i 2; s "b"; i 2 ])));
+        Alcotest.(check int) "count" 2 (Heap.row_count h);
+        Alcotest.(check string) "first" "(1, a, 1)"
+          (Tuple.to_string (List.hd (List.of_seq (Heap.scan h)))));
+    case "truncate" (fun () ->
+        let h = Heap.create forum_schema in
+        ignore (Result.get_ok (Heap.insert h (row [ i 1; s "a"; i 1 ])));
+        Heap.truncate h;
+        Alcotest.(check int) "" 0 (Heap.row_count h));
+    case "distinct estimate exact and cached" (fun () ->
+        let h = Heap.create forum_schema in
+        ignore
+          (Result.get_ok
+             (Heap.insert_all h
+                [ row [ i 1; s "a"; i 1 ]; row [ i 2; s "a"; i 1 ]; row [ i 3; s "b"; nl ] ]));
+        Alcotest.(check int) "mid" 3 (Heap.distinct_estimate h 0);
+        Alcotest.(check int) "text" 2 (Heap.distinct_estimate h 1);
+        Alcotest.(check int) "uid incl null" 2 (Heap.distinct_estimate h 2);
+        ignore (Result.get_ok (Heap.insert h (row [ i 4; s "c"; i 9 ])));
+        Alcotest.(check int) "invalidated" 3 (Heap.distinct_estimate h 1));
+  ]
+
+let store_tests =
+  [
+    case "create and find" (fun () ->
+        let st = Store.create () in
+        ignore (Result.get_ok (Store.create_table st "T" forum_schema));
+        Alcotest.(check bool) "" true (Store.find st "t" <> None));
+    case "duplicate rejected" (fun () ->
+        let st = Store.create () in
+        ignore (Result.get_ok (Store.create_table st "t" forum_schema));
+        Alcotest.(check bool) "" true (Result.is_error (Store.create_table st "t" forum_schema)));
+    case "drop" (fun () ->
+        let st = Store.create () in
+        ignore (Result.get_ok (Store.create_table st "t" forum_schema));
+        Alcotest.(check bool) "drop" true (Result.is_ok (Store.drop_table st "t"));
+        Alcotest.(check bool) "missing drop" true (Result.is_error (Store.drop_table st "t")));
+    case "table_names sorted" (fun () ->
+        let st = Store.create () in
+        ignore (Result.get_ok (Store.create_table st "b" forum_schema));
+        ignore (Result.get_ok (Store.create_table st "a" forum_schema));
+        Alcotest.(check (list string)) "" [ "a"; "b" ] (Store.table_names st));
+  ]
+
+let () =
+  Alcotest.run "storage"
+    [
+      ("vec", vec_tests);
+      ("tuple", tuple_tests);
+      ("heap", heap_tests);
+      ("store", store_tests);
+    ]

@@ -1,0 +1,103 @@
+(* Workload generator tests: determinism, schema shape, and that every
+   generated query (plain + provenance variant) runs. *)
+
+module Engine = Perm_engine.Engine
+module Forum = Perm_workload.Forum
+module Star = Perm_workload.Star
+open Perm_testkit.Kit
+
+let forum_tests =
+  [
+    case "figure 1 data loads verbatim" (fun () ->
+        let e = forum_engine () in
+        check_count e "SELECT * FROM messages" 2;
+        check_count e "SELECT * FROM v1" 4);
+    case "scaled forum respects sizes" (fun () ->
+        let e = engine () in
+        Forum.load_scaled e ~messages:200 ~users:20 ~imports:50 ();
+        check_rows e "SELECT count(*) FROM messages" [ [ "200" ] ];
+        check_rows e "SELECT count(*) FROM users" [ [ "20" ] ];
+        check_rows e "SELECT count(*) FROM imports" [ [ "50" ] ]);
+    case "message ids are disjoint between messages and imports" (fun () ->
+        let e = engine () in
+        Forum.load_scaled e ~messages:100 ~users:10 ();
+        check_rows e
+          "SELECT count(*) FROM messages m JOIN imports i ON m.mid = i.mid"
+          [ [ "0" ] ]);
+    case "deterministic for a fixed seed" (fun () ->
+        let gen () =
+          let e = engine () in
+          Forum.load_scaled e ~messages:50 ~users:5 ~seed:99 ();
+          strings_of_rows (query_ok e "SELECT * FROM messages").Engine.rows
+        in
+        Alcotest.(check rows_testable) "" (gen ()) (gen ()));
+    case "different seeds differ" (fun () ->
+        let gen seed =
+          let e = engine () in
+          Forum.load_scaled e ~messages:50 ~users:5 ~seed ();
+          strings_of_rows (query_ok e "SELECT * FROM messages").Engine.rows
+        in
+        Alcotest.(check bool) "" false (gen 1 = gen 2));
+    case "approvals reference existing users and messages" (fun () ->
+        let e = engine () in
+        Forum.load_scaled e ~messages:100 ~users:10 ();
+        check_rows e
+          "SELECT count(*) FROM approved a WHERE a.uid NOT IN (SELECT uid FROM users)"
+          [ [ "0" ] ]);
+    case "forum queries run with provenance" (fun () ->
+        let e = engine () in
+        Forum.load_scaled e ~messages:100 ~users:10 ();
+        ignore (query_ok e Forum.q1);
+        ignore (query_ok e Forum.q3);
+        ignore (query_ok e Forum.q1_provenance));
+  ]
+
+let star_tests =
+  [
+    case "star loads all four tables" (fun () ->
+        let e = engine () in
+        Star.load e ~scale:50 ();
+        check_rows e "SELECT count(*) FROM orders" [ [ "50" ] ];
+        List.iter
+          (fun table ->
+            let rs = query_ok e (Printf.sprintf "SELECT count(*) FROM %s" table) in
+            match strings_of_rows rs.Engine.rows with
+            | [ [ n ] ] -> Alcotest.(check bool) (table ^ " nonempty") true (int_of_string n > 0)
+            | _ -> Alcotest.fail "bad count")
+          [ "customer"; "part"; "lineitem" ]);
+    case "lineitems reference existing orders and parts" (fun () ->
+        let e = engine () in
+        Star.load e ~scale:50 ();
+        check_rows e
+          "SELECT count(*) FROM lineitem l WHERE l.orderkey NOT IN (SELECT orderkey FROM orders)"
+          [ [ "0" ] ];
+        check_rows e
+          "SELECT count(*) FROM lineitem l WHERE l.partkey NOT IN (SELECT partkey FROM part)"
+          [ [ "0" ] ]);
+    case "star deterministic for a fixed seed" (fun () ->
+        let gen () =
+          let e = engine () in
+          Star.load e ~scale:30 ~seed:5 ();
+          strings_of_rows (query_ok e "SELECT * FROM orders").Engine.rows
+        in
+        Alcotest.(check rows_testable) "" (gen ()) (gen ()));
+    case "every star query runs, plain and with provenance" (fun () ->
+        let e = engine () in
+        Star.load e ~scale:60 ();
+        List.iter
+          (fun (_, q, qp) ->
+            ignore (query_ok e q);
+            ignore (query_ok e qp))
+          Star.queries);
+    case "provenance variants expose star provenance columns" (fun () ->
+        let e = engine () in
+        Star.load e ~scale:30 ();
+        let _, _, qp = List.nth Star.queries 0 in
+        let rs = query_ok e qp in
+        Alcotest.(check bool) "" true
+          (List.mem "prov_lineitem_extendedprice" rs.Engine.columns
+          && List.mem "prov_part_brand" rs.Engine.columns));
+  ]
+
+let () =
+  Alcotest.run "workload" [ ("forum", forum_tests); ("star", star_tests) ]
