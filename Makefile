@@ -1,0 +1,27 @@
+# Single entry point for CI and local hacking: `make check` is the gate.
+
+.PHONY: all build test bench-smoke bench fmt check
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Quick instrumented pass over representative queries; also regenerates
+# BENCH_phases.json (per-query phase breakdowns + session metrics).
+bench-smoke:
+	dune exec bench/main.exe -- --smoke --json
+
+# Full Bechamel benchmark series (minutes).
+bench:
+	dune exec bench/main.exe
+
+# `dune build @fmt` requires ocamlformat on PATH; the toolchain image does
+# not ship it, so formatting is a separate opt-in target, not part of check.
+fmt:
+	dune build @fmt --auto-promote
+
+check: build test bench-smoke

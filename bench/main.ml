@@ -401,9 +401,85 @@ let b8 ~size =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* Smoke mode: one instrumented pass over representative queries,       *)
+(* reporting the engine's own per-phase breakdown (no Bechamel); with   *)
+(* --json the breakdowns and the session metrics land in                *)
+(* BENCH_phases.json for offline comparison.                            *)
+(* ------------------------------------------------------------------ *)
+
+module Json = Perm_obs.Json
+module Trace = Perm_obs.Trace
+module Metrics = Perm_obs.Metrics
+
+let smoke ~json () =
+  let e = Engine.create () in
+  Forum.load_scaled e ~messages:1_000 ~users:50 ();
+  Engine.set_instrumentation e true;
+  let queries =
+    List.concat_map
+      (fun (cls, q, qp) -> [ (cls, q); (cls ^ " +prov", qp) ])
+      query_classes
+  in
+  print_endline "\n## smoke: engine phase breakdown per query (1000 messages)\n";
+  let entries =
+    List.map
+      (fun (name, sql) ->
+        (match Engine.execute e sql with
+        | Ok _ -> ()
+        | Error msg ->
+          failwith (Printf.sprintf "smoke query %S failed: %s" name msg));
+        let root =
+          match Engine.last_trace e with
+          | Some r -> r
+          | None -> failwith "engine recorded no trace"
+        in
+        let phases = Trace.children root in
+        Printf.printf "  %-16s %9.3f ms  (%s)\n" name (Trace.duration_ms root)
+          (String.concat ", "
+             (List.map
+                (fun sp ->
+                  Printf.sprintf "%s %.3f" (Trace.name sp) (Trace.duration_ms sp))
+                phases));
+        Json.Obj
+          [
+            ("name", Json.String name);
+            ("sql", Json.String sql);
+            ("total_ms", Json.Float (Trace.duration_ms root));
+            ( "phases",
+              Json.Obj
+                (List.map
+                   (fun sp ->
+                     (Trace.name sp, Json.Float (Trace.duration_ms sp)))
+                   phases) );
+          ])
+      queries
+  in
+  flush stdout;
+  if json then begin
+    let doc =
+      Json.Obj
+        [
+          ("suite", Json.String "perm-bench-smoke");
+          ("forum_messages", Json.Int 1_000);
+          ("queries", Json.List entries);
+          ("metrics", Metrics.to_json (Engine.metrics e));
+        ]
+    in
+    Out_channel.with_open_text "BENCH_phases.json" (fun oc ->
+        Out_channel.output_string oc (Json.to_pretty_string doc));
+    print_endline "wrote BENCH_phases.json"
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let fast = Array.exists (fun a -> a = "--fast") Sys.argv in
+  let json = Array.exists (fun a -> a = "--json") Sys.argv in
+  if Array.exists (fun a -> a = "--smoke") Sys.argv then begin
+    e2_sanity ();
+    smoke ~json ();
+    exit 0
+  end;
   if fast then quota := 0.1;
   let sizes = if fast then [ 1_000 ] else [ 1_000; 10_000; 50_000 ] in
   let sweep =

@@ -4,11 +4,14 @@
 
 module Engine = Perm_engine.Engine
 module Render = Perm_engine.Render
+module Trace = Perm_obs.Trace
+module Metrics = Perm_obs.Metrics
 
 type session = {
   engine : Engine.t;
   mutable show_panes : bool;  (* print the four browser panes per query *)
   mutable timing : bool;  (* print wall-clock time per statement *)
+  mutable trace : bool;  (* print the span tree per statement *)
 }
 
 let print_outcome session sql outcome =
@@ -44,16 +47,36 @@ let print_outcome session sql outcome =
     if e.Engine.agg_strategies <> [] then
       Printf.printf "-- aggregation rewrite strategies: %s\n"
         (String.concat ", " e.Engine.agg_strategies)
+  | Engine.Analyzed ea ->
+    print_endline "-- optimized plan (actual):";
+    print_string ea.Engine.ea_tree;
+    List.iter
+      (fun (name, ms) -> Printf.printf "-- %-8s %8.3f ms\n" name ms)
+      ea.Engine.ea_phases;
+    if ea.Engine.ea_strategies <> [] then
+      Printf.printf "-- aggregation rewrite strategies: %s\n"
+        (String.concat ", " ea.Engine.ea_strategies);
+    Printf.printf "-- %d row%s, %.3f ms total\n" ea.Engine.ea_rows
+      (if ea.Engine.ea_rows = 1 then "" else "s")
+      ea.Engine.ea_total_ms
 
 let run_sql session sql =
   let sql = String.trim sql in
   if sql <> "" then begin
-    let t0 = Unix.gettimeofday () in
+    let before = Engine.last_trace session.engine in
     (match Engine.execute session.engine sql with
     | Ok outcome -> print_outcome session sql outcome
     | Error msg -> Printf.printf "ERROR: %s\n" msg);
-    if session.timing then
-      Printf.printf "Time: %.3f ms\n" ((Unix.gettimeofday () -. t0) *. 1000.)
+    (* both \trace and \timing read the engine's span tree, so the time
+       reported is the pipeline's own measurement (excludes rendering);
+       parse failures record no new trace — print nothing rather than the
+       previous statement's numbers *)
+    match Engine.last_trace session.engine with
+    | Some root when (match before with Some b -> b != root | None -> true) ->
+      if session.trace then print_string (Trace.to_string root);
+      if session.timing then
+        Printf.printf "Time: %.3f ms\n" (Trace.duration_ms root)
+    | Some _ | None -> ()
   end
 
 let help_text =
@@ -62,6 +85,8 @@ let help_text =
   \d                       list tables and views
   \panes on|off            show algebra trees + rewritten SQL per query
   \timing on|off           print wall-clock time per statement
+  \trace on|off            per-operator instrumentation + span tree per statement
+  \metrics                 session metrics (counters, gauges, latency histograms)
   \strategy join|lateral|heuristic|cost
                            aggregation rewrite strategy (paper 2.2)
   \optimizer on|off        toggle the planner rewrites
@@ -95,6 +120,15 @@ let handle_meta session line =
     `Continue
   | [ "\\timing"; v ] ->
     session.timing <- (v = "on");
+    `Continue
+  | [ "\\trace"; v ] ->
+    session.trace <- (v = "on");
+    (* tracing the span tree alone is cheap; the interesting part is the
+       per-operator row/time stats, so couple the two *)
+    Engine.set_instrumentation session.engine (v = "on");
+    `Continue
+  | [ "\\metrics" ] ->
+    print_string (Metrics.dump_text (Engine.metrics session.engine));
     `Continue
   | [ "\\strategy"; v ] ->
     (match v with
@@ -161,7 +195,9 @@ let repl session =
   loop ()
 
 let main demo script command =
-  let session = { engine = Engine.create (); show_panes = false; timing = false } in
+  let session =
+    { engine = Engine.create (); show_panes = false; timing = false; trace = false }
+  in
   if demo then Perm_workload.Forum.load session.engine;
   match script, command with
   | Some path, _ ->

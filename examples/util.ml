@@ -21,6 +21,12 @@ let run engine sql =
     print_string e.Engine.rewritten_tree;
     print_endline "-- rewritten SQL:";
     print_endline e.Engine.rewritten_sql
+  | Ok (Engine.Analyzed ea) ->
+    print_endline "-- optimized plan (actual):";
+    print_string ea.Engine.ea_tree;
+    List.iter
+      (fun (name, ms) -> Printf.printf "-- %-8s %8.3f ms\n" name ms)
+      ea.Engine.ea_phases
   | Error msg -> Printf.printf "ERROR: %s\n" msg
 
 let time_it f =

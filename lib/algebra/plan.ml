@@ -164,5 +164,21 @@ let operator_name = function
   | Baserel { rel_name; _ } -> Printf.sprintf "BaseRelation(%s)" rel_name
   | External _ -> "ExternalProvenance"
 
+let operator_kind = function
+  | Scan _ | Index_scan _ -> "scan"
+  | Values _ -> "values"
+  | Project _ -> "project"
+  | Filter _ -> "filter"
+  | Join _ -> "join"
+  | Apply _ -> "apply"
+  | Aggregate _ -> "aggregate"
+  | Distinct _ -> "distinct"
+  | Set_op _ -> "set_op"
+  | Sort _ -> "sort"
+  | Limit _ -> "limit"
+  | Prov _ -> "prov"
+  | Baserel _ -> "baserel"
+  | External _ -> "external"
+
 let rec count_operators t =
   1 + List.fold_left (fun acc c -> acc + count_operators c) 0 (children t)

@@ -117,4 +117,9 @@ val map_children : (t -> t) -> t -> t
 val operator_name : t -> string
 (** Short name for tree displays: ["Scan(messages)"], ["Project"], ... *)
 
+val operator_kind : t -> string
+(** Coarse parameter-free operator class for metric names: ["scan"],
+    ["join"], ["aggregate"], ... — every join kind maps to ["join"], every
+    apply kind to ["apply"], both scan forms to ["scan"]. *)
+
 val count_operators : t -> int

@@ -16,6 +16,8 @@ module Heap = Perm_storage.Heap
 module Tuple = Perm_storage.Tuple
 module Value = Perm_value.Value
 module Dtype = Perm_value.Dtype
+module Metrics = Perm_obs.Metrics
+module Trace = Perm_obs.Trace
 
 type agg_strategy_setting = Use_join | Use_lateral | Use_heuristic | Use_cost_based
 
@@ -33,6 +35,10 @@ type t = {
   mutable planner_config : Planner.config;
   mutable report : Rewriter.report option;
   mutable snapshot : snapshot option;  (* Some while inside a transaction *)
+  metrics : Metrics.t;
+  mutable instrument : bool;  (* per-operator executor stats (costly) *)
+  mutable current_span : Trace.span option;  (* root of the running statement *)
+  mutable last_trace : Trace.span option;
 }
 
 let create () =
@@ -44,6 +50,10 @@ let create () =
     planner_config = Planner.default_config;
     report = None;
     snapshot = None;
+    metrics = Metrics.create ();
+    instrument = false;
+    current_span = None;
+    last_trace = None;
   }
 
 type result_set = { columns : string list; rows : Tuple.t list }
@@ -57,11 +67,21 @@ type explain = {
   agg_strategies : string list;
 }
 
+type explain_analyze = {
+  ea_sql : string;
+  ea_tree : string;  (** optimized tree annotated with actual rows/time *)
+  ea_phases : (string * float) list;  (** phase name, milliseconds *)
+  ea_rows : int;
+  ea_total_ms : float;
+  ea_strategies : string list;
+}
+
 type outcome =
   | Rows of result_set
   | Affected of int
   | Message of string
   | Explained of explain
+  | Analyzed of explain_analyze
 
 let catalog t = t.cat
 
@@ -124,24 +144,80 @@ let provider t : Executor.provider =
 let ( let* ) = Result.bind
 
 (* ------------------------------------------------------------------ *)
+(* Observability                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let metrics t = t.metrics
+let set_instrumentation t on = t.instrument <- on
+let instrumentation t = t.instrument
+let last_trace t = t.last_trace
+
+(* Runs [f] as a named phase under the current statement span, so its
+   duration shows up in the trace tree and in the per-phase histograms. *)
+let phase t name f =
+  match t.current_span with
+  | None -> f ()
+  | Some root -> Trace.timed root name f
+
+let strategy_names (report : Rewriter.report) =
+  List.map
+    (function
+      | Rewriter.Agg_join -> "join"
+      | Rewriter.Agg_lateral -> "lateral")
+    report.Rewriter.agg_choices
+
+let record_rewrite_metrics t (report : Rewriter.report) =
+  List.iter
+    (fun name -> Metrics.incr t.metrics ("rewriter.strategy." ^ name))
+    (strategy_names report);
+  List.iter
+    (fun (rule, n) -> Metrics.incr t.metrics ~by:n ("rewriter.rule." ^ rule))
+    report.Rewriter.rule_counts
+
+let record_exec_stats t stats =
+  List.iter
+    (fun (ns : Executor.node_stats) ->
+      Metrics.incr t.metrics ~by:ns.Executor.stat_rows
+        ("executor.rows." ^ ns.Executor.stat_kind);
+      Metrics.incr t.metrics ~by:ns.Executor.stat_invocations
+        ("executor.invocations." ^ ns.Executor.stat_kind))
+    (Executor.stats_entries stats)
+
+(* ------------------------------------------------------------------ *)
 (* Query pipeline: analyze -> rewrite -> optimize -> execute            *)
 (* ------------------------------------------------------------------ *)
 
 let prepare t (q : Ast.query) =
-  let* analyzed = Analyzer.analyze_query t.cat q in
+  let* analyzed = phase t "analyze" (fun () -> Analyzer.analyze_query t.cat q) in
   let* rewritten, report =
-    try Ok (Rewriter.rewrite ~config:(rewriter_config t) analyzed)
-    with Rewriter.Rewrite_error msg -> Error ("provenance rewrite failed: " ^ msg)
+    phase t "rewrite" (fun () ->
+        try Ok (Rewriter.rewrite ~config:(rewriter_config t) analyzed)
+        with Rewriter.Rewrite_error msg ->
+          Error ("provenance rewrite failed: " ^ msg))
   in
   t.report <- Some report;
+  record_rewrite_metrics t report;
   let optimized =
-    Planner.optimize ~config:t.planner_config (stats t) rewritten
+    phase t "optimize" (fun () ->
+        Planner.optimize ~config:t.planner_config (stats t) rewritten)
   in
   Ok (analyzed, rewritten, optimized)
 
+(* Execute a prepared plan, collecting per-operator stats when the session
+   has instrumentation switched on. *)
+let exec_plan t optimized =
+  if t.instrument then
+    let* rows, exec_stats =
+      phase t "execute" (fun () ->
+          Executor.run_instrumented ~provider:(provider t) optimized)
+    in
+    record_exec_stats t exec_stats;
+    Ok rows
+  else phase t "execute" (fun () -> Executor.run ~provider:(provider t) optimized)
+
 let run_query t (q : Ast.query) =
   let* analyzed, _rewritten, optimized = prepare t q in
-  let* rows = Executor.run ~provider:(provider t) optimized in
+  let* rows = exec_plan t optimized in
   (* column names come from the analyzed plan's schema: the marker schema
      already includes the provenance attributes with their public names *)
   let columns = Analyzer.output_names analyzed in
@@ -172,12 +248,43 @@ let explain_query t sql (q : Ast.query) =
       rewritten_tree = Pretty.plan_to_string ~show_attrs:false rewritten;
       optimized_tree = Pretty.plan_to_string ~show_attrs:false ~annotate optimized;
       rewritten_sql = Sqlgen.plan_to_sql rewritten;
-      agg_strategies =
-        List.map
-          (function
-            | Rewriter.Agg_join -> "join"
-            | Rewriter.Agg_lateral -> "lateral")
-          report.Rewriter.agg_choices;
+      agg_strategies = strategy_names report;
+    }
+
+let explain_analyze_query t sql (q : Ast.query) =
+  let* _analyzed, _rewritten, optimized = prepare t q in
+  let report = Option.get t.report in
+  (* EXPLAIN ANALYZE always instruments, whatever the session setting *)
+  let* rows, exec_stats =
+    phase t "execute" (fun () ->
+        Executor.run_instrumented ~provider:(provider t) optimized)
+  in
+  record_exec_stats t exec_stats;
+  let annotate plan =
+    match Executor.lookup exec_stats plan with
+    | Some ns ->
+      Printf.sprintf "(actual rows=%d loops=%d time=%.3f ms)"
+        ns.Executor.stat_rows ns.Executor.stat_invocations
+        (ns.Executor.stat_time_s *. 1000.)
+    | None -> "(never executed)"
+  in
+  let phases, total_ms =
+    match t.current_span with
+    | Some root ->
+      ( List.map
+          (fun sp -> (Trace.name sp, Trace.duration_ms sp))
+          (Trace.children root),
+        Trace.duration_ms root )
+    | None -> ([], 0.)
+  in
+  Ok
+    {
+      ea_sql = sql;
+      ea_tree = Pretty.plan_to_string ~show_attrs:false ~annotate optimized;
+      ea_phases = phases;
+      ea_rows = List.length rows;
+      ea_total_ms = total_ms;
+      ea_strategies = strategy_names report;
     }
 
 (* ------------------------------------------------------------------ *)
@@ -348,14 +455,8 @@ let store_provenance t q name =
      the user did not write SELECT PROVENANCE), materialize, and remember
      the provenance columns for later re-propagation. *)
   let q = if Ast.query_uses_provenance q then q else mark_provenance q in
-  let* analyzed = Analyzer.analyze_query t.cat q in
-  let* rewritten, report =
-    try Ok (Rewriter.rewrite ~config:(rewriter_config t) analyzed)
-    with Rewriter.Rewrite_error msg -> Error ("provenance rewrite failed: " ^ msg)
-  in
-  t.report <- Some report;
-  let optimized = Planner.optimize ~config:t.planner_config (stats t) rewritten in
-  let* rows = Executor.run ~provider:(provider t) optimized in
+  let* analyzed, _rewritten, optimized = prepare t q in
+  let* rows = exec_plan t optimized in
   let* schema = schema_of_plan analyzed in
   let* () = create_relation t name schema rows in
   let prov_cols =
@@ -485,7 +586,7 @@ let dump_sql t =
     (Catalog.views t.cat);
   Buffer.contents buf
 
-let execute_statement t sql (st : Ast.statement) =
+let run_statement t sql (st : Ast.statement) =
   match st with
   | Ast.St_query q ->
     let* rs = run_query t q in
@@ -493,6 +594,9 @@ let execute_statement t sql (st : Ast.statement) =
   | Ast.St_explain q ->
     let* e = explain_query t sql q in
     Ok (Explained e)
+  | Ast.St_explain_analyze q ->
+    let* ea = explain_analyze_query t sql q in
+    Ok (Analyzed ea)
   | Ast.St_create_table (name, cols) ->
     let* schema = Schema.make (List.map (fun (n, ty) -> Column.make n ty) cols) in
     let* () = create_relation t name schema [] in
@@ -582,6 +686,41 @@ let execute_statement t sql (st : Ast.statement) =
       t.snapshot <- None;
       Ok (Message "transaction rolled back"))
 
+(* Every top-level statement runs under a root span; pipeline phases attach
+   to it via [phase]. The finished trace feeds [last_trace], the per-phase
+   latency histograms and the statement/error counters. Nested statement
+   executions (none today — DML helpers re-enter through [run_query]) would
+   attach as children instead of clobbering the root. *)
+let execute_statement t sql (st : Ast.statement) =
+  let saved = t.current_span in
+  let root =
+    match saved with Some parent -> Trace.child parent "statement" | None -> Trace.start "statement"
+  in
+  Trace.annotate root "sql" sql;
+  t.current_span <- Some root;
+  let result =
+    try run_statement t sql st
+    with e ->
+      Trace.finish root;
+      t.current_span <- saved;
+      raise e
+  in
+  Trace.finish root;
+  t.current_span <- saved;
+  if saved = None then t.last_trace <- Some root;
+  Metrics.incr t.metrics "engine.statements";
+  (match result with
+  | Error _ -> Metrics.incr t.metrics "engine.errors"
+  | Ok _ -> ());
+  Metrics.observe t.metrics "engine.statement.ms" (Trace.duration_ms root);
+  List.iter
+    (fun sp ->
+      Metrics.observe t.metrics
+        ("engine.phase." ^ Trace.name sp ^ ".ms")
+        (Trace.duration_ms sp))
+    (Trace.children root);
+  result
+
 let execute t sql =
   match Parser.parse_statement sql with
   | Error e -> Error (Parser.error_to_string ~input:sql e)
@@ -603,7 +742,7 @@ let query t sql =
   let* outcome = execute t sql in
   match outcome with
   | Rows rs -> Ok rs
-  | Affected _ | Message _ | Explained _ ->
+  | Affected _ | Message _ | Explained _ | Analyzed _ ->
     Error "statement did not return rows"
 
 let query_params t sql values =
@@ -617,3 +756,15 @@ let explain t sql =
   match Parser.parse_query sql with
   | Error e -> Error (Parser.error_to_string ~input:sql e)
   | Ok q -> explain_query t sql q
+
+let explain_analyze t sql =
+  match Parser.parse_query sql with
+  | Error e -> Error (Parser.error_to_string ~input:sql e)
+  | Ok q -> (
+    (* route through execute_statement so a root span exists and the phase
+       breakdown is populated *)
+    let* outcome = execute_statement t sql (Ast.St_explain_analyze q) in
+    match outcome with
+    | Analyzed ea -> Ok ea
+    | Rows _ | Affected _ | Message _ | Explained _ ->
+      Error "EXPLAIN ANALYZE produced an unexpected outcome")

@@ -36,11 +36,29 @@ type explain = {
       (** chosen aggregation rewrite strategy per rewritten aggregate *)
 }
 
+(** [EXPLAIN ANALYZE] output: the optimized tree annotated with {e actual}
+    per-operator row counts, loop counts and inclusive wall-clock time,
+    plus the pipeline phase breakdown from the statement's trace. *)
+type explain_analyze = {
+  ea_sql : string;
+  ea_tree : string;
+      (** optimized tree; every node carries
+          [(actual rows=<n> loops=<n> time=<ms> ms)] *)
+  ea_phases : (string * float) list;
+      (** [(phase, milliseconds)] in pipeline order:
+          analyze, rewrite, optimize, execute *)
+  ea_rows : int;  (** rows the query returned *)
+  ea_total_ms : float;
+  ea_strategies : string list;
+      (** aggregation rewrite strategies, as in {!explain} *)
+}
+
 type outcome =
   | Rows of result_set
   | Affected of int  (** INSERT / DELETE / UPDATE row count *)
   | Message of string  (** DDL confirmations *)
   | Explained of explain
+  | Analyzed of explain_analyze  (** [EXPLAIN ANALYZE] *)
 
 val execute : t -> string -> (outcome, string) result
 (** Runs a single statement (optionally [;]-terminated). *)
@@ -61,6 +79,35 @@ val query_params :
     [Value.Int 4]] *)
 
 val explain : t -> string -> (explain, string) result
+
+val explain_analyze : t -> string -> (explain_analyze, string) result
+(** Executes the query with per-operator instrumentation (regardless of
+    {!set_instrumentation}) and reports actual rows/time per plan node. *)
+
+(** {1 Observability}
+
+    Each session owns a {!Perm_obs.Metrics} registry and records a span
+    tree per statement. Counters maintained by the engine:
+    [engine.statements], [engine.errors], [rewriter.strategy.<join|lateral>]
+    (one per rewritten aggregate), [rewriter.rule.<name>] (rewrite rule
+    firings); histograms [engine.statement.ms] and
+    [engine.phase.<analyze|rewrite|optimize|execute>.ms]. With
+    instrumentation on (or under [EXPLAIN ANALYZE]),
+    [executor.rows.<kind>] / [executor.invocations.<kind>] counters
+    aggregate per-operator totals. *)
+
+val metrics : t -> Perm_obs.Metrics.t
+
+val set_instrumentation : t -> bool -> unit
+(** Per-operator executor stats for every statement. Default [false]: the
+    uninstrumented hot path compiles identical closures, so sessions that
+    never switch this on pay nothing per row. *)
+
+val instrumentation : t -> bool
+
+val last_trace : t -> Perm_obs.Trace.span option
+(** Span tree of the most recent top-level statement: a [statement] root
+    (with the SQL text as an attribute) and one child per pipeline phase. *)
 
 (** {1 Rewrite-strategy and optimizer control (the demo's "activate or
     deactivate rewrite strategies", §3)} *)

@@ -274,10 +274,22 @@ let agg_result (call : Plan.agg_call) state =
 
 let seq_of_list l = List.to_seq l
 
+(* Per-node instrumentation hook, applied once per plan node at compile
+   time. The uninstrumented path passes [no_wrap] (the identity), so with
+   tracing off the compiled thunks are byte-for-byte the same closures as
+   before — zero per-row cost. *)
+type wrapper = Plan.t -> (unit -> Tuple.t Seq.t) -> unit -> Tuple.t Seq.t
+
+let no_wrap : wrapper = fun _ thunk -> thunk
+
 (* Compilation produces a thunk so Apply can re-evaluate its right side per
    outer row with fresh operator state. *)
-let rec compile ~(provider : provider) (outer : resolver) (plan : Plan.t) :
-    unit -> Tuple.t Seq.t =
+let rec compile ~(provider : provider) ~(wrap : wrapper) (outer : resolver)
+    (plan : Plan.t) : unit -> Tuple.t Seq.t =
+  wrap plan (compile_node ~provider ~wrap outer plan)
+
+and compile_node ~(provider : provider) ~(wrap : wrapper) (outer : resolver)
+    (plan : Plan.t) : unit -> Tuple.t Seq.t =
   match plan with
   | Plan.Scan { table; _ } -> fun () -> provider.scan_table table
   | Plan.Index_scan { table; key_col; key; _ } ->
@@ -297,21 +309,21 @@ let rec compile ~(provider : provider) (outer : resolver) (plan : Plan.t) :
     let resolve = combine_resolvers (resolver_of_schema child_schema) outer in
     let fs = List.map (fun (e, _) -> compile_expr resolve e) cols in
     let fs = Array.of_list fs in
-    let run_child = compile ~provider outer child in
+    let run_child = compile ~provider ~wrap outer child in
     fun () -> Seq.map (fun row -> Array.map (fun f -> f row) fs) (run_child ())
   | Plan.Filter { child; pred } ->
     let resolve =
       combine_resolvers (resolver_of_schema (Plan.schema child)) outer
     in
     let fpred = compile_pred resolve pred in
-    let run_child = compile ~provider outer child in
+    let run_child = compile ~provider ~wrap outer child in
     fun () -> Seq.filter fpred (run_child ())
-  | Plan.Join { kind; left; right; pred } -> compile_join ~provider outer kind left right pred
-  | Plan.Apply { kind; left; right } -> compile_apply ~provider outer kind left right
+  | Plan.Join { kind; left; right; pred } -> compile_join ~provider ~wrap outer kind left right pred
+  | Plan.Apply { kind; left; right } -> compile_apply ~provider ~wrap outer kind left right
   | Plan.Aggregate { child; group_by; aggs } ->
-    compile_aggregate ~provider outer child group_by aggs
+    compile_aggregate ~provider ~wrap outer child group_by aggs
   | Plan.Distinct child ->
-    let run_child = compile ~provider outer child in
+    let run_child = compile ~provider ~wrap outer child in
     fun () ->
       Seq.memoize
         (fun () ->
@@ -326,7 +338,7 @@ let rec compile ~(provider : provider) (outer : resolver) (plan : Plan.t) :
             (run_child ())
             ())
   | Plan.Set_op { kind; all; left; right; _ } ->
-    compile_set_op ~provider outer kind all left right
+    compile_set_op ~provider ~wrap outer kind all left right
   | Plan.Sort { child; keys } ->
     let resolve =
       combine_resolvers (resolver_of_schema (Plan.schema child)) outer
@@ -344,12 +356,12 @@ let rec compile ~(provider : provider) (outer : resolver) (plan : Plan.t) :
       in
       go keyfs
     in
-    let run_child = compile ~provider outer child in
+    let run_child = compile ~provider ~wrap outer child in
     fun () ->
       let rows = List.of_seq (run_child ()) in
       seq_of_list (List.stable_sort cmp rows)
   | Plan.Limit { child; limit; offset } ->
-    let run_child = compile ~provider outer child in
+    let run_child = compile ~provider ~wrap outer child in
     fun () ->
       let s = run_child () in
       let s = Seq.drop offset s in
@@ -357,13 +369,13 @@ let rec compile ~(provider : provider) (outer : resolver) (plan : Plan.t) :
   | Plan.Prov _ ->
     err "internal: provenance marker reached the executor (rewriter not run)"
   | Plan.Baserel { child; _ } | Plan.External { child; _ } ->
-    compile ~provider outer child
+    compile ~provider ~wrap outer child
 
-and compile_join ~provider outer kind left right pred =
+and compile_join ~provider ~wrap outer kind left right pred =
   let left_schema = Plan.schema left and right_schema = Plan.schema right in
   let l_arity = List.length left_schema and r_arity = List.length right_schema in
-  let run_left = compile ~provider outer left in
-  let run_right = compile ~provider outer right in
+  let run_left = compile ~provider ~wrap outer left in
+  let run_right = compile ~provider ~wrap outer right in
   let l_resolve = combine_resolvers (resolver_of_schema left_schema) outer in
   let r_resolve = combine_resolvers (resolver_of_schema right_schema) outer in
   let keys, residual =
@@ -462,7 +474,7 @@ and compile_join ~provider outer kind left right pred =
     let swapped =
       Plan.Join { kind = Plan.Left; left = right; right = left; pred }
     in
-    let run = compile ~provider outer swapped in
+    let run = compile ~provider ~wrap outer swapped in
     fun () ->
       Seq.map
         (fun row ->
@@ -471,9 +483,9 @@ and compile_join ~provider outer kind left right pred =
           Tuple.concat l r)
         (run ())
 
-and compile_apply ~provider outer kind left right =
+and compile_apply ~provider ~wrap outer kind left right =
   let left_schema = Plan.schema left in
-  let run_left = compile ~provider outer left in
+  let run_left = compile ~provider ~wrap outer left in
   (* the right side resolves left attributes against the current outer row *)
   let current_left : Tuple.t ref = ref [||] in
   let left_positions = Hashtbl.create 16 in
@@ -486,7 +498,7 @@ and compile_apply ~provider outer kind left right =
     | Some i -> Some (fun _ -> !current_left.(i))
     | None -> outer a
   in
-  let run_right = compile ~provider right_outer right in
+  let run_right = compile ~provider ~wrap right_outer right in
   let r_arity = List.length (Plan.schema right) in
   fun () ->
     Seq.concat_map
@@ -509,7 +521,7 @@ and compile_apply ~provider outer kind left right =
         | Plan.A_anti -> if rows = [] then Seq.return lrow else Seq.empty)
       (run_left ())
 
-and compile_aggregate ~provider outer child group_by aggs =
+and compile_aggregate ~provider ~wrap outer child group_by aggs =
   let resolve =
     combine_resolvers (resolver_of_schema (Plan.schema child)) outer
   in
@@ -519,7 +531,7 @@ and compile_aggregate ~provider outer child group_by aggs =
       (fun (c : Plan.agg_call) -> Option.map (compile_expr resolve) c.arg)
       aggs
   in
-  let run_child = compile ~provider outer child in
+  let run_child = compile ~provider ~wrap outer child in
   let global = group_by = [] in
   fun () ->
     Seq.memoize
@@ -566,9 +578,9 @@ and compile_aggregate ~provider outer child group_by aggs =
                !order)
             ())
 
-and compile_set_op ~provider outer kind all left right =
-  let run_left = compile ~provider outer left in
-  let run_right = compile ~provider outer right in
+and compile_set_op ~provider ~wrap outer kind all left right =
+  let run_left = compile ~provider ~wrap outer left in
+  let run_right = compile ~provider ~wrap outer right in
   match kind, all with
   | Plan.Union, true -> fun () -> Seq.append (run_left ()) (run_right ())
   | Plan.Union, false ->
@@ -641,8 +653,72 @@ and compile_set_op ~provider outer kind all left right =
 (* ------------------------------------------------------------------ *)
 
 let run ~provider plan =
-  match List.of_seq ((compile ~provider no_outer plan) ()) with
+  match List.of_seq ((compile ~provider ~wrap:no_wrap no_outer plan) ()) with
   | rows -> Ok rows
+  | exception Runtime_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Instrumented execution (EXPLAIN ANALYZE, \trace on)                 *)
+(* ------------------------------------------------------------------ *)
+
+type node_stats = {
+  stat_kind : string;
+  mutable stat_invocations : int;
+  mutable stat_rows : int;
+  mutable stat_time_s : float;
+}
+
+(* Stats are keyed by the physical identity of the plan node: the plan is a
+   tree built once per statement, so [==] identifies each operator uniquely
+   and survives the trip through [Pretty.plan_to_string ~annotate]. *)
+type exec_stats = { mutable entries : (Plan.t * node_stats) list }
+
+let lookup stats node =
+  let rec go = function
+    | [] -> None
+    | (p, ns) :: rest -> if p == node then Some ns else go rest
+  in
+  go stats.entries
+
+let stats_entries stats = List.rev_map snd stats.entries
+
+let now_s () = Perm_obs.Trace.now ()
+
+let instrumenting_wrap stats : wrapper =
+ fun node thunk ->
+  let ns =
+    {
+      stat_kind = Plan.operator_kind node;
+      stat_invocations = 0;
+      stat_rows = 0;
+      stat_time_s = 0.;
+    }
+  in
+  stats.entries <- (node, ns) :: stats.entries;
+  fun () ->
+    ns.stat_invocations <- ns.stat_invocations + 1;
+    let t0 = now_s () in
+    let seq = thunk () in
+    ns.stat_time_s <- ns.stat_time_s +. (now_s () -. t0);
+    (* time every pull: the measured interval covers this operator AND its
+       children (inclusive time, as in Postgres EXPLAIN ANALYZE) *)
+    let rec step s () =
+      let t0 = now_s () in
+      let cell = s () in
+      ns.stat_time_s <- ns.stat_time_s +. (now_s () -. t0);
+      match cell with
+      | Seq.Nil -> Seq.Nil
+      | Seq.Cons (x, rest) ->
+        ns.stat_rows <- ns.stat_rows + 1;
+        Seq.Cons (x, step rest)
+    in
+    step seq
+
+let run_instrumented ~provider plan =
+  let stats = { entries = [] } in
+  let wrap = instrumenting_wrap stats in
+  match List.of_seq ((compile ~provider ~wrap no_outer plan) ()) with
+  | rows -> Ok (rows, stats)
   | exception Runtime_error msg -> Error msg
 
 let eval_const e =

@@ -31,6 +31,39 @@ val run : provider:provider -> Perm_algebra.Plan.t -> (Perm_storage.Tuple.t list
     order. Runtime errors (division by zero, failing casts, scalar
     subqueries returning several rows) are returned as [Error]. *)
 
+(** {1 Instrumented execution}
+
+    [run_instrumented] wraps every compiled operator with counters and a
+    wall-clock timer; the plain {!run} path compiles the exact same
+    closures with no wrapper, so instrumentation is pay-for-what-you-use:
+    with tracing off, nothing changes on the hot path. *)
+
+type node_stats = {
+  stat_kind : string;  (** coarse operator class, {!Perm_algebra.Plan.operator_kind} *)
+  mutable stat_invocations : int;
+      (** times the operator was (re)started — > 1 under a correlated
+          [Apply], which re-runs its right side per outer row *)
+  mutable stat_rows : int;  (** rows produced across all invocations *)
+  mutable stat_time_s : float;
+      (** cumulative wall-clock seconds spent pulling from this operator,
+          {e inclusive} of its children (as in Postgres EXPLAIN ANALYZE) *)
+}
+
+type exec_stats
+
+val run_instrumented :
+  provider:provider ->
+  Perm_algebra.Plan.t ->
+  (Perm_storage.Tuple.t list * exec_stats, string) result
+
+val lookup : exec_stats -> Perm_algebra.Plan.t -> node_stats option
+(** Stats for one plan node, matched by physical identity — pass the same
+    plan value that was executed (e.g. from [Pretty.plan_to_string
+    ~annotate]). *)
+
+val stats_entries : exec_stats -> node_stats list
+(** All recorded operators, in compile order. *)
+
 val eval_const : Perm_algebra.Expr.t -> (Perm_value.Value.t, string) result
 (** Evaluates a closed expression (no attribute references) — INSERT rows,
     DEFAULT-style constants. *)

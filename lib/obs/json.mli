@@ -1,0 +1,18 @@
+(** Minimal JSON values and serialization — just enough for the metrics
+    dump, trace export and the bench harness's [BENCH_*.json] sinks, so the
+    observability layer needs no external JSON dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering. *)
+
+val to_pretty_string : t -> string
+(** Indented rendering (one entry per line), newline-terminated. *)

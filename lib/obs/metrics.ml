@@ -1,0 +1,193 @@
+(* Default latency-histogram bucket upper bounds, in milliseconds: a
+   log-ish scale from 5µs to 5s. The last implicit bucket is +inf. *)
+let default_bounds =
+  [|
+    0.005; 0.01; 0.025; 0.05; 0.1; 0.25; 0.5; 1.; 2.5; 5.; 10.; 25.; 50.;
+    100.; 250.; 500.; 1000.; 2500.; 5000.;
+  |]
+
+type histogram = {
+  bounds : float array;
+  buckets : int array;  (* length = Array.length bounds + 1 (overflow) *)
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type metric =
+  | Counter of { mutable c : int }
+  | Gauge of { mutable g : float }
+  | Histogram of histogram
+
+type t = { tbl : (string, metric) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+let reset t = Hashtbl.reset t.tbl
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let find_or_add t name make =
+  match Hashtbl.find_opt t.tbl name with
+  | Some m -> m
+  | None ->
+    let m = make () in
+    Hashtbl.replace t.tbl name m;
+    m
+
+let mismatch name m expected =
+  invalid_arg
+    (Printf.sprintf "metric %S is a %s, not a %s" name (kind_name m) expected)
+
+let incr ?(by = 1) t name =
+  match find_or_add t name (fun () -> Counter { c = 0 }) with
+  | Counter r -> r.c <- r.c + by
+  | m -> mismatch name m "counter"
+
+let set_gauge t name v =
+  match find_or_add t name (fun () -> Gauge { g = 0. }) with
+  | Gauge r -> r.g <- v
+  | m -> mismatch name m "gauge"
+
+let new_histogram bounds =
+  {
+    bounds;
+    buckets = Array.make (Array.length bounds + 1) 0;
+    h_count = 0;
+    h_sum = 0.;
+    h_min = Float.infinity;
+    h_max = Float.neg_infinity;
+  }
+
+let bucket_index bounds v =
+  (* first bound >= v; the trailing overflow bucket catches the rest *)
+  let n = Array.length bounds in
+  let rec go i = if i >= n || v <= bounds.(i) then i else go (i + 1) in
+  go 0
+
+let observe ?(bounds = default_bounds) t name v =
+  match find_or_add t name (fun () -> Histogram (new_histogram bounds)) with
+  | Histogram h ->
+    let i = bucket_index h.bounds v in
+    h.buckets.(i) <- h.buckets.(i) + 1;
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. v;
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v
+  | m -> mismatch name m "histogram"
+
+let counter t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Counter r) -> r.c
+  | Some m -> mismatch name m "counter"
+  | None -> 0
+
+let gauge t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Gauge r) -> Some r.g
+  | Some m -> mismatch name m "gauge"
+  | None -> None
+
+let histogram t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Histogram h) -> Some h
+  | Some m -> mismatch name m "histogram"
+  | None -> None
+
+(* Upper bound of the bucket where the cumulative count first reaches
+   [q * count] — a coarse but monotone quantile estimate. *)
+let quantile h q =
+  if h.h_count = 0 then Float.nan
+  else begin
+    let target =
+      Float.max 1. (Float.round (q *. float_of_int h.h_count))
+    in
+    let acc = ref 0 and result = ref h.h_max in
+    (try
+       Array.iteri
+         (fun i n ->
+           acc := !acc + n;
+           if float_of_int !acc >= target then begin
+             result :=
+               (if i < Array.length h.bounds then h.bounds.(i) else h.h_max);
+             raise Exit
+           end)
+         h.buckets
+     with Exit -> ());
+    (* never report a quantile above the observed maximum *)
+    Float.min !result h.h_max
+  end
+
+let names t =
+  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl [])
+
+let fold t f init =
+  List.fold_left
+    (fun acc name -> f acc name (Hashtbl.find t.tbl name))
+    init (names t)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let dump_text t =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun name ->
+      match Hashtbl.find t.tbl name with
+      | Counter r ->
+        Buffer.add_string buf (Printf.sprintf "counter    %-44s %d\n" name r.c)
+      | Gauge r ->
+        Buffer.add_string buf (Printf.sprintf "gauge      %-44s %g\n" name r.g)
+      | Histogram h ->
+        if h.h_count = 0 then
+          Buffer.add_string buf
+            (Printf.sprintf "histogram  %-44s count=0\n" name)
+        else
+          Buffer.add_string buf
+            (Printf.sprintf
+               "histogram  %-44s count=%d sum=%.3f min=%.3f max=%.3f \
+                p50<=%.3f p95<=%.3f\n"
+               name h.h_count h.h_sum h.h_min h.h_max (quantile h 0.50)
+               (quantile h 0.95)))
+    (names t);
+  Buffer.contents buf
+
+let histogram_to_json h =
+  let buckets =
+    List.concat
+      (Array.to_list
+         (Array.mapi
+            (fun i n ->
+              if n = 0 then []
+              else
+                let le =
+                  if i < Array.length h.bounds then
+                    Json.Float h.bounds.(i)
+                  else Json.String "+inf"
+                in
+                [ Json.Obj [ ("le", le); ("count", Json.Int n) ] ])
+            h.buckets))
+  in
+  Json.Obj
+    [
+      ("count", Json.Int h.h_count);
+      ("sum", Json.Float h.h_sum);
+      ("min", Json.Float (if h.h_count = 0 then 0. else h.h_min));
+      ("max", Json.Float (if h.h_count = 0 then 0. else h.h_max));
+      ("buckets", Json.List buckets);
+    ]
+
+let to_json t =
+  Json.Obj
+    (List.map
+       (fun name ->
+         ( name,
+           match Hashtbl.find t.tbl name with
+           | Counter r -> Json.Int r.c
+           | Gauge r -> Json.Float r.g
+           | Histogram h -> histogram_to_json h ))
+       (names t))

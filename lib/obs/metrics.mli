@@ -1,0 +1,59 @@
+(** A metrics registry: named counters, gauges and latency histograms.
+
+    Names are flat dotted strings ([engine.statements],
+    [engine.phase.execute.ms], [executor.rows.join]). Metrics are created
+    on first use with the kind implied by the operation; using a name with
+    the wrong kind raises [Invalid_argument] (a programming error, not a
+    runtime condition).
+
+    All dumps iterate names in sorted order, so output is deterministic for
+    a given sequence of observations. *)
+
+type t
+
+type histogram = private {
+  bounds : float array;  (** bucket upper bounds (ms), ascending *)
+  buckets : int array;  (** per-bucket counts; last entry is overflow *)
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type metric =
+  | Counter of { mutable c : int }
+  | Gauge of { mutable g : float }
+  | Histogram of histogram
+
+val create : unit -> t
+val reset : t -> unit
+
+val incr : ?by:int -> t -> string -> unit
+val set_gauge : t -> string -> float -> unit
+
+val observe : ?bounds:float array -> t -> string -> float -> unit
+(** Record one histogram observation (milliseconds by convention).
+    [bounds] is only consulted when the histogram is first created. *)
+
+val counter : t -> string -> int
+(** Current counter value; [0] when the counter was never incremented. *)
+
+val gauge : t -> string -> float option
+val histogram : t -> string -> histogram option
+
+val quantile : histogram -> float -> float
+(** Bucket-resolution quantile estimate (an upper bound, clamped to the
+    observed maximum); [nan] on an empty histogram. *)
+
+val names : t -> string list
+(** All registered metric names, sorted. *)
+
+val fold : t -> ('a -> string -> metric -> 'a) -> 'a -> 'a
+(** Fold over metrics in sorted name order. *)
+
+val default_bounds : float array
+
+val dump_text : t -> string
+(** One line per metric, sorted by name. *)
+
+val to_json : t -> Json.t

@@ -14,7 +14,11 @@ type config = { agg_mode : strategy_mode }
 
 let default_config = { agg_mode = Heuristic }
 
-type report = { agg_choices : agg_strategy list; rewritten_markers : int }
+type report = {
+  agg_choices : agg_strategy list;
+  rewritten_markers : int;
+  rule_counts : (string * int) list;
+}
 
 exception Rewrite_error of string
 
@@ -22,7 +26,12 @@ type ctx = {
   config : config;
   mutable choices : agg_strategy list;  (* reverse order *)
   mutable markers : int;
+  rules : (string, int) Hashtbl.t;  (* rewrite rule name -> times fired *)
 }
+
+let fired ctx rule =
+  let n = Option.value ~default:0 (Hashtbl.find_opt ctx.rules rule) in
+  Hashtbl.replace ctx.rules rule (n + 1)
 
 (* SQL = is three-valued; the rejoin rules need a predicate under which each
    original tuple matches its own rewritten copy even when a key is NULL. *)
@@ -85,17 +94,23 @@ let rec eliminate ctx (plan : Plan.t) =
 and rw ctx (plan : Plan.t) : Plan.t * Expr.t list =
   match plan with
   | Plan.Scan { table; _ } | Plan.Index_scan { table; _ } ->
+    fired ctx "base_relation";
     duplicate_as_provenance table plan
-  | Plan.Values _ -> (plan, [])
+  | Plan.Values _ ->
+    fired ctx "values";
+    (plan, [])
   | Plan.Baserel { child; rel_name } ->
+    fired ctx "baserelation";
     duplicate_as_provenance rel_name (eliminate ctx child)
   | Plan.External { child; ext_attrs } ->
+    fired ctx "external_provenance";
     (eliminate ctx child, List.map (fun a -> Expr.Attr a) ext_attrs)
   | Plan.Prov { child; semantics; sources } ->
     let rewritten = rewrite_prov ctx ~child ~semantics ~sources in
     ( rewritten,
       List.map (fun (s : Plan.prov_source) -> Expr.Attr s.prov_attr) sources )
   | Plan.Project { child; cols } ->
+    fired ctx "project";
     let child', bindings = rw ctx child in
     let prov_attrs =
       List.map (fun b -> Attr.fresh "prov" (Expr.type_of b)) bindings
@@ -104,9 +119,11 @@ and rw ctx (plan : Plan.t) : Plan.t * Expr.t list =
     ( Plan.Project { child = child'; cols = cols' },
       List.map (fun p -> Expr.Attr p) prov_attrs )
   | Plan.Filter { child; pred } ->
+    fired ctx "filter";
     let child', bindings = rw ctx child in
     (Plan.Filter { child = child'; pred }, bindings)
   | Plan.Join { kind = Plan.Anti; left; right; pred } ->
+    fired ctx "join_anti";
     let left', bl = rw ctx left in
     ( Plan.Join
         { kind = Plan.Anti; left = left'; right = eliminate ctx right; pred },
@@ -114,21 +131,26 @@ and rw ctx (plan : Plan.t) : Plan.t * Expr.t list =
   | Plan.Join { kind = Plan.Semi; left; right; pred } ->
     (* Witness tuples of the right side become visible: one output row per
        witness, the provenance replication of §2.1. *)
+    fired ctx "join_semi";
     let left', bl = rw ctx left in
     let right', br = rw ctx right in
     (Plan.Join { kind = Plan.Inner; left = left'; right = right'; pred }, bl @ br)
   | Plan.Join { kind; left; right; pred } ->
+    fired ctx "join";
     let left', bl = rw ctx left in
     let right', br = rw ctx right in
     (Plan.Join { kind; left = left'; right = right'; pred }, bl @ br)
   | Plan.Apply { kind = Plan.A_anti; left; right } ->
+    fired ctx "apply_anti";
     let left', bl = rw ctx left in
     (Plan.Apply { kind = Plan.A_anti; left = left'; right = eliminate ctx right }, bl)
   | Plan.Apply { kind = Plan.A_semi; left; right } ->
+    fired ctx "apply_semi";
     let left', bl = rw ctx left in
     let right', br = rw ctx right in
     (Plan.Apply { kind = Plan.A_cross; left = left'; right = right' }, bl @ br)
   | Plan.Apply { kind = Plan.A_scalar out; left; right } ->
+    fired ctx "apply_scalar";
     let left', bl = rw ctx left in
     let right', br = rw ctx right in
     let r0 =
@@ -150,12 +172,14 @@ and rw ctx (plan : Plan.t) : Plan.t * Expr.t list =
     ( Plan.Apply { kind = Plan.A_outer; left = left'; right = right'' },
       bl @ List.map (fun p -> Expr.Attr p) prov_attrs )
   | Plan.Apply { kind = (Plan.A_cross | Plan.A_outer) as kind; left; right } ->
+    fired ctx "apply";
     let left', bl = rw ctx left in
     let right', br = rw ctx right in
     (Plan.Apply { kind; left = left'; right = right' }, bl @ br)
   | Plan.Aggregate { child; group_by; aggs } ->
     rw_aggregate ctx ~child ~group_by ~aggs
   | Plan.Distinct child ->
+    fired ctx "distinct_rejoin";
     let child', bindings = rw ctx child in
     let orig_attrs = Plan.schema child in
     let renamed, data_copies, prov_attrs =
@@ -176,9 +200,11 @@ and rw ctx (plan : Plan.t) : Plan.t * Expr.t list =
         },
       List.map (fun p -> Expr.Attr p) prov_attrs )
   | Plan.Sort { child; keys } ->
+    fired ctx "sort";
     let child', bindings = rw ctx child in
     (Plan.Sort { child = child'; keys }, bindings)
   | Plan.Limit { child; limit; offset } ->
+    fired ctx "limit_rejoin";
     let child', bindings = rw ctx child in
     let orig_attrs = Plan.schema child in
     let renamed, data_copies, prov_attrs =
@@ -229,6 +255,10 @@ and rw_aggregate ctx ~child ~group_by ~aggs =
       else Agg_lateral
   in
   ctx.choices <- choice :: ctx.choices;
+  fired ctx
+    (match choice with
+    | Agg_join -> "aggregate_join"
+    | Agg_lateral -> "aggregate_lateral");
   let plan =
     match choice with
     | Agg_join -> join_candidate ()
@@ -277,9 +307,11 @@ and rw_set_op ctx ~kind ~all ~left ~right ~attrs =
   | Plan.Union, true ->
     (* no rejoin needed: the result rows are exactly the original rows, so
        the union keeps the original output attribute identities *)
+    fired ctx "union_all";
     let u, prov_outs = union_all ~data_outs:attrs in
     (u, List.map (fun p -> Expr.Attr p) prov_outs)
   | Plan.Union, false ->
+    fired ctx "union_distinct";
     let original = Plan.Set_op { kind; all; left; right; attrs } in
     let data_copies =
       List.map (fun (a : Attr.t) -> Attr.renamed (a.Attr.name ^ "_rw") a) attrs
@@ -294,6 +326,7 @@ and rw_set_op ctx ~kind ~all ~left ~right ~attrs =
     ( Plan.Join { kind = Plan.Inner; left = original; right = u; pred = Some pred },
       List.map (fun p -> Expr.Attr p) prov_outs )
   | Plan.Intersect, _ ->
+    fired ctx "intersect";
     let original = Plan.Set_op { kind; all; left; right; attrs } in
     let l_renamed, l_copies, l_prov = rename_for_rejoin l_attrs left' bl in
     let r_renamed, r_copies, r_prov = rename_for_rejoin r_attrs right' br in
@@ -323,6 +356,7 @@ and rw_set_op ctx ~kind ~all ~left ~right ~attrs =
     in
     (with_both, List.map (fun p -> Expr.Attr p) (l_prov @ r_prov))
   | Plan.Except, _ ->
+    fired ctx "except";
     (* Result tuples stem from the left branch only; the right branch has no
        witness tuples (a tuple survives because of an absence), so its
        provenance columns are NULL. *)
@@ -341,6 +375,7 @@ and rw_set_op ctx ~kind ~all ~left ~right ~attrs =
 
 and rewrite_prov ctx ~child ~semantics ~sources =
   ctx.markers <- ctx.markers + 1;
+  fired ctx "provenance_marker";
   let child', bindings = rw ctx child in
   if List.length bindings <> List.length sources then
     raise
@@ -370,6 +405,14 @@ and rewrite_prov ctx ~child ~semantics ~sources =
   Plan.Project { child = child'; cols }
 
 let rewrite ?(config = default_config) plan =
-  let ctx = { config; choices = []; markers = 0 } in
+  let ctx = { config; choices = []; markers = 0; rules = Hashtbl.create 16 } in
   let plan' = eliminate ctx plan in
-  (plan', { agg_choices = List.rev ctx.choices; rewritten_markers = ctx.markers })
+  let rule_counts =
+    List.sort compare (Hashtbl.fold (fun k n acc -> (k, n) :: acc) ctx.rules [])
+  in
+  ( plan',
+    {
+      agg_choices = List.rev ctx.choices;
+      rewritten_markers = ctx.markers;
+      rule_counts;
+    } )

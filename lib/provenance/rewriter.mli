@@ -59,6 +59,11 @@ type report = {
   agg_choices : agg_strategy list;
       (** chosen strategy per rewritten aggregate, outermost first *)
   rewritten_markers : int;  (** number of [Prov] markers expanded *)
+  rule_counts : (string * int) list;
+      (** how often each rewrite rule fired, sorted by rule name — e.g.
+          [("base_relation", 2); ("join", 1)]; aggregate rewrites appear as
+          [aggregate_join] / [aggregate_lateral] per chosen strategy. The
+          engine republishes these as [rewriter.rule.<name>] counters. *)
 }
 
 exception Rewrite_error of string

@@ -130,6 +130,10 @@ type statement =
           [CREATE TABLE t AS SELECT PROVENANCE ...]) *)
   | St_explain of query
       (** [EXPLAIN <query>] — the Perm-browser panes as text *)
+  | St_explain_analyze of query
+      (** [EXPLAIN ANALYZE <query>] — actually execute the optimized plan
+          with per-operator instrumentation and report actual row counts
+          and wall-clock time per node plus the phase breakdown *)
   | St_copy_from of string * string
       (** [COPY <table> FROM '<path>'] — CSV import *)
   | St_copy_to of string * string

@@ -758,7 +758,9 @@ let parse_statement_inner st =
     expect_kw st "into";
     Ast.St_store_provenance (q, parse_name st "table name")
   end
-  else if accept_kw st "explain" then Ast.St_explain (parse_query_inner st)
+  else if accept_kw st "explain" then
+    if accept_kw st "analyze" then Ast.St_explain_analyze (parse_query_inner st)
+    else Ast.St_explain (parse_query_inner st)
   else if accept_kw st "begin" then begin
     ignore (accept_kw st "transaction");
     Ast.St_begin

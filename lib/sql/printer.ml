@@ -228,6 +228,7 @@ let statement_to_string = function
   | Ast.St_store_provenance (q, name) ->
     Printf.sprintf "STORE PROVENANCE %s INTO %s" (query_to_string q) name
   | Ast.St_explain q -> "EXPLAIN " ^ query_to_string q
+  | Ast.St_explain_analyze q -> "EXPLAIN ANALYZE " ^ query_to_string q
   | Ast.St_copy_from (name, path) ->
     Printf.sprintf "COPY %s FROM %s" name (Value.to_sql (Value.Text path))
   | Ast.St_copy_to (name, path) ->

@@ -1,0 +1,262 @@
+(* Observability tests: the metrics registry (bucketing, quantiles,
+   deterministic dumps), the span tracer (nesting, frozen durations), and
+   EXPLAIN ANALYZE / per-operator instrumentation through the engine. *)
+
+module Metrics = Perm_obs.Metrics
+module Trace = Perm_obs.Trace
+module Json = Perm_obs.Json
+module Engine = Perm_engine.Engine
+open Perm_testkit.Kit
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let metrics_tests =
+  [
+    case "counters accumulate; unknown counters read 0" (fun () ->
+        let m = Metrics.create () in
+        Metrics.incr m "a";
+        Metrics.incr m ~by:41 "a";
+        Alcotest.(check int) "a" 42 (Metrics.counter m "a");
+        Alcotest.(check int) "never touched" 0 (Metrics.counter m "nope"));
+    case "gauges keep the last value" (fun () ->
+        let m = Metrics.create () in
+        Metrics.set_gauge m "g" 1.5;
+        Metrics.set_gauge m "g" 2.5;
+        Alcotest.(check (option (float 0.))) "" (Some 2.5) (Metrics.gauge m "g"));
+    case "histogram bucketing, min/max/sum and quantiles" (fun () ->
+        let m = Metrics.create () in
+        let bounds = [| 1.0; 10.0; 100.0 |] in
+        List.iter (Metrics.observe ~bounds m "h") [ 0.5; 5.0; 50.0; 500.0 ];
+        match Metrics.histogram m "h" with
+        | None -> Alcotest.fail "histogram missing"
+        | Some h ->
+          Alcotest.(check (array int)) "one observation per bucket + overflow"
+            [| 1; 1; 1; 1 |] h.Metrics.buckets;
+          Alcotest.(check int) "count" 4 h.Metrics.h_count;
+          Alcotest.(check (float 1e-9)) "sum" 555.5 h.Metrics.h_sum;
+          Alcotest.(check (float 1e-9)) "min" 0.5 h.Metrics.h_min;
+          Alcotest.(check (float 1e-9)) "max" 500.0 h.Metrics.h_max;
+          (* quantiles report the covering bucket's upper bound ... *)
+          Alcotest.(check (float 1e-9)) "p50" 10.0 (Metrics.quantile h 0.50);
+          (* ... clamped to the observed maximum in the overflow bucket *)
+          Alcotest.(check (float 1e-9)) "p95" 500.0 (Metrics.quantile h 0.95));
+    case "kind mismatch raises Invalid_argument" (fun () ->
+        let m = Metrics.create () in
+        Metrics.incr m "x";
+        Alcotest.check_raises "observe on a counter"
+          (Invalid_argument "metric \"x\" is a counter, not a histogram")
+          (fun () -> Metrics.observe m "x" 1.0));
+    case "dump_text is sorted and insertion-order independent" (fun () ->
+        let m1 = Metrics.create () and m2 = Metrics.create () in
+        Metrics.incr m1 "z.count";
+        Metrics.set_gauge m1 "a.gauge" 3.0;
+        Metrics.observe ~bounds:[| 1.0 |] m1 "m.lat" 0.5;
+        (* same metrics, reverse creation order *)
+        Metrics.observe ~bounds:[| 1.0 |] m2 "m.lat" 0.5;
+        Metrics.set_gauge m2 "a.gauge" 3.0;
+        Metrics.incr m2 "z.count";
+        Alcotest.(check string) "identical dumps"
+          (Metrics.dump_text m1) (Metrics.dump_text m2);
+        Alcotest.(check (list string)) "names sorted"
+          [ "a.gauge"; "m.lat"; "z.count" ] (Metrics.names m1);
+        Alcotest.(check string) "identical JSON"
+          (Json.to_string (Metrics.to_json m1))
+          (Json.to_string (Metrics.to_json m2)));
+    case "reset empties the registry" (fun () ->
+        let m = Metrics.create () in
+        Metrics.incr m "a";
+        Metrics.reset m;
+        Alcotest.(check (list string)) "" [] (Metrics.names m));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let json_tests =
+  [
+    case "compact rendering and string escaping" (fun () ->
+        let doc =
+          Json.Obj
+            [
+              ("s", Json.String "a\"b\n");
+              ("n", Json.Int 3);
+              ("f", Json.Float 1.5);
+              ("l", Json.List [ Json.Bool true; Json.Null ]);
+            ]
+        in
+        Alcotest.(check string) ""
+          "{\"s\": \"a\\\"b\\n\", \"n\": 3, \"f\": 1.5, \"l\": [true, null]}"
+          (Json.to_string doc));
+    case "pretty rendering is valid-shaped and newline-terminated" (fun () ->
+        let s = Json.to_pretty_string (Json.Obj [ ("k", Json.Int 1) ]) in
+        Alcotest.(check bool) "ends with newline" true
+          (String.length s > 0 && s.[String.length s - 1] = '\n');
+        Alcotest.(check bool) "indented" true (contains s "  \"k\": 1"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Tracer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let trace_tests =
+  [
+    case "children nest in start order; root covers them" (fun () ->
+        let root = Trace.start "root" in
+        let x = Trace.timed root "a" (fun () -> 41 + 1) in
+        Alcotest.(check int) "timed returns the result" 42 x;
+        let b = Trace.child root "b" in
+        Trace.finish b;
+        Trace.finish root;
+        Alcotest.(check (list string)) "start order" [ "a"; "b" ]
+          (List.map Trace.name (Trace.children root));
+        List.iter
+          (fun sp ->
+            Alcotest.(check bool) (Trace.name sp ^ " within root") true
+              (Trace.duration_ms root >= Trace.duration_ms sp))
+          (Trace.children root));
+    case "finish freezes the duration (idempotent)" (fun () ->
+        let sp = Trace.start "s" in
+        Trace.finish sp;
+        let d1 = Trace.duration_ms sp in
+        (* burn a little time; a frozen span must not keep counting *)
+        ignore (Sys.opaque_identity (Array.init 100_000 (fun i -> i * i)));
+        Trace.finish sp;
+        Alcotest.(check (float 0.)) "" d1 (Trace.duration_ms sp));
+    case "timed closes the child when f raises" (fun () ->
+        let root = Trace.start "root" in
+        (try Trace.timed root "boom" (fun () -> failwith "x")
+         with Failure _ -> ());
+        match Trace.find root "boom" with
+        | None -> Alcotest.fail "child not attached"
+        | Some sp ->
+          let d1 = Trace.duration_ms sp in
+          ignore (Sys.opaque_identity (Array.init 100_000 (fun i -> i * i)));
+          Alcotest.(check (float 0.)) "closed" d1 (Trace.duration_ms sp));
+    case "annotate and to_string / to_json surface the tree" (fun () ->
+        let root = Trace.start "statement" in
+        Trace.annotate root "sql" "SELECT 1";
+        Trace.timed root "execute" (fun () -> ());
+        Trace.finish root;
+        Alcotest.(check (list (pair string string))) "attrs"
+          [ ("sql", "SELECT 1") ] (Trace.attrs root);
+        let txt = Trace.to_string root in
+        Alcotest.(check bool) "tree text has both spans" true
+          (contains txt "statement" && contains txt "  execute");
+        let json = Json.to_string (Trace.to_json root) in
+        Alcotest.(check bool) "json carries the attribute" true
+          (contains json "\"sql\": \"SELECT 1\""));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN ANALYZE and engine instrumentation                          *)
+(* ------------------------------------------------------------------ *)
+
+let three_table_engine () =
+  let e = engine () in
+  exec_all e
+    [
+      "CREATE TABLE t1 (a int)";
+      "INSERT INTO t1 VALUES (1), (2), (3)";
+      "CREATE TABLE t2 (a int)";
+      "INSERT INTO t2 VALUES (2), (3), (4)";
+      "CREATE TABLE t3 (a int)";
+      "INSERT INTO t3 VALUES (3), (4), (5)";
+    ];
+  e
+
+let join3 =
+  "SELECT t1.a FROM t1 JOIN t2 ON t1.a = t2.a JOIN t3 ON t2.a = t3.a"
+
+let engine_tests =
+  [
+    case "EXPLAIN ANALYZE reports actual rows on a 3-table join" (fun () ->
+        let e = three_table_engine () in
+        match Engine.explain_analyze e join3 with
+        | Error msg -> Alcotest.fail msg
+        | Ok ea ->
+          (* only a=3 survives both joins *)
+          Alcotest.(check int) "result rows" 1 ea.Engine.ea_rows;
+          Alcotest.(check bool) "root annotated with its actual row" true
+            (contains ea.Engine.ea_tree "(actual rows=1 loops=1");
+          List.iter
+            (fun scan ->
+              Alcotest.(check bool) (scan ^ " annotated with 3 rows") true
+                (contains ea.Engine.ea_tree
+                   (scan ^ "  (actual rows=3 loops=1")))
+            [ "Scan(t1)"; "Scan(t2)"; "Scan(t3)" ];
+          Alcotest.(check (list string)) "phases in pipeline order"
+            [ "analyze"; "rewrite"; "optimize"; "execute" ]
+            (List.map fst ea.Engine.ea_phases);
+          Alcotest.(check bool) "total covers the execute phase" true
+            (ea.Engine.ea_total_ms >= List.assoc "execute" ea.Engine.ea_phases));
+    case "EXPLAIN ANALYZE as a statement yields the Analyzed outcome" (fun () ->
+        let e = three_table_engine () in
+        match exec_ok e ("EXPLAIN ANALYZE " ^ join3) with
+        | Engine.Analyzed ea -> Alcotest.(check int) "" 1 ea.Engine.ea_rows
+        | _ -> Alcotest.fail "expected Analyzed");
+    case "EXPLAIN ANALYZE populates per-operator counters" (fun () ->
+        let e = three_table_engine () in
+        (match Engine.explain_analyze e join3 with
+        | Ok _ -> ()
+        | Error msg -> Alcotest.fail msg);
+        let m = Engine.metrics e in
+        Alcotest.(check int) "scan rows: 3 tables x 3 rows" 9
+          (Metrics.counter m "executor.rows.scan");
+        Alcotest.(check bool) "join invocations recorded" true
+          (Metrics.counter m "executor.invocations.join" >= 1));
+    case "uninstrumented statements record no operator stats" (fun () ->
+        let e = three_table_engine () in
+        ignore (query_ok e join3);
+        let m = Engine.metrics e in
+        Alcotest.(check int) "no per-operator rows" 0
+          (Metrics.counter m "executor.rows.scan");
+        Alcotest.(check bool) "but statements are counted" true
+          (Metrics.counter m "engine.statements" > 0));
+    case "set_instrumentation turns operator stats on per session" (fun () ->
+        let e = three_table_engine () in
+        Alcotest.(check bool) "off by default" false (Engine.instrumentation e);
+        Engine.set_instrumentation e true;
+        ignore (query_ok e join3);
+        Alcotest.(check int) "scan rows recorded" 9
+          (Metrics.counter (Engine.metrics e) "executor.rows.scan"));
+    case "every statement leaves a phase trace" (fun () ->
+        let e = three_table_engine () in
+        ignore (query_ok e join3);
+        match Engine.last_trace e with
+        | None -> Alcotest.fail "no trace"
+        | Some root ->
+          Alcotest.(check string) "root" "statement" (Trace.name root);
+          Alcotest.(check (list string)) "phases"
+            [ "analyze"; "rewrite"; "optimize"; "execute" ]
+            (List.map Trace.name (Trace.children root));
+          Alcotest.(check (option string)) "sql attribute" (Some join3)
+            (List.assoc_opt "sql" (Trace.attrs root)));
+    case "provenance query counts rewrite rules and strategies" (fun () ->
+        let e = three_table_engine () in
+        ignore
+          (query_ok e "SELECT PROVENANCE count(*), a FROM t1 GROUP BY a");
+        let m = Engine.metrics e in
+        Alcotest.(check int) "heuristic picks the join strategy" 1
+          (Metrics.counter m "rewriter.strategy.join");
+        Alcotest.(check int) "aggregate_join rule fired" 1
+          (Metrics.counter m "rewriter.rule.aggregate_join");
+        Alcotest.(check int) "base relation rule fired" 1
+          (Metrics.counter m "rewriter.rule.base_relation"));
+  ]
+
+let () =
+  Alcotest.run "obs"
+    [
+      ("metrics", metrics_tests);
+      ("json", json_tests);
+      ("trace", trace_tests);
+      ("engine", engine_tests);
+    ]

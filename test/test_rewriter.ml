@@ -229,6 +229,42 @@ let strategy_tests =
         match Engine.last_report e with
         | Some r -> Alcotest.(check int) "" 2 r.Rewriter.rewritten_markers
         | None -> Alcotest.fail "no report");
+    case "strategy counter matches explain's agg_strategies (heuristic)" (fun () ->
+        let e = setup () in
+        Engine.set_agg_strategy e Engine.Use_heuristic;
+        let sql = "SELECT PROVENANCE count(*), a FROM s GROUP BY a" in
+        let ex =
+          match Engine.explain e sql with
+          | Ok ex -> ex
+          | Error msg -> Alcotest.fail msg
+        in
+        let count_of name =
+          List.length (List.filter (( = ) name) ex.Engine.agg_strategies)
+        in
+        let m = Engine.metrics e in
+        Alcotest.(check int) "rewriter.strategy.join counter"
+          (count_of "join")
+          (Perm_obs.Metrics.counter m "rewriter.strategy.join");
+        Alcotest.(check int) "rewriter.strategy.lateral counter"
+          (count_of "lateral")
+          (Perm_obs.Metrics.counter m "rewriter.strategy.lateral");
+        (* the heuristic always takes the join rewrite, so the lateral
+           counter must still be zero *)
+        Alcotest.(check int) "heuristic never picks lateral" 0
+          (Perm_obs.Metrics.counter m "rewriter.strategy.lateral"));
+    case "report rule_counts record rule firings, sorted" (fun () ->
+        let e = setup () in
+        ignore (query_ok e "SELECT PROVENANCE count(*), a FROM s GROUP BY a");
+        match Engine.last_report e with
+        | None -> Alcotest.fail "no report"
+        | Some r ->
+          Alcotest.(check (option int)) "aggregate_join fired once" (Some 1)
+            (List.assoc_opt "aggregate_join" r.Rewriter.rule_counts);
+          Alcotest.(check (option int)) "base_relation fired once" (Some 1)
+            (List.assoc_opt "base_relation" r.Rewriter.rule_counts);
+          Alcotest.(check (list string)) "sorted by rule name"
+            (List.sort compare (List.map fst r.Rewriter.rule_counts))
+            (List.map fst r.Rewriter.rule_counts));
   ]
 
 let sources_tests =
