@@ -1,6 +1,6 @@
 # Single entry point for CI and local hacking: `make check` is the gate.
 
-.PHONY: all build test bench-smoke bench fmt check
+.PHONY: all build test bench-smoke bench-compare bench fmt check
 
 all: build
 
@@ -15,6 +15,18 @@ test:
 bench-smoke:
 	dune exec bench/main.exe -- --smoke --json
 
+# Regression gate: a fresh smoke pass diffed against the committed
+# BENCH_phases.json, per query and per phase. The generous default
+# threshold (5x + 25 ms slack) only trips on real slowdowns, not
+# machine-to-machine or run-to-run noise. The baseline is taken from git
+# HEAD (bench-smoke may have just rewritten the working-tree copy);
+# outside a checkout it falls back to the file as-is.
+bench-compare:
+	@git show HEAD:BENCH_phases.json > .bench_baseline.json 2>/dev/null \
+	  || cp BENCH_phases.json .bench_baseline.json
+	dune exec bench/main.exe -- --compare .bench_baseline.json
+	@rm -f .bench_baseline.json
+
 # Full Bechamel benchmark series (minutes).
 bench:
 	dune exec bench/main.exe
@@ -24,4 +36,4 @@ bench:
 fmt:
 	dune build @fmt --auto-promote
 
-check: build test bench-smoke
+check: build test bench-smoke bench-compare

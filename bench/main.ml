@@ -411,7 +411,15 @@ module Json = Perm_obs.Json
 module Trace = Perm_obs.Trace
 module Metrics = Perm_obs.Metrics
 
-let smoke ~json () =
+(* One smoke entry: query name, total milliseconds, per-phase milliseconds. *)
+type smoke_entry = {
+  sm_name : string;
+  sm_sql : string;
+  sm_total_ms : float;
+  sm_phases : (string * float) list;
+}
+
+let run_smoke () =
   let e = Engine.create () in
   Forum.load_scaled e ~messages:1_000 ~users:50 ();
   Engine.set_instrumentation e true;
@@ -433,51 +441,188 @@ let smoke ~json () =
           | Some r -> r
           | None -> failwith "engine recorded no trace"
         in
-        let phases = Trace.children root in
+        let phases =
+          List.map
+            (fun sp -> (Trace.name sp, Trace.duration_ms sp))
+            (Trace.children root)
+        in
         Printf.printf "  %-16s %9.3f ms  (%s)\n" name (Trace.duration_ms root)
           (String.concat ", "
-             (List.map
-                (fun sp ->
-                  Printf.sprintf "%s %.3f" (Trace.name sp) (Trace.duration_ms sp))
-                phases));
-        Json.Obj
-          [
-            ("name", Json.String name);
-            ("sql", Json.String sql);
-            ("total_ms", Json.Float (Trace.duration_ms root));
-            ( "phases",
-              Json.Obj
-                (List.map
-                   (fun sp ->
-                     (Trace.name sp, Json.Float (Trace.duration_ms sp)))
-                   phases) );
-          ])
+             (List.map (fun (n, d) -> Printf.sprintf "%s %.3f" n d) phases));
+        {
+          sm_name = name;
+          sm_sql = sql;
+          sm_total_ms = Trace.duration_ms root;
+          sm_phases = phases;
+        })
       queries
   in
   flush stdout;
+  (e, entries)
+
+let smoke ~json () =
+  let e, entries = run_smoke () in
   if json then begin
+    let m = Engine.metrics e in
+    Metrics.set_gc_gauges m;
     let doc =
       Json.Obj
         [
           ("suite", Json.String "perm-bench-smoke");
           ("forum_messages", Json.Int 1_000);
-          ("queries", Json.List entries);
-          ("metrics", Metrics.to_json (Engine.metrics e));
+          ( "queries",
+            Json.List
+              (List.map
+                 (fun en ->
+                   Json.Obj
+                     [
+                       ("name", Json.String en.sm_name);
+                       ("sql", Json.String en.sm_sql);
+                       ("total_ms", Json.Float en.sm_total_ms);
+                       ( "phases",
+                         Json.Obj
+                           (List.map
+                              (fun (n, d) -> (n, Json.Float d))
+                              en.sm_phases) );
+                     ])
+                 entries) );
+          ("metrics", Metrics.to_json m);
         ]
     in
     Out_channel.with_open_text "BENCH_phases.json" (fun oc ->
         Out_channel.output_string oc (Json.to_pretty_string doc));
     print_endline "wrote BENCH_phases.json"
-  end
+  end;
+  entries
 
 (* ------------------------------------------------------------------ *)
+(* Regression gate: a fresh smoke pass vs. a committed baseline         *)
+(* ------------------------------------------------------------------ *)
+
+let load_baseline path =
+  let text =
+    try In_channel.with_open_text path In_channel.input_all
+    with Sys_error msg -> failwith ("cannot read baseline: " ^ msg)
+  in
+  let doc =
+    match Json.parse text with
+    | Ok doc -> doc
+    | Error msg -> failwith (Printf.sprintf "baseline %s: %s" path msg)
+  in
+  let queries =
+    match Option.bind (Json.member "queries" doc) Json.to_list_opt with
+    | Some qs -> qs
+    | None -> failwith (Printf.sprintf "baseline %s has no \"queries\" list" path)
+  in
+  List.filter_map
+    (fun q ->
+      match
+        ( Option.bind (Json.member "name" q) Json.to_string_opt,
+          Option.bind (Json.member "total_ms" q) Json.to_float_opt )
+      with
+      | Some name, Some total ->
+        let phases =
+          match Json.member "phases" q with
+          | Some (Json.Obj fields) ->
+            List.filter_map
+              (fun (n, v) ->
+                Option.map (fun f -> (n, f)) (Json.to_float_opt v))
+              fields
+          | _ -> []
+        in
+        Some (name, total, phases)
+      | _ -> None)
+    queries
+
+(* A measurement regresses when it exceeds [baseline * tolerance + slack]:
+   the multiplicative part catches real slowdowns, the additive slack keeps
+   micro-phase noise (a few tens of microseconds) from tripping the gate. *)
+let compare_baseline ~path ~tolerance ~slack entries =
+  let baseline = load_baseline path in
+  let regressions = ref [] in
+  let flag what base cur =
+    if cur > (base *. tolerance) +. slack then
+      regressions := Printf.sprintf "%s: %.3f ms -> %.3f ms" what base cur :: !regressions
+  in
+  let rows =
+    List.map
+      (fun (name, base_total, base_phases) ->
+        match List.find_opt (fun en -> en.sm_name = name) entries with
+        | None ->
+          regressions := Printf.sprintf "%s: missing from fresh run" name :: !regressions;
+          [ name; Printf.sprintf "%.3f" base_total; "-"; "-"; "MISSING" ]
+        | Some en ->
+          flag name base_total en.sm_total_ms;
+          List.iter
+            (fun (phase, base_ms) ->
+              match List.assoc_opt phase en.sm_phases with
+              | Some cur_ms -> flag (name ^ "/" ^ phase) base_ms cur_ms
+              | None -> ())
+            base_phases;
+          let ratio =
+            if base_total > 0. then en.sm_total_ms /. base_total else 1.
+          in
+          let status =
+            if en.sm_total_ms > (base_total *. tolerance) +. slack then "REGRESSED"
+            else "ok"
+          in
+          [
+            name;
+            Printf.sprintf "%.3f" base_total;
+            Printf.sprintf "%.3f" en.sm_total_ms;
+            Printf.sprintf "%.2fx" ratio;
+            status;
+          ])
+      baseline
+  in
+  print_table
+    (Printf.sprintf "bench --compare vs %s (tolerance %gx + %g ms slack)" path
+       tolerance slack)
+    [ "query"; "baseline ms"; "current ms"; "ratio"; "status" ]
+    rows;
+  match !regressions with
+  | [] ->
+    print_endline "bench compare: no regressions";
+    0
+  | rs ->
+    Printf.printf "bench compare: %d regression%s\n" (List.length rs)
+      (if List.length rs = 1 then "" else "s");
+    List.iter (fun r -> Printf.printf "  REGRESSED %s\n" (r : string)) (List.rev rs);
+    1
+
+(* ------------------------------------------------------------------ *)
+
+let arg_value flag =
+  let n = Array.length Sys.argv in
+  let rec go i =
+    if i >= n - 1 then None
+    else if Sys.argv.(i) = flag then Some Sys.argv.(i + 1)
+    else go (i + 1)
+  in
+  go 1
+
+let arg_float flag default =
+  match arg_value flag with
+  | Some s -> (
+    match float_of_string_opt s with
+    | Some f -> f
+    | None -> failwith (Printf.sprintf "%s expects a number, got %S" flag s))
+  | None -> default
 
 let () =
   let fast = Array.exists (fun a -> a = "--fast") Sys.argv in
   let json = Array.exists (fun a -> a = "--json") Sys.argv in
+  (match arg_value "--compare" with
+  | Some baseline ->
+    let tolerance = arg_float "--tolerance" 5.0 in
+    let slack = arg_float "--slack" 25.0 in
+    e2_sanity ();
+    let _, entries = run_smoke () in
+    exit (compare_baseline ~path:baseline ~tolerance ~slack entries)
+  | None -> ());
   if Array.exists (fun a -> a = "--smoke") Sys.argv then begin
     e2_sanity ();
-    smoke ~json ();
+    ignore (smoke ~json ());
     exit 0
   end;
   if fast then quota := 0.1;

@@ -74,18 +74,33 @@ let run_sql session sql =
     match Engine.last_trace session.engine with
     | Some root when (match before with Some b -> b != root | None -> true) ->
       if session.trace then print_string (Trace.to_string root);
-      if session.timing then
-        Printf.printf "Time: %.3f ms\n" (Trace.duration_ms root)
+      if session.timing then begin
+        let phases =
+          List.map
+            (fun sp ->
+              Printf.sprintf "%s %.3f" (Trace.name sp) (Trace.duration_ms sp))
+            (Trace.children root)
+        in
+        Printf.printf "Time: %.3f ms%s\n"
+          (Trace.duration_ms root)
+          (if phases = [] then ""
+           else " (" ^ String.concat ", " phases ^ ")")
+      end
     | Some _ | None -> ()
   end
 
 let help_text =
   {|Perm browser commands:
   \q                       quit
-  \d                       list tables and views
+  \d                       list tables, views and virtual system relations
   \panes on|off            show algebra trees + rewritten SQL per query
-  \timing on|off           print wall-clock time per statement
+  \timing on|off           print wall-clock time + phase breakdown per statement
   \trace on|off            per-operator instrumentation + span tree per statement
+  \trace export FILE       write all statement spans as Chrome trace-event JSON
+                           (load in about://tracing or ui.perfetto.dev)
+  \log FILE                log statements as JSON lines to FILE (slow-query log)
+  \log min MS              only log statements at least MS milliseconds slow
+  \log off                 close the statement log
   \metrics                 session metrics (counters, gauges, latency histograms)
   \strategy join|lateral|heuristic|cost
                            aggregation rewrite strategy (paper 2.2)
@@ -94,7 +109,10 @@ let help_text =
   \save FILE               dump all tables and views as a SQL script
   \load FILE               execute a SQL script (e.g. a \save dump)
   \help                    this text
-Anything else is executed as an SQL-PLE statement (end with ;).|}
+Anything else is executed as an SQL-PLE statement (end with ;).
+Telemetry is also queryable as relations: perm_stat_statements,
+perm_stat_relations, perm_metrics (try SELECT * FROM perm_stat_statements
+ORDER BY total_ms DESC;).|}
 
 let handle_meta session line =
   match String.split_on_char ' ' (String.trim line) with
@@ -114,6 +132,12 @@ let handle_meta session line =
         Printf.printf "view  %-20s AS %s\n" v.Perm_catalog.Catalog.view_name
           v.Perm_catalog.Catalog.view_sql)
       (Perm_catalog.Catalog.views cat);
+    List.iter
+      (fun (v : Perm_catalog.Catalog.virtual_def) ->
+        Printf.printf "sys   %-20s %s\n" v.Perm_catalog.Catalog.virtual_name
+          (Format.asprintf "%a" Perm_catalog.Schema.pp
+             v.Perm_catalog.Catalog.virtual_schema))
+      (Perm_catalog.Catalog.virtuals cat);
     `Continue
   | [ "\\panes"; v ] ->
     session.show_panes <- (v = "on");
@@ -121,14 +145,47 @@ let handle_meta session line =
   | [ "\\timing"; v ] ->
     session.timing <- (v = "on");
     `Continue
+  | [ "\\trace"; "export"; path ] ->
+    (match Engine.trace_log session.engine with
+    | [] -> print_endline "no statement traces recorded yet"
+    | roots -> (
+      let json = Trace.to_chrome_json roots in
+      try
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc (Perm_obs.Json.to_string json));
+        Printf.printf "wrote %d statement trace%s to %s\n" (List.length roots)
+          (if List.length roots = 1 then "" else "s")
+          path
+      with Sys_error msg -> Printf.printf "ERROR: %s\n" msg));
+    `Continue
   | [ "\\trace"; v ] ->
     session.trace <- (v = "on");
     (* tracing the span tree alone is cheap; the interesting part is the
        per-operator row/time stats, so couple the two *)
     Engine.set_instrumentation session.engine (v = "on");
     `Continue
+  | [ "\\log"; "min"; ms ] ->
+    (match float_of_string_opt ms with
+    | Some v ->
+      Perm_obs.Eventlog.set_min_ms (Engine.event_log session.engine) v;
+      Printf.printf "logging statements taking at least %g ms\n" v
+    | None -> print_endline "usage: \\log min MS");
+    `Continue
+  | [ "\\log"; "off" ] ->
+    Perm_obs.Eventlog.close (Engine.event_log session.engine);
+    print_endline "statement log closed";
+    `Continue
+  | [ "\\log"; path ] ->
+    (try
+       Perm_obs.Eventlog.open_file (Engine.event_log session.engine) path;
+       Printf.printf "logging statements to %s (min %g ms)\n" path
+         (Perm_obs.Eventlog.min_ms (Engine.event_log session.engine))
+     with Sys_error msg -> Printf.printf "ERROR: %s\n" msg);
+    `Continue
   | [ "\\metrics" ] ->
-    print_string (Metrics.dump_text (Engine.metrics session.engine));
+    let m = Engine.metrics session.engine in
+    Metrics.set_gc_gauges m;
+    print_string (Metrics.dump_text m);
     `Continue
   | [ "\\strategy"; v ] ->
     (match v with

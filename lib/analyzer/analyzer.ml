@@ -362,7 +362,25 @@ and translate_from_item ctx outer (item : Ast.from_item) : Plan.t * rv list =
           in
           ( plan,
             [ { rv_name = String.lowercase_ascii rv_name; rv_cols = cols } ] )
-        | None -> errf "relation %S does not exist" name))
+        | None -> (
+          (* Virtual system relations (perm_stat_statements, perm_metrics,
+             ...) analyze exactly like base tables: a Scan whose rows the
+             engine's provider materializes at execution time. *)
+          match Catalog.find_virtual ctx.catalog name with
+          | Some vdef ->
+            let plan, attrs =
+              scan_of_table vdef.Catalog.virtual_name vdef.Catalog.virtual_schema
+            in
+            let rv_name = Option.value item.alias ~default:name in
+            ( plan,
+              [
+                {
+                  rv_name = String.lowercase_ascii rv_name;
+                  rv_cols =
+                    List.map (fun (a : Attr.t) -> (a.Attr.name, a)) attrs;
+                };
+              ] )
+          | None -> errf "relation %S does not exist" name)))
     | Ast.From_subquery q ->
       let plan = translate_query ctx None q in
       let rv_name = Option.value item.alias ~default:"subquery" in

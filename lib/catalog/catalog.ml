@@ -12,10 +12,13 @@ type index_def = {
   index_column : string;
 }
 
+type virtual_def = { virtual_name : string; virtual_schema : Schema.t }
+
 type t = {
   table_defs : (string, table_def) Hashtbl.t;
   view_defs : (string, view_def) Hashtbl.t;
   index_defs : (string, index_def) Hashtbl.t;
+  virtual_defs : (string, virtual_def) Hashtbl.t;
 }
 
 let create () =
@@ -23,6 +26,7 @@ let create () =
     table_defs = Hashtbl.create 16;
     view_defs = Hashtbl.create 16;
     index_defs = Hashtbl.create 16;
+    virtual_defs = Hashtbl.create 8;
   }
 
 let copy t =
@@ -30,12 +34,15 @@ let copy t =
     table_defs = Hashtbl.copy t.table_defs;
     view_defs = Hashtbl.copy t.view_defs;
     index_defs = Hashtbl.copy t.index_defs;
+    virtual_defs = Hashtbl.copy t.virtual_defs;
   }
 let norm = String.lowercase_ascii
 
 let mem t name =
   let name = norm name in
-  Hashtbl.mem t.table_defs name || Hashtbl.mem t.view_defs name
+  Hashtbl.mem t.table_defs name
+  || Hashtbl.mem t.view_defs name
+  || Hashtbl.mem t.virtual_defs name
 
 let add_table t name schema =
   let name = norm name in
@@ -55,12 +62,26 @@ let add_view t name ~sql schema =
     Ok def
   end
 
+(* Virtual relations are engine-registered (system views over telemetry):
+   they exist from [create] onward and are never user-droppable, so the
+   only failure mode is a name collision at registration time. *)
+let add_virtual t name schema =
+  let name = norm name in
+  if mem t name then Error (Printf.sprintf "relation %S already exists" name)
+  else begin
+    let def = { virtual_name = name; virtual_schema = schema } in
+    Hashtbl.replace t.virtual_defs name def;
+    Ok def
+  end
+
 let drop_table t name =
   let name = norm name in
   if Hashtbl.mem t.table_defs name then begin
     Hashtbl.remove t.table_defs name;
     Ok ()
   end
+  else if Hashtbl.mem t.virtual_defs name then
+    Error (Printf.sprintf "%S is a virtual system relation and cannot be dropped" name)
   else Error (Printf.sprintf "table %S does not exist" name)
 
 let drop_view t name =
@@ -73,6 +94,7 @@ let drop_view t name =
 
 let find_table t name = Hashtbl.find_opt t.table_defs (norm name)
 let find_view t name = Hashtbl.find_opt t.view_defs (norm name)
+let find_virtual t name = Hashtbl.find_opt t.virtual_defs (norm name)
 
 let sorted_values tbl extract =
   Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
@@ -80,6 +102,7 @@ let sorted_values tbl extract =
 
 let tables t = sorted_values t.table_defs (fun d -> d.table_name)
 let views t = sorted_values t.view_defs (fun d -> d.view_name)
+let virtuals t = sorted_values t.virtual_defs (fun d -> d.virtual_name)
 
 let add_index t ~name ~table ~column =
   let name = norm name and table = norm table and column = norm column in

@@ -20,6 +20,11 @@ type index_def = {
   index_column : string;
 }
 
+type virtual_def = { virtual_name : string; virtual_schema : Schema.t }
+(** A virtual system relation: schema lives in the catalog, rows come from
+    an engine-owned provider at scan time ([perm_stat_statements],
+    [perm_metrics], ...). Not droppable, not a DML target. *)
+
 type t
 
 val create : unit -> t
@@ -30,17 +35,27 @@ val add_table : t -> string -> Schema.t -> (table_def, string) result
 (** Fails if a table or view with that (case-insensitive) name exists. *)
 
 val add_view : t -> string -> sql:string -> Schema.t -> (view_def, string) result
+
+val add_virtual : t -> string -> Schema.t -> (virtual_def, string) result
+(** Register a virtual system relation; fails on any name collision. *)
+
 val drop_table : t -> string -> (unit, string) result
+(** Fails with a dedicated message when the name is a virtual relation. *)
+
 val drop_view : t -> string -> (unit, string) result
 val find_table : t -> string -> table_def option
 val find_view : t -> string -> view_def option
+val find_virtual : t -> string -> virtual_def option
 val mem : t -> string -> bool
-(** True if the name is a table or a view. *)
+(** True if the name is a table, a view, or a virtual relation. *)
 
 val tables : t -> table_def list
 (** Sorted by name. *)
 
 val views : t -> view_def list
+
+val virtuals : t -> virtual_def list
+(** Sorted by name. *)
 
 (** {1 Indexes} *)
 

@@ -18,6 +18,10 @@ module Value = Perm_value.Value
 module Dtype = Perm_value.Dtype
 module Metrics = Perm_obs.Metrics
 module Trace = Perm_obs.Trace
+module Stats = Perm_obs.Stats
+module Eventlog = Perm_obs.Eventlog
+module Json = Perm_obs.Json
+module Fingerprint = Perm_sql.Fingerprint
 
 type agg_strategy_setting = Use_join | Use_lateral | Use_heuristic | Use_cost_based
 
@@ -25,6 +29,15 @@ type snapshot = {
   snap_cat : Catalog.t;
   snap_store : Store.t;
   snap_prov : (string, string list) Hashtbl.t;
+}
+
+(* A virtual system relation's row source: the catalog holds the schema,
+   the engine holds the closure that materializes rows at scan time. The
+   estimate backs the planner's cardinality statistics without paying for
+   materialization during optimization. *)
+type virtual_provider = {
+  vp_rows : unit -> Tuple.t list;
+  vp_estimate : unit -> int;
 }
 
 type t = {
@@ -39,22 +52,165 @@ type t = {
   mutable instrument : bool;  (* per-operator executor stats (costly) *)
   mutable current_span : Trace.span option;  (* root of the running statement *)
   mutable last_trace : Trace.span option;
+  stats_acc : Stats.t;  (* perm_stat_statements / perm_stat_relations *)
+  virtuals : (string, virtual_provider) Hashtbl.t;
+  mutable trace_log : Trace.span list;  (* finished roots, reverse order *)
+  event_log : Eventlog.t;
+  mutable stmt_rules : (string * int) list;
+      (* rewrite-rule firings of the statement currently running, so the
+         stats accumulator attributes rules to the right fingerprint *)
 }
 
+(* ------------------------------------------------------------------ *)
+(* Virtual system relations                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fnum f = Value.Float f
+let fnum_opt f = if Float.is_nan f then Value.Null else Value.Float f
+
+let statement_row (st : Stats.statement_stat) =
+  [|
+    Value.Text st.Stats.st_fingerprint;
+    Value.Text st.Stats.st_query;
+    Value.Int st.Stats.st_calls;
+    Value.Int st.Stats.st_errors;
+    Value.Int st.Stats.st_rows;
+    fnum st.Stats.st_total_ms;
+    fnum (Stats.mean_ms st);
+    fnum st.Stats.st_max_ms;
+    fnum (Stats.phase_ms st "analyze");
+    fnum (Stats.phase_ms st "rewrite");
+    fnum (Stats.phase_ms st "optimize");
+    fnum (Stats.phase_ms st "execute");
+    Value.Int (Stats.rule_firings st);
+    Value.Text
+      (String.concat ","
+         (List.map
+            (fun (rule, n) -> Printf.sprintf "%s=%d" rule n)
+            (List.sort compare st.Stats.st_rule_counts)));
+    Value.Bool st.Stats.st_provenance;
+  |]
+
+let relation_row (rel : Stats.relation_stat) =
+  [|
+    Value.Text rel.Stats.rel_name;
+    Value.Int rel.Stats.rel_scans;
+    Value.Int rel.Stats.rel_rows;
+  |]
+
+let metric_rows metrics =
+  Metrics.fold metrics
+    (fun acc name m ->
+      let row =
+        match m with
+        | Metrics.Counter { c } ->
+          [|
+            Value.Text name; Value.Text "counter"; fnum (float_of_int c);
+            Value.Null; Value.Null; Value.Null; Value.Null; Value.Null;
+            Value.Null; Value.Null;
+          |]
+        | Metrics.Gauge { g } ->
+          [|
+            Value.Text name; Value.Text "gauge"; fnum g; Value.Null;
+            Value.Null; Value.Null; Value.Null; Value.Null; Value.Null;
+            Value.Null;
+          |]
+        | Metrics.Histogram h ->
+          if h.Metrics.h_count = 0 then
+            [|
+              Value.Text name; Value.Text "histogram"; Value.Null;
+              Value.Int 0; Value.Null; Value.Null; Value.Null; Value.Null;
+              Value.Null; Value.Null;
+            |]
+          else
+            [|
+              Value.Text name; Value.Text "histogram"; Value.Null;
+              Value.Int h.Metrics.h_count; fnum h.Metrics.h_sum;
+              fnum h.Metrics.h_min; fnum h.Metrics.h_max;
+              fnum_opt (Metrics.quantile h 0.50);
+              fnum_opt (Metrics.quantile h 0.95);
+              fnum_opt (Metrics.quantile h 0.99);
+            |]
+      in
+      row :: acc)
+    []
+  |> List.rev
+
+let virtual_schemas =
+  let col = Column.make in
+  [
+    ( "perm_stat_statements",
+      [
+        col "fingerprint" Dtype.Text; col "query" Dtype.Text;
+        col "calls" Dtype.Int; col "errors" Dtype.Int; col "rows" Dtype.Int;
+        col "total_ms" Dtype.Float; col "mean_ms" Dtype.Float;
+        col "max_ms" Dtype.Float; col "analyze_ms" Dtype.Float;
+        col "rewrite_ms" Dtype.Float; col "optimize_ms" Dtype.Float;
+        col "execute_ms" Dtype.Float; col "rule_firings" Dtype.Int;
+        col "rules" Dtype.Text; col "provenance" Dtype.Bool;
+      ] );
+    ( "perm_stat_relations",
+      [ col "relation" Dtype.Text; col "scans" Dtype.Int; col "rows" Dtype.Int ] );
+    ( "perm_metrics",
+      [
+        col "name" Dtype.Text; col "kind" Dtype.Text; col "value" Dtype.Float;
+        col "count" Dtype.Int; col "sum" Dtype.Float; col "min" Dtype.Float;
+        col "max" Dtype.Float; col "p50" Dtype.Float; col "p95" Dtype.Float;
+        col "p99" Dtype.Float;
+      ] );
+  ]
+
+let register_virtuals t =
+  List.iter
+    (fun (name, cols) ->
+      match Catalog.add_virtual t.cat name (Schema.make_exn cols) with
+      | Ok _ -> ()
+      | Error msg -> invalid_arg ("registering virtual relation: " ^ msg))
+    virtual_schemas;
+  let add name provider = Hashtbl.replace t.virtuals name provider in
+  add "perm_stat_statements"
+    {
+      vp_rows = (fun () -> List.map statement_row (Stats.statements t.stats_acc));
+      vp_estimate = (fun () -> List.length (Stats.statements t.stats_acc));
+    };
+  add "perm_stat_relations"
+    {
+      vp_rows = (fun () -> List.map relation_row (Stats.relations t.stats_acc));
+      vp_estimate = (fun () -> List.length (Stats.relations t.stats_acc));
+    };
+  add "perm_metrics"
+    {
+      vp_rows =
+        (fun () ->
+          (* GC gauges refresh lazily, when somebody actually looks *)
+          Metrics.set_gc_gauges t.metrics;
+          metric_rows t.metrics);
+      vp_estimate = (fun () -> List.length (Metrics.names t.metrics));
+    }
+
 let create () =
-  {
-    cat = Catalog.create ();
-    store = Store.create ();
-    prov_tables = Hashtbl.create 8;
-    agg_strategy = Use_heuristic;
-    planner_config = Planner.default_config;
-    report = None;
-    snapshot = None;
-    metrics = Metrics.create ();
-    instrument = false;
-    current_span = None;
-    last_trace = None;
-  }
+  let t =
+    {
+      cat = Catalog.create ();
+      store = Store.create ();
+      prov_tables = Hashtbl.create 8;
+      agg_strategy = Use_heuristic;
+      planner_config = Planner.default_config;
+      report = None;
+      snapshot = None;
+      metrics = Metrics.create ();
+      instrument = false;
+      current_span = None;
+      last_trace = None;
+      stats_acc = Stats.create ();
+      virtuals = Hashtbl.create 8;
+      trace_log = [];
+      event_log = Eventlog.create ();
+      stmt_rules = [];
+    }
+  in
+  register_virtuals t;
+  t
 
 type result_set = { columns : string list; rows : Tuple.t list }
 
@@ -91,7 +247,10 @@ let stats t : Planner.stats =
       (fun name ->
         match Store.find t.store name with
         | Some heap -> Heap.row_count heap
-        | None -> 0);
+        | None -> (
+          match Hashtbl.find_opt t.virtuals (String.lowercase_ascii name) with
+          | Some vp -> vp.vp_estimate ()
+          | None -> 0));
     Planner.table_distinct =
       (fun name col ->
         match Store.find t.store name, Catalog.find_table t.cat name with
@@ -130,7 +289,20 @@ let provider t : Executor.provider =
       raise (Executor.Runtime_error (Printf.sprintf "table %S vanished" table))
   in
   {
-    Executor.scan_table = (fun table -> Heap.scan (heap_of table));
+    Executor.scan_table =
+      (fun table ->
+        match Store.find t.store table with
+        | Some heap -> Heap.scan heap
+        | None -> (
+          (* virtual system relation: materialize from the engine-owned
+             provider at scan time, so the view reflects the accumulator
+             as of this statement *)
+          match Hashtbl.find_opt t.virtuals (String.lowercase_ascii table) with
+          | Some vp -> List.to_seq (vp.vp_rows ())
+          | None ->
+            raise
+              (Executor.Runtime_error
+                 (Printf.sprintf "table %S vanished" table))));
     Executor.probe_index =
       (fun table col key ->
         let heap = heap_of table in
@@ -151,6 +323,12 @@ let metrics t = t.metrics
 let set_instrumentation t on = t.instrument <- on
 let instrumentation t = t.instrument
 let last_trace t = t.last_trace
+let statement_stats t = Stats.statements t.stats_acc
+let relation_stats t = Stats.relations t.stats_acc
+let reset_statement_stats t = Stats.reset t.stats_acc
+let trace_log t = List.rev t.trace_log
+let clear_trace_log t = t.trace_log <- []
+let event_log t = t.event_log
 
 (* Runs [f] as a named phase under the current statement span, so its
    duration shows up in the trace tree and in the per-phase histograms. *)
@@ -171,7 +349,12 @@ let record_rewrite_metrics t (report : Rewriter.report) =
     (fun name -> Metrics.incr t.metrics ("rewriter.strategy." ^ name))
     (strategy_names report);
   List.iter
-    (fun (rule, n) -> Metrics.incr t.metrics ~by:n ("rewriter.rule." ^ rule))
+    (fun (rule, n) ->
+      Metrics.incr t.metrics ~by:n ("rewriter.rule." ^ rule);
+      (* also accumulate per-statement so perm_stat_statements attributes
+         firings to the fingerprint of the statement that triggered them
+         (including rewrites of statements nested under DML helpers) *)
+      t.stmt_rules <- (rule, n) :: t.stmt_rules)
     report.Rewriter.rule_counts
 
 let record_exec_stats t stats =
@@ -181,7 +364,11 @@ let record_exec_stats t stats =
         ("executor.rows." ^ ns.Executor.stat_kind);
       Metrics.incr t.metrics ~by:ns.Executor.stat_invocations
         ("executor.invocations." ^ ns.Executor.stat_kind))
-    (Executor.stats_entries stats)
+    (Executor.stats_entries stats);
+  List.iter
+    (fun (table, (ns : Executor.node_stats)) ->
+      Stats.record_scan t.stats_acc ~relation:table ~rows:ns.Executor.stat_rows)
+    (Executor.scan_stats stats)
 
 (* ------------------------------------------------------------------ *)
 (* Query pipeline: analyze -> rewrite -> optimize -> execute            *)
@@ -329,6 +516,10 @@ let find_heap t name =
   | Some def, Some heap -> Ok (def, heap)
   | None, _ when Catalog.find_view t.cat name <> None ->
     Error (Printf.sprintf "%S is a view; DML targets must be tables" name)
+  | None, _ when Catalog.find_virtual t.cat name <> None ->
+    Error
+      (Printf.sprintf
+         "%S is a virtual system relation; DML targets must be tables" name)
   | _ -> Error (Printf.sprintf "table %S does not exist" name)
 
 let insert_values t name rows =
@@ -686,11 +877,62 @@ let run_statement t sql (st : Ast.statement) =
       t.snapshot <- None;
       Ok (Message "transaction rolled back"))
 
+let statement_uses_provenance (st : Ast.statement) =
+  match st with
+  | Ast.St_query q
+  | Ast.St_explain q
+  | Ast.St_explain_analyze q
+  | Ast.St_create_table_as (_, q)
+  | Ast.St_create_view (_, q)
+  | Ast.St_insert_select (_, q) -> Ast.query_uses_provenance q
+  | Ast.St_store_provenance _ -> true  (* eager provenance by definition *)
+  | _ -> false
+
+let outcome_rows = function
+  | Ok (Rows rs) -> List.length rs.rows
+  | Ok (Affected n) -> n
+  | Ok (Analyzed ea) -> ea.ea_rows
+  | Ok (Message _ | Explained _) | Error _ -> 0
+
+(* One finished top-level statement folds into the statistics accumulator
+   and, past the slow-query threshold, the structured event log. *)
+let record_statement_stats t sql (st : Ast.statement) root result =
+  let ms = Trace.duration_ms root in
+  let phases =
+    List.map
+      (fun sp -> (Trace.name sp, Trace.duration_ms sp))
+      (Trace.children root)
+  in
+  let fingerprint = Fingerprint.of_sql sql in
+  Stats.record_statement t.stats_acc ~fingerprint ~sql ~ms ~phases
+    ~rules:(List.rev t.stmt_rules)
+    ~provenance:(statement_uses_provenance st)
+    ~rows:(outcome_rows result)
+    ~error:(Result.is_error result);
+  if Eventlog.enabled t.event_log && ms >= Eventlog.min_ms t.event_log then
+    Eventlog.log t.event_log
+      (Json.Obj
+         ([
+            ("ts", Json.Float (Trace.start_s root));
+            ("event", Json.String "statement");
+            ("sql", Json.String sql);
+            ("fingerprint", Json.String fingerprint);
+            ("ms", Json.Float ms);
+            ("rows", Json.Int (outcome_rows result));
+            ("provenance", Json.Bool (statement_uses_provenance st));
+            ( "phases",
+              Json.Obj (List.map (fun (n, d) -> (n, Json.Float d)) phases) );
+          ]
+         @ match result with
+           | Error msg -> [ ("error", Json.String msg) ]
+           | Ok _ -> []))
+
 (* Every top-level statement runs under a root span; pipeline phases attach
-   to it via [phase]. The finished trace feeds [last_trace], the per-phase
-   latency histograms and the statement/error counters. Nested statement
-   executions (none today — DML helpers re-enter through [run_query]) would
-   attach as children instead of clobbering the root. *)
+   to it via [phase]. The finished trace feeds [last_trace], the trace log,
+   the statement-statistics accumulator, the per-phase latency histograms
+   and the statement/error counters. Nested statement executions (DML
+   helpers re-entering through [run_query]) attach as children instead of
+   clobbering the root, and fold into the enclosing statement's stats. *)
 let execute_statement t sql (st : Ast.statement) =
   let saved = t.current_span in
   let root =
@@ -698,6 +940,7 @@ let execute_statement t sql (st : Ast.statement) =
   in
   Trace.annotate root "sql" sql;
   t.current_span <- Some root;
+  if saved = None then t.stmt_rules <- [];
   let result =
     try run_statement t sql st
     with e ->
@@ -707,7 +950,11 @@ let execute_statement t sql (st : Ast.statement) =
   in
   Trace.finish root;
   t.current_span <- saved;
-  if saved = None then t.last_trace <- Some root;
+  if saved = None then begin
+    t.last_trace <- Some root;
+    t.trace_log <- root :: t.trace_log;
+    record_statement_stats t sql st root result
+  end;
   Metrics.incr t.metrics "engine.statements";
   (match result with
   | Error _ -> Metrics.incr t.metrics "engine.errors"

@@ -109,6 +109,45 @@ val last_trace : t -> Perm_obs.Trace.span option
 (** Span tree of the most recent top-level statement: a [statement] root
     (with the SQL text as an attribute) and one child per pipeline phase. *)
 
+(** {2 Statement statistics and system views}
+
+    Every session aggregates finished top-level statements by fingerprint
+    (lexer-normalized SQL, {!Perm_sql.Fingerprint}) into a
+    {!Perm_obs.Stats} accumulator, and registers three {e virtual system
+    relations} queryable through the ordinary pipeline — joinable,
+    filterable, orderable like any table:
+
+    - [perm_stat_statements] — per-fingerprint calls, errors, rows,
+      total/mean/max and per-phase milliseconds, rewrite-rule firings and
+      the provenance flag;
+    - [perm_stat_relations] — per-base-relation scan and row counters
+      (populated when instrumentation is on or under [EXPLAIN ANALYZE]);
+    - [perm_metrics] — the live metrics registry as rows (GC gauges are
+      refreshed at scan time).
+
+    Virtual relations are engine-owned: not droppable, not DML targets,
+    and invisible to {!dump_sql}. *)
+
+val statement_stats : t -> Perm_obs.Stats.statement_stat list
+(** Sorted by total time descending (the rows behind
+    [perm_stat_statements]). *)
+
+val relation_stats : t -> Perm_obs.Stats.relation_stat list
+val reset_statement_stats : t -> unit
+
+(** {2 Trace log and exporters} *)
+
+val trace_log : t -> Perm_obs.Trace.span list
+(** Finished root spans of all top-level statements this session, oldest
+    first — the input to {!Perm_obs.Trace.to_chrome_json}. *)
+
+val clear_trace_log : t -> unit
+
+val event_log : t -> Perm_obs.Eventlog.t
+(** The session's JSON-lines event log. Open a sink file and set the
+    slow-query threshold through {!Perm_obs.Eventlog}; the engine writes
+    one line per top-level statement at least as slow as the threshold. *)
+
 (** {1 Rewrite-strategy and optimizer control (the demo's "activate or
     deactivate rewrite strategies", §3)} *)
 

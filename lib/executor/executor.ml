@@ -682,6 +682,18 @@ let lookup stats node =
 
 let stats_entries stats = List.rev_map snd stats.entries
 
+(* Per-base-relation view of the recorded stats: the leaf scans, labelled
+   with the table they read. Feeds the perm_stat_relations system view. *)
+let scan_stats stats =
+  List.rev
+    (List.filter_map
+       (fun (p, ns) ->
+         match p with
+         | Plan.Scan { table; _ } | Plan.Index_scan { table; _ } ->
+           Some (table, ns)
+         | _ -> None)
+       stats.entries)
+
 let now_s () = Perm_obs.Trace.now ()
 
 let instrumenting_wrap stats : wrapper =

@@ -64,6 +64,11 @@ val lookup : exec_stats -> Perm_algebra.Plan.t -> node_stats option
 val stats_entries : exec_stats -> node_stats list
 (** All recorded operators, in compile order. *)
 
+val scan_stats : exec_stats -> (string * node_stats) list
+(** The leaf scans ([Scan]/[Index_scan]) with the table each one read, in
+    compile order — the per-base-relation counters behind
+    [perm_stat_relations]. *)
+
 val eval_const : Perm_algebra.Expr.t -> (Perm_value.Value.t, string) result
 (** Evaluates a closed expression (no attribute references) — INSERT rows,
     DEFAULT-style constants. *)

@@ -1,0 +1,36 @@
+(* JSON-lines structured event log with a slow-query threshold — the
+   log_min_duration_statement analog. Disabled until a sink file is
+   opened; each event is one compact JSON object per line, flushed
+   immediately so the log is tail-able while a session runs. *)
+
+type t = {
+  mutable sink : (string * out_channel) option;  (* path, channel *)
+  mutable min_ms : float;  (* only events at least this slow are logged *)
+}
+
+let create () = { sink = None; min_ms = 0. }
+
+let close t =
+  match t.sink with
+  | None -> ()
+  | Some (_, oc) ->
+    close_out oc;
+    t.sink <- None
+
+let open_file t path =
+  close t;
+  let oc = open_out path in
+  t.sink <- Some (path, oc)
+
+let set_min_ms t ms = t.min_ms <- Float.max 0. ms
+let min_ms t = t.min_ms
+let enabled t = Option.is_some t.sink
+let path t = Option.map fst t.sink
+
+let log t json =
+  match t.sink with
+  | None -> ()
+  | Some (_, oc) ->
+    output_string oc (Json.to_string json);
+    output_char oc '\n';
+    flush oc

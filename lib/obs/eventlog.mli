@@ -1,0 +1,29 @@
+(** JSON-lines structured event log with a slow-query threshold — the
+    [log_min_duration_statement] analog.
+
+    The log is disabled until a sink file is opened; each event is one
+    compact JSON object per line, flushed immediately so the file can be
+    tailed while a session runs. The threshold check ([min_ms]) is the
+    caller's responsibility — the engine compares a statement's duration
+    against it before calling {!log}. *)
+
+type t
+
+val create : unit -> t
+(** A disabled log: no sink, threshold 0 ms. *)
+
+val open_file : t -> string -> unit
+(** Open (truncate) [path] as the sink, closing any previous sink. *)
+
+val close : t -> unit
+(** Close the sink and disable the log. Idempotent. *)
+
+val set_min_ms : t -> float -> unit
+(** Set the slow-query threshold (clamped at 0). *)
+
+val min_ms : t -> float
+val enabled : t -> bool
+val path : t -> string option
+
+val log : t -> Json.t -> unit
+(** Write one event as a single line; no-op while disabled. *)

@@ -16,3 +16,20 @@ val to_string : t -> string
 
 val to_pretty_string : t -> string
 (** Indented rendering (one entry per line), newline-terminated. *)
+
+val parse : string -> (t, string) result
+(** Strict single-document JSON parser (objects, lists, strings with
+    escapes, numbers, booleans, null) — enough to read back the documents
+    this module writes, e.g. a committed [BENCH_phases.json] baseline for
+    [bench --compare]. Numbers without a fractional part parse as [Int]. *)
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** [member key (Obj ...)] — [None] on missing key or non-object. *)
+
+val to_float_opt : t -> float option
+(** [Float] or [Int] (widened); [None] otherwise. *)
+
+val to_list_opt : t -> t list option
+val to_string_opt : t -> string option

@@ -121,6 +121,19 @@ let quantile h q =
     Float.min !result h.h_max
   end
 
+(* OCaml runtime health, refreshed on demand (metrics dumps, the
+   [perm_metrics] system view, bench JSON) rather than per statement: the
+   [Gc.quick_stat] call is cheap but not free, and gauges only need to be
+   current when somebody looks. *)
+let set_gc_gauges t =
+  let s = Gc.quick_stat () in
+  set_gauge t "gc.minor_collections" (float_of_int s.Gc.minor_collections);
+  set_gauge t "gc.major_collections" (float_of_int s.Gc.major_collections);
+  set_gauge t "gc.compactions" (float_of_int s.Gc.compactions);
+  set_gauge t "gc.heap_words" (float_of_int s.Gc.heap_words);
+  set_gauge t "gc.top_heap_words" (float_of_int s.Gc.top_heap_words);
+  set_gauge t "gc.minor_words" s.Gc.minor_words
+
 let names t =
   List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl [])
 
@@ -150,9 +163,9 @@ let dump_text t =
           Buffer.add_string buf
             (Printf.sprintf
                "histogram  %-44s count=%d sum=%.3f min=%.3f max=%.3f \
-                p50<=%.3f p95<=%.3f\n"
+                p50<=%.3f p95<=%.3f p99<=%.3f\n"
                name h.h_count h.h_sum h.h_min h.h_max (quantile h 0.50)
-               (quantile h 0.95)))
+               (quantile h 0.95) (quantile h 0.99)))
     (names t);
   Buffer.contents buf
 
@@ -172,12 +185,16 @@ let histogram_to_json h =
                 [ Json.Obj [ ("le", le); ("count", Json.Int n) ] ])
             h.buckets))
   in
+  let q p = Json.Float (if h.h_count = 0 then 0. else quantile h p) in
   Json.Obj
     [
       ("count", Json.Int h.h_count);
       ("sum", Json.Float h.h_sum);
       ("min", Json.Float (if h.h_count = 0 then 0. else h.h_min));
       ("max", Json.Float (if h.h_count = 0 then 0. else h.h_max));
+      ("p50", q 0.50);
+      ("p95", q 0.95);
+      ("p99", q 0.99);
       ("buckets", Json.List buckets);
     ]
 

@@ -53,6 +53,13 @@ val fold : t -> ('a -> string -> metric -> 'a) -> 'a -> 'a
 
 val default_bounds : float array
 
+val set_gc_gauges : t -> unit
+(** Refresh the OCaml runtime gauges ([gc.minor_collections],
+    [gc.major_collections], [gc.compactions], [gc.heap_words],
+    [gc.top_heap_words], [gc.minor_words]) from [Gc.quick_stat]. Called at
+    dump time (metrics dumps, the [perm_metrics] system view, bench JSON)
+    rather than per statement. *)
+
 val dump_text : t -> string
 (** One line per metric, sorted by name. *)
 

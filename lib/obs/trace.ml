@@ -27,6 +27,7 @@ let timed parent name f =
   Fun.protect ~finally:(fun () -> finish sp) f
 
 let duration_ms sp = (if sp.sp_dur < 0. then now () -. sp.sp_start else sp.sp_dur) *. 1000.
+let start_s sp = sp.sp_start
 
 let children sp = List.rev sp.sp_children
 let attrs sp = List.rev sp.sp_attrs
@@ -76,3 +77,43 @@ let rec to_json sp =
     match children sp with
     | [] -> []
     | cs -> [ ("children", Json.List (List.map to_json cs)) ])
+
+(* Chrome trace-event format (the about://tracing / Perfetto JSON array
+   flavor): one "X" (complete) event per span, timestamps in microseconds
+   relative to the earliest root so the viewer opens near t=0. All spans
+   share one pid/tid — the engine is single-threaded, and a shared track
+   is what makes the per-phase nesting visible as stacked slices. *)
+let to_chrome_json roots =
+  let epoch =
+    List.fold_left
+      (fun acc sp -> Float.min acc sp.sp_start)
+      Float.infinity roots
+  in
+  let epoch = if Float.is_finite epoch then epoch else 0. in
+  let events = ref [] in
+  let emit sp =
+    let args =
+      match attrs sp with
+      | [] -> []
+      | a ->
+        [ ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) a)) ]
+    in
+    events :=
+      Json.Obj
+        ([
+           ("name", Json.String sp.sp_name);
+           ("ph", Json.String "X");
+           ("ts", Json.Float ((sp.sp_start -. epoch) *. 1e6));
+           ("dur", Json.Float (duration_ms sp *. 1e3));
+           ("pid", Json.Int 1);
+           ("tid", Json.Int 1);
+         ]
+        @ args)
+      :: !events
+  in
+  List.iter (iter emit) roots;
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.rev !events));
+      ("displayTimeUnit", Json.String "ms");
+    ]

@@ -50,3 +50,12 @@ val to_string : span -> string
 (** Indented tree with per-span milliseconds and percent of the root. *)
 
 val to_json : span -> Json.t
+
+val start_s : span -> float
+(** Absolute start time in seconds ([Unix.gettimeofday] domain). *)
+
+val to_chrome_json : span list -> Json.t
+(** Render finished root spans in Chrome trace-event format (an object
+    with a ["traceEvents"] array of "X" complete events, timestamps in
+    microseconds relative to the earliest root) — loadable in
+    about://tracing or Perfetto. *)

@@ -1,0 +1,40 @@
+(* Statement fingerprints for statistics aggregation: two statements that
+   differ only in literal values, parameter markers, whitespace or keyword
+   casing should land in the same perm_stat_statements bucket, while any
+   structural difference keeps them apart.
+
+   The normalization is lexer-based, not parser-based: it works on any
+   statement the lexer accepts (including ones the parser later rejects),
+   so failed statements are still attributable to a fingerprint. *)
+
+let normalize_token tok =
+  match tok with
+  | Token.Int_lit _ | Token.Float_lit _ | Token.String_lit _ | Token.Param _ ->
+    "?"
+  | Token.Ident s -> String.lowercase_ascii s
+  (* quoted identifiers are case-sensitive names, not literals: keep them *)
+  | Token.Quoted_ident s -> "\"" ^ s ^ "\""
+  | t -> Token.to_string t
+
+(* Lexing failed (unterminated string, stray character, ...): fall back to
+   lowercased, whitespace-collapsed raw text so even unlexable statements
+   get a stable bucket. *)
+let fallback sql =
+  String.lowercase_ascii sql
+  |> String.split_on_char '\n'
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.concat_map (String.split_on_char '\r')
+  |> List.concat_map (String.split_on_char ' ')
+  |> List.filter (fun s -> s <> "")
+  |> String.concat " "
+
+let of_sql sql =
+  match Lexer.tokenize sql with
+  | Error _ -> fallback sql
+  | Ok tokens ->
+    tokens
+    |> List.filter_map (fun { Token.token; _ } ->
+           match token with
+           | Token.Eof | Token.Semicolon -> None
+           | t -> Some (normalize_token t))
+    |> String.concat " "

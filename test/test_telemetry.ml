@@ -1,0 +1,427 @@
+(* Queryable telemetry: statement fingerprints, the perm_stat_statements /
+   perm_stat_relations / perm_metrics system views through the ordinary
+   query pipeline, Chrome trace export (with nesting invariants), the
+   JSON-lines event log, and the JSON parser behind bench --compare. *)
+
+module Engine = Perm_engine.Engine
+module Fingerprint = Perm_sql.Fingerprint
+module Metrics = Perm_obs.Metrics
+module Trace = Perm_obs.Trace
+module Json = Perm_obs.Json
+module Stats = Perm_obs.Stats
+module Eventlog = Perm_obs.Eventlog
+open Perm_testkit.Kit
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprint normalization                                           *)
+(* ------------------------------------------------------------------ *)
+
+let fingerprint_tests =
+  [
+    case "literals, params, whitespace and casing collapse" (fun () ->
+        let fp = Fingerprint.of_sql in
+        let canonical = fp "SELECT text FROM messages WHERE mid = 42" in
+        List.iter
+          (fun sql ->
+            Alcotest.(check string) sql canonical (fp sql))
+          [
+            "SELECT text FROM messages WHERE mid = 17";
+            "select TEXT from MESSAGES where MID = 3";
+            "SELECT   text\n  FROM messages\tWHERE mid =\n 1000";
+            "SELECT text FROM messages WHERE mid = $1";
+            "SELECT text FROM messages WHERE mid = 42;";
+          ];
+        Alcotest.(check string) "string literals too"
+          (fp "SELECT * FROM t WHERE name = 'alice'")
+          (fp "SELECT * FROM t WHERE name = 'bob'");
+        Alcotest.(check string) "float literals too"
+          (fp "SELECT * FROM t WHERE x > 1.5")
+          (fp "SELECT * FROM t WHERE x > 2.25"));
+    case "distinct shapes keep distinct fingerprints" (fun () ->
+        let fp = Fingerprint.of_sql in
+        let a = fp "SELECT text FROM messages WHERE mid = 1" in
+        Alcotest.(check bool) "different column" false
+          (a = fp "SELECT mid FROM messages WHERE mid = 1");
+        Alcotest.(check bool) "different table" false
+          (a = fp "SELECT text FROM imports WHERE mid = 1");
+        Alcotest.(check bool) "different predicate" false
+          (a = fp "SELECT text FROM messages WHERE mid > 1");
+        Alcotest.(check bool) "provenance is structural" false
+          (a = fp "SELECT PROVENANCE text FROM messages WHERE mid = 1"));
+    case "quoted identifiers keep case; unlexable input stays stable" (fun () ->
+        let fp = Fingerprint.of_sql in
+        Alcotest.(check bool) "quoted idents are case-sensitive names" false
+          (fp "SELECT \"Col\" FROM t" = fp "SELECT \"col\" FROM t");
+        (* unterminated string: lexer fails, fallback is deterministic *)
+        let bad = "SELECT 'oops FROM t" in
+        Alcotest.(check string) "fallback deterministic" (fp bad) (fp bad));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* perm_stat_statements through the ordinary pipeline                  *)
+(* ------------------------------------------------------------------ *)
+
+let stat_statements_tests =
+  [
+    case "literal variants aggregate into one fingerprint row" (fun () ->
+        let e = forum_engine () in
+        ignore (query_ok e "SELECT text FROM messages WHERE mid = 1");
+        ignore (query_ok e "SELECT text FROM messages WHERE mid = 2");
+        ignore (query_ok e "SELECT text FROM messages WHERE mid = 3");
+        check_rows e
+          "SELECT calls FROM perm_stat_statements WHERE fingerprint = \
+           'select text from messages where mid = ?'"
+          [ [ "3" ] ]);
+    case "rows, phases and mean are accumulated" (fun () ->
+        let e = forum_engine () in
+        ignore (query_ok e "SELECT mid FROM messages");
+        ignore (query_ok e "SELECT mid FROM messages");
+        let rs =
+          query_ok e
+            "SELECT calls, rows, total_ms, mean_ms, execute_ms FROM \
+             perm_stat_statements WHERE query = 'SELECT mid FROM messages'"
+        in
+        (match rs.Engine.rows with
+        | [ [| calls; rows; total; mean; execute |] ] ->
+          Alcotest.(check string) "calls" "2" (Perm_value.Value.to_string calls);
+          (* the Figure 1 forum has 2 messages *)
+          Alcotest.(check string) "rows" "4" (Perm_value.Value.to_string rows);
+          let f v =
+            match v with
+            | Perm_value.Value.Float x -> x
+            | _ -> Alcotest.fail "expected float"
+          in
+          Alcotest.(check bool) "total > 0" true (f total > 0.);
+          Alcotest.(check (float 1e-9)) "mean = total/2" (f total /. 2.) (f mean);
+          Alcotest.(check bool) "execute phase recorded" true (f execute > 0.)
+        | _ -> Alcotest.fail "expected exactly one stats row"));
+    case "provenance flag and rewrite-rule firings" (fun () ->
+        let e = forum_engine () in
+        ignore (query_ok e "SELECT PROVENANCE text FROM messages");
+        let rs =
+          query_ok e
+            "SELECT provenance, rule_firings, rules FROM perm_stat_statements \
+             WHERE query = 'SELECT PROVENANCE text FROM messages'"
+        in
+        (match rs.Engine.rows with
+        | [ [| prov; firings; rules |] ] ->
+          Alcotest.(check string) "provenance" "true"
+            (Perm_value.Value.to_string prov);
+          (match firings with
+          | Perm_value.Value.Int n -> Alcotest.(check bool) "fired" true (n > 0)
+          | _ -> Alcotest.fail "rule_firings not an int");
+          Alcotest.(check bool) "rule names listed" true
+            (String.length (Perm_value.Value.to_string rules) > 0)
+        | _ -> Alcotest.fail "expected exactly one stats row"));
+    case "errors count under the failing statement's fingerprint" (fun () ->
+        let e = engine () in
+        ignore (Engine.execute e "SELECT nope FROM missing");
+        check_rows e
+          "SELECT calls, errors FROM perm_stat_statements WHERE fingerprint = \
+           'select nope from missing'"
+          [ [ "1"; "1" ] ]);
+    case "the view is filterable, orderable and joinable" (fun () ->
+        let e = forum_engine () in
+        ignore (query_ok e "SELECT mid FROM messages");
+        ignore (query_ok e "SELECT mid FROM messages");
+        ignore (query_ok e "SELECT uid FROM users");
+        (* ORDER BY works like any relation *)
+        let rs =
+          query_ok e
+            "SELECT fingerprint FROM perm_stat_statements WHERE calls > 1 \
+             ORDER BY total_ms DESC"
+        in
+        Alcotest.(check bool) "at least the repeated query" true
+          (List.length rs.Engine.rows >= 1);
+        (* and it joins against ordinary tables *)
+        let rs2 =
+          query_ok e
+            "SELECT s.calls, h.n FROM perm_stat_statements s JOIN (SELECT \
+             count(*) AS n FROM users) h ON 1 = 1 WHERE s.fingerprint = \
+             'select mid from messages'"
+        in
+        Alcotest.(check int) "join row" 1 (List.length rs2.Engine.rows));
+    case "virtual relations reject DML, DROP and name reuse" (fun () ->
+        let e = engine () in
+        let err sql =
+          match Engine.execute e sql with
+          | Ok _ -> Alcotest.failf "expected an error on %S" sql
+          | Error msg -> msg
+        in
+        Alcotest.(check bool) "INSERT refused" true
+          (contains (err "INSERT INTO perm_metrics VALUES (1)") "virtual");
+        Alcotest.(check bool) "DELETE refused" true
+          (contains (err "DELETE FROM perm_stat_statements") "virtual");
+        Alcotest.(check bool) "DROP refused" true
+          (contains (err "DROP TABLE perm_stat_relations") "virtual");
+        Alcotest.(check bool) "CREATE TABLE name collision" true
+          (contains (err "CREATE TABLE perm_metrics (a int)") "exists"));
+    case "reset_statement_stats empties the view" (fun () ->
+        let e = engine () in
+        ignore (Engine.execute e "CREATE TABLE t (a int)");
+        Engine.reset_statement_stats e;
+        check_count e "SELECT * FROM perm_stat_statements" 0);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* perm_stat_relations and perm_metrics                                *)
+(* ------------------------------------------------------------------ *)
+
+let other_views_tests =
+  [
+    case "perm_stat_relations counts scans under instrumentation" (fun () ->
+        let e = forum_engine () in
+        Engine.set_instrumentation e true;
+        ignore (query_ok e "SELECT mid FROM messages");
+        ignore (query_ok e "SELECT mid FROM messages");
+        check_rows e
+          "SELECT relation, scans, rows FROM perm_stat_relations WHERE \
+           relation = 'messages'"
+          [ [ "messages"; "2"; "4" ] ]);
+    case "perm_metrics exposes counters and gc gauges as rows" (fun () ->
+        let e = engine () in
+        ignore (Engine.execute e "CREATE TABLE t (a int)");
+        let rs =
+          query_ok e
+            "SELECT value FROM perm_metrics WHERE name = 'engine.statements' \
+             AND kind = 'counter'"
+        in
+        (match rs.Engine.rows with
+        | [ [| Perm_value.Value.Float v |] ] ->
+          Alcotest.(check bool) "at least one statement" true (v >= 1.)
+        | _ -> Alcotest.fail "counter row missing");
+        (* GC gauges are registered at scan time *)
+        check_count e
+          "SELECT * FROM perm_metrics WHERE name = 'gc.minor_collections'" 1;
+        (* histogram rows carry quantile estimates *)
+        let rs2 =
+          query_ok e
+            "SELECT p50, p95, p99 FROM perm_metrics WHERE name = \
+             'engine.statement.ms'"
+        in
+        Alcotest.(check int) "histogram row" 1 (List.length rs2.Engine.rows));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Trace export: Chrome trace events and nesting invariants            *)
+(* ------------------------------------------------------------------ *)
+
+let span_field obj key =
+  match Option.bind (Json.member key obj) Json.to_float_opt with
+  | Some f -> f
+  | None -> Alcotest.failf "event lacks numeric %S" key
+
+let trace_export_tests =
+  [
+    case "chrome export round-trips and phases nest inside statements"
+      (fun () ->
+        let e = forum_engine () in
+        ignore (query_ok e "SELECT text FROM messages WHERE mid = 1");
+        let roots = Engine.trace_log e in
+        Alcotest.(check bool) "forum load + query traced" true
+          (List.length roots > 1);
+        let text = Json.to_string (Trace.to_chrome_json roots) in
+        let doc =
+          match Json.parse text with
+          | Ok doc -> doc
+          | Error msg -> Alcotest.failf "export does not parse: %s" msg
+        in
+        let events =
+          match Option.bind (Json.member "traceEvents" doc) Json.to_list_opt with
+          | Some evs -> evs
+          | None -> Alcotest.fail "no traceEvents array"
+        in
+        Alcotest.(check bool) "one event per span at least" true
+          (List.length events >= List.length roots);
+        let statements, phases =
+          List.partition
+            (fun ev ->
+              Option.bind (Json.member "name" ev) Json.to_string_opt
+              = Some "statement")
+            events
+        in
+        Alcotest.(check bool) "phase events exist" true (phases <> []);
+        (* nesting invariant: every phase interval lies inside some
+           statement interval *)
+        List.iter
+          (fun ph ->
+            let ts = span_field ph "ts" and dur = span_field ph "dur" in
+            let nested =
+              List.exists
+                (fun st ->
+                  let sts = span_field st "ts" and sdur = span_field st "dur" in
+                  (* tolerance: timestamps quantize to microseconds *)
+                  ts >= sts -. 1. && ts +. dur <= sts +. sdur +. 1.)
+                statements
+            in
+            Alcotest.(check bool) "phase inside a statement" true nested)
+          phases;
+        (* ts are relative to the earliest event, so the minimum is ~0 *)
+        let min_ts =
+          List.fold_left (fun acc ev -> Float.min acc (span_field ev "ts"))
+            Float.infinity events
+        in
+        Alcotest.(check (float 1e-6)) "relative timestamps" 0. min_ts);
+    case "span tree nesting invariants: children within parents, in order"
+      (fun () ->
+        let e = forum_engine () in
+        ignore (query_ok e "SELECT PROVENANCE text FROM messages");
+        let root =
+          match Engine.last_trace e with
+          | Some r -> r
+          | None -> Alcotest.fail "no trace"
+        in
+        let kids = Trace.children root in
+        Alcotest.(check (list string)) "pipeline phases in start order"
+          [ "analyze"; "rewrite"; "optimize"; "execute" ]
+          (List.map Trace.name kids);
+        (* each child starts after its predecessor and inside the root *)
+        let root_start = Trace.start_s root in
+        let root_end = root_start +. (Trace.duration_ms root /. 1000.) in
+        ignore
+          (List.fold_left
+             (fun prev sp ->
+               let s = Trace.start_s sp in
+               Alcotest.(check bool) "starts after predecessor" true (s >= prev);
+               Alcotest.(check bool) "starts inside root" true
+                 (s >= root_start && s <= root_end);
+               Alcotest.(check bool) "ends inside root" true
+                 (s +. (Trace.duration_ms sp /. 1000.) <= root_end +. 1e-6);
+               s)
+             root_start kids));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Event log                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let eventlog_tests =
+  [
+    case "slow-query log writes parseable JSON lines past the threshold"
+      (fun () ->
+        let e = forum_engine () in
+        let path = Filename.temp_file "perm_events" ".jsonl" in
+        Eventlog.open_file (Engine.event_log e) path;
+        Eventlog.set_min_ms (Engine.event_log e) 0.;
+        ignore (query_ok e "SELECT text FROM messages WHERE mid = 1");
+        (* a threshold far above any statement: nothing more is logged *)
+        Eventlog.set_min_ms (Engine.event_log e) 1e9;
+        ignore (query_ok e "SELECT text FROM messages WHERE mid = 2");
+        Eventlog.close (Engine.event_log e);
+        let lines =
+          In_channel.with_open_text path In_channel.input_lines
+          |> List.filter (fun l -> String.trim l <> "")
+        in
+        Sys.remove path;
+        Alcotest.(check int) "exactly one event" 1 (List.length lines);
+        let doc =
+          match Json.parse (List.hd lines) with
+          | Ok doc -> doc
+          | Error msg -> Alcotest.failf "line does not parse: %s" msg
+        in
+        Alcotest.(check (option string)) "sql field"
+          (Some "SELECT text FROM messages WHERE mid = 1")
+          (Option.bind (Json.member "sql" doc) Json.to_string_opt);
+        Alcotest.(check bool) "phases object present" true
+          (Json.member "phases" doc <> None));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* JSON parser (bench --compare reads baselines through this)          *)
+(* ------------------------------------------------------------------ *)
+
+let json_parse_tests =
+  [
+    case "parse round-trips every constructor" (fun () ->
+        let doc =
+          Json.Obj
+            [
+              ("null", Json.Null);
+              ("bool", Json.Bool true);
+              ("int", Json.Int (-42));
+              ("float", Json.Float 1.5);
+              ("string", Json.String "a \"quoted\"\nline");
+              ("list", Json.List [ Json.Int 1; Json.Obj []; Json.List [] ]);
+            ]
+        in
+        match Json.parse (Json.to_string doc) with
+        | Ok parsed ->
+          Alcotest.(check string) "round trip" (Json.to_string doc)
+            (Json.to_string parsed)
+        | Error msg -> Alcotest.failf "no parse: %s" msg);
+    case "pretty output parses too (BENCH_phases.json shape)" (fun () ->
+        let doc =
+          Json.Obj
+            [
+              ("suite", Json.String "perm-bench-smoke");
+              ( "queries",
+                Json.List
+                  [
+                    Json.Obj
+                      [
+                        ("name", Json.String "SPJ");
+                        ("total_ms", Json.Float 1.25);
+                        ( "phases",
+                          Json.Obj [ ("execute", Json.Float 1.1) ] );
+                      ];
+                  ] );
+            ]
+        in
+        match Json.parse (Json.to_pretty_string doc) with
+        | Ok parsed ->
+          let total =
+            Option.bind (Json.member "queries" parsed) Json.to_list_opt
+            |> Option.map List.hd
+            |> Fun.flip Option.bind (Json.member "total_ms")
+            |> Fun.flip Option.bind Json.to_float_opt
+          in
+          Alcotest.(check (option (float 1e-9))) "member chain" (Some 1.25) total
+        | Error msg -> Alcotest.failf "no parse: %s" msg);
+    case "malformed documents are rejected" (fun () ->
+        List.iter
+          (fun text ->
+            match Json.parse text with
+            | Ok _ -> Alcotest.failf "accepted %S" text
+            | Error _ -> ())
+          [ "{"; "[1,"; "\"unterminated"; "{} trailing"; "{1: 2}"; "nulll" ]);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Quantiles in dumps                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let quantile_dump_tests =
+  [
+    case "text and JSON histogram dumps carry p50/p95/p99" (fun () ->
+        let m = Metrics.create () in
+        for i = 1 to 100 do
+          Metrics.observe ~bounds:[| 10.; 50.; 90. |] m "lat" (float_of_int i)
+        done;
+        let text = Metrics.dump_text m in
+        Alcotest.(check bool) "p99 in text" true (contains text "p99<=");
+        let json = Metrics.to_json m in
+        let hist = Option.get (Json.member "lat" json) in
+        let q name =
+          Option.bind (Json.member name hist) Json.to_float_opt |> Option.get
+        in
+        Alcotest.(check (float 1e-9)) "p50 bucket bound" 50. (q "p50");
+        Alcotest.(check (float 1e-9)) "p95 clamped to max" 100. (q "p95");
+        Alcotest.(check bool) "p99 >= p95 - monotone" true (q "p99" >= q "p95"));
+  ]
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ("fingerprint", fingerprint_tests);
+      ("stat_statements", stat_statements_tests);
+      ("system_views", other_views_tests);
+      ("trace_export", trace_export_tests);
+      ("eventlog", eventlog_tests);
+      ("json_parse", json_parse_tests);
+      ("quantiles", quantile_dump_tests);
+    ]
