@@ -365,6 +365,75 @@ let b7 ~scale =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* B7-par: morsel-driven parallel executor speedup sweep.               *)
+(* Serial baseline vs. the domain pool at 1, 2 and 4 workers on the     *)
+(* scale-sweep join/aggregation queries. A 1-domain pool isolates the   *)
+(* framework overhead (morsel slicing + batch machinery, no extra       *)
+(* hardware); speedups > 1 need actual cores.                           *)
+(* ------------------------------------------------------------------ *)
+
+let b7_par_queries =
+  [
+    ("scan+filter", "SELECT mid, text FROM messages WHERE mid % 3 = 0");
+    ( "join probe",
+      "SELECT m.text, u.name FROM messages m, users u WHERE m.uid = u.uid" );
+    ( "aggregate",
+      "SELECT uid, count(*), max(mid) FROM messages GROUP BY uid" );
+    ( "join+prov",
+      "SELECT PROVENANCE m.text, a.uid FROM messages m JOIN approved a ON \
+       m.mid = a.mid" );
+  ]
+
+let b7_par_domains = [ 1; 2; 4 ]
+
+(* [(query, serial_ns, [(domains, ns)])] — shared by the table printer and
+   the BENCH_phases.json section. *)
+let b7_par_measure ~size =
+  let e = Engine.create () in
+  Forum.load_scaled e ~messages:size ~users:(max 10 (size / 20)) ();
+  Gc.compact ();
+  Engine.set_parallel_threshold e 1;
+  let rows =
+    List.map
+      (fun (name, sql) ->
+        Engine.set_parallel e Engine.Par_off;
+        let t_serial = time_query e sql in
+        let par =
+          List.map
+            (fun n ->
+              Engine.set_parallel e (Engine.Par_domains n);
+              (n, time_query e sql))
+            b7_par_domains
+        in
+        Engine.set_parallel e Engine.Par_off;
+        (name, t_serial, par))
+      b7_par_queries
+  in
+  Engine.close e;
+  rows
+
+let b7_par ~size =
+  let measured = b7_par_measure ~size in
+  let rows =
+    List.map
+      (fun (name, t_serial, par) ->
+        name :: fms t_serial
+        :: List.concat_map (fun (_, t) -> [ fms t; ffac (t_serial /. t) ]) par)
+      measured
+  in
+  print_table
+    (Printf.sprintf
+       "B7-par: morsel-driven parallel speedup (forum %d messages, %d \
+        hardware cores)"
+       size
+       (Domain.recommended_domain_count ()))
+    ([ "query"; "serial ms" ]
+    @ List.concat_map
+        (fun n -> [ Printf.sprintf "%dd ms" n; Printf.sprintf "%dd speedup" n ])
+        b7_par_domains)
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* B8: hash-index ablation — provenance queries benefit from standard   *)
 (* relational access paths (paper 1: "storage techniques developed for  *)
 (* relational databases")                                               *)
@@ -419,6 +488,18 @@ type smoke_entry = {
   sm_phases : (string * float) list;
 }
 
+(* Parallel-mode smoke entries: the instrumented path is serial by design,
+   so these run with instrumentation off, the threshold lowered to reach
+   the 1000-row smoke relations, and a 2-domain pool. The PAR prefix keeps
+   them apart in the regression baseline. *)
+let smoke_parallel_queries =
+  [
+    ("PAR scan", "SELECT mid, text FROM messages WHERE mid % 3 = 0");
+    ( "PAR join",
+      "SELECT m.text, u.name FROM messages m, users u WHERE m.uid = u.uid" );
+    ("PAR agg", "SELECT uid, count(*), max(mid) FROM messages GROUP BY uid");
+  ]
+
 let run_smoke () =
   let e = Engine.create () in
   Forum.load_scaled e ~messages:1_000 ~users:50 ();
@@ -429,47 +510,88 @@ let run_smoke () =
       query_classes
   in
   print_endline "\n## smoke: engine phase breakdown per query (1000 messages)\n";
-  let entries =
-    List.map
-      (fun (name, sql) ->
-        (match Engine.execute e sql with
-        | Ok _ -> ()
-        | Error msg ->
-          failwith (Printf.sprintf "smoke query %S failed: %s" name msg));
-        let root =
-          match Engine.last_trace e with
-          | Some r -> r
-          | None -> failwith "engine recorded no trace"
-        in
-        let phases =
-          List.map
-            (fun sp -> (Trace.name sp, Trace.duration_ms sp))
-            (Trace.children root)
-        in
-        Printf.printf "  %-16s %9.3f ms  (%s)\n" name (Trace.duration_ms root)
-          (String.concat ", "
-             (List.map (fun (n, d) -> Printf.sprintf "%s %.3f" n d) phases));
-        {
-          sm_name = name;
-          sm_sql = sql;
-          sm_total_ms = Trace.duration_ms root;
-          sm_phases = phases;
-        })
-      queries
+  let entry (name, sql) =
+    (match Engine.execute e sql with
+    | Ok _ -> ()
+    | Error msg ->
+      failwith (Printf.sprintf "smoke query %S failed: %s" name msg));
+    let root =
+      match Engine.last_trace e with
+      | Some r -> r
+      | None -> failwith "engine recorded no trace"
+    in
+    let phases =
+      List.map
+        (fun sp -> (Trace.name sp, Trace.duration_ms sp))
+        (Trace.children root)
+    in
+    Printf.printf "  %-16s %9.3f ms  (%s)\n" name (Trace.duration_ms root)
+      (String.concat ", "
+         (List.map (fun (n, d) -> Printf.sprintf "%s %.3f" n d) phases));
+    {
+      sm_name = name;
+      sm_sql = sql;
+      sm_total_ms = Trace.duration_ms root;
+      sm_phases = phases;
+    }
   in
+  let entries = List.map entry queries in
+  Engine.set_instrumentation e false;
+  Engine.set_parallel_threshold e 1;
+  Engine.set_parallel e (Engine.Par_domains 2);
+  (* warm-up: create the worker pool outside the measured entries *)
+  (match Engine.query e "SELECT mid FROM messages" with
+  | Ok _ -> ()
+  | Error msg -> failwith ("smoke parallel warm-up failed: " ^ msg));
+  let par_entries = List.map entry smoke_parallel_queries in
+  Engine.set_parallel e Engine.Par_off;
   flush stdout;
-  (e, entries)
+  (e, entries @ par_entries)
 
 let smoke ~json () =
   let e, entries = run_smoke () in
   if json then begin
     let m = Engine.metrics e in
     Metrics.set_gc_gauges m;
+    (* The B7-par speedup sweep rides along in the baseline document so
+       parallel-executor performance is tracked alongside the phase
+       breakdowns. A small scale + quota keeps the smoke pass quick. *)
+    let saved_quota = !quota in
+    quota := 0.15;
+    let par_measured = b7_par_measure ~size:4_000 in
+    quota := saved_quota;
+    let parallel_section =
+      Json.Obj
+        [
+          ("hardware_cores", Json.Int (Domain.recommended_domain_count ()));
+          ("forum_messages", Json.Int 4_000);
+          ( "queries",
+            Json.List
+              (List.map
+                 (fun (name, t_serial, par) ->
+                   Json.Obj
+                     ([
+                        ("name", Json.String name);
+                        ("serial_ms", Json.Float (ms t_serial));
+                      ]
+                     @ List.concat_map
+                         (fun (n, t) ->
+                           [
+                             ( Printf.sprintf "domains_%d_ms" n,
+                               Json.Float (ms t) );
+                             ( Printf.sprintf "domains_%d_speedup" n,
+                               Json.Float (t_serial /. t) );
+                           ])
+                         par))
+                 par_measured) );
+        ]
+    in
     let doc =
       Json.Obj
         [
           ("suite", Json.String "perm-bench-smoke");
           ("forum_messages", Json.Int 1_000);
+          ("parallel", parallel_section);
           ( "queries",
             Json.List
               (List.map
@@ -643,5 +765,6 @@ let () =
   b5 sweep;
   b6 ~size:mid_size;
   b7 ~scale:(if fast then 300 else 3_000);
+  b7_par ~size:(if fast then 2_000 else 20_000);
   b8 ~size:(if fast then 2_000 else 20_000);
   print_newline ()

@@ -105,6 +105,12 @@ let help_text =
   \strategy join|lateral|heuristic|cost
                            aggregation rewrite strategy (paper 2.2)
   \optimizer on|off        toggle the planner rewrites
+  \set parallel on|off|N   morsel-driven parallel execution on worker domains
+                           (on = recommended domain count; N = exact count;
+                           results are bit-identical to serial execution)
+  \set parallel_threshold N
+                           min driving-table rows before a query fans out
+  \set morsel_rows N       rows per morsel (default 1024)
   \demo                    load the paper's example forum database (Fig. 1)
   \save FILE               dump all tables and views as a SQL script
   \load FILE               execute a SQL script (e.g. a \save dump)
@@ -200,6 +206,40 @@ let handle_meta session line =
       (if v = "on" then Perm_planner.Planner.default_config
        else Perm_planner.Planner.disabled_config);
     `Continue
+  | [ "\\set"; "parallel"; v ] ->
+    (match v with
+    | "off" ->
+      Engine.set_parallel session.engine Engine.Par_off;
+      print_endline "parallel execution off"
+    | "on" ->
+      Engine.set_parallel session.engine Engine.Par_on;
+      Printf.printf "parallel execution on (%d worker domains)\n"
+        (Engine.parallel_domains session.engine)
+    | n -> (
+      match int_of_string_opt n with
+      | Some n when n >= 0 ->
+        Engine.set_parallel session.engine (Engine.Par_domains n);
+        if Engine.parallel_domains session.engine = 0 then
+          print_endline "parallel execution off"
+        else
+          Printf.printf "parallel execution on (%d worker domains)\n"
+            (Engine.parallel_domains session.engine)
+      | _ -> print_endline "usage: \\set parallel on|off|N"));
+    `Continue
+  | [ "\\set"; "parallel_threshold"; n ] ->
+    (match int_of_string_opt n with
+    | Some n when n >= 0 ->
+      Engine.set_parallel_threshold session.engine n;
+      Printf.printf "parallel threshold: %d rows\n" n
+    | _ -> print_endline "usage: \\set parallel_threshold N");
+    `Continue
+  | [ "\\set"; "morsel_rows"; n ] ->
+    (match int_of_string_opt n with
+    | Some n when n >= 1 ->
+      Engine.set_morsel_rows session.engine n;
+      Printf.printf "morsel size: %d rows\n" n
+    | _ -> print_endline "usage: \\set morsel_rows N");
+    `Continue
   | [ "\\save"; path ] ->
     (try
        Out_channel.with_open_text path (fun oc ->
@@ -256,7 +296,7 @@ let main demo script command =
     { engine = Engine.create (); show_panes = false; timing = false; trace = false }
   in
   if demo then Perm_workload.Forum.load session.engine;
-  match script, command with
+  (match script, command with
   | Some path, _ ->
     let sql = In_channel.with_open_text path In_channel.input_all in
     (match Engine.execute_script session.engine sql with
@@ -265,7 +305,9 @@ let main demo script command =
       Printf.eprintf "ERROR: %s\n" msg;
       exit 1)
   | None, Some sql -> run_sql session sql
-  | None, None -> repl session
+  | None, None -> repl session);
+  (* release the worker-domain pool, if a parallel query created one *)
+  Engine.close session.engine
 
 open Cmdliner
 

@@ -8,6 +8,7 @@ module Analyzer = Perm_analyzer.Analyzer
 module Rewriter = Perm_provenance.Rewriter
 module Planner = Perm_planner.Planner
 module Executor = Perm_executor.Executor
+module Pool = Perm_executor.Pool
 module Catalog = Perm_catalog.Catalog
 module Schema = Perm_catalog.Schema
 module Column = Perm_catalog.Column
@@ -59,6 +60,10 @@ type t = {
   mutable stmt_rules : (string * int) list;
       (* rewrite-rule firings of the statement currently running, so the
          stats accumulator attributes rules to the right fingerprint *)
+  mutable parallel_domains : int;  (* 0 = parallel execution off *)
+  mutable parallel_threshold : int;  (* min driving-table rows to fan out *)
+  mutable morsel_rows : int;  (* rows per morsel *)
+  mutable pool : Pool.t option;  (* lazily created, reused *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -207,6 +212,10 @@ let create () =
       trace_log = [];
       event_log = Eventlog.create ();
       stmt_rules = [];
+      parallel_domains = 0;
+      parallel_threshold = Planner.default_parallel_threshold;
+      morsel_rows = Executor.Par.default_morsel_rows;
+      pool = None;
     }
   in
   register_virtuals t;
@@ -277,6 +286,53 @@ let rewriter_config t : Rewriter.config =
 
 let set_agg_strategy t s = t.agg_strategy <- s
 let set_optimizer_config t c = t.planner_config <- c
+
+(* ------------------------------------------------------------------ *)
+(* Parallel execution settings                                          *)
+(* ------------------------------------------------------------------ *)
+
+type parallel_setting = Par_off | Par_on | Par_domains of int
+
+let shutdown_pool t =
+  match t.pool with
+  | Some pool ->
+    Pool.shutdown pool;
+    t.pool <- None
+  | None -> ()
+
+(* Changing the domain count tears down the pool; the next parallel query
+   recreates it at the new size. *)
+let set_parallel t setting =
+  let domains =
+    match setting with
+    | Par_off -> 0
+    | Par_on -> max 1 (min 8 (Domain.recommended_domain_count ()))
+    | Par_domains n -> max 0 (min 64 n)
+  in
+  if domains <> t.parallel_domains then begin
+    shutdown_pool t;
+    t.parallel_domains <- domains
+  end
+
+let parallel_domains t = t.parallel_domains
+let set_parallel_threshold t n = t.parallel_threshold <- max 0 n
+let parallel_threshold t = t.parallel_threshold
+let set_morsel_rows t n = t.morsel_rows <- max 1 n
+let morsel_rows t = t.morsel_rows
+let pool_size t = match t.pool with Some p -> Pool.size p | None -> 0
+
+(* Lazily create the reusable worker pool on the first parallel query. *)
+let pool t =
+  match t.pool with
+  | Some pool -> pool
+  | None ->
+    let pool = Pool.create t.parallel_domains in
+    t.pool <- Some pool;
+    pool
+
+(* Release the worker domains. The engine remains usable afterwards: the
+   next parallel query recreates the pool. *)
+let close t = shutdown_pool t
 let last_report t = t.report
 let provenance_columns t name =
   Hashtbl.find_opt t.prov_tables (String.lowercase_ascii name)
@@ -311,6 +367,17 @@ let provider t : Executor.provider =
            build it on demand *)
         if not (Heap.has_index heap col) then Heap.create_index heap col;
         Heap.index_probe heap col key);
+    Executor.scan_morsels =
+      (fun table rows ->
+        match Store.find t.store table with
+        | Some heap -> Heap.scan_morsels heap ~rows
+        | None -> (
+          match Hashtbl.find_opt t.virtuals (String.lowercase_ascii table) with
+          | Some vp -> Executor.morsels_of_list ~morsel_rows:rows (vp.vp_rows ())
+          | None ->
+            raise
+              (Executor.Runtime_error
+                 (Printf.sprintf "table %S vanished" table))));
   }
 
 let ( let* ) = Result.bind
@@ -336,6 +403,15 @@ let phase t name f =
   match t.current_span with
   | None -> f ()
   | Some root -> Trace.timed root name f
+
+(* Like [phase], but hands the phase span (when tracing) to [f] so it can
+   attach child spans or attributes — used by the parallel execute path. *)
+let phase_sp t name f =
+  match t.current_span with
+  | None -> f None
+  | Some root ->
+    let sp = Trace.child root name in
+    Fun.protect ~finally:(fun () -> Trace.finish sp) (fun () -> f (Some sp))
 
 let strategy_names (report : Rewriter.report) =
   List.map
@@ -390,17 +466,79 @@ let prepare t (q : Ast.query) =
   in
   Ok (analyzed, rewritten, optimized)
 
+(* Morsel-driven parallel execution is attempted only when the session has
+   parallelism on and instrumentation off (the instrumented path is serial
+   by design), the planner's verdict is favourable, and the executor
+   accepts the plan shape. Every fallback leaves a reason counter in the
+   metrics so "why didn't this parallelize?" is answerable from
+   perm_metrics. *)
+let try_parallel t optimized =
+  if t.parallel_domains <= 0 || t.instrument then None
+  else
+    match
+      Planner.parallel_verdict ~threshold:t.parallel_threshold (stats t)
+        optimized
+    with
+    | Planner.Par_fallback reason ->
+      Metrics.incr t.metrics ("executor.par.fallback." ^ reason);
+      None
+    | Planner.Par_ok _ -> (
+      match
+        Executor.Par.prepare ~provider:(provider t) ~pool:(pool t)
+          ~morsel_rows:t.morsel_rows optimized
+      with
+      | None ->
+        (* the planner mirror accepted a shape the executor declined *)
+        Metrics.incr t.metrics "executor.par.fallback.shape";
+        None
+      | Some run -> Some run)
+
+let record_par_report t (r : Executor.Par.report) =
+  Metrics.incr t.metrics "executor.par.queries";
+  Metrics.incr t.metrics ~by:r.Executor.Par.par_morsels "executor.par.morsels";
+  Metrics.set_gauge t.metrics "executor.par.domains"
+    (float_of_int r.Executor.Par.par_domains);
+  if r.Executor.Par.par_morsels > 0 then
+    Metrics.set_gauge t.metrics "executor.par.utilization"
+      (float_of_int r.Executor.Par.par_participants
+      /. float_of_int r.Executor.Par.par_domains)
+
 (* Execute a prepared plan, collecting per-operator stats when the session
    has instrumentation switched on. *)
 let exec_plan t optimized =
-  if t.instrument then
-    let* rows, exec_stats =
-      phase t "execute" (fun () ->
-          Executor.run_instrumented ~provider:(provider t) optimized)
-    in
-    record_exec_stats t exec_stats;
-    Ok rows
-  else phase t "execute" (fun () -> Executor.run ~provider:(provider t) optimized)
+  match try_parallel t optimized with
+  | Some run ->
+    phase_sp t "execute" (fun sp ->
+        let par_sp = Option.map (fun s -> Trace.child s "parallel") sp in
+        let result = run () in
+        (match par_sp with
+        | Some psp ->
+          (match result with
+          | Ok (_, r) ->
+            Trace.annotate psp "domains"
+              (string_of_int r.Executor.Par.par_domains);
+            Trace.annotate psp "morsels"
+              (string_of_int r.Executor.Par.par_morsels);
+            Trace.annotate psp "participants"
+              (string_of_int r.Executor.Par.par_participants)
+          | Error _ -> ());
+          Trace.finish psp
+        | None -> ());
+        match result with
+        | Ok (rows, report) ->
+          record_par_report t report;
+          Ok rows
+        | Error msg -> Error msg)
+  | None ->
+    if t.instrument then
+      let* rows, exec_stats =
+        phase t "execute" (fun () ->
+            Executor.run_instrumented ~provider:(provider t) optimized)
+      in
+      record_exec_stats t exec_stats;
+      Ok rows
+    else
+      phase t "execute" (fun () -> Executor.run ~provider:(provider t) optimized)
 
 let run_query t (q : Ast.query) =
   let* analyzed, _rewritten, optimized = prepare t q in

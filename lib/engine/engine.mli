@@ -159,6 +159,49 @@ val set_agg_strategy : t -> agg_strategy_setting -> unit
 
 val set_optimizer_config : t -> Perm_planner.Planner.config -> unit
 
+(** {1 Parallel execution}
+
+    Morsel-driven parallel execution on OCaml domains
+    ({!Perm_executor.Executor.Par}). Off by default; switch on with
+    {!set_parallel}. Eligible plans (scan/filter/project spines, hash-join
+    probes, mergeable aggregates — as judged by
+    {!Perm_planner.Planner.parallel_verdict} and re-checked by the
+    executor) fan out over a session-owned worker pool, created lazily on
+    the first parallel query and reused until the size changes or
+    {!close}. Results are bit-identical to serial execution. Ineligible or
+    small plans fall back to the serial path, leaving an
+    [executor.par.fallback.<reason>] counter; parallel runs maintain
+    [executor.par.queries] / [executor.par.morsels] counters and
+    [executor.par.domains] / [executor.par.utilization] gauges, and attach
+    a [parallel] child span to the statement's [execute] phase. *)
+
+type parallel_setting =
+  | Par_off
+  | Par_on  (** [Domain.recommended_domain_count], capped at 8 *)
+  | Par_domains of int  (** explicit worker count (clamped to 0..64) *)
+
+val set_parallel : t -> parallel_setting -> unit
+val parallel_domains : t -> int
+(** Configured worker count; 0 when parallel execution is off. *)
+
+val set_parallel_threshold : t -> int -> unit
+(** Minimum driving-table rows before fan-out (default
+    {!Perm_planner.Planner.default_parallel_threshold}). *)
+
+val parallel_threshold : t -> int
+val set_morsel_rows : t -> int -> unit
+(** Rows per morsel (default {!Perm_executor.Executor.Par.default_morsel_rows}). *)
+
+val morsel_rows : t -> int
+
+val pool_size : t -> int
+(** Size of the live worker pool; 0 when no pool has been created yet (no
+    parallel query ran since the last {!close} / size change). *)
+
+val close : t -> unit
+(** Releases the worker domains. The session stays usable: the next
+    parallel query recreates the pool. Idempotent. *)
+
 val last_report : t -> Perm_provenance.Rewriter.report option
 (** Rewrite report of the most recent query execution. *)
 

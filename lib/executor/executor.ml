@@ -14,7 +14,22 @@ let errf fmt = Printf.ksprintf err fmt
 type provider = {
   scan_table : string -> Tuple.t Seq.t;
   probe_index : string -> int -> Value.t -> Tuple.t Seq.t;
+  scan_morsels : string -> int -> Tuple.t array array;
+      (* contiguous row slices of at most [morsel_rows] rows, in scan order:
+         concatenating them must reproduce [scan_table] exactly *)
 }
+
+(* Default morsel slicing for providers without native chunked storage
+   (virtual system relations, test fixtures). *)
+let morsels_of_list ~morsel_rows rows =
+  let rows = Array.of_list rows in
+  let len = Array.length rows in
+  let size = max 1 morsel_rows in
+  Array.init
+    ((len + size - 1) / size)
+    (fun i ->
+      let pos = i * size in
+      Array.sub rows pos (min size (len - pos)))
 
 (* ------------------------------------------------------------------ *)
 (* Expression compilation                                              *)
@@ -39,6 +54,27 @@ let no_outer : resolver = fun _ -> None
 
 let unwrap = function Ok v -> v | Error msg -> err msg
 
+(* Constant subtrees built from Binop/Unop/Cast over literals: safe to
+   evaluate once at compile time. Func is excluded deliberately (builtins
+   may grow impure members), as is anything touching a row. *)
+let rec is_const_subtree (e : Expr.t) =
+  match e with
+  | Expr.Const _ -> true
+  | Expr.Binop (_, a, b) -> is_const_subtree a && is_const_subtree b
+  | Expr.Unop (_, a) | Expr.Cast (a, _) -> is_const_subtree a
+  | Expr.Attr _ | Expr.Case _ | Expr.Func _ -> false
+
+(* Pre-evaluate a compiled closure whose source expression is constant, so
+   predicates like [x > 1 + 1] pay for the constant once per statement, not
+   per tuple. Evaluation errors (e.g. division by zero) keep the dynamic
+   closure so they still surface per-row, exactly as before. *)
+let constantize (e : Expr.t) (f : Tuple.t -> Value.t) =
+  if is_const_subtree e then
+    match f [||] with
+    | v -> fun _ -> v
+    | exception Runtime_error _ -> f
+  else f
+
 let rec compile_expr (resolve : resolver) (e : Expr.t) : Tuple.t -> Value.t =
   match e with
   | Expr.Const v -> fun _ -> v
@@ -46,17 +82,17 @@ let rec compile_expr (resolve : resolver) (e : Expr.t) : Tuple.t -> Value.t =
     match resolve a with
     | Some f -> f
     | None -> errf "internal: unbound attribute %s#%d" a.Attr.name a.Attr.id)
-  | Expr.Binop (op, a, b) -> compile_binop resolve op a b
+  | Expr.Binop (op, a, b) -> constantize e (compile_binop resolve op a b)
   | Expr.Unop (Expr.Not, a) ->
     let fa = compile_expr resolve a in
-    fun row ->
-      Tristate.to_value (Tristate.not_ (unwrap (Tristate.of_value (fa row))))
+    constantize e (fun row ->
+        Tristate.to_value (Tristate.not_ (unwrap (Tristate.of_value (fa row)))))
   | Expr.Unop (Expr.Neg, a) ->
     let fa = compile_expr resolve a in
-    fun row -> unwrap (Value.neg (fa row))
+    constantize e (fun row -> unwrap (Value.neg (fa row)))
   | Expr.Unop (Expr.Is_null, a) ->
     let fa = compile_expr resolve a in
-    fun row -> Value.Bool (Value.is_null (fa row))
+    constantize e (fun row -> Value.Bool (Value.is_null (fa row)))
   | Expr.Case { branches; else_ } ->
     let branches =
       List.map
@@ -76,9 +112,9 @@ let rec compile_expr (resolve : resolver) (e : Expr.t) : Tuple.t -> Value.t =
           else go rest
       in
       go branches
-  | Expr.Cast (e, ty) ->
-    let fe = compile_expr resolve e in
-    fun row -> unwrap (Value.cast ty (fe row))
+  | Expr.Cast (inner, ty) ->
+    let fe = compile_expr resolve inner in
+    constantize e (fun row -> unwrap (Value.cast ty (fe row)))
   | Expr.Func (name, args) -> (
     match Builtins.find name with
     | None -> errf "unknown function %S" name
@@ -179,6 +215,25 @@ let split_join_pred left_schema right_schema pred =
       | None -> residual := c :: !residual)
     conjuncts;
   (List.rev !keys, List.rev !residual)
+
+(* The join hot path: the per-side key extractors are compiled once into an
+   array, and each row fills a preallocated key array directly — no
+   List.map + Array.of_list churn per probed tuple. *)
+let key_of (fs : (Tuple.t -> Value.t) array) row =
+  let n = Array.length fs in
+  let key = Array.make n Value.Null in
+  for i = 0 to n - 1 do
+    key.(i) <- (Array.unsafe_get fs i) row
+  done;
+  key
+
+(* a plain (non null-safe) key never matches when NULL *)
+let key_usable (null_safety : bool array) (key : Tuple.t) =
+  let n = Array.length key in
+  let rec go i =
+    i >= n || ((null_safety.(i) || not (Value.is_null key.(i))) && go (i + 1))
+  in
+  go 0
 
 (* ------------------------------------------------------------------ *)
 (* Aggregate state machines                                            *)
@@ -358,8 +413,11 @@ and compile_node ~(provider : provider) ~(wrap : wrapper) (outer : resolver)
     in
     let run_child = compile ~provider ~wrap outer child in
     fun () ->
-      let rows = List.of_seq (run_child ()) in
-      seq_of_list (List.stable_sort cmp rows)
+      (* materialize into an array and sort in place: large sorts avoid the
+         intermediate list and List.stable_sort's allocation *)
+      let rows = Array.of_seq (run_child ()) in
+      Array.stable_sort cmp rows;
+      Array.to_seq rows
   | Plan.Limit { child; limit; offset } ->
     let run_child = compile ~provider ~wrap outer child in
     fun () ->
@@ -383,9 +441,13 @@ and compile_join ~provider ~wrap outer kind left right pred =
     | None -> ([], [])
     | Some p -> split_join_pred left_schema right_schema p
   in
-  let lkey_fs = List.map (fun k -> compile_expr l_resolve k.l_expr) keys in
-  let rkey_fs = List.map (fun k -> compile_expr r_resolve k.r_expr) keys in
-  let null_safety = List.map (fun k -> k.null_safe) keys in
+  let lkey_fs =
+    Array.of_list (List.map (fun k -> compile_expr l_resolve k.l_expr) keys)
+  in
+  let rkey_fs =
+    Array.of_list (List.map (fun k -> compile_expr r_resolve k.r_expr) keys)
+  in
+  let null_safety = Array.of_list (List.map (fun k -> k.null_safe) keys) in
   let combined_resolve =
     combine_resolvers (resolver_of_schema (left_schema @ right_schema)) outer
   in
@@ -394,13 +456,7 @@ and compile_join ~provider ~wrap outer kind left right pred =
     | [] -> fun _ -> true
     | preds -> compile_pred combined_resolve (Expr.conjoin preds)
   in
-  let key_of fs row = Array.of_list (List.map (fun f -> f row) fs) in
-  (* a plain (non null-safe) key never matches when NULL *)
-  let key_usable key =
-    List.for_all2
-      (fun null_safe v -> null_safe || not (Value.is_null v))
-      null_safety (Array.to_list key)
-  in
+  let key_usable = key_usable null_safety in
   let pad n = Array.make n Value.Null in
   match kind with
   | Plan.Cross | Plan.Inner | Plan.Left | Plan.Full | Plan.Semi | Plan.Anti ->
@@ -732,6 +788,409 @@ let run_instrumented ~provider plan =
   match List.of_seq ((compile ~provider ~wrap no_outer plan) ()) with
   | rows -> Ok (rows, stats)
   | exception Runtime_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Morsel-driven parallel execution (Leis et al., SIGMOD 2014)         *)
+(* ------------------------------------------------------------------ *)
+
+(* The parallel mode executes an eligible plan as: one serial *build*
+   phase (hash tables for join right sides, expression compilation), then
+   a fan-out of scan->filter->project->probe pipeline *fragments* over
+   fixed-size morsels of the driving base relation on a domain pool, then
+   a serial merge (concatenation in morsel order; partitioned
+   pre-aggregation merged group-by-group for Aggregate) and a serial tail
+   (Sort/Limit/final Project).
+
+   Determinism: morsels partition the scan in scan order and per-morsel
+   outputs are concatenated in morsel-index order, so the merged row
+   stream is exactly the serial stream; aggregate groups are merged in
+   that same order, so first-seen group order matches serial execution,
+   and Sum/Avg over floats are excluded from parallel merging because
+   float addition is not associative. Results are bit-identical to the
+   serial closures by construction.
+
+   Plans containing Apply (correlated subplans), Right/Full joins,
+   Distinct, Set_op, Index_scan spines, or non-mergeable aggregates fall
+   back to the serial path. *)
+module Par = struct
+  module Dtype = Perm_value.Dtype
+
+  type report = {
+    par_domains : int;  (* pool size, caller included *)
+    par_morsels : int;  (* tasks fanned out *)
+    par_participants : int;  (* workers that executed at least one morsel *)
+  }
+
+  let default_morsel_rows = 1024
+
+  (* Aggregates whose partial states merge without changing the result
+     bit-for-bit. DISTINCT needs a cross-partition seen-set; float Sum/Avg
+     would reassociate additions. *)
+  let mergeable_agg (c : Plan.agg_call) =
+    (not c.distinct)
+    &&
+    match c.agg with
+    | Plan.Count_star | Plan.Count | Plan.Min | Plan.Max | Plan.Bool_and
+    | Plan.Bool_or ->
+      true
+    | Plan.Sum | Plan.Avg -> (
+      match c.arg with
+      | Some (Expr.Attr a) -> Dtype.equal a.Attr.ty Dtype.Int
+      | Some (Expr.Const (Value.Int _)) -> true
+      | _ -> false)
+
+  let agg_merge (call : Plan.agg_call) g p =
+    match call.agg with
+    | Plan.Count_star | Plan.Count -> g.count <- g.count + p.count
+    | Plan.Sum | Plan.Avg ->
+      g.sum_count <- g.sum_count + p.sum_count;
+      if not (Value.is_null p.sum) then
+        g.sum <-
+          (if Value.is_null g.sum then p.sum
+           else
+             match Value.add g.sum p.sum with
+             | Ok s -> s
+             | Error msg -> err msg)
+    | Plan.Min ->
+      if
+        (not (Value.is_null p.extreme))
+        && (Value.is_null g.extreme || Value.compare p.extreme g.extreme < 0)
+      then g.extreme <- p.extreme
+    | Plan.Max ->
+      if
+        (not (Value.is_null p.extreme))
+        && (Value.is_null g.extreme || Value.compare p.extreme g.extreme > 0)
+      then g.extreme <- p.extreme
+    | Plan.Bool_and | Plan.Bool_or -> (
+      match g.extreme, p.extreme with
+      | _, Value.Null -> ()
+      | Value.Null, v -> g.extreme <- v
+      | Value.Bool a, Value.Bool b ->
+        g.extreme <-
+          Value.Bool (if call.agg = Plan.Bool_and then a && b else a || b)
+      | _ -> assert false)
+
+  let rec iter3 f a b c =
+    match a, b, c with
+    | [], [], [] -> ()
+    | x :: a, y :: b, z :: c ->
+      f x y z;
+      iter3 f a b c
+    | _ -> invalid_arg "iter3"
+
+  (* Compile an eligible pipeline fragment. [Some (table, inst)] means the
+     fragment is driven by morsels of [table]; [inst ()] runs the serial
+     build phase (hash joins) and returns a consumer factory: applied to an
+     [emit] sink it yields the per-row entry point of the fragment. The
+     factory and the closures it builds are stateless apart from [emit],
+     so each worker instantiates its own chain per morsel. *)
+  let rec frag ~(provider : provider) (plan : Plan.t) :
+      (string * (unit -> (Tuple.t -> unit) -> Tuple.t -> unit)) option =
+    match plan with
+    | Plan.Scan { table; _ } -> Some (table, fun () emit -> emit)
+    | Plan.Baserel { child; _ } | Plan.External { child; _ } ->
+      frag ~provider child
+    | Plan.Filter { child; pred } -> (
+      match frag ~provider child with
+      | None -> None
+      | Some (table, inst) ->
+        let resolve = resolver_of_schema (Plan.schema child) in
+        let fpred = compile_pred resolve pred in
+        Some
+          ( table,
+            fun () ->
+              let mk = inst () in
+              fun emit -> mk (fun row -> if fpred row then emit row) ))
+    | Plan.Project { child; cols } -> (
+      match frag ~provider child with
+      | None -> None
+      | Some (table, inst) ->
+        let resolve = resolver_of_schema (Plan.schema child) in
+        let fs = Array.of_list (List.map (fun (e, _) -> compile_expr resolve e) cols) in
+        Some
+          ( table,
+            fun () ->
+              let mk = inst () in
+              fun emit ->
+                mk (fun row -> emit (Array.map (fun f -> f row) fs)) ))
+    | Plan.Join
+        {
+          kind = (Plan.Inner | Plan.Cross | Plan.Left | Plan.Semi | Plan.Anti) as kind;
+          left;
+          right;
+          pred;
+        } -> (
+      match frag ~provider left with
+      | None -> None
+      | Some (table, inst) ->
+        let left_schema = Plan.schema left
+        and right_schema = Plan.schema right in
+        let r_arity = List.length right_schema in
+        let l_resolve = resolver_of_schema left_schema in
+        let r_resolve = resolver_of_schema right_schema in
+        let keys, residual =
+          match pred with
+          | None -> ([], [])
+          | Some p -> split_join_pred left_schema right_schema p
+        in
+        let lkey_fs =
+          Array.of_list (List.map (fun k -> compile_expr l_resolve k.l_expr) keys)
+        in
+        let rkey_fs =
+          Array.of_list (List.map (fun k -> compile_expr r_resolve k.r_expr) keys)
+        in
+        let null_safety = Array.of_list (List.map (fun k -> k.null_safe) keys) in
+        let residual_f =
+          match residual with
+          | [] -> fun _ -> true
+          | preds ->
+            compile_pred
+              (resolver_of_schema (left_schema @ right_schema))
+              (Expr.conjoin preds)
+        in
+        let usable = key_usable null_safety in
+        let run_right = compile ~provider ~wrap:no_wrap no_outer right in
+        Some
+          ( table,
+            fun () ->
+              let mk = inst () in
+              (* serial build: hash the right side once; workers only read *)
+              let tbl = Tuple.Hash.create 256 in
+              let right_rows = Array.of_seq (run_right ()) in
+              Array.iteri
+                (fun idx rrow ->
+                  let key = key_of rkey_fs rrow in
+                  let prev =
+                    match Tuple.Hash.find_opt tbl key with
+                    | Some l -> l
+                    | None -> []
+                  in
+                  Tuple.Hash.replace tbl key ((idx, rrow) :: prev))
+                right_rows;
+              let probe lrow =
+                let key = key_of lkey_fs lrow in
+                if not (usable key) then []
+                else
+                  match Tuple.Hash.find_opt tbl key with
+                  | None -> []
+                  | Some candidates ->
+                    List.filter_map
+                      (fun (_, rrow) ->
+                        let combined = Tuple.concat lrow rrow in
+                        if residual_f combined then Some combined else None)
+                      (List.rev candidates)
+              in
+              fun emit ->
+                let stage lrow =
+                  match kind with
+                  | Plan.Semi -> if probe lrow <> [] then emit lrow
+                  | Plan.Anti -> if probe lrow = [] then emit lrow
+                  | Plan.Inner | Plan.Cross -> List.iter emit (probe lrow)
+                  | Plan.Left -> (
+                    match probe lrow with
+                    | [] -> emit (Tuple.concat lrow (Array.make r_arity Value.Null))
+                    | matches -> List.iter emit matches)
+                  | Plan.Right | Plan.Full -> assert false
+                in
+                mk stage ))
+    | _ -> None
+
+  (* Fan a compiled fragment out over the driving table's morsels; per-
+     morsel outputs concatenate in morsel order, reproducing scan order. *)
+  let run_pipeline ~provider ~pool ~morsel_rows plan =
+    match frag ~provider plan with
+    | None -> None
+    | Some (table, inst) ->
+      Some
+        (fun () ->
+          let morsels = provider.scan_morsels table morsel_rows in
+          let mk = inst () in
+          let n = Array.length morsels in
+          let out = Array.make n [] in
+          let tasks =
+            Array.init n (fun i () ->
+                let acc = ref [] in
+                let consume = mk (fun row -> acc := row :: !acc) in
+                let m = morsels.(i) in
+                for j = 0 to Array.length m - 1 do
+                  consume m.(j)
+                done;
+                out.(i) <- List.rev !acc)
+          in
+          let participants = Pool.run pool tasks in
+          (List.concat (Array.to_list out), n, participants))
+
+  (* Partitioned pre-aggregation: each morsel aggregates into its own group
+     table, the driver merges partitions in morsel order so the first-seen
+     group order (and therefore row order) matches serial execution. *)
+  let run_aggregate ~provider ~pool ~morsel_rows child group_by aggs =
+    if not (List.for_all mergeable_agg aggs) then None
+    else
+      match frag ~provider child with
+      | None -> None
+      | Some (table, inst) ->
+        let resolve = resolver_of_schema (Plan.schema child) in
+        let group_fs =
+          Array.of_list (List.map (fun (e, _) -> compile_expr resolve e) group_by)
+        in
+        let agg_arg_fs =
+          List.map
+            (fun (c : Plan.agg_call) -> Option.map (compile_expr resolve) c.arg)
+            aggs
+        in
+        let global = group_by = [] in
+        Some
+          (fun () ->
+            let morsels = provider.scan_morsels table morsel_rows in
+            let mk = inst () in
+            let n = Array.length morsels in
+            let partials : (Tuple.t * agg_state list) list array =
+              Array.make n []
+            in
+            let tasks =
+              Array.init n (fun i () ->
+                  let groups = Tuple.Hash.create 64 in
+                  let order = ref [] in
+                  let consume =
+                    mk (fun row ->
+                        let key = key_of group_fs row in
+                        let states =
+                          match Tuple.Hash.find_opt groups key with
+                          | Some states -> states
+                          | None ->
+                            let states = List.map new_agg_state aggs in
+                            Tuple.Hash.replace groups key states;
+                            order := (key, states) :: !order;
+                            states
+                        in
+                        iter3
+                          (fun (call : Plan.agg_call) state argf ->
+                            let v =
+                              match argf with
+                              | None -> None
+                              | Some f -> Some (f row)
+                            in
+                            agg_feed call state v)
+                          aggs states agg_arg_fs)
+                  in
+                  let m = morsels.(i) in
+                  for j = 0 to Array.length m - 1 do
+                    consume m.(j)
+                  done;
+                  partials.(i) <- List.rev !order)
+            in
+            let participants = Pool.run pool tasks in
+            let groups = Tuple.Hash.create 64 in
+            let order = ref [] in
+            Array.iter
+              (List.iter (fun (key, states) ->
+                   match Tuple.Hash.find_opt groups key with
+                   | None ->
+                     Tuple.Hash.replace groups key states;
+                     order := key :: !order
+                   | Some gstates -> iter3 agg_merge aggs gstates states))
+              partials;
+            let emit key states =
+              Array.append key
+                (Array.of_list (List.map2 agg_result aggs states))
+            in
+            let rows =
+              if global && Tuple.Hash.length groups = 0 then
+                [ emit [||] (List.map new_agg_state aggs) ]
+              else
+                List.rev_map
+                  (fun key -> emit key (Tuple.Hash.find groups key))
+                  !order
+            in
+            (rows, n, participants))
+
+  let rec drop n l =
+    if n <= 0 then l else match l with [] -> [] | _ :: t -> drop (n - 1) t
+
+  let rec take n l =
+    if n <= 0 then []
+    else match l with [] -> [] | x :: t -> x :: take (n - 1) t
+
+  (* Serial tails (Sort/Limit/final Project) over a parallel core. *)
+  let rec runner ~provider ~pool ~morsel_rows (plan : Plan.t) :
+      (unit -> Tuple.t list * int * int) option =
+    match plan with
+    | Plan.Aggregate { child; group_by; aggs } ->
+      run_aggregate ~provider ~pool ~morsel_rows child group_by aggs
+    | Plan.Sort { child; keys } -> (
+      match runner ~provider ~pool ~morsel_rows child with
+      | None -> None
+      | Some run ->
+        let resolve = resolver_of_schema (Plan.schema child) in
+        let keyfs =
+          List.map (fun (e, dir) -> (compile_expr resolve e, dir)) keys
+        in
+        let cmp a b =
+          let rec go = function
+            | [] -> 0
+            | (f, dir) :: rest ->
+              let c = Value.compare (f a) (f b) in
+              let c = match dir with Plan.Asc -> c | Plan.Desc -> -c in
+              if c <> 0 then c else go rest
+          in
+          go keyfs
+        in
+        Some
+          (fun () ->
+            let rows, m, p = run () in
+            let arr = Array.of_list rows in
+            Array.stable_sort cmp arr;
+            (Array.to_list arr, m, p)))
+    | Plan.Limit { child; limit; offset } -> (
+      match runner ~provider ~pool ~morsel_rows child with
+      | None -> None
+      | Some run ->
+        Some
+          (fun () ->
+            let rows, m, p = run () in
+            let rows = drop offset rows in
+            let rows = match limit with Some l -> take l rows | None -> rows in
+            (rows, m, p)))
+    | Plan.Project { child; cols } -> (
+      (* Project over a scan/join spine runs inside the workers; this tail
+         case only fires for Project over an Aggregate/Sort core. *)
+      match run_pipeline ~provider ~pool ~morsel_rows plan with
+      | Some r -> Some r
+      | None -> (
+        match runner ~provider ~pool ~morsel_rows child with
+        | None -> None
+        | Some run ->
+          let resolve = resolver_of_schema (Plan.schema child) in
+          let fs =
+            Array.of_list
+              (List.map (fun (e, _) -> compile_expr resolve e) cols)
+          in
+          Some
+            (fun () ->
+              let rows, m, p = run () in
+              (List.map (fun row -> Array.map (fun f -> f row) fs) rows, m, p))))
+    | _ -> run_pipeline ~provider ~pool ~morsel_rows plan
+
+  (* [prepare] returns None when the plan shape is not morsel-eligible (the
+     caller falls back to the serial compile); otherwise a thunk that runs
+     the parallel plan and reports fan-out statistics. *)
+  let prepare ~provider ~pool ?(morsel_rows = default_morsel_rows) plan =
+    match runner ~provider ~pool ~morsel_rows plan with
+    | None -> None
+    | Some run ->
+      Some
+        (fun () ->
+          match run () with
+          | rows, morsels, participants ->
+            Ok
+              ( rows,
+                {
+                  par_domains = Pool.size pool;
+                  par_morsels = morsels;
+                  par_participants = participants;
+                } )
+          | exception Runtime_error msg -> Error msg)
+end
 
 let eval_const e =
   match (compile_expr no_outer e) [||] with

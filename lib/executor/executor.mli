@@ -24,7 +24,17 @@ type provider = {
       (** [probe_index table col key]: rows whose column [col] equals [key]
           — backs [Plan.Index_scan]; only called for indexes the planner
           saw in its statistics *)
+  scan_morsels : string -> int -> Perm_storage.Tuple.t array array;
+      (** [scan_morsels table rows]: the table partitioned into fixed-size
+          morsels (the last may be short) in scan order; concatenating the
+          morsels must reproduce [scan_table]. Backs {!Par}. *)
 }
+
+val morsels_of_list :
+  morsel_rows:int -> Perm_storage.Tuple.t list -> Perm_storage.Tuple.t array array
+(** Partition a materialized row list into morsels — the [scan_morsels]
+    implementation for providers without chunked storage (virtual
+    relations, test fixtures). *)
 
 val run : provider:provider -> Perm_algebra.Plan.t -> (Perm_storage.Tuple.t list, string) result
 (** Executes the plan and materializes the result in plan-schema column
@@ -68,6 +78,38 @@ val scan_stats : exec_stats -> (string * node_stats) list
 (** The leaf scans ([Scan]/[Index_scan]) with the table each one read, in
     compile order — the per-base-relation counters behind
     [perm_stat_relations]. *)
+
+(** {1 Morsel-driven parallel execution}
+
+    Runs eligible plans over a {!Pool} of worker domains: the driving base
+    relation is split into fixed-size morsels, scan→filter→project→probe
+    pipeline fragments run on workers (hash-join builds stay serial and
+    shared read-only), aggregation is partitioned with a serial merge, and
+    Sort/Limit/Project tails run serially over the merged core. Results
+    are bit-identical to the serial closures: morsel outputs concatenate
+    in morsel order (= scan order) and aggregate partials merge in that
+    same order, so group first-seen order matches serial execution. *)
+module Par : sig
+  type report = {
+    par_domains : int;  (** pool size, caller included *)
+    par_morsels : int;  (** tasks fanned out *)
+    par_participants : int;  (** workers that executed at least one morsel *)
+  }
+
+  val default_morsel_rows : int
+
+  val prepare :
+    provider:provider ->
+    pool:Pool.t ->
+    ?morsel_rows:int ->
+    Perm_algebra.Plan.t ->
+    (unit -> (Perm_storage.Tuple.t list * report, string) result) option
+  (** [None] when the plan shape is not morsel-eligible (correlated
+      [Apply], Right/Full join, Distinct, Set_op, non-mergeable
+      aggregates, Index_scan or Values spines) — the caller falls back to
+      {!run}. The returned thunk may be invoked once per statement; the
+      pool is reused across calls. *)
+end
 
 val eval_const : Perm_algebra.Expr.t -> (Perm_value.Value.t, string) result
 (** Evaluates a closed expression (no attribute references) — INSERT rows,

@@ -1,0 +1,126 @@
+(* A reusable pool of worker domains for morsel-driven parallel execution
+   (Leis et al., SIGMOD 2014). The pool owns [size - 1] spawned domains;
+   the calling domain is the remaining worker, so [create 1] is a valid
+   degenerate pool that runs everything on the caller without spawning.
+
+   Work arrives as a batch of independent tasks (one per morsel). Tasks are
+   claimed with an atomic counter, so fast workers steal the tail of the
+   batch from slow ones — the classic morsel scheduling discipline. [run]
+   blocks until the whole batch finished and re-raises the first task
+   exception on the caller. *)
+
+type batch = {
+  tasks : (unit -> unit) array;
+  next : int Atomic.t;  (* next unclaimed task index *)
+  mutable completed : int;  (* finished tasks; protected by the pool mutex *)
+  mutable participants : int;  (* workers that ran >= 1 task; same lock *)
+  mutable error : exn option;  (* first failure; same lock *)
+}
+
+type t = {
+  size : int;  (* total workers, including the calling domain *)
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable generation : int;  (* bumped once per submitted batch *)
+  mutable current : batch option;
+  mutable stopped : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let size t = t.size
+
+(* Claim-and-run loop shared by spawned workers and the caller. Returns the
+   number of tasks this worker executed. *)
+let drain t batch =
+  let n = Array.length batch.tasks in
+  let rec go ran =
+    let i = Atomic.fetch_and_add batch.next 1 in
+    if i >= n then ran
+    else begin
+      (try batch.tasks.(i) ()
+       with e ->
+         Mutex.lock t.mutex;
+         if batch.error = None then batch.error <- Some e;
+         Mutex.unlock t.mutex);
+      go (ran + 1)
+    end
+  in
+  let ran = go 0 in
+  Mutex.lock t.mutex;
+  batch.completed <- batch.completed + ran;
+  if ran > 0 then batch.participants <- batch.participants + 1;
+  if batch.completed >= n then Condition.broadcast t.work_done;
+  Mutex.unlock t.mutex;
+  ran
+
+let rec worker_loop t seen_gen =
+  Mutex.lock t.mutex;
+  while (not t.stopped) && (t.generation = seen_gen || t.current = None) do
+    Condition.wait t.work_ready t.mutex
+  done;
+  if t.stopped then Mutex.unlock t.mutex
+  else begin
+    let gen = t.generation in
+    let batch = Option.get t.current in
+    Mutex.unlock t.mutex;
+    ignore (drain t batch);
+    worker_loop t gen
+  end
+
+let create n =
+  if n < 1 then invalid_arg "Pool.create: need at least one worker";
+  let t =
+    {
+      size = n;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      generation = 0;
+      current = None;
+      stopped = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init (n - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t 0));
+  t
+
+(* Run every task to completion, caller included. Not reentrant: one batch
+   at a time per pool (the engine submits one parallel fragment at a time). *)
+let run t (tasks : (unit -> unit) array) : int =
+  let n = Array.length tasks in
+  if n = 0 then 0
+  else if t.stopped then invalid_arg "Pool.run: pool is shut down"
+  else begin
+    let batch =
+      { tasks; next = Atomic.make 0; completed = 0; participants = 0; error = None }
+    in
+    Mutex.lock t.mutex;
+    t.current <- Some batch;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.mutex;
+    ignore (drain t batch);
+    Mutex.lock t.mutex;
+    while batch.completed < n do
+      Condition.wait t.work_done t.mutex
+    done;
+    t.current <- None;
+    let err = batch.error and participants = batch.participants in
+    Mutex.unlock t.mutex;
+    (match err with Some e -> raise e | None -> ());
+    participants
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if not t.stopped then begin
+    t.stopped <- true;
+    Condition.broadcast t.work_ready
+  end;
+  let domains = t.domains in
+  t.domains <- [];
+  Mutex.unlock t.mutex;
+  List.iter Domain.join domains
+
+let stopped t = t.stopped

@@ -1,0 +1,29 @@
+(** A reusable pool of worker domains for morsel-driven parallel execution
+    (Leis et al., SIGMOD 2014).
+
+    The pool owns [size - 1] spawned domains; the calling domain is the
+    remaining worker, so a pool of size 1 is a valid degenerate pool that
+    runs everything on the caller without spawning. Work arrives as a
+    batch of independent tasks (one per morsel), claimed with an atomic
+    counter so fast workers steal the tail of the batch from slow ones. *)
+
+type t
+
+val create : int -> t
+(** [create n] spawns [n - 1] worker domains.
+    @raise Invalid_argument when [n < 1]. *)
+
+val size : t -> int
+(** Total workers, including the calling domain. *)
+
+val run : t -> (unit -> unit) array -> int
+(** Runs every task to completion (the caller participates) and returns
+    the number of workers that executed at least one task. The first task
+    exception, if any, is re-raised on the caller after the batch
+    finishes. Not reentrant: one batch at a time per pool. *)
+
+val shutdown : t -> unit
+(** Stops and joins the worker domains; idempotent. [run] on a shut-down
+    pool raises [Invalid_argument]. *)
+
+val stopped : t -> bool

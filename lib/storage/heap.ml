@@ -102,6 +102,11 @@ let truncate t =
 let scan t = Vec.to_seq t.rows
 let to_list t = Vec.to_list t.rows
 
+(* Chunked access for morsel-driven parallel scans: contiguous row slices
+   in insertion order, so concatenating the chunks reproduces [scan]. *)
+let scan_chunk t ~pos ~len = Vec.sub t.rows pos len
+let scan_morsels t ~rows = Vec.chunks t.rows ~size:rows
+
 let distinct_estimate t col =
   let counts =
     match t.distinct_cache with

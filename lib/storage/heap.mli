@@ -22,6 +22,15 @@ val truncate : t -> unit
 val scan : t -> Tuple.t Seq.t
 val to_list : t -> Tuple.t list
 
+val scan_chunk : t -> pos:int -> len:int -> Tuple.t array
+(** Contiguous slice of the heap in insertion order.
+    @raise Invalid_argument when the range is out of bounds. *)
+
+val scan_morsels : t -> rows:int -> Tuple.t array array
+(** The heap partitioned into fixed-size morsels (the last may be short)
+    in insertion order, for morsel-driven parallel scans: concatenating
+    the morsels reproduces {!scan}. *)
+
 val distinct_estimate : t -> int -> int
 (** [distinct_estimate h col] is the exact number of distinct values in
     column [col], computed on demand and cached until the next write. Used

@@ -1,0 +1,232 @@
+(* Morsel-driven parallel execution.
+
+   The central property is the determinism gate: with parallelism on, every
+   query must return *byte-identical* rows in *identical order* to the
+   serial closures — the whole suite leans on serial execution as the
+   correctness oracle. The domain count comes from the PERM_PARALLEL
+   environment variable (CI runs the suite at 1, 2 and 4), defaulting
+   to 2. *)
+
+module Engine = Perm_engine.Engine
+module Metrics = Perm_obs.Metrics
+module Value = Perm_value.Value
+open Perm_testkit.Kit
+
+let domains =
+  match Sys.getenv_opt "PERM_PARALLEL" with
+  | Some s -> ( match int_of_string_opt s with Some n when n >= 1 -> n | _ -> 2)
+  | None -> 2
+
+(* Make parallelism reachable for the small test relations: fan out from
+   one row up, with tiny morsels so several tasks exist. *)
+let go_parallel e =
+  Engine.set_parallel e (Engine.Par_domains domains);
+  Engine.set_parallel_threshold e 1;
+  Engine.set_morsel_rows e 16
+
+(* Rows in order, rendered — order differences must fail the check. *)
+let ordered_rows e sql = strings_of_rows (query_ok e sql).Engine.rows
+
+(* The determinism gate: serial vs parallel on the same engine. *)
+let check_identical e sql =
+  Engine.set_parallel e Engine.Par_off;
+  let serial = ordered_rows e sql in
+  go_parallel e;
+  let parallel = ordered_rows e sql in
+  Engine.set_parallel e Engine.Par_off;
+  Alcotest.(check rows_testable) (sql ^ " [serial = parallel]") serial parallel
+
+let par_queries e = Metrics.counter (Engine.metrics e) "executor.par.queries"
+
+(* A query that is certainly eligible, for tests that need the parallel
+   path to actually engage. *)
+let eligible = "SELECT mid, text FROM messages WHERE mid >= 0"
+
+let forum_queries =
+  [
+    eligible;
+    "SELECT * FROM users";
+    (* join spine: probe parallel, build serial *)
+    "SELECT m.text, u.name FROM messages m, users u WHERE m.uid = u.uid";
+    (* aggregation: partitioned pre-aggregation + ordered merge *)
+    "SELECT uid, count(*) FROM messages GROUP BY uid";
+    "SELECT count(*), min(mid), max(mid) FROM messages";
+    (* serial Sort/Limit tails over a parallel core *)
+    "SELECT mid, text FROM messages ORDER BY mid DESC LIMIT 7";
+    (* fallback shapes must stay correct too *)
+    Perm_workload.Forum.q1;
+    Perm_workload.Forum.q3;
+    (* SQL-PLE provenance: the rewritten q+ plans (wider tuples, extra
+       joins) are exactly the workload the tentpole targets *)
+    Perm_workload.Forum.q1_provenance;
+    "SELECT PROVENANCE m.text FROM messages m WHERE m.mid > 2";
+    "SELECT PROVENANCE uid, count(*) FROM messages GROUP BY uid";
+  ]
+
+let forum_scaled () =
+  let e = engine () in
+  Perm_workload.Forum.load_scaled e ~messages:300 ~users:40 ();
+  e
+
+let suite_equality =
+  [
+    case "forum figure-1 data: serial = parallel on every query" (fun () ->
+        let e = forum_engine () in
+        List.iter (check_identical e) forum_queries);
+    case "scaled forum: serial = parallel, parallel path engaged" (fun () ->
+        let e = forum_scaled () in
+        List.iter (check_identical e) forum_queries;
+        Alcotest.(check bool)
+          "at least one query ran in parallel" true (par_queries e > 0);
+        Engine.close e);
+    case "star workload: serial = parallel incl. provenance variants"
+      (fun () ->
+        let e = engine () in
+        Perm_workload.Star.load e ~scale:120 ();
+        List.iter
+          (fun (_, q, qp) ->
+            check_identical e q;
+            check_identical e qp)
+          Perm_workload.Star.queries;
+        Engine.close e);
+    case "DML between runs: parallel sees the same store as serial" (fun () ->
+        let e = forum_engine () in
+        go_parallel e;
+        ignore (exec_ok e "INSERT INTO messages VALUES (99, 'new', 1)");
+        check_identical e eligible;
+        ignore (exec_ok e "DELETE FROM messages WHERE mid = 99");
+        check_identical e eligible);
+  ]
+
+let suite_lifecycle =
+  [
+    case "pool is lazy, reused, and torn down by close" (fun () ->
+        let e = forum_engine () in
+        go_parallel e;
+        Alcotest.(check int) "no pool before first parallel query" 0
+          (Engine.pool_size e);
+        ignore (query_ok e eligible);
+        Alcotest.(check int) "pool created at configured size" domains
+          (Engine.pool_size e);
+        ignore (query_ok e eligible);
+        Alcotest.(check int) "pool reused, not regrown" domains
+          (Engine.pool_size e);
+        Engine.close e;
+        Alcotest.(check int) "close releases the pool" 0 (Engine.pool_size e);
+        (* the engine stays usable; the next parallel query recreates it *)
+        ignore (query_ok e eligible);
+        Alcotest.(check int) "pool recreated after close" domains
+          (Engine.pool_size e);
+        Engine.close e);
+    case "resizing tears down the old pool" (fun () ->
+        let e = forum_engine () in
+        go_parallel e;
+        ignore (query_ok e eligible);
+        Engine.set_parallel e (Engine.Par_domains (domains + 1));
+        Alcotest.(check int) "old pool gone" 0 (Engine.pool_size e);
+        ignore (query_ok e eligible);
+        Alcotest.(check int) "new size" (domains + 1) (Engine.pool_size e);
+        Engine.close e);
+    case "\\set parallel off never builds a pool" (fun () ->
+        let e = forum_engine () in
+        Engine.set_parallel e Engine.Par_off;
+        ignore (query_ok e eligible);
+        Alcotest.(check int) "no pool" 0 (Engine.pool_size e);
+        Alcotest.(check int) "no parallel queries" 0 (par_queries e));
+  ]
+
+let suite_fallback =
+  [
+    case "tiny tables stay serial (threshold)" (fun () ->
+        let e = forum_engine () in
+        Engine.set_parallel e (Engine.Par_domains domains);
+        (* default threshold is far above the Figure 1 row counts *)
+        ignore (query_ok e eligible);
+        Alcotest.(check int) "no parallel queries" 0 (par_queries e);
+        Alcotest.(check bool) "small-input fallback recorded" true
+          (Metrics.counter (Engine.metrics e) "executor.par.fallback.small" > 0);
+        Engine.close e);
+    case "correlated Apply falls back serially" (fun () ->
+        let e = forum_engine () in
+        go_parallel e;
+        (* non-equality correlation defeats decorrelation, so an Apply
+           survives into the optimized plan *)
+        let sql =
+          "SELECT u.name FROM users u WHERE EXISTS (SELECT 1 FROM messages \
+           m WHERE m.uid < u.uid)"
+        in
+        let before = par_queries e in
+        check_identical e sql;
+        go_parallel e;
+        ignore (query_ok e sql);
+        Alcotest.(check int) "did not parallelize" before (par_queries e);
+        Alcotest.(check bool) "apply fallback recorded" true
+          (Metrics.counter (Engine.metrics e) "executor.par.fallback.apply" > 0);
+        Engine.close e);
+    case "set operations fall back serially" (fun () ->
+        let e = forum_engine () in
+        go_parallel e;
+        let before = par_queries e in
+        ignore (query_ok e Perm_workload.Forum.q1);
+        Alcotest.(check int) "did not parallelize" before (par_queries e);
+        Engine.close e);
+    case "instrumentation forces the serial instrumented path" (fun () ->
+        let e = forum_engine () in
+        go_parallel e;
+        Engine.set_instrumentation e true;
+        ignore (query_ok e eligible);
+        Alcotest.(check int) "no parallel queries" 0 (par_queries e);
+        Engine.set_instrumentation e false;
+        ignore (query_ok e eligible);
+        Alcotest.(check bool) "parallel once uninstrumented" true
+          (par_queries e > 0);
+        Engine.close e);
+  ]
+
+let suite_metrics =
+  [
+    case "executor.par.* counters, gauges and span after a parallel run"
+      (fun () ->
+        let e = forum_scaled () in
+        go_parallel e;
+        ignore (query_ok e eligible);
+        let m = Engine.metrics e in
+        Alcotest.(check bool) "queries counter" true
+          (Metrics.counter m "executor.par.queries" > 0);
+        Alcotest.(check bool) "morsel fan-out counted" true
+          (Metrics.counter m "executor.par.morsels" >= 2);
+        Alcotest.(check (option (float 0.)))
+          "domains gauge" (Some (float_of_int domains))
+          (Metrics.gauge m "executor.par.domains");
+        (match Metrics.gauge m "executor.par.utilization" with
+        | Some u -> Alcotest.(check bool) "utilization in (0, 1]" true (u > 0. && u <= 1.)
+        | None -> Alcotest.fail "missing executor.par.utilization gauge");
+        (* the execute phase carries a "parallel" child span *)
+        (match Engine.last_trace e with
+        | None -> Alcotest.fail "no trace recorded"
+        | Some root ->
+          let module Trace = Perm_obs.Trace in
+          let execute =
+            match Trace.find root "execute" with
+            | Some sp -> sp
+            | None -> Alcotest.fail "no execute phase span"
+          in
+          (match Trace.find execute "parallel" with
+          | Some psp ->
+            let attrs = Trace.attrs psp in
+            Alcotest.(check bool) "domains attr" true
+              (List.mem_assoc "domains" attrs);
+            Alcotest.(check bool) "morsels attr" true
+              (List.mem_assoc "morsels" attrs)
+          | None -> Alcotest.fail "no parallel child span"));
+        Engine.close e);
+  ]
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ("equality", suite_equality);
+      ("lifecycle", suite_lifecycle);
+      ("fallback", suite_fallback);
+      ("metrics", suite_metrics);
+    ]
