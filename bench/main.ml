@@ -470,6 +470,61 @@ let b8 ~size =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* B8-guard: resource-governor overhead — the per-operator cancellation *)
+(* guard is only compiled in when a limit is armed, so the interesting  *)
+(* number is armed-but-never-firing vs. guardrails off.                 *)
+(* ------------------------------------------------------------------ *)
+
+let guard_queries =
+  [
+    ("scan-filter", "SELECT mid, text FROM messages WHERE mid % 3 = 0");
+    ( "join +prov",
+      "SELECT PROVENANCE m.text, u.name FROM messages m, users u WHERE \
+       m.uid = u.uid" );
+    ("agg", "SELECT uid, count(*), max(mid) FROM messages GROUP BY uid");
+  ]
+
+let b8_guard_measure ~size =
+  (* a private serial engine: the shared forum_cache engine may have been
+     left in parallel mode by B7-par, which would swamp the guard delta *)
+  let e = Engine.create () in
+  Forum.load_scaled e ~messages:size ~users:(max 10 (size / 20)) ();
+  (* run the whole battery once before measuring anything: the heap grows
+     to working size on the first heavy query, and whichever arm ran
+     first would otherwise eat that cost as phantom overhead *)
+  List.iter (fun (_, sql) -> run_query e sql) guard_queries;
+  Gc.compact ();
+  List.map
+    (fun (name, sql) ->
+      Engine.set_statement_timeout e 0.;
+      Engine.set_tuple_budget e 0;
+      let t_off = time_query e sql in
+      (* armed but never firing: a one-hour deadline and an absurd tuple
+         budget measure the pure bookkeeping cost of the guard *)
+      Engine.set_statement_timeout e 3_600_000.;
+      Engine.set_tuple_budget e 1_000_000_000;
+      let t_armed = time_query e sql in
+      Engine.set_statement_timeout e 0.;
+      Engine.set_tuple_budget e 0;
+      (name, t_off, t_armed))
+    guard_queries
+
+let b8_guard ~size =
+  let rows =
+    List.map
+      (fun (name, t_off, t_armed) ->
+        [ name; fms t_off; fms t_armed; ffac (t_armed /. t_off) ])
+      (b8_guard_measure ~size)
+  in
+  print_table
+    (Printf.sprintf
+       "B8-guard: governor guard overhead, armed-but-idle vs. off (forum %d \
+        messages)"
+       size)
+    [ "query"; "guards off ms"; "armed ms"; "overhead" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* Smoke mode: one instrumented pass over representative queries,       *)
 (* reporting the engine's own per-phase breakdown (no Bechamel); with   *)
 (* --json the breakdowns and the session metrics land in                *)
@@ -559,7 +614,32 @@ let smoke ~json () =
     let saved_quota = !quota in
     quota := 0.15;
     let par_measured = b7_par_measure ~size:4_000 in
+    (* B8-guard rides along too: the regression gate only reads "queries",
+       so the guardrails section is informational — EXPERIMENTS.md quotes
+       the armed-but-idle overhead from here. A small relation keeps every
+       query in the low-millisecond range so the quota buys enough samples
+       for the off/armed delta to be signal, not run-to-run noise. *)
+    quota := 0.3;
+    let guard_measured = b8_guard_measure ~size:1_000 in
     quota := saved_quota;
+    let guard_section =
+      Json.Obj
+        [
+          ("forum_messages", Json.Int 1_000);
+          ( "queries",
+            Json.List
+              (List.map
+                 (fun (name, t_off, t_armed) ->
+                   Json.Obj
+                     [
+                       ("name", Json.String name);
+                       ("off_ms", Json.Float (ms t_off));
+                       ("armed_ms", Json.Float (ms t_armed));
+                       ("overhead", Json.Float (t_armed /. t_off));
+                     ])
+                 guard_measured) );
+        ]
+    in
     let parallel_section =
       Json.Obj
         [
@@ -592,6 +672,7 @@ let smoke ~json () =
           ("suite", Json.String "perm-bench-smoke");
           ("forum_messages", Json.Int 1_000);
           ("parallel", parallel_section);
+          ("guardrails", guard_section);
           ( "queries",
             Json.List
               (List.map
@@ -767,4 +848,5 @@ let () =
   b7 ~scale:(if fast then 300 else 3_000);
   b7_par ~size:(if fast then 2_000 else 20_000);
   b8 ~size:(if fast then 2_000 else 20_000);
+  b8_guard ~size:(if fast then 2_000 else 20_000);
   print_newline ()

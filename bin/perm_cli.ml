@@ -6,6 +6,8 @@ module Engine = Perm_engine.Engine
 module Render = Perm_engine.Render
 module Trace = Perm_obs.Trace
 module Metrics = Perm_obs.Metrics
+module Err = Perm_err
+module Fault = Perm_fault
 
 type session = {
   engine : Engine.t;
@@ -64,9 +66,9 @@ let run_sql session sql =
   let sql = String.trim sql in
   if sql <> "" then begin
     let before = Engine.last_trace session.engine in
-    (match Engine.execute session.engine sql with
+    (match Engine.execute_err session.engine sql with
     | Ok outcome -> print_outcome session sql outcome
-    | Error msg -> Printf.printf "ERROR: %s\n" msg);
+    | Error e -> Printf.printf "ERROR: %s\n" (Err.describe e));
     (* both \trace and \timing read the engine's span tree, so the time
        reported is the pipeline's own measurement (excludes rendering);
        parse failures record no new trace — print nothing rather than the
@@ -111,6 +113,17 @@ let help_text =
   \set parallel_threshold N
                            min driving-table rows before a query fans out
   \set morsel_rows N       rows per morsel (default 1024)
+  \set statement_timeout MS
+                           kill statements running longer than MS ms (0 = off)
+  \set row_limit N         kill statements returning more than N rows (0 = off)
+  \set tuple_budget N      kill statements moving more than N tuples across
+                           operators (0 = off)
+  \fault POINT PROB        deterministic fault injection: make the named point
+                           (e.g. heap.scan, join.build, pool.dispatch,
+                           engine.commit) fail with probability PROB
+  \fault seed N            reseed the injection PRNG (also via PERM_FAULT=N)
+  \fault list              registered fault points, hit and injection counts
+  \fault off               disarm all fault points and clear counters
   \demo                    load the paper's example forum database (Fig. 1)
   \save FILE               dump all tables and views as a SQL script
   \load FILE               execute a SQL script (e.g. a \save dump)
@@ -239,6 +252,57 @@ let handle_meta session line =
       Engine.set_morsel_rows session.engine n;
       Printf.printf "morsel size: %d rows\n" n
     | _ -> print_endline "usage: \\set morsel_rows N");
+    `Continue
+  | [ "\\set"; "statement_timeout"; ms ] ->
+    (match float_of_string_opt ms with
+    | Some v when v >= 0. ->
+      Engine.set_statement_timeout session.engine v;
+      if v = 0. then print_endline "statement timeout off"
+      else Printf.printf "statement timeout: %g ms\n" v
+    | _ -> print_endline "usage: \\set statement_timeout MS (0 = off)");
+    `Continue
+  | [ "\\set"; "row_limit"; n ] ->
+    (match int_of_string_opt n with
+    | Some n when n >= 0 ->
+      Engine.set_row_limit session.engine n;
+      if n = 0 then print_endline "row limit off"
+      else Printf.printf "row limit: %d rows\n" n
+    | _ -> print_endline "usage: \\set row_limit N (0 = off)");
+    `Continue
+  | [ "\\set"; "tuple_budget"; n ] ->
+    (match int_of_string_opt n with
+    | Some n when n >= 0 ->
+      Engine.set_tuple_budget session.engine n;
+      if n = 0 then print_endline "tuple budget off"
+      else Printf.printf "tuple budget: %d tuples\n" n
+    | _ -> print_endline "usage: \\set tuple_budget N (0 = off)");
+    `Continue
+  | [ "\\fault"; "list" ] ->
+    List.iter
+      (fun (name, prob, hits, injected) ->
+        Printf.printf "%-18s p=%-6g hits=%-8d injected=%d\n" name prob hits
+          injected)
+      (Fault.points ());
+    Printf.printf "seed=%d\n" (Fault.seed ());
+    `Continue
+  | [ "\\fault"; "off" ] ->
+    Fault.reset ();
+    print_endline "fault injection off (counters cleared)";
+    `Continue
+  | [ "\\fault"; "seed"; n ] ->
+    (match int_of_string_opt n with
+    | Some s ->
+      Fault.set_seed s;
+      Printf.printf "fault seed: %d\n" s
+    | None -> print_endline "usage: \\fault seed N");
+    `Continue
+  | [ "\\fault"; name; prob ] ->
+    (match float_of_string_opt prob with
+    | Some p when p >= 0. && p <= 1. ->
+      Fault.set name p;
+      Printf.printf "fault point %s armed at p=%g (seed %d)\n" name p
+        (Fault.seed ())
+    | _ -> print_endline "usage: \\fault POINT PROB (0 <= PROB <= 1)");
     `Continue
   | [ "\\save"; path ] ->
     (try

@@ -18,6 +18,8 @@ module Tuple = Perm_storage.Tuple
 module Value = Perm_value.Value
 module Dtype = Perm_value.Dtype
 module Metrics = Perm_obs.Metrics
+module Err = Perm_err
+module Token = Perm_err.Token
 module Trace = Perm_obs.Trace
 module Stats = Perm_obs.Stats
 module Eventlog = Perm_obs.Eventlog
@@ -25,6 +27,11 @@ module Json = Perm_obs.Json
 module Fingerprint = Perm_sql.Fingerprint
 
 type agg_strategy_setting = Use_join | Use_lateral | Use_heuristic | Use_cost_based
+
+(* Chaos-harness injection point: fires between the commit decision and the
+   snapshot drop, so an injected commit fault leaves the transaction open
+   and the snapshot untouched. *)
+let fp_commit = Perm_fault.point "engine.commit"
 
 type snapshot = {
   snap_cat : Catalog.t;
@@ -64,6 +71,10 @@ type t = {
   mutable parallel_threshold : int;  (* min driving-table rows to fan out *)
   mutable morsel_rows : int;  (* rows per morsel *)
   mutable pool : Pool.t option;  (* lazily created, reused *)
+  mutable statement_timeout_ms : float;  (* governor: 0 = off *)
+  mutable row_limit : int;  (* governor: 0 = off *)
+  mutable tuple_budget : int;  (* governor: 0 = off *)
+  mutable token : Token.t;  (* cancellation token of the running statement *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -216,8 +227,13 @@ let create () =
       parallel_threshold = Planner.default_parallel_threshold;
       morsel_rows = Executor.Par.default_morsel_rows;
       pool = None;
+      statement_timeout_ms = 0.;
+      row_limit = 0;
+      tuple_budget = 0;
+      token = Token.none;
     }
   in
+  Perm_fault.init_from_env ();
   register_virtuals t;
   t
 
@@ -321,6 +337,32 @@ let set_morsel_rows t n = t.morsel_rows <- max 1 n
 let morsel_rows t = t.morsel_rows
 let pool_size t = match t.pool with Some p -> Pool.size p | None -> 0
 
+(* ------------------------------------------------------------------ *)
+(* Resource governor settings                                          *)
+(* ------------------------------------------------------------------ *)
+
+let set_statement_timeout t ms = t.statement_timeout_ms <- Float.max 0. ms
+let statement_timeout t = t.statement_timeout_ms
+let set_row_limit t n = t.row_limit <- max 0 n
+let row_limit t = t.row_limit
+let set_tuple_budget t n = t.tuple_budget <- max 0 n
+let tuple_budget t = t.tuple_budget
+let cancel t reason = Token.cancel t.token reason
+
+let active_row_limit t = if t.row_limit > 0 then Some t.row_limit else None
+
+(* A fresh token per top-level statement, armed from the session's governor
+   settings. Always a real token (never [Token.none]) so {!cancel} from
+   another domain has something to fire at; the executor only installs its
+   per-operator guard when a limit is actually armed. *)
+let fresh_token t =
+  Token.create
+    ?timeout_ms:
+      (if t.statement_timeout_ms > 0. then Some t.statement_timeout_ms
+       else None)
+    ?tuple_budget:(if t.tuple_budget > 0 then Some t.tuple_budget else None)
+    ()
+
 (* Lazily create the reusable worker pool on the first parallel query. *)
 let pool t =
   match t.pool with
@@ -381,6 +423,27 @@ let provider t : Executor.provider =
   }
 
 let ( let* ) = Result.bind
+
+(* Kind-tagging shims for subsystem helpers that report plain strings:
+   [sem] for semantic/catalog preconditions, [dat] for data-dependent
+   storage and evaluation errors. *)
+let sem r = Result.map_error Err.analyze r
+let dat r = Result.map_error Err.runtime r
+
+(* The engine boundary: everything the pipeline may legitimately raise —
+   executor runtime errors, cooperative-cancellation kills, injected
+   faults, resource blowups — is mapped into the typed taxonomy here, so
+   [execute] keeps its result contract and never raises. *)
+let capture t f =
+  try f () with
+  | Executor.Runtime_error msg -> Error (Err.runtime msg)
+  | Err.Cancel (kind, msg) -> Error (Err.make kind msg)
+  | Perm_fault.Injected p ->
+    Metrics.incr t.metrics ("fault.injected." ^ p);
+    Error (Err.faulted (Printf.sprintf "fault injected at %s" p))
+  | Stack_overflow -> Error (Err.resource "stack overflow")
+  | Out_of_memory -> Error (Err.resource "out of memory")
+  | e -> Error (Err.internal (Printexc.to_string e))
 
 (* ------------------------------------------------------------------ *)
 (* Observability                                                       *)
@@ -451,12 +514,15 @@ let record_exec_stats t stats =
 (* ------------------------------------------------------------------ *)
 
 let prepare t (q : Ast.query) =
-  let* analyzed = phase t "analyze" (fun () -> Analyzer.analyze_query t.cat q) in
+  let* analyzed =
+    sem (phase t "analyze" (fun () -> Analyzer.analyze_query t.cat q))
+  in
   let* rewritten, report =
-    phase t "rewrite" (fun () ->
-        try Ok (Rewriter.rewrite ~config:(rewriter_config t) analyzed)
-        with Rewriter.Rewrite_error msg ->
-          Error ("provenance rewrite failed: " ^ msg))
+    sem
+      (phase t "rewrite" (fun () ->
+           try Ok (Rewriter.rewrite ~config:(rewriter_config t) analyzed)
+           with Rewriter.Rewrite_error msg ->
+             Error ("provenance rewrite failed: " ^ msg)))
   in
   t.report <- Some report;
   record_rewrite_metrics t report;
@@ -485,7 +551,8 @@ let try_parallel t optimized =
     | Planner.Par_ok _ -> (
       match
         Executor.Par.prepare ~provider:(provider t) ~pool:(pool t)
-          ~morsel_rows:t.morsel_rows optimized
+          ~morsel_rows:t.morsel_rows ~token:t.token
+          ?row_limit:(active_row_limit t) optimized
       with
       | None ->
         (* the planner mirror accepted a shape the executor declined *)
@@ -506,39 +573,63 @@ let record_par_report t (r : Executor.Par.report) =
 (* Execute a prepared plan, collecting per-operator stats when the session
    has instrumentation switched on. *)
 let exec_plan t optimized =
+  let run_serial () =
+    Executor.run ~token:t.token ?row_limit:(active_row_limit t)
+      ~provider:(provider t) optimized
+  in
   match try_parallel t optimized with
   | Some run ->
     phase_sp t "execute" (fun sp ->
-        let par_sp = Option.map (fun s -> Trace.child s "parallel") sp in
-        let result = run () in
-        (match par_sp with
-        | Some psp ->
-          (match result with
-          | Ok (_, r) ->
-            Trace.annotate psp "domains"
-              (string_of_int r.Executor.Par.par_domains);
-            Trace.annotate psp "morsels"
-              (string_of_int r.Executor.Par.par_morsels);
-            Trace.annotate psp "participants"
-              (string_of_int r.Executor.Par.par_participants)
-          | Error _ -> ());
-          Trace.finish psp
-        | None -> ());
-        match result with
+        let run_par () =
+          let par_sp = Option.map (fun s -> Trace.child s "parallel") sp in
+          Fun.protect
+            ~finally:(fun () -> Option.iter Trace.finish par_sp)
+            (fun () ->
+              let result = run () in
+              (match par_sp, result with
+              | Some psp, Ok (_, r) ->
+                Trace.annotate psp "domains"
+                  (string_of_int r.Executor.Par.par_domains);
+                Trace.annotate psp "morsels"
+                  (string_of_int r.Executor.Par.par_morsels);
+                Trace.annotate psp "participants"
+                  (string_of_int r.Executor.Par.par_participants)
+              | _ -> ());
+              result)
+        in
+        match run_par () with
         | Ok (rows, report) ->
           record_par_report t report;
           Ok rows
-        | Error msg -> Error msg)
+        | Error msg -> Error (Err.runtime msg)
+        | exception (Err.Cancel _ as e) ->
+          (* a governor kill is not a worker failure: the generation has
+             already drained, so re-raise for the boundary — no retry *)
+          raise e
+        | exception e ->
+          (* a worker blew past the executor's error contract (injected
+             fault, poisoned generation): degrade to the serial path once.
+             If the failure is deterministic it will surface again there,
+             typed, through the boundary. *)
+          (match e with
+          | Perm_fault.Injected p ->
+            Metrics.incr t.metrics ("fault.injected." ^ p)
+          | _ -> ());
+          Metrics.incr t.metrics "executor.par.fallback.error";
+          Metrics.incr t.metrics "executor.par.degraded";
+          dat (run_serial ()))
   | None ->
     if t.instrument then
       let* rows, exec_stats =
-        phase t "execute" (fun () ->
-            Executor.run_instrumented ~provider:(provider t) optimized)
+        dat
+          (phase t "execute" (fun () ->
+               Executor.run_instrumented ~token:t.token
+                 ?row_limit:(active_row_limit t) ~provider:(provider t)
+                 optimized))
       in
       record_exec_stats t exec_stats;
       Ok rows
-    else
-      phase t "execute" (fun () -> Executor.run ~provider:(provider t) optimized)
+    else dat (phase t "execute" run_serial)
 
 let run_query t (q : Ast.query) =
   let* analyzed, _rewritten, optimized = prepare t q in
@@ -552,10 +643,18 @@ let plan_query t sql =
   match Parser.parse_query sql with
   | Error e -> Error (Parser.error_to_string ~input:sql e)
   | Ok q ->
-    let* analyzed, _rewritten, optimized = prepare t q in
-    Ok (analyzed, optimized)
+    Result.map_error Err.to_string
+      (capture t (fun () ->
+           let* analyzed, _rewritten, optimized = prepare t q in
+           Ok (analyzed, optimized)))
 
-let run_plan t plan = Executor.run ~provider:(provider t) plan
+let run_plan t plan =
+  t.token <- fresh_token t;
+  Result.map_error Err.to_string
+    (capture t (fun () ->
+         dat
+           (Executor.run ~token:t.token ?row_limit:(active_row_limit t)
+              ~provider:(provider t) plan)))
 
 let explain_query t sql (q : Ast.query) =
   let* analyzed, rewritten, optimized = prepare t q in
@@ -581,8 +680,10 @@ let explain_analyze_query t sql (q : Ast.query) =
   let report = Option.get t.report in
   (* EXPLAIN ANALYZE always instruments, whatever the session setting *)
   let* rows, exec_stats =
-    phase t "execute" (fun () ->
-        Executor.run_instrumented ~provider:(provider t) optimized)
+    dat
+      (phase t "execute" (fun () ->
+           Executor.run_instrumented ~token:t.token
+             ?row_limit:(active_row_limit t) ~provider:(provider t) optimized))
   in
   record_exec_stats t exec_stats;
   let annotate plan =
@@ -640,9 +741,9 @@ let schema_of_plan plan =
   Schema.make cols
 
 let create_relation t name schema rows =
-  let* _def = Catalog.add_table t.cat name schema in
-  let* heap = Store.create_table t.store name schema in
-  let* () = Heap.insert_all heap rows in
+  let* _def = sem (Catalog.add_table t.cat name schema) in
+  let* heap = sem (Store.create_table t.store name schema) in
+  let* () = dat (Heap.insert_all heap rows) in
   Ok ()
 
 (* ------------------------------------------------------------------ *)
@@ -653,12 +754,13 @@ let find_heap t name =
   match Catalog.find_table t.cat name, Store.find t.store name with
   | Some def, Some heap -> Ok (def, heap)
   | None, _ when Catalog.find_view t.cat name <> None ->
-    Error (Printf.sprintf "%S is a view; DML targets must be tables" name)
+    Error (Err.analyze (Printf.sprintf "%S is a view; DML targets must be tables" name))
   | None, _ when Catalog.find_virtual t.cat name <> None ->
     Error
-      (Printf.sprintf
-         "%S is a virtual system relation; DML targets must be tables" name)
-  | _ -> Error (Printf.sprintf "table %S does not exist" name)
+      (Err.analyze
+         (Printf.sprintf
+            "%S is a virtual system relation; DML targets must be tables" name))
+  | _ -> Error (Err.analyze (Printf.sprintf "table %S does not exist" name))
 
 let insert_values t name rows =
   let* _def, heap = find_heap t name in
@@ -668,21 +770,21 @@ let insert_values t name rows =
       let rec eval_row acc_v = function
         | [] -> Ok (Array.of_list (List.rev acc_v))
         | e :: es ->
-          let* e' = Analyzer.const_expr e in
-          let* v = Executor.eval_const e' in
+          let* e' = sem (Analyzer.const_expr e) in
+          let* v = dat (Executor.eval_const e') in
           eval_row (v :: acc_v) es
       in
       let* r = eval_row [] row in
       eval_rows (r :: acc) rest
   in
   let* rows = eval_rows [] rows in
-  let* () = Heap.insert_all heap rows in
+  let* () = dat (Heap.insert_all heap rows) in
   Ok (List.length rows)
 
 let insert_select t name q =
   let* _def, heap = find_heap t name in
   let* { rows; _ } = run_query t q in
-  let* () = Heap.insert_all heap rows in
+  let* () = dat (Heap.insert_all heap rows) in
   Ok (List.length rows)
 
 (* DELETE/UPDATE row selection reuses the analyzer+executor through a
@@ -715,8 +817,7 @@ let delete_rows t name where =
       List.filter (fun r -> not (Tuple.Hash.mem victims r)) (Heap.to_list heap)
     in
     let deleted = Heap.row_count heap - List.length keep in
-    Heap.truncate heap;
-    let* () = Heap.insert_all heap keep in
+    let* () = dat (Heap.replace_all heap keep) in
     Ok deleted
 
 let update_rows t name assigns where =
@@ -729,7 +830,7 @@ let update_rows t name assigns where =
         let* () = acc in
         match Schema.find schema col with
         | Some _ -> Ok ()
-        | None -> Error (Printf.sprintf "column %S does not exist" col))
+        | None -> Error (Err.analyze (Printf.sprintf "column %S does not exist" col)))
       (Ok ()) assigns
   in
   (* one synthesized query yields the updated images of matching rows *)
@@ -756,9 +857,7 @@ let update_rows t name assigns where =
   let keep =
     List.filter (fun r -> not (Tuple.Hash.mem victims r)) (Heap.to_list heap)
   in
-  Heap.truncate heap;
-  let* () = Heap.insert_all heap keep in
-  let* () = Heap.insert_all heap updated.rows in
+  let* () = dat (Heap.replace_all heap (keep @ updated.rows)) in
   Ok (List.length updated.rows)
 
 (* ------------------------------------------------------------------ *)
@@ -786,7 +885,7 @@ let store_provenance t q name =
   let q = if Ast.query_uses_provenance q then q else mark_provenance q in
   let* analyzed, _rewritten, optimized = prepare t q in
   let* rows = exec_plan t optimized in
-  let* schema = schema_of_plan analyzed in
+  let* schema = sem (schema_of_plan analyzed) in
   let* () = create_relation t name schema rows in
   let prov_cols =
     List.filter
@@ -810,17 +909,18 @@ let copy_from t name path =
   let* def, heap = find_heap t name in
   let* text =
     try Ok (In_channel.with_open_text path In_channel.input_all)
-    with Sys_error msg -> Error msg
+    with Sys_error msg -> Error (Err.runtime msg)
   in
-  let* rows = Csv.parse text in
+  let* rows = dat (Csv.parse text) in
   let cols = Array.of_list (Schema.columns def.Catalog.table_schema) in
   let rec load n = function
     | [] -> Ok n
     | fields :: rest ->
       if List.length fields <> Array.length cols then
         Error
-          (Printf.sprintf "CSV row %d has %d fields, table %S has %d columns"
-             (n + 1) (List.length fields) name (Array.length cols))
+          (Err.runtime
+             (Printf.sprintf "CSV row %d has %d fields, table %S has %d columns"
+                (n + 1) (List.length fields) name (Array.length cols)))
       else
         let rec build i acc = function
           | [] -> Ok (Array.of_list (List.rev acc))
@@ -831,10 +931,13 @@ let copy_from t name path =
               match Value.cast cols.(i).Column.ty (Value.Text text) with
               | Ok v -> build (i + 1) (v :: acc) fields
               | Error msg ->
-                Error (Printf.sprintf "CSV row %d, column %S: %s" (n + 1) cols.(i).Column.name msg)))
+                Error
+                  (Err.runtime
+                     (Printf.sprintf "CSV row %d, column %S: %s" (n + 1)
+                        cols.(i).Column.name msg))))
         in
         let* row = build 0 [] fields in
-        let* () = Heap.insert heap row in
+        let* () = dat (Heap.insert heap row) in
         load (n + 1) rest
   in
   let* n = load 0 rows in
@@ -860,7 +963,7 @@ let copy_to t name path =
         Out_channel.output_string oc (Buffer.contents buf))
   with
   | () -> Ok (Affected (Heap.row_count heap))
-  | exception Sys_error msg -> Error msg
+  | exception Sys_error msg -> Error (Err.runtime msg)
 
 (* A re-executable SQL script recreating the session's tables, rows and
    views — the CLI's \save command. *)
@@ -927,29 +1030,29 @@ let run_statement t sql (st : Ast.statement) =
     let* ea = explain_analyze_query t sql q in
     Ok (Analyzed ea)
   | Ast.St_create_table (name, cols) ->
-    let* schema = Schema.make (List.map (fun (n, ty) -> Column.make n ty) cols) in
+    let* schema = sem (Schema.make (List.map (fun (n, ty) -> Column.make n ty) cols)) in
     let* () = create_relation t name schema [] in
     Ok (Message (Printf.sprintf "created table %S" name))
   | Ast.St_create_table_as (name, q) ->
-    let* analyzed = Analyzer.analyze_query t.cat q in
-    let* schema = schema_of_plan analyzed in
+    let* analyzed = sem (Analyzer.analyze_query t.cat q) in
+    let* schema = sem (schema_of_plan analyzed) in
     let* rs = run_query t q in
     let* () = create_relation t name schema rs.rows in
     Ok (Message (Printf.sprintf "created table %S (%d rows)" name (List.length rs.rows)))
   | Ast.St_create_view (name, q) ->
     (* validate now; store the SQL text for unfolding *)
-    let* analyzed = Analyzer.analyze_query t.cat q in
-    let* schema = schema_of_plan analyzed in
-    let* _def = Catalog.add_view t.cat name ~sql:(Printer.query_to_string q) schema in
+    let* analyzed = sem (Analyzer.analyze_query t.cat q) in
+    let* schema = sem (schema_of_plan analyzed) in
+    let* _def = sem (Catalog.add_view t.cat name ~sql:(Printer.query_to_string q) schema) in
     Ok (Message (Printf.sprintf "created view %S" name))
   | Ast.St_drop_table name ->
-    let* () = Catalog.drop_table t.cat name in
-    let* () = Store.drop_table t.store name in
+    let* () = sem (Catalog.drop_table t.cat name) in
+    let* () = sem (Store.drop_table t.store name) in
     Catalog.drop_table_indexes t.cat name;
     Hashtbl.remove t.prov_tables (String.lowercase_ascii name);
     Ok (Message (Printf.sprintf "dropped table %S" name))
   | Ast.St_create_index { index; table; column } ->
-    let* def = Catalog.add_index t.cat ~name:index ~table ~column in
+    let* def = sem (Catalog.add_index t.cat ~name:index ~table ~column) in
     (match Store.find t.store table, Catalog.find_table t.cat table with
     | Some heap, Some tdef -> (
       match Schema.find tdef.Catalog.table_schema def.Catalog.index_column with
@@ -958,7 +1061,7 @@ let run_statement t sql (st : Ast.statement) =
     | _ -> ());
     Ok (Message (Printf.sprintf "created index %S on %s(%s)" index table column))
   | Ast.St_drop_index name ->
-    let* def = Catalog.drop_index t.cat name in
+    let* def = sem (Catalog.drop_index t.cat name) in
     (match
        ( Store.find t.store def.Catalog.index_table,
          Catalog.find_table t.cat def.Catalog.index_table )
@@ -970,7 +1073,7 @@ let run_statement t sql (st : Ast.statement) =
     | _ -> ());
     Ok (Message (Printf.sprintf "dropped index %S" name))
   | Ast.St_drop_view name ->
-    let* () = Catalog.drop_view t.cat name in
+    let* () = sem (Catalog.drop_view t.cat name) in
     Ok (Message (Printf.sprintf "dropped view %S" name))
   | Ast.St_insert_values (name, rows) ->
     let* n = insert_values t name rows in
@@ -988,7 +1091,7 @@ let run_statement t sql (st : Ast.statement) =
   | Ast.St_copy_from (name, path) -> copy_from t name path
   | Ast.St_copy_to (name, path) -> copy_to t name path
   | Ast.St_begin ->
-    if t.snapshot <> None then Error "already inside a transaction"
+    if t.snapshot <> None then Error (Err.runtime "already inside a transaction")
     else begin
       t.snapshot <-
         Some
@@ -1001,13 +1104,16 @@ let run_statement t sql (st : Ast.statement) =
     end
   | Ast.St_commit -> (
     match t.snapshot with
-    | None -> Error "no transaction in progress"
+    | None -> Error (Err.runtime "no transaction in progress")
     | Some _ ->
+      (* the injection point sits before the snapshot drop: a faulted
+         commit leaves the transaction open and the snapshot intact *)
+      Perm_fault.trip fp_commit;
       t.snapshot <- None;
       Ok (Message "transaction committed"))
   | Ast.St_rollback -> (
     match t.snapshot with
-    | None -> Error "no transaction in progress"
+    | None -> Error (Err.runtime "no transaction in progress")
     | Some snap ->
       t.cat <- snap.snap_cat;
       t.store <- snap.snap_store;
@@ -1062,7 +1168,11 @@ let record_statement_stats t sql (st : Ast.statement) root result =
               Json.Obj (List.map (fun (n, d) -> (n, Json.Float d)) phases) );
           ]
          @ match result with
-           | Error msg -> [ ("error", Json.String msg) ]
+           | Error e ->
+             [
+               ("error", Json.String (Err.to_string e));
+               ("error_kind", Json.String (Err.kind_label e.Err.kind));
+             ]
            | Ok _ -> []))
 
 (* Every top-level statement runs under a root span; pipeline phases attach
@@ -1078,16 +1188,19 @@ let execute_statement t sql (st : Ast.statement) =
   in
   Trace.annotate root "sql" sql;
   t.current_span <- Some root;
-  if saved = None then t.stmt_rules <- [];
+  if saved = None then begin
+    t.stmt_rules <- [];
+    (* a fresh governor token per top-level statement; nested statements
+       share the enclosing statement's token (and its deadline) *)
+    t.token <- fresh_token t
+  end;
   let result =
-    try run_statement t sql st
-    with e ->
-      Trace.finish root;
-      t.current_span <- saved;
-      raise e
+    Fun.protect
+      ~finally:(fun () ->
+        Trace.finish root;
+        t.current_span <- saved)
+      (fun () -> capture t (fun () -> run_statement t sql st))
   in
-  Trace.finish root;
-  t.current_span <- saved;
   if saved = None then begin
     t.last_trace <- Some root;
     t.trace_log <- root :: t.trace_log;
@@ -1095,7 +1208,14 @@ let execute_statement t sql (st : Ast.statement) =
   end;
   Metrics.incr t.metrics "engine.statements";
   (match result with
-  | Error _ -> Metrics.incr t.metrics "engine.errors"
+  | Error e ->
+    Metrics.incr t.metrics "engine.errors";
+    (match e.Err.kind with
+    | Err.Timeout -> Metrics.incr t.metrics "engine.timeout"
+    | Err.Cancelled -> Metrics.incr t.metrics "engine.cancelled"
+    | Err.Resource_exhausted ->
+      Metrics.incr t.metrics "engine.resource_exhausted"
+    | _ -> ())
   | Ok _ -> ());
   Metrics.observe t.metrics "engine.statement.ms" (Trace.duration_ms root);
   List.iter
@@ -1106,10 +1226,21 @@ let execute_statement t sql (st : Ast.statement) =
     (Trace.children root);
   result
 
-let execute t sql =
-  match Parser.parse_statement sql with
-  | Error e -> Error (Parser.error_to_string ~input:sql e)
+(* The typed entry point. Lexer/parser failures are caught here too (the
+   lexer may raise on pathological input), so arbitrary bytes can never
+   crash a session. *)
+let execute_err t sql =
+  match
+    capture t (fun () ->
+        Result.map_error
+          (fun e -> Err.parse (Parser.error_to_string ~input:sql e))
+          (Parser.parse_statement sql))
+  with
+  | Error e -> Error e
   | Ok st -> execute_statement t sql st
+
+(* The legacy stringly surface: same pipeline, message-only errors. *)
+let execute t sql = Result.map_error Err.to_string (execute_err t sql)
 
 let execute_script t sql =
   match Parser.parse_script sql with
@@ -1117,9 +1248,10 @@ let execute_script t sql =
   | Ok statements ->
     let rec go acc = function
       | [] -> Ok (List.rev acc)
-      | st :: rest ->
-        let* outcome = execute_statement t (Printer.statement_to_string st) st in
-        go (outcome :: acc) rest
+      | st :: rest -> (
+        match execute_statement t (Printer.statement_to_string st) st with
+        | Ok outcome -> go (outcome :: acc) rest
+        | Error e -> Error (Err.to_string e))
     in
     go [] statements
 
@@ -1134,13 +1266,17 @@ let query_params t sql values =
   match Parser.parse_query sql with
   | Error e -> Error (Parser.error_to_string ~input:sql e)
   | Ok q ->
-    let* bound = Ast.bind_params values q in
-    run_query t bound
+    t.token <- fresh_token t;
+    Result.map_error Err.to_string
+      (capture t (fun () ->
+           let* bound = sem (Ast.bind_params values q) in
+           run_query t bound))
 
 let explain t sql =
   match Parser.parse_query sql with
   | Error e -> Error (Parser.error_to_string ~input:sql e)
-  | Ok q -> explain_query t sql q
+  | Ok q ->
+    Result.map_error Err.to_string (capture t (fun () -> explain_query t sql q))
 
 let explain_analyze t sql =
   match Parser.parse_query sql with
@@ -1148,8 +1284,8 @@ let explain_analyze t sql =
   | Ok q -> (
     (* route through execute_statement so a root span exists and the phase
        breakdown is populated *)
-    let* outcome = execute_statement t sql (Ast.St_explain_analyze q) in
-    match outcome with
-    | Analyzed ea -> Ok ea
-    | Rows _ | Affected _ | Message _ | Explained _ ->
+    match execute_statement t sql (Ast.St_explain_analyze q) with
+    | Error e -> Error (Err.to_string e)
+    | Ok (Analyzed ea) -> Ok ea
+    | Ok (Rows _ | Affected _ | Message _ | Explained _) ->
       Error "EXPLAIN ANALYZE produced an unexpected outcome")

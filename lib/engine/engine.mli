@@ -61,7 +61,16 @@ type outcome =
   | Analyzed of explain_analyze  (** [EXPLAIN ANALYZE] *)
 
 val execute : t -> string -> (outcome, string) result
-(** Runs a single statement (optionally [;]-terminated). *)
+(** Runs a single statement (optionally [;]-terminated). A shim over
+    {!execute_err} that keeps the legacy message-only surface:
+    [Perm_err.to_string] of the typed error. *)
+
+val execute_err : t -> string -> (outcome, Perm_err.t) result
+(** The typed entry point. Never raises: lexer/parser crashes, executor
+    runtime errors, governor kills ([Timeout] / [Resource_exhausted] /
+    [Cancelled]), injected faults ([Faulted]) and any escaped exception
+    ([Internal]) are all mapped into the {!Perm_err.kind} taxonomy at the
+    engine boundary. *)
 
 val execute_script : t -> string -> (outcome list, string) result
 (** Runs statements in order; stops at the first error (prior effects are
@@ -197,6 +206,43 @@ val morsel_rows : t -> int
 val pool_size : t -> int
 (** Size of the live worker pool; 0 when no pool has been created yet (no
     parallel query ran since the last {!close} / size change). *)
+
+(** {1 Resource governor}
+
+    Session guardrails enforced through a cooperative cancellation token
+    ({!Perm_err.Token}): one fresh token per top-level statement, checked
+    at operator boundaries by the serial executor and at morsel boundaries
+    by every parallel worker. A governor kill surfaces as a typed error
+    ([Timeout] / [Resource_exhausted] / [Cancelled]) from {!execute_err},
+    bumps the matching [engine.timeout] / [engine.resource_exhausted] /
+    [engine.cancelled] counter, drains the parallel generation, and leaves
+    the pool — and any open transaction snapshot — intact. All guardrails
+    default to off (0) and cost nothing while off. *)
+
+val set_statement_timeout : t -> float -> unit
+(** Wall-clock budget in milliseconds per top-level statement; [0.] turns
+    the timeout off. *)
+
+val statement_timeout : t -> float
+
+val set_row_limit : t -> int -> unit
+(** Maximum result rows a statement may materialize; exceeding it kills
+    the statement with [Resource_exhausted] (not a silent LIMIT). [0] = off. *)
+
+val row_limit : t -> int
+
+val set_tuple_budget : t -> int -> unit
+(** Budget on tuples flowing across operator boundaries (a proxy for
+    intermediate-result memory); exceeding it kills the statement with
+    [Resource_exhausted]. [0] = off. *)
+
+val tuple_budget : t -> int
+
+val cancel : t -> string -> unit
+(** Cooperatively cancel the running statement from another domain; it
+    stops at its next token check with kind [Cancelled]. Noticed at morsel
+    boundaries always, and at per-operator checks whenever a timeout or
+    tuple budget is armed. Safe to call at any time. *)
 
 val close : t -> unit
 (** Releases the worker domains. The session stays usable: the next

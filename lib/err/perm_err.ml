@@ -1,0 +1,118 @@
+type kind =
+  | Parse
+  | Analyze
+  | Runtime
+  | Timeout
+  | Resource_exhausted
+  | Cancelled
+  | Internal
+  | Faulted
+
+type t = { kind : kind; msg : string }
+
+let make kind msg = { kind; msg }
+let parse msg = { kind = Parse; msg }
+let analyze msg = { kind = Analyze; msg }
+let runtime msg = { kind = Runtime; msg }
+let timeout msg = { kind = Timeout; msg }
+let resource msg = { kind = Resource_exhausted; msg }
+let cancelled msg = { kind = Cancelled; msg }
+let internal msg = { kind = Internal; msg }
+let faulted msg = { kind = Faulted; msg }
+
+let kind_label = function
+  | Parse -> "parse"
+  | Analyze -> "analyze"
+  | Runtime -> "runtime"
+  | Timeout -> "timeout"
+  | Resource_exhausted -> "resource_exhausted"
+  | Cancelled -> "cancelled"
+  | Internal -> "internal"
+  | Faulted -> "faulted"
+
+let to_string t = t.msg
+
+let describe t =
+  match t.kind with
+  | Parse | Analyze | Runtime -> t.msg
+  | _ -> Printf.sprintf "%s: %s" (kind_label t.kind) t.msg
+
+let retryable t =
+  match t.kind with
+  | Timeout | Resource_exhausted | Cancelled | Faulted -> true
+  | Parse | Analyze | Runtime | Internal -> false
+
+exception Cancel of kind * string
+
+module Token = struct
+  type token = {
+    fired : (kind * string) option Atomic.t;
+    deadline : float;  (* absolute Unix time; infinity = unarmed *)
+    timeout_ms : float;
+    budget : int;  (* max_int = unarmed *)
+    charged : int Atomic.t;
+  }
+
+  type t = token option
+
+  let none : t = None
+
+  let create ?timeout_ms ?tuple_budget () : t =
+    let deadline, timeout_ms =
+      match timeout_ms with
+      | Some ms when ms > 0. -> (Unix.gettimeofday () +. (ms /. 1000.), ms)
+      | _ -> (infinity, 0.)
+    in
+    let budget =
+      match tuple_budget with Some n when n > 0 -> n | _ -> max_int
+    in
+    Some
+      {
+        fired = Atomic.make None;
+        deadline;
+        timeout_ms;
+        budget;
+        charged = Atomic.make 0;
+      }
+
+  let active = function
+    | None -> false
+    | Some tk -> tk.deadline < infinity || tk.budget < max_int
+
+  (* First fire wins: a token cancelled for Timeout stays Timeout even if a
+     slower domain later reports budget exhaustion. *)
+  let fire tk kind msg =
+    ignore (Atomic.compare_and_set tk.fired None (Some (kind, msg)))
+
+  let cancel t msg =
+    match t with None -> () | Some tk -> fire tk Cancelled msg
+
+  let cancelled = function None -> None | Some tk -> Atomic.get tk.fired
+
+  let check = function
+    | None -> ()
+    | Some tk -> (
+        (match Atomic.get tk.fired with
+        | Some _ -> ()
+        | None ->
+            if tk.deadline < infinity && Unix.gettimeofday () > tk.deadline
+            then
+              fire tk Timeout
+                (Printf.sprintf "statement timeout after %.0f ms"
+                   tk.timeout_ms));
+        match Atomic.get tk.fired with
+        | Some (kind, msg) -> raise (Cancel (kind, msg))
+        | None -> ())
+
+  let charge t n =
+    match t with
+    | None -> ()
+    | Some tk ->
+        (if tk.budget < max_int then
+           let total = Atomic.fetch_and_add tk.charged n + n in
+           if total > tk.budget then
+             fire tk Resource_exhausted
+               (Printf.sprintf "tuple budget exceeded (%d tuples, budget %d)"
+                  total tk.budget));
+        check t
+end

@@ -11,6 +11,14 @@ exception Runtime_error of string
 let err msg = raise (Runtime_error msg)
 let errf fmt = Printf.ksprintf err fmt
 
+module Token = Perm_err.Token
+
+(* Chaos-harness injection points (no-ops unless armed via Perm_fault),
+   shared between the serial and parallel paths of each operator. *)
+let fp_join_build = Perm_fault.point "join.build"
+let fp_agg_merge = Perm_fault.point "agg.merge"
+let fp_sort = Perm_fault.point "sort.materialize"
+
 type provider = {
   scan_table : string -> Tuple.t Seq.t;
   probe_index : string -> int -> Value.t -> Tuple.t Seq.t;
@@ -415,6 +423,7 @@ and compile_node ~(provider : provider) ~(wrap : wrapper) (outer : resolver)
     fun () ->
       (* materialize into an array and sort in place: large sorts avoid the
          intermediate list and List.stable_sort's allocation *)
+      Perm_fault.trip fp_sort;
       let rows = Array.of_seq (run_child ()) in
       Array.stable_sort cmp rows;
       Array.to_seq rows
@@ -464,6 +473,7 @@ and compile_join ~provider ~wrap outer kind left right pred =
       Seq.memoize
         (fun () ->
           (* build on the right *)
+          Perm_fault.trip fp_join_build;
           let table = Tuple.Hash.create 256 in
           let right_rows = Array.of_seq (run_right ()) in
           let matched_right = Array.make (Array.length right_rows) false in
@@ -592,6 +602,7 @@ and compile_aggregate ~provider ~wrap outer child group_by aggs =
   fun () ->
     Seq.memoize
       (fun () ->
+        Perm_fault.trip fp_agg_merge;
         let groups : (Tuple.t * agg_state list) Tuple.Hash.t =
           Tuple.Hash.create 64
         in
@@ -705,11 +716,93 @@ and compile_set_op ~provider ~wrap outer kind all left right =
             ())
 
 (* ------------------------------------------------------------------ *)
+(* Cooperative guardrails                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Rows between two token checks. Checks cost one atomic load plus (for
+   armed deadlines) a clock read, so batching keeps the armed-but-idle
+   overhead in the noise while still bounding kill latency to a few
+   hundred tuples per operator. *)
+let guard_interval = 256
+
+(* The guard only wraps operators that can *create* row multiplicity —
+   sources, joins, aggregations, sorts, set ops. Pass-through nodes
+   (Project/Filter/Limit) emit at most one row per guarded input row, so
+   wrapping them too would only add a Seq.map allocation per row per node
+   (provenance rewrites are projection-heavy: measured >2x on join-bound
+   queries) without tightening the cancellation bound: every stream is
+   charged at its multiplicity source, and every operator (re)invocation
+   — the Apply case — re-checks the deadline at thunk start. *)
+let guard_this_node (node : Plan.t) =
+  match node with
+  | Plan.Project _ | Plan.Filter _ | Plan.Limit _ -> false
+  | _ -> true
+
+(* Per-operator guard, same compile-time hook as instrumentation: counts
+   rows flowing out of each operator and charges the token in batches.
+   Installed only when the token is active — the unguarded path compiles
+   the exact same closures as before. *)
+let guard_wrap (token : Token.t) : wrapper =
+ fun node thunk ->
+  if not (guard_this_node node) then thunk
+  else
+    fun () ->
+      Token.check token;
+      let pending = ref 0 in
+      Seq.map
+        (fun row ->
+          incr pending;
+          if !pending >= guard_interval then begin
+            Token.charge token !pending;
+            pending := 0
+          end;
+          row)
+        (thunk ())
+
+(* The same guard for push-based parallel fragments: wraps a morsel
+   worker's emit sink. Must be instantiated once per task so the pending
+   counter stays domain-local. *)
+let guard_emit (token : Token.t) emit =
+  if not (Token.active token) then emit
+  else begin
+    let pending = ref 0 in
+    fun row ->
+      incr pending;
+      if !pending >= guard_interval then begin
+        Token.charge token !pending;
+        pending := 0
+      end;
+      emit row
+  end
+
+let over_row_limit limit =
+  raise
+    (Perm_err.Cancel
+       ( Perm_err.Resource_exhausted,
+         Printf.sprintf "row limit exceeded (limit %d)" limit ))
+
+(* Root materialization: the one place every result passes through, so the
+   row-limit guardrail lives here. *)
+let materialize ?row_limit seq =
+  match row_limit with
+  | None -> List.of_seq seq
+  | Some limit ->
+    let count = ref 0 in
+    List.of_seq
+      (Seq.map
+         (fun row ->
+           incr count;
+           if !count > limit then over_row_limit limit;
+           row)
+         seq)
+
+(* ------------------------------------------------------------------ *)
 (* Entry points                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let run ~provider plan =
-  match List.of_seq ((compile ~provider ~wrap:no_wrap no_outer plan) ()) with
+let run ?(token = Token.none) ?row_limit ~provider plan =
+  let wrap = if Token.active token then guard_wrap token else no_wrap in
+  match materialize ?row_limit ((compile ~provider ~wrap no_outer plan) ()) with
   | rows -> Ok rows
   | exception Runtime_error msg -> Error msg
 
@@ -782,10 +875,16 @@ let instrumenting_wrap stats : wrapper =
     in
     step seq
 
-let run_instrumented ~provider plan =
+let compose_wrap (outer : wrapper) (inner : wrapper) : wrapper =
+ fun node thunk -> outer node (inner node thunk)
+
+let run_instrumented ?(token = Token.none) ?row_limit ~provider plan =
   let stats = { entries = [] } in
   let wrap = instrumenting_wrap stats in
-  match List.of_seq ((compile ~provider ~wrap no_outer plan) ()) with
+  let wrap =
+    if Token.active token then compose_wrap (guard_wrap token) wrap else wrap
+  in
+  match materialize ?row_limit ((compile ~provider ~wrap no_outer plan) ()) with
   | rows -> Ok (rows, stats)
   | exception Runtime_error msg -> Error msg
 
@@ -955,6 +1054,7 @@ module Par = struct
             fun () ->
               let mk = inst () in
               (* serial build: hash the right side once; workers only read *)
+              Perm_fault.trip fp_join_build;
               let tbl = Tuple.Hash.create 256 in
               let right_rows = Array.of_seq (run_right ()) in
               Array.iteri
@@ -996,21 +1096,28 @@ module Par = struct
     | _ -> None
 
   (* Fan a compiled fragment out over the driving table's morsels; per-
-     morsel outputs concatenate in morsel order, reproducing scan order. *)
-  let run_pipeline ~provider ~pool ~morsel_rows plan =
+     morsel outputs concatenate in morsel order, reproducing scan order.
+     Every task checks the cancellation token before touching its morsel
+     and charges it per emitted batch, so a kill (deadline, budget, manual
+     cancel) noticed by any domain stops the rest at their next morsel. *)
+  let run_pipeline ~provider ~pool ~morsel_rows ~token plan =
     match frag ~provider plan with
     | None -> None
     | Some (table, inst) ->
       Some
         (fun () ->
+          Token.check token;
           let morsels = provider.scan_morsels table morsel_rows in
           let mk = inst () in
           let n = Array.length morsels in
           let out = Array.make n [] in
           let tasks =
             Array.init n (fun i () ->
+                Token.check token;
                 let acc = ref [] in
-                let consume = mk (fun row -> acc := row :: !acc) in
+                let consume =
+                  mk (guard_emit token (fun row -> acc := row :: !acc))
+                in
                 let m = morsels.(i) in
                 for j = 0 to Array.length m - 1 do
                   consume m.(j)
@@ -1023,7 +1130,7 @@ module Par = struct
   (* Partitioned pre-aggregation: each morsel aggregates into its own group
      table, the driver merges partitions in morsel order so the first-seen
      group order (and therefore row order) matches serial execution. *)
-  let run_aggregate ~provider ~pool ~morsel_rows child group_by aggs =
+  let run_aggregate ~provider ~pool ~morsel_rows ~token child group_by aggs =
     if not (List.for_all mergeable_agg aggs) then None
     else
       match frag ~provider child with
@@ -1049,10 +1156,12 @@ module Par = struct
             in
             let tasks =
               Array.init n (fun i () ->
+                  Token.check token;
                   let groups = Tuple.Hash.create 64 in
                   let order = ref [] in
                   let consume =
-                    mk (fun row ->
+                    mk
+                      (guard_emit token (fun row ->
                         let key = key_of group_fs row in
                         let states =
                           match Tuple.Hash.find_opt groups key with
@@ -1071,7 +1180,7 @@ module Par = struct
                               | Some f -> Some (f row)
                             in
                             agg_feed call state v)
-                          aggs states agg_arg_fs)
+                          aggs states agg_arg_fs))
                   in
                   let m = morsels.(i) in
                   for j = 0 to Array.length m - 1 do
@@ -1080,6 +1189,8 @@ module Par = struct
                   partials.(i) <- List.rev !order)
             in
             let participants = Pool.run pool tasks in
+            Token.check token;
+            Perm_fault.trip fp_agg_merge;
             let groups = Tuple.Hash.create 64 in
             let order = ref [] in
             Array.iter
@@ -1112,13 +1223,13 @@ module Par = struct
     else match l with [] -> [] | x :: t -> x :: take (n - 1) t
 
   (* Serial tails (Sort/Limit/final Project) over a parallel core. *)
-  let rec runner ~provider ~pool ~morsel_rows (plan : Plan.t) :
+  let rec runner ~provider ~pool ~morsel_rows ~token (plan : Plan.t) :
       (unit -> Tuple.t list * int * int) option =
     match plan with
     | Plan.Aggregate { child; group_by; aggs } ->
-      run_aggregate ~provider ~pool ~morsel_rows child group_by aggs
+      run_aggregate ~provider ~pool ~morsel_rows ~token child group_by aggs
     | Plan.Sort { child; keys } -> (
-      match runner ~provider ~pool ~morsel_rows child with
+      match runner ~provider ~pool ~morsel_rows ~token child with
       | None -> None
       | Some run ->
         let resolve = resolver_of_schema (Plan.schema child) in
@@ -1138,11 +1249,13 @@ module Par = struct
         Some
           (fun () ->
             let rows, m, p = run () in
+            Token.check token;
+            Perm_fault.trip fp_sort;
             let arr = Array.of_list rows in
             Array.stable_sort cmp arr;
             (Array.to_list arr, m, p)))
     | Plan.Limit { child; limit; offset } -> (
-      match runner ~provider ~pool ~morsel_rows child with
+      match runner ~provider ~pool ~morsel_rows ~token child with
       | None -> None
       | Some run ->
         Some
@@ -1154,10 +1267,10 @@ module Par = struct
     | Plan.Project { child; cols } -> (
       (* Project over a scan/join spine runs inside the workers; this tail
          case only fires for Project over an Aggregate/Sort core. *)
-      match run_pipeline ~provider ~pool ~morsel_rows plan with
+      match run_pipeline ~provider ~pool ~morsel_rows ~token plan with
       | Some r -> Some r
       | None -> (
-        match runner ~provider ~pool ~morsel_rows child with
+        match runner ~provider ~pool ~morsel_rows ~token child with
         | None -> None
         | Some run ->
           let resolve = resolver_of_schema (Plan.schema child) in
@@ -1169,18 +1282,25 @@ module Par = struct
             (fun () ->
               let rows, m, p = run () in
               (List.map (fun row -> Array.map (fun f -> f row) fs) rows, m, p))))
-    | _ -> run_pipeline ~provider ~pool ~morsel_rows plan
+    | _ -> run_pipeline ~provider ~pool ~morsel_rows ~token plan
 
   (* [prepare] returns None when the plan shape is not morsel-eligible (the
      caller falls back to the serial compile); otherwise a thunk that runs
      the parallel plan and reports fan-out statistics. *)
-  let prepare ~provider ~pool ?(morsel_rows = default_morsel_rows) plan =
-    match runner ~provider ~pool ~morsel_rows plan with
+  let prepare ~provider ~pool ?(morsel_rows = default_morsel_rows)
+      ?(token = Token.none) ?row_limit plan =
+    match runner ~provider ~pool ~morsel_rows ~token plan with
     | None -> None
     | Some run ->
       Some
         (fun () ->
-          match run () with
+          match
+            let rows, morsels, participants = run () in
+            (match row_limit with
+            | Some limit when List.length rows > limit -> over_row_limit limit
+            | _ -> ());
+            (rows, morsels, participants)
+          with
           | rows, morsels, participants ->
             Ok
               ( rows,

@@ -36,10 +36,23 @@ val morsels_of_list :
     implementation for providers without chunked storage (virtual
     relations, test fixtures). *)
 
-val run : provider:provider -> Perm_algebra.Plan.t -> (Perm_storage.Tuple.t list, string) result
+val run :
+  ?token:Perm_err.Token.t ->
+  ?row_limit:int ->
+  provider:provider ->
+  Perm_algebra.Plan.t ->
+  (Perm_storage.Tuple.t list, string) result
 (** Executes the plan and materializes the result in plan-schema column
     order. Runtime errors (division by zero, failing casts, scalar
-    subqueries returning several rows) are returned as [Error]. *)
+    subqueries returning several rows) are returned as [Error].
+
+    Guardrails: when [token] is active, every operator charges the token
+    in batches of a few hundred rows, so a deadline/budget/manual cancel
+    surfaces as {!Perm_err.Cancel} within a bounded number of tuples;
+    [row_limit] kills the statement (also via [Cancel], kind
+    [Resource_exhausted]) once the root produces more rows than allowed.
+    [Cancel] and {!Perm_fault.Injected} deliberately escape as exceptions:
+    only the engine boundary maps them into its typed error result. *)
 
 (** {1 Instrumented execution}
 
@@ -62,6 +75,8 @@ type node_stats = {
 type exec_stats
 
 val run_instrumented :
+  ?token:Perm_err.Token.t ->
+  ?row_limit:int ->
   provider:provider ->
   Perm_algebra.Plan.t ->
   (Perm_storage.Tuple.t list * exec_stats, string) result
@@ -102,13 +117,21 @@ module Par : sig
     provider:provider ->
     pool:Pool.t ->
     ?morsel_rows:int ->
+    ?token:Perm_err.Token.t ->
+    ?row_limit:int ->
     Perm_algebra.Plan.t ->
     (unit -> (Perm_storage.Tuple.t list * report, string) result) option
   (** [None] when the plan shape is not morsel-eligible (correlated
       [Apply], Right/Full join, Distinct, Set_op, non-mergeable
       aggregates, Index_scan or Values spines) — the caller falls back to
       {!run}. The returned thunk may be invoked once per statement; the
-      pool is reused across calls. *)
+      pool is reused across calls.
+
+      When [token] is active every morsel task checks it on entry and
+      charges it per emitted batch, so a kill noticed by one domain stops
+      the rest at their next morsel; the poisoned generation drains fully
+      before {!Perm_err.Cancel} is re-raised on the caller, leaving the
+      pool reusable. [row_limit] is enforced after the merge. *)
 end
 
 val eval_const : Perm_algebra.Expr.t -> (Perm_value.Value.t, string) result

@@ -15,7 +15,13 @@ type batch = {
   mutable completed : int;  (* finished tasks; protected by the pool mutex *)
   mutable participants : int;  (* workers that ran >= 1 task; same lock *)
   mutable error : exn option;  (* first failure; same lock *)
+  poisoned : bool Atomic.t;  (* set with [error]; lock-free abort signal *)
 }
+
+(* Chaos-harness injection point: fires inside the per-task handler so an
+   injected fault lands in [batch.error] like any task failure, never on a
+   bare worker domain. *)
+let fp_dispatch = Perm_fault.point "pool.dispatch"
 
 type t = {
   size : int;  (* total workers, including the calling domain *)
@@ -31,18 +37,26 @@ type t = {
 let size t = t.size
 
 (* Claim-and-run loop shared by spawned workers and the caller. Returns the
-   number of tasks this worker executed. *)
+   number of tasks this worker executed. Once a task has failed the batch
+   is poisoned: remaining tasks are still claimed and counted (so [run]'s
+   completion accounting stays exact) but their bodies are skipped — the
+   generation drains promptly instead of grinding through doomed work. *)
 let drain t batch =
   let n = Array.length batch.tasks in
   let rec go ran =
     let i = Atomic.fetch_and_add batch.next 1 in
     if i >= n then ran
     else begin
-      (try batch.tasks.(i) ()
+      (try
+         if not (Atomic.get batch.poisoned) then begin
+           Perm_fault.trip fp_dispatch;
+           batch.tasks.(i) ()
+         end
        with e ->
          Mutex.lock t.mutex;
          if batch.error = None then batch.error <- Some e;
-         Mutex.unlock t.mutex);
+         Mutex.unlock t.mutex;
+         Atomic.set batch.poisoned true);
       go (ran + 1)
     end
   in
@@ -93,7 +107,14 @@ let run t (tasks : (unit -> unit) array) : int =
   else if t.stopped then invalid_arg "Pool.run: pool is shut down"
   else begin
     let batch =
-      { tasks; next = Atomic.make 0; completed = 0; participants = 0; error = None }
+      {
+        tasks;
+        next = Atomic.make 0;
+        completed = 0;
+        participants = 0;
+        error = None;
+        poisoned = Atomic.make false;
+      }
     in
     Mutex.lock t.mutex;
     t.current <- Some batch;
@@ -101,6 +122,9 @@ let run t (tasks : (unit -> unit) array) : int =
     Condition.broadcast t.work_ready;
     Mutex.unlock t.mutex;
     ignore (drain t batch);
+    (* Quiesce unconditionally — also on the error path — so every worker
+       has left this generation before the batch is retired and the pool
+       is handed back reusable. *)
     Mutex.lock t.mutex;
     while batch.completed < n do
       Condition.wait t.work_done t.mutex

@@ -19,8 +19,12 @@ val size : t -> int
 val run : t -> (unit -> unit) array -> int
 (** Runs every task to completion (the caller participates) and returns
     the number of workers that executed at least one task. The first task
-    exception, if any, is re-raised on the caller after the batch
-    finishes. Not reentrant: one batch at a time per pool. *)
+    exception, if any, is re-raised on the caller — but only after every
+    worker has left the generation, so the pool is always reusable
+    afterwards, poisoned batch or not. Once a task fails, the bodies of
+    still-unclaimed tasks are skipped (the batch drains instead of
+    grinding through doomed work). Not reentrant: one batch at a time per
+    pool. *)
 
 val shutdown : t -> unit
 (** Stops and joins the worker domains; idempotent. [run] on a shut-down

@@ -1,0 +1,128 @@
+exception Injected of string
+
+type point = {
+  pname : string;
+  prob : float Atomic.t;
+  hits : int Atomic.t;
+  injected : int Atomic.t;
+}
+
+let registry : (string, point) Hashtbl.t = Hashtbl.create 16
+let registry_mu = Mutex.create ()
+
+(* Fast-path flag: a trip with the harness disarmed is one atomic load. *)
+let armed = Atomic.make false
+let the_seed = Atomic.make 0x9e3779b9
+
+let point name =
+  Mutex.protect registry_mu (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some p -> p
+      | None ->
+          let p =
+            {
+              pname = name;
+              prob = Atomic.make 0.;
+              hits = Atomic.make 0;
+              injected = Atomic.make 0;
+            }
+          in
+          Hashtbl.add registry name p;
+          p)
+
+let name p = p.pname
+
+(* splitmix64 finalizer: mixes (seed, point name hash, hit ordinal) into a
+   uniform 64-bit value, so a given seed yields the same fault schedule on
+   every run regardless of timing or domain interleaving. *)
+let mix64 z =
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xbf58476d1ce4e5b9L
+  in
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94d049bb133111ebL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let draw p ordinal =
+  let z =
+    Int64.add
+      (Int64.of_int (Atomic.get the_seed))
+      (Int64.add
+         (Int64.mul (Int64.of_int (Hashtbl.hash p.pname)) 0x9e3779b97f4a7c15L)
+         (Int64.mul (Int64.of_int ordinal) 0xd1b54a32d192ed03L))
+  in
+  let bits = Int64.shift_right_logical (mix64 z) 11 in
+  Int64.to_float bits /. 9007199254740992. (* 2^53 *)
+
+let trip p =
+  if Atomic.get armed then begin
+    let prob = Atomic.get p.prob in
+    if prob > 0. then begin
+      let ordinal = Atomic.fetch_and_add p.hits 1 in
+      if draw p ordinal < prob then begin
+        Atomic.incr p.injected;
+        raise (Injected p.pname)
+      end
+    end
+  end
+
+let rearm () =
+  let any =
+    Mutex.protect registry_mu (fun () ->
+        Hashtbl.fold
+          (fun _ p any -> any || Atomic.get p.prob > 0.)
+          registry false)
+  in
+  Atomic.set armed any
+
+let set pname prob =
+  let p = point pname in
+  Atomic.set p.prob (Float.max 0. (Float.min 1. prob));
+  rearm ()
+
+let set_all prob =
+  let names =
+    Mutex.protect registry_mu (fun () ->
+        Hashtbl.fold (fun n _ acc -> n :: acc) registry [])
+  in
+  List.iter (fun n -> set n prob) names
+
+let reset () =
+  Mutex.protect registry_mu (fun () ->
+      Hashtbl.iter
+        (fun _ p ->
+          Atomic.set p.prob 0.;
+          Atomic.set p.hits 0;
+          Atomic.set p.injected 0)
+        registry);
+  Atomic.set armed false
+
+let set_seed s = Atomic.set the_seed s
+let seed () = Atomic.get the_seed
+
+let points () =
+  let all =
+    Mutex.protect registry_mu (fun () ->
+        Hashtbl.fold
+          (fun n p acc ->
+            (n, Atomic.get p.prob, Atomic.get p.hits, Atomic.get p.injected)
+            :: acc)
+          registry [])
+  in
+  List.sort (fun (a, _, _, _) (b, _, _, _) -> compare a b) all
+
+let injections () =
+  List.fold_left (fun acc (_, _, _, i) -> acc + i) 0 (points ())
+
+let init_from_env () =
+  match Sys.getenv_opt "PERM_FAULT" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n -> set_seed n
+      | None -> ())
+  | None -> ()

@@ -1,0 +1,50 @@
+(** Deterministic seeded fault injection.
+
+    Code under test registers named {e injection points} at module-init
+    time ([let p = Perm_fault.point "heap.scan"]) and calls
+    [Perm_fault.trip p] on its hot path. When the harness is disarmed (the
+    default) a trip is a single atomic load of a [bool]; when armed, each
+    trip hashes [(seed, point, hit-ordinal)] into a uniform draw and raises
+    {!Injected} with probability [prob] — so a given seed produces the
+    exact same fault schedule on every run, independent of timing or
+    domain interleaving within a point. *)
+
+exception Injected of string
+(** Carries the point name. Must only escape as far as the engine
+    boundary, where it becomes [Error {kind = Faulted; _}]. *)
+
+type point
+
+val point : string -> point
+(** Register (or look up) a named injection point. Idempotent: the same
+    name always yields the same point. *)
+
+val name : point -> string
+
+val trip : point -> unit
+(** Maybe raise {!Injected}. Near-free when the harness is disarmed. *)
+
+val set : string -> float -> unit
+(** [set name prob] arms [name] at probability [prob] (clamped to [0,1]).
+    [0.] disarms the point. Unknown names are registered on the spot so a
+    CLI user can arm a point before the code path first runs. *)
+
+val set_all : float -> unit
+(** Arm every registered point at the given probability. *)
+
+val reset : unit -> unit
+(** Disarm all points and zero hit/injection counters. Seed unchanged. *)
+
+val set_seed : int -> unit
+val seed : unit -> int
+
+val points : unit -> (string * float * int * int) list
+(** [(name, prob, hits, injected)] for every registered point, sorted by
+    name. *)
+
+val injections : unit -> int
+(** Total faults injected since the last {!reset}. *)
+
+val init_from_env : unit -> unit
+(** If [PERM_FAULT] is set to an integer, use it as the seed (points still
+    need arming via {!set}/{!set_all}). *)

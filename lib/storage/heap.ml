@@ -13,6 +13,10 @@ end
 
 module Value_hash = Hashtbl.Make (Value_key)
 
+(* Chaos-harness injection points (no-ops unless armed via Perm_fault). *)
+let fp_scan = Perm_fault.point "heap.scan"
+let fp_insert = Perm_fault.point "heap.insert"
+
 type index = int list Value_hash.t
 
 type t = {
@@ -62,6 +66,7 @@ let coerce_cell (col : Column.t) v =
            (Value.to_string v))
 
 let insert t row =
+  Perm_fault.trip fp_insert;
   let cols = Array.of_list (Schema.columns t.schema) in
   if Array.length row <> Array.length cols then
     Error
@@ -93,19 +98,69 @@ let insert_all t rows =
   in
   go rows
 
+(* All-or-nothing rebuild for DELETE/UPDATE: every row is validated and
+   coerced into a staging list before the heap is touched, so a bad row —
+   or an injected fault, tripped before any mutation — leaves the table
+   exactly as it was. The commit step below is pure pushes and cannot
+   fail. *)
+let replace_all t rows =
+  Perm_fault.trip fp_insert;
+  let cols = Array.of_list (Schema.columns t.schema) in
+  let stage row =
+    if Array.length row <> Array.length cols then
+      Error
+        (Printf.sprintf "expected %d values, got %d" (Array.length cols)
+           (Array.length row))
+    else
+      let out = Array.make (Array.length row) Value.Null in
+      let rec fill i =
+        if i >= Array.length row then Ok out
+        else
+          match coerce_cell cols.(i) row.(i) with
+          | Ok v ->
+            out.(i) <- v;
+            fill (i + 1)
+          | Error e -> Error e
+      in
+      fill 0
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | r :: rest -> ( match stage r with Ok o -> go (o :: acc) rest | Error e -> Error e)
+  in
+  match go [] rows with
+  | Error e -> Error e
+  | Ok staged ->
+    Vec.clear t.rows;
+    Hashtbl.iter (fun _ idx -> Value_hash.reset idx) t.indexes;
+    List.iter
+      (fun out ->
+        let pos = Vec.length t.rows in
+        Vec.push t.rows out;
+        Hashtbl.iter (fun col idx -> index_add idx out.(col) pos) t.indexes)
+      staged;
+    t.distinct_cache <- None;
+    Ok ()
+
 let truncate t =
   Vec.clear t.rows;
   t.distinct_cache <- None;
   (* keep index definitions, drop their contents *)
   Hashtbl.iter (fun _ idx -> Value_hash.reset idx) t.indexes
 
-let scan t = Vec.to_seq t.rows
+let scan t =
+  Perm_fault.trip fp_scan;
+  Vec.to_seq t.rows
+
 let to_list t = Vec.to_list t.rows
 
 (* Chunked access for morsel-driven parallel scans: contiguous row slices
    in insertion order, so concatenating the chunks reproduces [scan]. *)
 let scan_chunk t ~pos ~len = Vec.sub t.rows pos len
-let scan_morsels t ~rows = Vec.chunks t.rows ~size:rows
+
+let scan_morsels t ~rows =
+  Perm_fault.trip fp_scan;
+  Vec.chunks t.rows ~size:rows
 
 let distinct_estimate t col =
   let counts =

@@ -18,6 +18,12 @@ val insert_all : t -> Tuple.t list -> (unit, string) result
 (** Fails atomically-per-row: rows before the offending one are kept (the
     engine wraps DML so callers see the error). *)
 
+val replace_all : t -> Tuple.t list -> (unit, string) result
+(** Atomically replace the heap's contents: every row is validated (and
+    type-coerced) {e before} the first mutation, so on [Error] — or an
+    injected [heap.insert] fault — the table and its indexes are
+    untouched. The write path behind DELETE/UPDATE rebuilds. *)
+
 val truncate : t -> unit
 val scan : t -> Tuple.t Seq.t
 val to_list : t -> Tuple.t list
