@@ -525,6 +525,46 @@ let b8_guard ~size =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* B9-prof: plan-node profiler overhead. The uninstrumented path        *)
+(* compiles identical closures with no wrapper, so "profiler off" must  *)
+(* stay at the plain-path baseline (EXPERIMENTS.md targets <= 1.1x);    *)
+(* "profiler on" prices the per-pull counters + timer.                  *)
+(* ------------------------------------------------------------------ *)
+
+(* same battery as the governor bench: scan-filter, rewritten join, agg *)
+let prof_queries = guard_queries
+
+let b9_prof_measure ~size =
+  let e = Engine.create () in
+  Forum.load_scaled e ~messages:size ~users:(max 10 (size / 20)) ();
+  (* warm the heap before measuring either arm (see b8_guard_measure) *)
+  List.iter (fun (_, sql) -> run_query e sql) prof_queries;
+  Gc.compact ();
+  List.map
+    (fun (name, sql) ->
+      Engine.set_instrumentation e false;
+      let t_off = time_query e sql in
+      Engine.set_instrumentation e true;
+      let t_on = time_query e sql in
+      Engine.set_instrumentation e false;
+      (name, t_off, t_on))
+    prof_queries
+
+let b9_prof ~size =
+  let rows =
+    List.map
+      (fun (name, t_off, t_on) ->
+        [ name; fms t_off; fms t_on; ffac (t_on /. t_off) ])
+      (b9_prof_measure ~size)
+  in
+  print_table
+    (Printf.sprintf
+       "B9-prof: plan-node profiler overhead, on vs. off (forum %d messages)"
+       size)
+    [ "query"; "profiler off ms"; "profiler on ms"; "overhead" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* Smoke mode: one instrumented pass over representative queries,       *)
 (* reporting the engine's own per-phase breakdown (no Bechamel); with   *)
 (* --json the breakdowns and the session metrics land in                *)
@@ -543,10 +583,10 @@ type smoke_entry = {
   sm_phases : (string * float) list;
 }
 
-(* Parallel-mode smoke entries: the instrumented path is serial by design,
-   so these run with instrumentation off, the threshold lowered to reach
-   the 1000-row smoke relations, and a 2-domain pool. The PAR prefix keeps
-   them apart in the regression baseline. *)
+(* Parallel-mode smoke entries: run with instrumentation off to price the
+   bare parallel path, the threshold lowered to reach the 1000-row smoke
+   relations, and a 2-domain pool. The PAR prefix keeps them apart in the
+   regression baseline. *)
 let smoke_parallel_queries =
   [
     ("PAR scan", "SELECT mid, text FROM messages WHERE mid % 3 = 0");
@@ -621,7 +661,29 @@ let smoke ~json () =
        for the off/armed delta to be signal, not run-to-run noise. *)
     quota := 0.3;
     let guard_measured = b8_guard_measure ~size:1_000 in
+    (* B9-prof rides along the same way: EXPERIMENTS.md quotes the
+       profiler-off arm (must stay at the plain-path baseline) and the
+       profiler-on overhead from here. *)
+    let prof_measured = b9_prof_measure ~size:1_000 in
     quota := saved_quota;
+    let profiler_section =
+      Json.Obj
+        [
+          ("forum_messages", Json.Int 1_000);
+          ( "queries",
+            Json.List
+              (List.map
+                 (fun (name, t_off, t_on) ->
+                   Json.Obj
+                     [
+                       ("name", Json.String name);
+                       ("off_ms", Json.Float (ms t_off));
+                       ("on_ms", Json.Float (ms t_on));
+                       ("overhead", Json.Float (t_on /. t_off));
+                     ])
+                 prof_measured) );
+        ]
+    in
     let guard_section =
       Json.Obj
         [
@@ -673,6 +735,7 @@ let smoke ~json () =
           ("forum_messages", Json.Int 1_000);
           ("parallel", parallel_section);
           ("guardrails", guard_section);
+          ("profiler", profiler_section);
           ( "queries",
             Json.List
               (List.map
@@ -849,4 +912,5 @@ let () =
   b7_par ~size:(if fast then 2_000 else 20_000);
   b8 ~size:(if fast then 2_000 else 20_000);
   b8_guard ~size:(if fast then 2_000 else 20_000);
+  b9_prof ~size:(if fast then 2_000 else 20_000);
   print_newline ()

@@ -14,7 +14,47 @@ type session = {
   mutable show_panes : bool;  (* print the four browser panes per query *)
   mutable timing : bool;  (* print wall-clock time per statement *)
   mutable trace : bool;  (* print the span tree per statement *)
+  mutable progress : bool;  (* sample live progress while statements run *)
 }
+
+(* Live progress sampler: a domain polling the engine's lock-free progress
+   snapshot while the statement runs on this one. Stderr, so redirected
+   result output stays clean. *)
+let progress_interval_s = 0.2
+
+let start_progress_sampler session =
+  if not session.progress then None
+  else begin
+    let stop = Atomic.make false in
+    let d =
+      Domain.spawn (fun () ->
+          let rec loop () =
+            Unix.sleepf progress_interval_s;
+            if not (Atomic.get stop) then begin
+              (match Engine.progress session.engine with
+              | Some p when p.Engine.pr_running ->
+                if p.Engine.pr_morsels_total > 0 then
+                  Printf.eprintf
+                    "progress: %d rows, morsel %d/%d, %.0f ms elapsed\n%!"
+                    p.Engine.pr_rows p.Engine.pr_morsels_done
+                    p.Engine.pr_morsels_total p.Engine.pr_elapsed_ms
+                else
+                  Printf.eprintf "progress: %d rows, %.0f ms elapsed\n%!"
+                    p.Engine.pr_rows p.Engine.pr_elapsed_ms
+              | _ -> ());
+              loop ()
+            end
+          in
+          loop ())
+    in
+    Some (stop, d)
+  end
+
+let stop_progress_sampler = function
+  | None -> ()
+  | Some (stop, d) ->
+    Atomic.set stop true;
+    Domain.join d
 
 let print_outcome session sql outcome =
   match (outcome : Engine.outcome) with
@@ -66,7 +106,10 @@ let run_sql session sql =
   let sql = String.trim sql in
   if sql <> "" then begin
     let before = Engine.last_trace session.engine in
-    (match Engine.execute_err session.engine sql with
+    let sampler = start_progress_sampler session in
+    let result = Engine.execute_err session.engine sql in
+    stop_progress_sampler sampler;
+    (match result with
     | Ok outcome -> print_outcome session sql outcome
     | Error e -> Printf.printf "ERROR: %s\n" (Err.describe e));
     (* both \trace and \timing read the engine's span tree, so the time
@@ -104,6 +147,10 @@ let help_text =
   \log min MS              only log statements at least MS milliseconds slow
   \log off                 close the statement log
   \metrics                 session metrics (counters, gauges, latency histograms)
+  \metrics PREFIX          only metrics whose name starts with PREFIX
+                           (e.g. \metrics executor.par)
+  \progress on|off         sample live query progress (rows, morsels, elapsed)
+                           on an interval while each statement runs
   \strategy join|lateral|heuristic|cost
                            aggregation rewrite strategy (paper 2.2)
   \optimizer on|off        toggle the planner rewrites
@@ -130,8 +177,8 @@ let help_text =
   \help                    this text
 Anything else is executed as an SQL-PLE statement (end with ;).
 Telemetry is also queryable as relations: perm_stat_statements,
-perm_stat_relations, perm_metrics (try SELECT * FROM perm_stat_statements
-ORDER BY total_ms DESC;).|}
+perm_stat_relations, perm_stat_plans, perm_stat_workers, perm_metrics
+(try SELECT * FROM perm_stat_plans ORDER BY self_ms DESC;).|}
 
 let handle_meta session line =
   match String.split_on_char ' ' (String.trim line) with
@@ -205,6 +252,15 @@ let handle_meta session line =
     let m = Engine.metrics session.engine in
     Metrics.set_gc_gauges m;
     print_string (Metrics.dump_text m);
+    `Continue
+  | [ "\\metrics"; prefix ] ->
+    let m = Engine.metrics session.engine in
+    Metrics.set_gc_gauges m;
+    print_string (Metrics.dump_text ~prefix m);
+    `Continue
+  | [ "\\progress"; v ] ->
+    session.progress <- (v = "on");
+    Printf.printf "live progress sampling %s\n" (if v = "on" then "on" else "off");
     `Continue
   | [ "\\strategy"; v ] ->
     (match v with
@@ -357,7 +413,13 @@ let repl session =
 
 let main demo script command =
   let session =
-    { engine = Engine.create (); show_panes = false; timing = false; trace = false }
+    {
+      engine = Engine.create ();
+      show_panes = false;
+      timing = false;
+      trace = false;
+      progress = false;
+    }
   in
   if demo then Perm_workload.Forum.load session.engine;
   (match script, command with

@@ -24,6 +24,8 @@ module Trace = Perm_obs.Trace
 module Stats = Perm_obs.Stats
 module Eventlog = Perm_obs.Eventlog
 module Json = Perm_obs.Json
+module Profile = Perm_obs.Profile
+module Progress = Perm_executor.Progress
 module Fingerprint = Perm_sql.Fingerprint
 
 type agg_strategy_setting = Use_join | Use_lateral | Use_heuristic | Use_cost_based
@@ -46,6 +48,19 @@ type snapshot = {
 type virtual_provider = {
   vp_rows : unit -> Tuple.t list;
   vp_estimate : unit -> int;
+}
+
+(* Live progress of the most recent top-level statement. The record is
+   created when the statement starts and kept after it finishes (with
+   [lv_running] flipped off), so a sampler can still see where a killed
+   statement died. All hot counters live behind atomics in [Progress.t];
+   the other fields are written once by the engine domain. *)
+type live = {
+  lv_sql : string;
+  lv_start_s : float;
+  lv_progress : Progress.t;
+  mutable lv_running : bool;
+  mutable lv_end_s : float option;
 }
 
 type t = {
@@ -75,6 +90,9 @@ type t = {
   mutable row_limit : int;  (* governor: 0 = off *)
   mutable tuple_budget : int;  (* governor: 0 = off *)
   mutable token : Token.t;  (* cancellation token of the running statement *)
+  profile : Profile.t;  (* perm_stat_plans / perm_stat_workers accumulator *)
+  mutable stmt_fp : string;  (* fingerprint of the running top-level stmt *)
+  mutable live : live option;  (* progress of the last top-level statement *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -112,6 +130,28 @@ let relation_row (rel : Stats.relation_stat) =
     Value.Text rel.Stats.rel_name;
     Value.Int rel.Stats.rel_scans;
     Value.Int rel.Stats.rel_rows;
+  |]
+
+let plan_row (pn : Profile.plan_node) =
+  [|
+    Value.Text pn.Profile.pn_fingerprint;
+    Value.Int pn.Profile.pn_node;
+    Value.Text pn.Profile.pn_operator;
+    fnum pn.Profile.pn_est_rows;
+    Value.Int pn.Profile.pn_act_rows;
+    fnum pn.Profile.pn_self_ms;
+    Value.Int pn.Profile.pn_loops;
+    Value.Int pn.Profile.pn_peak_bytes;
+  |]
+
+let worker_row (wk : Profile.worker) =
+  [|
+    Value.Int wk.Profile.wk_domain;
+    Value.Int wk.Profile.wk_morsels;
+    fnum wk.Profile.wk_busy_ms;
+    fnum wk.Profile.wk_idle_ms;
+    Value.Int wk.Profile.wk_rows;
+    fnum wk.Profile.wk_max_skew;
   |]
 
 let metric_rows metrics =
@@ -174,6 +214,19 @@ let virtual_schemas =
         col "max" Dtype.Float; col "p50" Dtype.Float; col "p95" Dtype.Float;
         col "p99" Dtype.Float;
       ] );
+    ( "perm_stat_plans",
+      [
+        col "fingerprint" Dtype.Text; col "node_id" Dtype.Int;
+        col "operator" Dtype.Text; col "est_rows" Dtype.Float;
+        col "act_rows" Dtype.Int; col "self_ms" Dtype.Float;
+        col "loops" Dtype.Int; col "peak_bytes" Dtype.Int;
+      ] );
+    ( "perm_stat_workers",
+      [
+        col "domain" Dtype.Int; col "morsels" Dtype.Int;
+        col "busy_ms" Dtype.Float; col "idle_ms" Dtype.Float;
+        col "rows" Dtype.Int; col "max_skew" Dtype.Float;
+      ] );
   ]
 
 let register_virtuals t =
@@ -202,6 +255,16 @@ let register_virtuals t =
           Metrics.set_gc_gauges t.metrics;
           metric_rows t.metrics);
       vp_estimate = (fun () -> List.length (Metrics.names t.metrics));
+    };
+  add "perm_stat_plans"
+    {
+      vp_rows = (fun () -> List.map plan_row (Profile.plan_nodes t.profile));
+      vp_estimate = (fun () -> List.length (Profile.plan_nodes t.profile));
+    };
+  add "perm_stat_workers"
+    {
+      vp_rows = (fun () -> List.map worker_row (Profile.workers t.profile));
+      vp_estimate = (fun () -> List.length (Profile.workers t.profile));
     }
 
 let create () =
@@ -231,6 +294,9 @@ let create () =
       row_limit = 0;
       tuple_budget = 0;
       token = Token.none;
+      profile = Profile.create ();
+      stmt_fp = "";
+      live = None;
     }
   in
   Perm_fault.init_from_env ();
@@ -455,7 +521,50 @@ let instrumentation t = t.instrument
 let last_trace t = t.last_trace
 let statement_stats t = Stats.statements t.stats_acc
 let relation_stats t = Stats.relations t.stats_acc
-let reset_statement_stats t = Stats.reset t.stats_acc
+
+let reset_statement_stats t =
+  Stats.reset t.stats_acc;
+  Profile.reset t.profile
+
+let plan_profile t = Profile.plan_nodes t.profile
+let worker_profile t = Profile.workers t.profile
+
+(* Live progress of the current (or, once finished, most recent) top-level
+   statement. Readable from any domain: the counters are atomics and the
+   rest of the record is written before execution starts. *)
+type progress = {
+  pr_sql : string;
+  pr_running : bool;
+  pr_elapsed_ms : float;
+  pr_rows : int;
+  pr_morsels_done : int;
+  pr_morsels_total : int;  (* 0 = serial execution *)
+}
+
+let progress t =
+  match t.live with
+  | None -> None
+  | Some lv ->
+    let sn = Progress.snapshot lv.lv_progress in
+    let until =
+      match lv.lv_end_s with Some e -> e | None -> Trace.now ()
+    in
+    Some
+      {
+        pr_sql = lv.lv_sql;
+        pr_running = lv.lv_running;
+        pr_elapsed_ms = (until -. lv.lv_start_s) *. 1000.;
+        pr_rows = sn.Progress.sn_rows;
+        pr_morsels_done = sn.Progress.sn_morsels_done;
+        pr_morsels_total = sn.Progress.sn_morsels_total;
+      }
+
+(* The Progress.t handed to the executor, live only while its statement
+   runs — nested statements feed the enclosing statement's counters. *)
+let live_progress t =
+  match t.live with
+  | Some lv when lv.lv_running -> Some lv.lv_progress
+  | _ -> None
 let trace_log t = List.rev t.trace_log
 let clear_trace_log t = t.trace_log <- []
 let event_log t = t.event_log
@@ -509,6 +618,36 @@ let record_exec_stats t stats =
       Stats.record_scan t.stats_acc ~relation:table ~rows:ns.Executor.stat_rows)
     (Executor.scan_stats stats)
 
+(* Planner estimates for every node of the executed plan, keyed by physical
+   identity — the pre-order position doubles as the stable node id. *)
+let plan_estimates t plan = Planner.node_estimates (stats t) plan
+
+let estimate_of ests node =
+  match List.find_opt (fun (n, _) -> n == node) ests with
+  | Some (_, e) -> e
+  | None -> 0.
+
+(* Fold a finalized serial execution profile into the retained
+   per-fingerprint plan-profile store behind perm_stat_plans. Helper nodes
+   the executor synthesized (stat_id < 0) are skipped: they are not part
+   of the optimized plan the ids describe. *)
+let record_plan_profile t plan exec_stats =
+  if t.stmt_fp <> "" then begin
+    let ests = plan_estimates t plan in
+    List.iter
+      (fun (node, (ns : Executor.node_stats)) ->
+        if ns.Executor.stat_id >= 0 then
+          Profile.record_plan_node t.profile ~fingerprint:t.stmt_fp
+            ~node:ns.Executor.stat_id
+            ~operator:(Plan.operator_name node)
+            ~est_rows:(estimate_of ests node)
+            ~act_rows:ns.Executor.stat_rows
+            ~self_ms:(ns.Executor.stat_self_s *. 1000.)
+            ~loops:ns.Executor.stat_invocations
+            ~peak_bytes:ns.Executor.stat_peak_bytes)
+      (Executor.stats_nodes exec_stats)
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Query pipeline: analyze -> rewrite -> optimize -> execute            *)
 (* ------------------------------------------------------------------ *)
@@ -532,14 +671,15 @@ let prepare t (q : Ast.query) =
   in
   Ok (analyzed, rewritten, optimized)
 
-(* Morsel-driven parallel execution is attempted only when the session has
-   parallelism on and instrumentation off (the instrumented path is serial
-   by design), the planner's verdict is favourable, and the executor
-   accepts the plan shape. Every fallback leaves a reason counter in the
-   metrics so "why didn't this parallelize?" is answerable from
-   perm_metrics. *)
+(* Morsel-driven parallel execution is attempted when the session has
+   parallelism on, the planner's verdict is favourable, and the executor
+   accepts the plan shape. Session instrumentation no longer forces the
+   serial path: the parallel executor carries its own plan-node profiler
+   (atomic per-stage counters), so [profile] is switched on instead.
+   Every fallback leaves a reason counter in the metrics so "why didn't
+   this parallelize?" is answerable from perm_metrics. *)
 let try_parallel t optimized =
-  if t.parallel_domains <= 0 || t.instrument then None
+  if t.parallel_domains <= 0 then None
   else
     match
       Planner.parallel_verdict ~threshold:t.parallel_threshold (stats t)
@@ -552,7 +692,8 @@ let try_parallel t optimized =
       match
         Executor.Par.prepare ~provider:(provider t) ~pool:(pool t)
           ~morsel_rows:t.morsel_rows ~token:t.token
-          ?row_limit:(active_row_limit t) optimized
+          ?row_limit:(active_row_limit t) ?progress:(live_progress t)
+          ~profile:t.instrument optimized
       with
       | None ->
         (* the planner mirror accepted a shape the executor declined *)
@@ -560,7 +701,7 @@ let try_parallel t optimized =
         None
       | Some run -> Some run)
 
-let record_par_report t (r : Executor.Par.report) =
+let record_par_report t plan (r : Executor.Par.report) =
   Metrics.incr t.metrics "executor.par.queries";
   Metrics.incr t.metrics ~by:r.Executor.Par.par_morsels "executor.par.morsels";
   Metrics.set_gauge t.metrics "executor.par.domains"
@@ -568,14 +709,111 @@ let record_par_report t (r : Executor.Par.report) =
   if r.Executor.Par.par_morsels > 0 then
     Metrics.set_gauge t.metrics "executor.par.utilization"
       (float_of_int r.Executor.Par.par_participants
-      /. float_of_int r.Executor.Par.par_domains)
+      /. float_of_int r.Executor.Par.par_domains);
+  (* per-worker accounting: busy from the pool's slice timings, idle as the
+     rest of the batch wall time, skew as busy over the batch mean *)
+  let rp = r.Executor.Par.par_pool in
+  let workers = rp.Pool.rp_workers in
+  let nw = Array.length workers in
+  if nw > 0 then begin
+    let total_busy =
+      Array.fold_left (fun acc w -> acc +. w.Pool.ws_busy_s) 0. workers
+    in
+    let mean_busy = total_busy /. float_of_int nw in
+    let max_skew = ref 1. in
+    Array.iteri
+      (fun i (w : Pool.worker_stat) ->
+        let skew =
+          if mean_busy > 0. then w.Pool.ws_busy_s /. mean_busy else 1.
+        in
+        if skew > !max_skew then max_skew := skew;
+        Profile.record_worker t.profile ~domain:i ~morsels:w.Pool.ws_morsels
+          ~busy_ms:(w.Pool.ws_busy_s *. 1000.)
+          ~idle_ms:
+            (Float.max 0. (rp.Pool.rp_wall_s -. w.Pool.ws_busy_s) *. 1000.)
+          ~rows:w.Pool.ws_rows ~skew)
+      workers;
+    Metrics.set_gauge t.metrics "executor.par.skew" !max_skew;
+    (* the statement root carries skew/utilization so the trace export
+       shows imbalance without drilling into lanes *)
+    match t.current_span with
+    | None -> ()
+    | Some root ->
+      Trace.annotate root "executor.par.skew"
+        (Printf.sprintf "%.2f" !max_skew);
+      Trace.annotate root "executor.par.utilization"
+        (Printf.sprintf "%.2f"
+           (float_of_int r.Executor.Par.par_participants
+           /. float_of_int (max 1 r.Executor.Par.par_domains)))
+  end;
+  (* plan-node cardinalities from the parallel stage counters; self time is
+     not attributable per node on the push-based path, so it stays 0 *)
+  match r.Executor.Par.par_nodes with
+  | [] -> ()
+  | nodes ->
+    if t.stmt_fp <> "" then begin
+      let ids = Executor.node_ids plan in
+      let ests = plan_estimates t plan in
+      List.iter
+        (fun (np : Executor.Par.node_profile) ->
+          let kind = Plan.operator_kind np.Executor.Par.np_node in
+          Metrics.incr t.metrics ~by:np.Executor.Par.np_rows
+            ("executor.rows." ^ kind);
+          Metrics.incr t.metrics ~by:np.Executor.Par.np_loops
+            ("executor.invocations." ^ kind);
+          (match np.Executor.Par.np_node with
+          | Plan.Scan { table; _ } ->
+            Stats.record_scan t.stats_acc ~relation:table
+              ~rows:np.Executor.Par.np_rows
+          | _ -> ());
+          match
+            List.find_opt (fun (n, _) -> n == np.Executor.Par.np_node) ids
+          with
+          | None -> ()
+          | Some (node, id) ->
+            Profile.record_plan_node t.profile ~fingerprint:t.stmt_fp ~node:id
+              ~operator:(Plan.operator_name node)
+              ~est_rows:(estimate_of ests node)
+              ~act_rows:np.Executor.Par.np_rows ~self_ms:0.
+              ~loops:np.Executor.Par.np_loops ~peak_bytes:0)
+        nodes
+    end
 
 (* Execute a prepared plan, collecting per-operator stats when the session
    has instrumentation switched on. *)
+(* Per-morsel slices and per-worker summaries attach under the "parallel"
+   span on each worker's lane, so the Chrome trace export renders one
+   swimlane per domain. The summary slice spans the whole batch even for
+   idle workers, guaranteeing every domain's lane exists in the export. *)
+let attach_worker_lanes psp (r : Executor.Par.report) =
+  let rp = r.Executor.Par.par_pool in
+  Array.iteri
+    (fun i (w : Pool.worker_stat) ->
+      ignore
+        (Trace.add_slice psp
+           (Printf.sprintf "worker %d" i)
+           ~start_s:rp.Pool.rp_start_s ~dur_s:rp.Pool.rp_wall_s
+           ~lane:(Trace.worker_lane i)
+           [
+             ("morsels", string_of_int w.Pool.ws_morsels);
+             ("rows", string_of_int w.Pool.ws_rows);
+             ("busy_ms", Printf.sprintf "%.3f" (w.Pool.ws_busy_s *. 1000.));
+           ]))
+    rp.Pool.rp_workers;
+  List.iter
+    (fun (s : Pool.task_slice) ->
+      ignore
+        (Trace.add_slice psp
+           (Printf.sprintf "morsel %d" s.Pool.ts_task)
+           ~start_s:s.Pool.ts_start ~dur_s:s.Pool.ts_dur_s
+           ~lane:(Trace.worker_lane s.Pool.ts_worker)
+           [ ("rows", string_of_int s.Pool.ts_rows) ]))
+    rp.Pool.rp_slices
+
 let exec_plan t optimized =
   let run_serial () =
     Executor.run ~token:t.token ?row_limit:(active_row_limit t)
-      ~provider:(provider t) optimized
+      ?progress:(live_progress t) ~provider:(provider t) optimized
   in
   match try_parallel t optimized with
   | Some run ->
@@ -593,13 +831,14 @@ let exec_plan t optimized =
                 Trace.annotate psp "morsels"
                   (string_of_int r.Executor.Par.par_morsels);
                 Trace.annotate psp "participants"
-                  (string_of_int r.Executor.Par.par_participants)
+                  (string_of_int r.Executor.Par.par_participants);
+                attach_worker_lanes psp r
               | _ -> ());
               result)
         in
         match run_par () with
         | Ok (rows, report) ->
-          record_par_report t report;
+          record_par_report t optimized report;
           Ok rows
         | Error msg -> Error (Err.runtime msg)
         | exception (Err.Cancel _ as e) ->
@@ -624,10 +863,12 @@ let exec_plan t optimized =
         dat
           (phase t "execute" (fun () ->
                Executor.run_instrumented ~token:t.token
-                 ?row_limit:(active_row_limit t) ~provider:(provider t)
+                 ?row_limit:(active_row_limit t)
+                 ?progress:(live_progress t) ~provider:(provider t)
                  optimized))
       in
       record_exec_stats t exec_stats;
+      record_plan_profile t optimized exec_stats;
       Ok rows
     else dat (phase t "execute" run_serial)
 
@@ -678,19 +919,36 @@ let explain_query t sql (q : Ast.query) =
 let explain_analyze_query t sql (q : Ast.query) =
   let* _analyzed, _rewritten, optimized = prepare t q in
   let report = Option.get t.report in
-  (* EXPLAIN ANALYZE always instruments, whatever the session setting *)
+  (* EXPLAIN ANALYZE always instruments, whatever the session setting; it
+     stays on the serial path because per-node self times need the
+     pull-based profiler *)
   let* rows, exec_stats =
     dat
       (phase t "execute" (fun () ->
            Executor.run_instrumented ~token:t.token
-             ?row_limit:(active_row_limit t) ~provider:(provider t) optimized))
+             ?row_limit:(active_row_limit t) ?progress:(live_progress t)
+             ~provider:(provider t) optimized))
   in
   record_exec_stats t exec_stats;
+  record_plan_profile t optimized exec_stats;
+  let ests = plan_estimates t optimized in
   let annotate plan =
     match Executor.lookup exec_stats plan with
     | Some ns ->
-      Printf.sprintf "(actual rows=%d loops=%d time=%.3f ms)"
-        ns.Executor.stat_rows ns.Executor.stat_invocations
+      let est = estimate_of ests plan in
+      let act = ns.Executor.stat_rows in
+      (* flag misestimates: the larger of est/act over the other, floored
+         at one row on each side so empty results don't divide by zero *)
+      let ratio =
+        let e = Float.max est 1. and a = float_of_int (max act 1) in
+        Float.max (e /. a) (a /. e)
+      in
+      let off =
+        if ratio >= 2. then Printf.sprintf " (x%.0f off)" ratio else ""
+      in
+      Printf.sprintf "(est=%.0f act=%d%s loops=%d self=%.3f ms time=%.3f ms)"
+        est act off ns.Executor.stat_invocations
+        (ns.Executor.stat_self_s *. 1000.)
         (ns.Executor.stat_time_s *. 1000.)
     | None -> "(never executed)"
   in
@@ -1190,6 +1448,16 @@ let execute_statement t sql (st : Ast.statement) =
   t.current_span <- Some root;
   if saved = None then begin
     t.stmt_rules <- [];
+    t.stmt_fp <- Fingerprint.of_sql sql;
+    t.live <-
+      Some
+        {
+          lv_sql = sql;
+          lv_start_s = Trace.start_s root;
+          lv_progress = Progress.create ();
+          lv_running = true;
+          lv_end_s = None;
+        };
     (* a fresh governor token per top-level statement; nested statements
        share the enclosing statement's token (and its deadline) *)
     t.token <- fresh_token t
@@ -1201,7 +1469,36 @@ let execute_statement t sql (st : Ast.statement) =
         t.current_span <- saved)
       (fun () -> capture t (fun () -> run_statement t sql st))
   in
+  (* A governor kill reports where the statement died: the progress
+     counters the sampler would have seen, appended to the message. *)
+  let result =
+    match result with
+    | Error e
+      when saved = None
+           && (match e.Err.kind with
+              | Err.Timeout | Err.Cancelled | Err.Resource_exhausted -> true
+              | _ -> false) -> (
+      match progress t with
+      | Some pr ->
+        let where =
+          if pr.pr_morsels_total > 0 then
+            Printf.sprintf " [died at %d rows, morsel %d/%d, %.0f ms]"
+              pr.pr_rows pr.pr_morsels_done pr.pr_morsels_total
+              (Trace.duration_ms root)
+          else
+            Printf.sprintf " [died at %d rows, %.0f ms]" pr.pr_rows
+              (Trace.duration_ms root)
+        in
+        Error (Err.make e.Err.kind (e.Err.msg ^ where))
+      | None -> result)
+    | _ -> result
+  in
   if saved = None then begin
+    (match t.live with
+    | Some lv ->
+      lv.lv_running <- false;
+      lv.lv_end_s <- Some (Trace.now ())
+    | None -> ());
     t.last_trace <- Some root;
     t.trace_log <- root :: t.trace_log;
     record_statement_stats t sql st root result

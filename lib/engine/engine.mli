@@ -36,14 +36,16 @@ type explain = {
       (** chosen aggregation rewrite strategy per rewritten aggregate *)
 }
 
-(** [EXPLAIN ANALYZE] output: the optimized tree annotated with {e actual}
-    per-operator row counts, loop counts and inclusive wall-clock time,
+(** [EXPLAIN ANALYZE] output: the optimized tree annotated with the
+    planner's cardinality {e estimate} next to the {e actual} per-operator
+    row count (with an [(xN off)] marker when they disagree by 2x or
+    more), loop counts, exclusive (self) and inclusive wall-clock time,
     plus the pipeline phase breakdown from the statement's trace. *)
 type explain_analyze = {
   ea_sql : string;
   ea_tree : string;
       (** optimized tree; every node carries
-          [(actual rows=<n> loops=<n> time=<ms> ms)] *)
+          [(est=<n> act=<n> [(xN off)] loops=<n> self=<ms> ms time=<ms> ms)] *)
   ea_phases : (string * float) list;
       (** [(phase, milliseconds)] in pipeline order:
           analyze, rewrite, optimize, execute *)
@@ -122,7 +124,7 @@ val last_trace : t -> Perm_obs.Trace.span option
 
     Every session aggregates finished top-level statements by fingerprint
     (lexer-normalized SQL, {!Perm_sql.Fingerprint}) into a
-    {!Perm_obs.Stats} accumulator, and registers three {e virtual system
+    {!Perm_obs.Stats} accumulator, and registers five {e virtual system
     relations} queryable through the ordinary pipeline — joinable,
     filterable, orderable like any table:
 
@@ -131,6 +133,15 @@ val last_trace : t -> Perm_obs.Trace.span option
       the provenance flag;
     - [perm_stat_relations] — per-base-relation scan and row counters
       (populated when instrumentation is on or under [EXPLAIN ANALYZE]);
+    - [perm_stat_plans] — the retained plan-node profile: per
+      (fingerprint, node id) operator name, planner-estimated vs actual
+      rows, self milliseconds, loop count and peak batch bytes (populated
+      when instrumentation is on or under [EXPLAIN ANALYZE]; the parallel
+      path reports per-stage rows/loops with estimates and leaves
+      self-time to the serial profiler);
+    - [perm_stat_workers] — per-domain parallel-execution totals: morsels
+      claimed, busy/idle milliseconds, rows produced and the worst
+      busy-time skew ratio observed in any one fan-out;
     - [perm_metrics] — the live metrics registry as rows (GC gauges are
       refreshed at scan time).
 
@@ -142,7 +153,42 @@ val statement_stats : t -> Perm_obs.Stats.statement_stat list
     [perm_stat_statements]). *)
 
 val relation_stats : t -> Perm_obs.Stats.relation_stat list
+
+val plan_profile : t -> Perm_obs.Profile.plan_node list
+(** The retained per-fingerprint plan-node profile (the rows behind
+    [perm_stat_plans]), sorted by fingerprint then node id. *)
+
+val worker_profile : t -> Perm_obs.Profile.worker list
+(** Per-domain parallel worker totals (the rows behind
+    [perm_stat_workers]), sorted by domain index. *)
+
 val reset_statement_stats : t -> unit
+(** Clears statement/relation statistics and the plan/worker profiles. *)
+
+(** {2 Live query progress}
+
+    While a top-level statement runs, the executor feeds a lock-free
+    progress record (atomic counters only — no locks on the query path)
+    that any other domain may sample: rows produced at the plan root and,
+    on the parallel path, morsels finished out of the fan-out total. The
+    record survives statement completion, so the last statement's final
+    progress remains readable. Governor kills ([Timeout] /
+    [Resource_exhausted] / [Cancelled]) append the last sampled progress
+    to the error message, reporting {e where} the statement died. *)
+
+type progress = {
+  pr_sql : string;  (** the statement being (or last) executed *)
+  pr_running : bool;
+  pr_elapsed_ms : float;
+      (** elapsed so far, or total runtime once finished *)
+  pr_rows : int;  (** rows produced at the plan root *)
+  pr_morsels_done : int;
+  pr_morsels_total : int;  (** 0 unless the statement fanned out *)
+}
+
+val progress : t -> progress option
+(** Snapshot of the current (or most recent) statement's progress; [None]
+    before the first statement. Safe to call from any domain. *)
 
 (** {2 Trace log and exporters} *)
 
@@ -181,8 +227,14 @@ val set_optimizer_config : t -> Perm_planner.Planner.config -> unit
     small plans fall back to the serial path, leaving an
     [executor.par.fallback.<reason>] counter; parallel runs maintain
     [executor.par.queries] / [executor.par.morsels] counters and
-    [executor.par.domains] / [executor.par.utilization] gauges, and attach
-    a [parallel] child span to the statement's [execute] phase. *)
+    [executor.par.domains] / [executor.par.utilization] /
+    [executor.par.skew] gauges, and attach a [parallel] child span to the
+    statement's [execute] phase. Each fan-out records per-worker morsel
+    slices on dedicated trace lanes ({!Perm_obs.Trace.worker_lane}), so
+    {!Perm_obs.Trace.to_chrome_json} renders one timeline row per domain.
+    With instrumentation on, parallel plans run parallel {e with} per-stage
+    profiling (feeding [perm_stat_plans] / [perm_stat_workers]) instead of
+    being forced onto the serial instrumented path. *)
 
 type parallel_setting =
   | Par_off
@@ -216,8 +268,10 @@ val pool_size : t -> int
     ([Timeout] / [Resource_exhausted] / [Cancelled]) from {!execute_err},
     bumps the matching [engine.timeout] / [engine.resource_exhausted] /
     [engine.cancelled] counter, drains the parallel generation, and leaves
-    the pool — and any open transaction snapshot — intact. All guardrails
-    default to off (0) and cost nothing while off. *)
+    the pool — and any open transaction snapshot — intact. The error
+    message carries the statement's last {!progress} snapshot (rows,
+    morsels, elapsed), so a killed query reports where it died. All
+    guardrails default to off (0) and cost nothing while off. *)
 
 val set_statement_timeout : t -> float -> unit
 (** Wall-clock budget in milliseconds per top-level statement; [0.] turns

@@ -782,8 +782,18 @@ let over_row_limit limit =
          Printf.sprintf "row limit exceeded (limit %d)" limit ))
 
 (* Root materialization: the one place every result passes through, so the
-   row-limit guardrail lives here. *)
-let materialize ?row_limit seq =
+   row-limit guardrail and the live row-progress counter live here. *)
+let materialize ?row_limit ?progress seq =
+  let seq =
+    match progress with
+    | None -> seq
+    | Some p ->
+      Seq.map
+        (fun row ->
+          Progress.incr_rows p;
+          row)
+        seq
+  in
   match row_limit with
   | None -> List.of_seq seq
   | Some limit ->
@@ -800,9 +810,11 @@ let materialize ?row_limit seq =
 (* Entry points                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let run ?(token = Token.none) ?row_limit ~provider plan =
+let run ?(token = Token.none) ?row_limit ?progress ~provider plan =
   let wrap = if Token.active token then guard_wrap token else no_wrap in
-  match materialize ?row_limit ((compile ~provider ~wrap no_outer plan) ()) with
+  match
+    materialize ?row_limit ?progress ((compile ~provider ~wrap no_outer plan) ())
+  with
   | rows -> Ok rows
   | exception Runtime_error msg -> Error msg
 
@@ -812,9 +824,16 @@ let run ?(token = Token.none) ?row_limit ~provider plan =
 
 type node_stats = {
   stat_kind : string;
+  mutable stat_id : int;  (* stable pre-order id within the plan; -1 until
+                             [finalize], and stays -1 for helper nodes the
+                             executor synthesizes (e.g. the swapped join a
+                             Right join compiles into) *)
   mutable stat_invocations : int;
   mutable stat_rows : int;
   mutable stat_time_s : float;
+  mutable stat_self_s : float;  (* exclusive time, derived by [finalize] *)
+  mutable stat_peak_rows : int;  (* max rows out of a single invocation *)
+  mutable stat_peak_bytes : int;  (* peak_rows * estimated row width *)
 }
 
 (* Stats are keyed by the physical identity of the plan node: the plan is a
@@ -830,6 +849,49 @@ let lookup stats node =
   go stats.entries
 
 let stats_entries stats = List.rev_map snd stats.entries
+let stats_nodes stats = List.rev stats.entries
+
+(* Stable node ids: pre-order over the plan tree, so the same statement
+   shape yields the same numbering on every execution. Ids advance even
+   for nodes that never executed (short-circuited subtrees), which keeps
+   the numbering a function of the plan alone. *)
+let node_ids plan =
+  let id = ref 0 in
+  let rec walk acc node =
+    let this = !id in
+    incr id;
+    List.fold_left walk ((node, this) :: acc) (Plan.children node)
+  in
+  List.rev (walk [] plan)
+
+(* Coarse per-row width estimate for the peak-memory column: a tuple is an
+   array of boxed values — header + one word per field plus roughly one
+   boxed payload per field. *)
+let row_bytes node = 16 + (16 * List.length (Plan.schema node))
+
+(* Derive the per-node columns that need the whole tree: stable ids, self
+   time (inclusive minus the children's inclusive time — children of an
+   Apply right side re-run per outer row, and their cumulative time is
+   already cumulative across invocations, so the subtraction stays exact),
+   and the peak batch memory estimate. *)
+let finalize stats plan =
+  List.iter
+    (fun (node, id) ->
+      match lookup stats node with
+      | None -> ()
+      | Some ns ->
+        ns.stat_id <- id;
+        let child_s =
+          List.fold_left
+            (fun acc c ->
+              match lookup stats c with
+              | Some cns -> acc +. cns.stat_time_s
+              | None -> acc)
+            0. (Plan.children node)
+        in
+        ns.stat_self_s <- Float.max 0. (ns.stat_time_s -. child_s);
+        ns.stat_peak_bytes <- ns.stat_peak_rows * row_bytes node)
+    (node_ids plan)
 
 (* Per-base-relation view of the recorded stats: the leaf scans, labelled
    with the table they read. Feeds the perm_stat_relations system view. *)
@@ -850,14 +912,19 @@ let instrumenting_wrap stats : wrapper =
   let ns =
     {
       stat_kind = Plan.operator_kind node;
+      stat_id = -1;
       stat_invocations = 0;
       stat_rows = 0;
       stat_time_s = 0.;
+      stat_self_s = 0.;
+      stat_peak_rows = 0;
+      stat_peak_bytes = 0;
     }
   in
   stats.entries <- (node, ns) :: stats.entries;
   fun () ->
     ns.stat_invocations <- ns.stat_invocations + 1;
+    let inv_rows = ref 0 in
     let t0 = now_s () in
     let seq = thunk () in
     ns.stat_time_s <- ns.stat_time_s +. (now_s () -. t0);
@@ -871,6 +938,8 @@ let instrumenting_wrap stats : wrapper =
       | Seq.Nil -> Seq.Nil
       | Seq.Cons (x, rest) ->
         ns.stat_rows <- ns.stat_rows + 1;
+        incr inv_rows;
+        if !inv_rows > ns.stat_peak_rows then ns.stat_peak_rows <- !inv_rows;
         Seq.Cons (x, step rest)
     in
     step seq
@@ -878,14 +947,19 @@ let instrumenting_wrap stats : wrapper =
 let compose_wrap (outer : wrapper) (inner : wrapper) : wrapper =
  fun node thunk -> outer node (inner node thunk)
 
-let run_instrumented ?(token = Token.none) ?row_limit ~provider plan =
+let run_instrumented ?(token = Token.none) ?row_limit ?progress ~provider plan
+    =
   let stats = { entries = [] } in
   let wrap = instrumenting_wrap stats in
   let wrap =
     if Token.active token then compose_wrap (guard_wrap token) wrap else wrap
   in
-  match materialize ?row_limit ((compile ~provider ~wrap no_outer plan) ()) with
-  | rows -> Ok (rows, stats)
+  match
+    materialize ?row_limit ?progress ((compile ~provider ~wrap no_outer plan) ())
+  with
+  | rows ->
+    finalize stats plan;
+    Ok (rows, stats)
   | exception Runtime_error msg -> Error msg
 
 (* ------------------------------------------------------------------ *)
@@ -914,13 +988,62 @@ let run_instrumented ?(token = Token.none) ?row_limit ~provider plan =
 module Par = struct
   module Dtype = Perm_value.Dtype
 
+  type node_profile = {
+    np_node : Plan.t;  (* physical node within the executed plan *)
+    np_rows : int;  (* rows the stage emitted, summed over all morsels *)
+    np_loops : int;  (* stage instantiations (one per morsel, or 1 for
+                        serial merge/tail stages) *)
+  }
+
   type report = {
     par_domains : int;  (* pool size, caller included *)
     par_morsels : int;  (* tasks fanned out *)
     par_participants : int;  (* workers that executed at least one morsel *)
+    par_pool : Pool.report;  (* per-worker accounting and morsel slices *)
+    par_nodes : node_profile list;  (* [] unless profiling was requested *)
   }
 
   let default_morsel_rows = 1024
+
+  (* Plan-node profiling for the push-based path: one atomic row/loop
+     counter pair per recognized pipeline stage, shared by all workers.
+     With profiling off no counter exists and the emit chains compile
+     exactly as before. *)
+  type stage_counter = {
+    sc_node : Plan.t;
+    sc_rows : int Atomic.t;
+    sc_loops : int Atomic.t;
+  }
+
+  let prof_register prof node =
+    match prof with
+    | None -> None
+    | Some reg ->
+      let c =
+        { sc_node = node; sc_rows = Atomic.make 0; sc_loops = Atomic.make 0 }
+      in
+      reg := c :: !reg;
+      Some c
+
+  (* Instantiated once per morsel: bumps the stage's loop count and wraps
+     the sink to count emitted rows. *)
+  let prof_emit c emit =
+    match c with
+    | None -> emit
+    | Some c ->
+      Atomic.incr c.sc_loops;
+      fun row ->
+        Atomic.incr c.sc_rows;
+        emit row
+
+  (* One-shot accounting for serial stages (aggregate merge, sort/limit/
+     project tails). *)
+  let prof_count c rows =
+    match c with
+    | None -> ()
+    | Some c ->
+      Atomic.incr c.sc_loops;
+      ignore (Atomic.fetch_and_add c.sc_rows rows)
 
   (* Aggregates whose partial states merge without changing the result
      bit-for-bit. DISTINCT needs a cross-partition seen-set; float Sum/Avg
@@ -983,34 +1106,41 @@ module Par = struct
      [emit] sink it yields the per-row entry point of the fragment. The
      factory and the closures it builds are stateless apart from [emit],
      so each worker instantiates its own chain per morsel. *)
-  let rec frag ~(provider : provider) (plan : Plan.t) :
+  let rec frag ~(provider : provider) ?prof (plan : Plan.t) :
       (string * (unit -> (Tuple.t -> unit) -> Tuple.t -> unit)) option =
     match plan with
-    | Plan.Scan { table; _ } -> Some (table, fun () emit -> emit)
+    | Plan.Scan { table; _ } ->
+      let c = prof_register prof plan in
+      Some (table, fun () emit -> prof_emit c emit)
     | Plan.Baserel { child; _ } | Plan.External { child; _ } ->
-      frag ~provider child
+      frag ~provider ?prof child
     | Plan.Filter { child; pred } -> (
-      match frag ~provider child with
+      match frag ~provider ?prof child with
       | None -> None
       | Some (table, inst) ->
         let resolve = resolver_of_schema (Plan.schema child) in
         let fpred = compile_pred resolve pred in
-        Some
-          ( table,
-            fun () ->
-              let mk = inst () in
-              fun emit -> mk (fun row -> if fpred row then emit row) ))
-    | Plan.Project { child; cols } -> (
-      match frag ~provider child with
-      | None -> None
-      | Some (table, inst) ->
-        let resolve = resolver_of_schema (Plan.schema child) in
-        let fs = Array.of_list (List.map (fun (e, _) -> compile_expr resolve e) cols) in
+        let c = prof_register prof plan in
         Some
           ( table,
             fun () ->
               let mk = inst () in
               fun emit ->
+                let emit = prof_emit c emit in
+                mk (fun row -> if fpred row then emit row) ))
+    | Plan.Project { child; cols } -> (
+      match frag ~provider ?prof child with
+      | None -> None
+      | Some (table, inst) ->
+        let resolve = resolver_of_schema (Plan.schema child) in
+        let fs = Array.of_list (List.map (fun (e, _) -> compile_expr resolve e) cols) in
+        let c = prof_register prof plan in
+        Some
+          ( table,
+            fun () ->
+              let mk = inst () in
+              fun emit ->
+                let emit = prof_emit c emit in
                 mk (fun row -> emit (Array.map (fun f -> f row) fs)) ))
     | Plan.Join
         {
@@ -1019,7 +1149,7 @@ module Par = struct
           right;
           pred;
         } -> (
-      match frag ~provider left with
+      match frag ~provider ?prof left with
       | None -> None
       | Some (table, inst) ->
         let left_schema = Plan.schema left
@@ -1049,6 +1179,7 @@ module Par = struct
         in
         let usable = key_usable null_safety in
         let run_right = compile ~provider ~wrap:no_wrap no_outer right in
+        let c = prof_register prof plan in
         Some
           ( table,
             fun () ->
@@ -1081,6 +1212,7 @@ module Par = struct
                       (List.rev candidates)
               in
               fun emit ->
+                let emit = prof_emit c emit in
                 let stage lrow =
                   match kind with
                   | Plan.Semi -> if probe lrow <> [] then emit lrow
@@ -1100,8 +1232,8 @@ module Par = struct
      Every task checks the cancellation token before touching its morsel
      and charges it per emitted batch, so a kill (deadline, budget, manual
      cancel) noticed by any domain stops the rest at their next morsel. *)
-  let run_pipeline ~provider ~pool ~morsel_rows ~token plan =
-    match frag ~provider plan with
+  let run_pipeline ~provider ~pool ~morsel_rows ~token ?prof ?progress plan =
+    match frag ~provider ?prof plan with
     | None -> None
     | Some (table, inst) ->
       Some
@@ -1110,30 +1242,41 @@ module Par = struct
           let morsels = provider.scan_morsels table morsel_rows in
           let mk = inst () in
           let n = Array.length morsels in
+          Option.iter (fun p -> Progress.set_morsels_total p n) progress;
           let out = Array.make n [] in
           let tasks =
             Array.init n (fun i () ->
                 Token.check token;
-                let acc = ref [] in
+                let acc = ref [] and cnt = ref 0 in
                 let consume =
-                  mk (guard_emit token (fun row -> acc := row :: !acc))
+                  mk
+                    (guard_emit token (fun row ->
+                         incr cnt;
+                         acc := row :: !acc))
                 in
                 let m = morsels.(i) in
                 for j = 0 to Array.length m - 1 do
                   consume m.(j)
                 done;
-                out.(i) <- List.rev !acc)
+                out.(i) <- List.rev !acc;
+                Option.iter
+                  (fun p ->
+                    Progress.add_rows p !cnt;
+                    Progress.incr_morsels_done p)
+                  progress;
+                !cnt)
           in
-          let participants = Pool.run pool tasks in
-          (List.concat (Array.to_list out), n, participants))
+          let rp = Pool.run pool tasks in
+          (List.concat (Array.to_list out), n, rp))
 
   (* Partitioned pre-aggregation: each morsel aggregates into its own group
      table, the driver merges partitions in morsel order so the first-seen
      group order (and therefore row order) matches serial execution. *)
-  let run_aggregate ~provider ~pool ~morsel_rows ~token child group_by aggs =
+  let run_aggregate ~provider ~pool ~morsel_rows ~token ?prof ?progress plan
+      child group_by aggs =
     if not (List.for_all mergeable_agg aggs) then None
     else
-      match frag ~provider child with
+      match frag ~provider ?prof child with
       | None -> None
       | Some (table, inst) ->
         let resolve = resolver_of_schema (Plan.schema child) in
@@ -1146,11 +1289,13 @@ module Par = struct
             aggs
         in
         let global = group_by = [] in
+        let c = prof_register prof plan in
         Some
           (fun () ->
             let morsels = provider.scan_morsels table morsel_rows in
             let mk = inst () in
             let n = Array.length morsels in
+            Option.iter (fun p -> Progress.set_morsels_total p n) progress;
             let partials : (Tuple.t * agg_state list) list array =
               Array.make n []
             in
@@ -1159,9 +1304,11 @@ module Par = struct
                   Token.check token;
                   let groups = Tuple.Hash.create 64 in
                   let order = ref [] in
+                  let cnt = ref 0 in
                   let consume =
                     mk
                       (guard_emit token (fun row ->
+                        incr cnt;
                         let key = key_of group_fs row in
                         let states =
                           match Tuple.Hash.find_opt groups key with
@@ -1186,9 +1333,15 @@ module Par = struct
                   for j = 0 to Array.length m - 1 do
                     consume m.(j)
                   done;
-                  partials.(i) <- List.rev !order)
+                  partials.(i) <- List.rev !order;
+                  Option.iter
+                    (fun p ->
+                      Progress.add_rows p !cnt;
+                      Progress.incr_morsels_done p)
+                    progress;
+                  !cnt)
             in
-            let participants = Pool.run pool tasks in
+            let rp = Pool.run pool tasks in
             Token.check token;
             Perm_fault.trip fp_agg_merge;
             let groups = Tuple.Hash.create 64 in
@@ -1213,7 +1366,8 @@ module Par = struct
                   (fun key -> emit key (Tuple.Hash.find groups key))
                   !order
             in
-            (rows, n, participants))
+            prof_count c (List.length rows);
+            (rows, n, rp))
 
   let rec drop n l =
     if n <= 0 then l else match l with [] -> [] | _ :: t -> drop (n - 1) t
@@ -1223,13 +1377,14 @@ module Par = struct
     else match l with [] -> [] | x :: t -> x :: take (n - 1) t
 
   (* Serial tails (Sort/Limit/final Project) over a parallel core. *)
-  let rec runner ~provider ~pool ~morsel_rows ~token (plan : Plan.t) :
-      (unit -> Tuple.t list * int * int) option =
+  let rec runner ~provider ~pool ~morsel_rows ~token ?prof ?progress
+      (plan : Plan.t) : (unit -> Tuple.t list * int * Pool.report) option =
     match plan with
     | Plan.Aggregate { child; group_by; aggs } ->
-      run_aggregate ~provider ~pool ~morsel_rows ~token child group_by aggs
+      run_aggregate ~provider ~pool ~morsel_rows ~token ?prof ?progress plan
+        child group_by aggs
     | Plan.Sort { child; keys } -> (
-      match runner ~provider ~pool ~morsel_rows ~token child with
+      match runner ~provider ~pool ~morsel_rows ~token ?prof ?progress child with
       | None -> None
       | Some run ->
         let resolve = resolver_of_schema (Plan.schema child) in
@@ -1246,31 +1401,40 @@ module Par = struct
           in
           go keyfs
         in
+        let c = prof_register prof plan in
         Some
           (fun () ->
-            let rows, m, p = run () in
+            let rows, m, rp = run () in
             Token.check token;
             Perm_fault.trip fp_sort;
             let arr = Array.of_list rows in
             Array.stable_sort cmp arr;
-            (Array.to_list arr, m, p)))
+            prof_count c (Array.length arr);
+            (Array.to_list arr, m, rp)))
     | Plan.Limit { child; limit; offset } -> (
-      match runner ~provider ~pool ~morsel_rows ~token child with
+      match runner ~provider ~pool ~morsel_rows ~token ?prof ?progress child with
       | None -> None
       | Some run ->
+        let c = prof_register prof plan in
         Some
           (fun () ->
-            let rows, m, p = run () in
+            let rows, m, rp = run () in
             let rows = drop offset rows in
             let rows = match limit with Some l -> take l rows | None -> rows in
-            (rows, m, p)))
+            prof_count c (List.length rows);
+            (rows, m, rp)))
     | Plan.Project { child; cols } -> (
       (* Project over a scan/join spine runs inside the workers; this tail
-         case only fires for Project over an Aggregate/Sort core. *)
-      match run_pipeline ~provider ~pool ~morsel_rows ~token plan with
+         case only fires for Project over an Aggregate/Sort core. The
+         failed pipeline attempt may have registered stage counters for
+         part of the spine — roll the registry back so only stages that
+         actually run are reported. *)
+      let saved = match prof with Some reg -> !reg | None -> [] in
+      match run_pipeline ~provider ~pool ~morsel_rows ~token ?prof ?progress plan with
       | Some r -> Some r
       | None -> (
-        match runner ~provider ~pool ~morsel_rows ~token child with
+        (match prof with Some reg -> reg := saved | None -> ());
+        match runner ~provider ~pool ~morsel_rows ~token ?prof ?progress child with
         | None -> None
         | Some run ->
           let resolve = resolver_of_schema (Plan.schema child) in
@@ -1278,36 +1442,57 @@ module Par = struct
             Array.of_list
               (List.map (fun (e, _) -> compile_expr resolve e) cols)
           in
+          let c = prof_register prof plan in
           Some
             (fun () ->
-              let rows, m, p = run () in
-              (List.map (fun row -> Array.map (fun f -> f row) fs) rows, m, p))))
-    | _ -> run_pipeline ~provider ~pool ~morsel_rows ~token plan
+              let rows, m, rp = run () in
+              let rows =
+                List.map (fun row -> Array.map (fun f -> f row) fs) rows
+              in
+              prof_count c (List.length rows);
+              (rows, m, rp))))
+    | _ -> run_pipeline ~provider ~pool ~morsel_rows ~token ?prof ?progress plan
 
   (* [prepare] returns None when the plan shape is not morsel-eligible (the
      caller falls back to the serial compile); otherwise a thunk that runs
      the parallel plan and reports fan-out statistics. *)
   let prepare ~provider ~pool ?(morsel_rows = default_morsel_rows)
-      ?(token = Token.none) ?row_limit plan =
-    match runner ~provider ~pool ~morsel_rows ~token plan with
+      ?(token = Token.none) ?row_limit ?progress ?(profile = false) plan =
+    let prof = if profile then Some (ref []) else None in
+    match runner ~provider ~pool ~morsel_rows ~token ?prof ?progress plan with
     | None -> None
     | Some run ->
       Some
         (fun () ->
           match
-            let rows, morsels, participants = run () in
+            let rows, morsels, rp = run () in
             (match row_limit with
             | Some limit when List.length rows > limit -> over_row_limit limit
             | _ -> ());
-            (rows, morsels, participants)
+            (rows, morsels, rp)
           with
-          | rows, morsels, participants ->
+          | rows, morsels, rp ->
+            let nodes =
+              match prof with
+              | None -> []
+              | Some reg ->
+                List.rev_map
+                  (fun c ->
+                    {
+                      np_node = c.sc_node;
+                      np_rows = Atomic.get c.sc_rows;
+                      np_loops = Atomic.get c.sc_loops;
+                    })
+                  !reg
+            in
             Ok
               ( rows,
                 {
                   par_domains = Pool.size pool;
                   par_morsels = morsels;
-                  par_participants = participants;
+                  par_participants = rp.Pool.rp_participants;
+                  par_pool = rp;
+                  par_nodes = nodes;
                 } )
           | exception Runtime_error msg -> Error msg)
 end

@@ -39,12 +39,17 @@ val morsels_of_list :
 val run :
   ?token:Perm_err.Token.t ->
   ?row_limit:int ->
+  ?progress:Progress.t ->
   provider:provider ->
   Perm_algebra.Plan.t ->
   (Perm_storage.Tuple.t list, string) result
 (** Executes the plan and materializes the result in plan-schema column
     order. Runtime errors (division by zero, failing casts, scalar
     subqueries returning several rows) are returned as [Error].
+
+    When [progress] is given, every row materialized at the plan root
+    bumps its lock-free row counter, so another domain can sample live
+    progress while the statement runs.
 
     Guardrails: when [token] is active, every operator charges the token
     in batches of a few hundred rows, so a deadline/budget/manual cancel
@@ -63,6 +68,10 @@ val run :
 
 type node_stats = {
   stat_kind : string;  (** coarse operator class, {!Perm_algebra.Plan.operator_kind} *)
+  mutable stat_id : int;
+      (** stable pre-order node id within the executed plan; [-1] for
+          helper nodes the executor synthesizes (e.g. the swapped join a
+          Right join compiles into) *)
   mutable stat_invocations : int;
       (** times the operator was (re)started — > 1 under a correlated
           [Apply], which re-runs its right side per outer row *)
@@ -70,6 +79,15 @@ type node_stats = {
   mutable stat_time_s : float;
       (** cumulative wall-clock seconds spent pulling from this operator,
           {e inclusive} of its children (as in Postgres EXPLAIN ANALYZE) *)
+  mutable stat_self_s : float;
+      (** exclusive wall-clock seconds: inclusive time minus the
+          children's inclusive time, clamped at 0 *)
+  mutable stat_peak_rows : int;
+      (** max rows produced by a single invocation — the largest batch
+          this operator streamed *)
+  mutable stat_peak_bytes : int;
+      (** [stat_peak_rows] times an estimated row width: a coarse peak
+          batch memory estimate *)
 }
 
 type exec_stats
@@ -77,9 +95,13 @@ type exec_stats
 val run_instrumented :
   ?token:Perm_err.Token.t ->
   ?row_limit:int ->
+  ?progress:Progress.t ->
   provider:provider ->
   Perm_algebra.Plan.t ->
   (Perm_storage.Tuple.t list * exec_stats, string) result
+(** Like {!run} with per-operator counters. On success the stats are
+    finalized: node ids assigned, self times and peak-memory estimates
+    derived. *)
 
 val lookup : exec_stats -> Perm_algebra.Plan.t -> node_stats option
 (** Stats for one plan node, matched by physical identity — pass the same
@@ -88,6 +110,14 @@ val lookup : exec_stats -> Perm_algebra.Plan.t -> node_stats option
 
 val stats_entries : exec_stats -> node_stats list
 (** All recorded operators, in compile order. *)
+
+val stats_nodes : exec_stats -> (Perm_algebra.Plan.t * node_stats) list
+(** All recorded operators with their plan nodes, in compile order. *)
+
+val node_ids : Perm_algebra.Plan.t -> (Perm_algebra.Plan.t * int) list
+(** Stable node ids: the plan's nodes numbered in pre-order. The same
+    statement shape yields the same numbering on every execution; these
+    are the ids reported in [stat_id] and the [perm_stat_plans] view. *)
 
 val scan_stats : exec_stats -> (string * node_stats) list
 (** The leaf scans ([Scan]/[Index_scan]) with the table each one read, in
@@ -105,10 +135,26 @@ val scan_stats : exec_stats -> (string * node_stats) list
     in morsel order (= scan order) and aggregate partials merge in that
     same order, so group first-seen order matches serial execution. *)
 module Par : sig
+  type node_profile = {
+    np_node : Perm_algebra.Plan.t;
+        (** physical node within the executed plan (match with [==] or
+            {!node_ids}) *)
+    np_rows : int;  (** rows the stage emitted, summed over all morsels *)
+    np_loops : int;
+        (** stage instantiations: one per morsel, or 1 for serial
+            merge/tail stages *)
+  }
+
   type report = {
     par_domains : int;  (** pool size, caller included *)
     par_morsels : int;  (** tasks fanned out *)
     par_participants : int;  (** workers that executed at least one morsel *)
+    par_pool : Pool.report;
+        (** per-worker morsel/busy/row accounting and timed morsel slices
+            — feeds [perm_stat_workers] and the trace's worker lanes *)
+    par_nodes : node_profile list;
+        (** per-stage cardinality profile; [[]] unless [profile] was
+            requested *)
   }
 
   val default_morsel_rows : int
@@ -119,6 +165,8 @@ module Par : sig
     ?morsel_rows:int ->
     ?token:Perm_err.Token.t ->
     ?row_limit:int ->
+    ?progress:Progress.t ->
+    ?profile:bool ->
     Perm_algebra.Plan.t ->
     (unit -> (Perm_storage.Tuple.t list * report, string) result) option
   (** [None] when the plan shape is not morsel-eligible (correlated
@@ -131,7 +179,13 @@ module Par : sig
       charges it per emitted batch, so a kill noticed by one domain stops
       the rest at their next morsel; the poisoned generation drains fully
       before {!Perm_err.Cancel} is re-raised on the caller, leaving the
-      pool reusable. [row_limit] is enforced after the merge. *)
+      pool reusable. [row_limit] is enforced after the merge.
+
+      When [progress] is given the fan-out sizes its morsel counters and
+      every finished morsel bumps them (plus the live row count), so
+      another domain can sample mid-flight progress. [profile:true]
+      additionally counts rows/loops per recognized pipeline stage with
+      shared atomics (a couple of atomic increments per row). *)
 end
 
 val eval_const : Perm_algebra.Expr.t -> (Perm_value.Value.t, string) result

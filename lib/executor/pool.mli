@@ -5,9 +5,33 @@
     remaining worker, so a pool of size 1 is a valid degenerate pool that
     runs everything on the caller without spawning. Work arrives as a
     batch of independent tasks (one per morsel), claimed with an atomic
-    counter so fast workers steal the tail of the batch from slow ones. *)
+    counter so fast workers steal the tail of the batch from slow ones.
+
+    Every batch is profiled: each claimed task records a timed slice and
+    each worker accumulates morsel/busy/row totals. The accounting is
+    always on (two clock reads per ~1000-row morsel) and feeds the
+    [perm_stat_workers] system view and the per-domain lanes of the
+    Chrome trace export. *)
 
 type t
+
+type task_slice = {
+  ts_worker : int;  (** 0 = the calling domain *)
+  ts_task : int;  (** index into the batch's task array (= morsel index) *)
+  ts_start : float;  (** [Unix.gettimeofday] seconds *)
+  ts_dur_s : float;
+  ts_rows : int;  (** rows the task reported producing *)
+}
+
+type worker_stat = { ws_morsels : int; ws_busy_s : float; ws_rows : int }
+
+type report = {
+  rp_participants : int;  (** workers that executed at least one task *)
+  rp_workers : worker_stat array;  (** length = [size], index = worker id *)
+  rp_slices : task_slice list;  (** all task slices, unordered *)
+  rp_start_s : float;  (** batch submission time *)
+  rp_wall_s : float;  (** batch wall time as seen by the caller *)
+}
 
 val create : int -> t
 (** [create n] spawns [n - 1] worker domains.
@@ -16,12 +40,13 @@ val create : int -> t
 val size : t -> int
 (** Total workers, including the calling domain. *)
 
-val run : t -> (unit -> unit) array -> int
+val run : t -> (unit -> int) array -> report
 (** Runs every task to completion (the caller participates) and returns
-    the number of workers that executed at least one task. The first task
-    exception, if any, is re-raised on the caller — but only after every
-    worker has left the generation, so the pool is always reusable
-    afterwards, poisoned batch or not. Once a task fails, the bodies of
+    the batch report. Each task returns the number of rows it produced,
+    which feeds the per-worker row accounting. The first task exception,
+    if any, is re-raised on the caller — but only after every worker has
+    left the generation, so the pool is always reusable afterwards,
+    poisoned batch or not. Once a task fails, the bodies of
     still-unclaimed tasks are skipped (the batch drains instead of
     grinding through doomed work). Not reentrant: one batch at a time per
     pool. *)

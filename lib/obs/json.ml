@@ -86,16 +86,22 @@ let parse input =
     if i + len <= n && String.sub input i len = word then (value, i + len)
     else fail (Printf.sprintf "invalid token (expected %s)" word) i
   in
-  (* UTF-8 encode one \uXXXX escape; surrogate pairs are not recombined
-     (each half encodes independently), which is fine for telemetry text *)
+  (* UTF-8 encode one code point, including the astral planes (4 bytes)
+     reached by recombined surrogate pairs. *)
   let add_codepoint buf cp =
     if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
     else if cp < 0x800 then begin
       Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
       Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
     end
-    else begin
+    else if cp < 0x10000 then begin
       Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
       Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
       Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
     end
@@ -123,10 +129,29 @@ let parse input =
             | 'u' ->
               if i + 5 >= n then fail "truncated \\u escape" i
               else begin
-                (match int_of_string_opt ("0x" ^ String.sub input (i + 2) 4) with
-                | Some cp -> add_codepoint buf cp
-                | None -> fail "invalid \\u escape" i);
-                go (i + 6)
+                match int_of_string_opt ("0x" ^ String.sub input (i + 2) 4) with
+                | None -> fail "invalid \\u escape" i
+                | Some cp
+                  when cp >= 0xD800 && cp <= 0xDBFF
+                       && i + 11 < n
+                       && input.[i + 6] = '\\'
+                       && input.[i + 7] = 'u' -> (
+                  (* a high surrogate followed by \u of a low surrogate:
+                     recombine the pair into one astral code point *)
+                  match
+                    int_of_string_opt ("0x" ^ String.sub input (i + 8) 4)
+                  with
+                  | Some lo when lo >= 0xDC00 && lo <= 0xDFFF ->
+                    add_codepoint buf
+                      (0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00));
+                    go (i + 12)
+                  | _ ->
+                    (* not a low surrogate: encode the lone half as before *)
+                    add_codepoint buf cp;
+                    go (i + 6))
+                | Some cp ->
+                  add_codepoint buf cp;
+                  go (i + 6)
               end
             | c -> fail (Printf.sprintf "unknown escape \\%c" c) i)
         | c -> Buffer.add_char buf c; go (i + 1)

@@ -68,6 +68,11 @@ let bucket_index bounds v =
   let rec go i = if i >= n || v <= bounds.(i) then i else go (i + 1) in
   go 0
 
+let declare_histogram ?(bounds = default_bounds) t name =
+  match find_or_add t name (fun () -> Histogram (new_histogram bounds)) with
+  | Histogram _ -> ()
+  | m -> mismatch name m "histogram"
+
 let observe ?(bounds = default_bounds) t name v =
   match find_or_add t name (fun () -> Histogram (new_histogram bounds)) with
   | Histogram h ->
@@ -146,7 +151,12 @@ let fold t f init =
 (* Rendering                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let dump_text t =
+let dump_text ?prefix t =
+  let keep name =
+    match prefix with
+    | None -> true
+    | Some p -> String.length name >= String.length p && String.sub name 0 (String.length p) = p
+  in
   let buf = Buffer.create 512 in
   List.iter
     (fun name ->
@@ -166,7 +176,7 @@ let dump_text t =
                 p50<=%.3f p95<=%.3f p99<=%.3f\n"
                name h.h_count h.h_sum h.h_min h.h_max (quantile h 0.50)
                (quantile h 0.95) (quantile h 0.99)))
-    (names t);
+    (List.filter keep (names t));
   Buffer.contents buf
 
 let histogram_to_json h =

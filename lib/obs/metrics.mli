@@ -35,6 +35,12 @@ val observe : ?bounds:float array -> t -> string -> float -> unit
 (** Record one histogram observation (milliseconds by convention).
     [bounds] is only consulted when the histogram is first created. *)
 
+val declare_histogram : ?bounds:float array -> t -> string -> unit
+(** Pre-register an empty histogram, so dumps (and quantile queries) can
+    see a metric before its first observation. No-op if it already
+    exists; raises [Invalid_argument] if the name is bound to another
+    kind. *)
+
 val counter : t -> string -> int
 (** Current counter value; [0] when the counter was never incremented. *)
 
@@ -60,7 +66,8 @@ val set_gc_gauges : t -> unit
     dump time (metrics dumps, the [perm_metrics] system view, bench JSON)
     rather than per statement. *)
 
-val dump_text : t -> string
-(** One line per metric, sorted by name. *)
+val dump_text : ?prefix:string -> t -> string
+(** One line per metric, sorted by name. With [prefix], only metrics whose
+    name starts with that prefix (e.g. ["executor.par."]). *)
 
 val to_json : t -> Json.t

@@ -149,6 +149,16 @@ let rec estimate_rows stats (plan : Plan.t) : float =
     ->
     estimate_rows stats child
 
+(* Per-node estimates over the whole tree, in pre-order — the same order
+   the executor numbers plan nodes, so index i is the estimate for node id
+   i. Feeds the EXPLAIN ANALYZE est/act annotations and perm_stat_plans. *)
+let node_estimates stats (plan : Plan.t) : (Plan.t * float) list =
+  let rec walk acc node =
+    List.fold_left walk ((node, estimate_rows stats node) :: acc)
+      (Plan.children node)
+  in
+  List.rev (walk [] plan)
+
 (* ------------------------------------------------------------------ *)
 (* Cost model                                                          *)
 (* ------------------------------------------------------------------ *)

@@ -35,6 +35,14 @@ val no_stats : stats
     caller has no statistics (plain unit tests). *)
 
 val estimate_rows : stats -> Perm_algebra.Plan.t -> float
+
+val node_estimates :
+  stats -> Perm_algebra.Plan.t -> (Perm_algebra.Plan.t * float) list
+(** Cardinality estimates for every node of the plan, in pre-order — the
+    same numbering {!Perm_executor.Executor.node_ids} assigns, so the
+    i-th entry is the estimate for node id i. Feeds the EXPLAIN ANALYZE
+    est/act annotations and the [perm_stat_plans] view. *)
+
 val cost : stats -> Perm_algebra.Plan.t -> float
 (** Abstract cost units; only comparisons between plans are meaningful. *)
 

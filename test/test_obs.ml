@@ -47,6 +47,39 @@ let metrics_tests =
           Alcotest.(check (float 1e-9)) "p50" 10.0 (Metrics.quantile h 0.50);
           (* ... clamped to the observed maximum in the overflow bucket *)
           Alcotest.(check (float 1e-9)) "p95" 500.0 (Metrics.quantile h 0.95));
+    case "quantile edge cases: empty, single, q=0/1, overflow clamp" (fun () ->
+        let m = Metrics.create () in
+        let bounds = [| 1.0; 10.0 |] in
+        (* a declared-but-never-observed histogram: every quantile is nan *)
+        Metrics.declare_histogram ~bounds m "h0";
+        (match Metrics.histogram m "h0" with
+        | None -> Alcotest.fail "declared histogram missing"
+        | Some h ->
+          Alcotest.(check bool) "empty -> nan" true
+            (Float.is_nan (Metrics.quantile h 0.5));
+          Alcotest.(check bool) "empty q=0 -> nan" true
+            (Float.is_nan (Metrics.quantile h 0.0)));
+        (* single observation: every quantile collapses to that value
+           (bucket bound 10.0 clamped to the observed max 5.0) *)
+        Metrics.observe ~bounds m "h1" 5.0;
+        (match Metrics.histogram m "h1" with
+        | None -> Alcotest.fail "histogram missing"
+        | Some h ->
+          Alcotest.(check (float 1e-9)) "single q=0" 5.0 (Metrics.quantile h 0.0);
+          Alcotest.(check (float 1e-9)) "single p50" 5.0 (Metrics.quantile h 0.5);
+          Alcotest.(check (float 1e-9)) "single q=1" 5.0
+            (Metrics.quantile h 1.0));
+        (* all observations above the last bound land in the overflow
+           bucket, whose bound is +inf: clamped to the observed max *)
+        Metrics.observe ~bounds m "h2" 50.0;
+        Metrics.observe ~bounds m "h2" 70.0;
+        (match Metrics.histogram m "h2" with
+        | None -> Alcotest.fail "histogram missing"
+        | Some h ->
+          Alcotest.(check (float 1e-9)) "overflow p50 clamps to max" 70.0
+            (Metrics.quantile h 0.5);
+          Alcotest.(check (float 1e-9)) "overflow q=1 clamps to max" 70.0
+            (Metrics.quantile h 1.0)));
     case "kind mismatch raises Invalid_argument" (fun () ->
         let m = Metrics.create () in
         Metrics.incr m "x";
@@ -95,6 +128,32 @@ let json_tests =
         Alcotest.(check string) ""
           "{\"s\": \"a\\\"b\\n\", \"n\": 3, \"f\": 1.5, \"l\": [true, null]}"
           (Json.to_string doc));
+    case "UTF-16 surrogate pairs decode to 4-byte UTF-8 and round-trip"
+      (fun () ->
+        (* U+1F600 GRINNING FACE as an escaped surrogate pair *)
+        match Json.parse {|{"s": "\ud83d\ude00"}|} with
+        | Error msg -> Alcotest.failf "parse failed: %s" msg
+        | Ok doc ->
+          let s =
+            match Option.bind (Json.member "s" doc) Json.to_string_opt with
+            | Some s -> s
+            | None -> Alcotest.fail "no string member"
+          in
+          Alcotest.(check string) "UTF-8 bytes of U+1F600"
+            "\xf0\x9f\x98\x80" s;
+          (* the decoded bytes survive a render -> parse round trip *)
+          let again =
+            match Json.parse (Json.to_string doc) with
+            | Ok d -> Option.bind (Json.member "s" d) Json.to_string_opt
+            | Error msg -> Alcotest.failf "re-parse failed: %s" msg
+          in
+          Alcotest.(check (option string)) "round trip" (Some s) again);
+    case "lone surrogates do not crash the parser" (fun () ->
+        (* a high surrogate with no low half: decoded as a replacement,
+           never an exception *)
+        match Json.parse {|{"s": "\ud83d!"}|} with
+        | Ok _ -> ()
+        | Error _ -> () (* rejecting is acceptable too — just no crash *));
     case "pretty rendering is valid-shaped and newline-terminated" (fun () ->
         let s = Json.to_pretty_string (Json.Obj [ ("k", Json.Int 1) ]) in
         Alcotest.(check bool) "ends with newline" true
@@ -184,13 +243,14 @@ let engine_tests =
         | Ok ea ->
           (* only a=3 survives both joins *)
           Alcotest.(check int) "result rows" 1 ea.Engine.ea_rows;
-          Alcotest.(check bool) "root annotated with its actual row" true
-            (contains ea.Engine.ea_tree "(actual rows=1 loops=1");
+          Alcotest.(check bool) "root annotated with est and actual rows" true
+            (contains ea.Engine.ea_tree "(est="
+            && contains ea.Engine.ea_tree "act=1");
           List.iter
             (fun scan ->
-              Alcotest.(check bool) (scan ^ " annotated with 3 rows") true
+              Alcotest.(check bool) (scan ^ " annotated with est/act/self") true
                 (contains ea.Engine.ea_tree
-                   (scan ^ "  (actual rows=3 loops=1")))
+                   (scan ^ "  (est=3 act=3 loops=1 self=")))
             [ "Scan(t1)"; "Scan(t2)"; "Scan(t3)" ];
           Alcotest.(check (list string)) "phases in pipeline order"
             [ "analyze"; "rewrite"; "optimize"; "execute" ]

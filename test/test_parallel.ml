@@ -170,16 +170,29 @@ let suite_fallback =
         ignore (query_ok e Perm_workload.Forum.q1);
         Alcotest.(check int) "did not parallelize" before (par_queries e);
         Engine.close e);
-    case "instrumentation forces the serial instrumented path" (fun () ->
+    case "instrumentation profiles the parallel path, results identical"
+      (fun () ->
         let e = forum_engine () in
-        go_parallel e;
         Engine.set_instrumentation e true;
-        ignore (query_ok e eligible);
-        Alcotest.(check int) "no parallel queries" 0 (par_queries e);
-        Engine.set_instrumentation e false;
-        ignore (query_ok e eligible);
-        Alcotest.(check bool) "parallel once uninstrumented" true
+        (* serial oracle with the profiler on... *)
+        Engine.set_parallel e Engine.Par_off;
+        let serial = ordered_rows e eligible in
+        (* ...must match the profiled parallel run byte for byte *)
+        go_parallel e;
+        let parallel = ordered_rows e eligible in
+        Alcotest.(check rows_testable) "serial = parallel under profiling"
+          serial parallel;
+        Alcotest.(check bool) "parallel path engaged while instrumented" true
           (par_queries e > 0);
+        (* per-stage cardinalities land in the retained plan profile *)
+        Alcotest.(check bool) "plan profile populated by the parallel run" true
+          (List.exists
+             (fun pn ->
+               pn.Perm_obs.Profile.pn_operator = "Scan(messages)"
+               && pn.Perm_obs.Profile.pn_act_rows > 0)
+             (Engine.plan_profile e));
+        Alcotest.(check bool) "worker profile populated" true
+          (Engine.worker_profile e <> []);
         Engine.close e);
   ]
 

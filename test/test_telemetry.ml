@@ -211,6 +211,121 @@ let other_views_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* perm_stat_plans / perm_stat_workers and live progress               *)
+(* ------------------------------------------------------------------ *)
+
+let profiler_views_tests =
+  [
+    case "perm_stat_plans retains per-node est/act across calls" (fun () ->
+        let e = forum_engine () in
+        Engine.set_instrumentation e true;
+        ignore (query_ok e "SELECT mid FROM messages");
+        ignore (query_ok e "SELECT mid FROM messages");
+        (* the scan node: actual rows accumulate, loops count executions *)
+        check_rows e
+          "SELECT operator, act_rows, loops FROM perm_stat_plans WHERE \
+           operator = 'Scan(messages)'"
+          [ [ "Scan(messages)"; "4"; "2" ] ];
+        (* estimates come from the planner's cardinality model *)
+        let rs =
+          query_ok e
+            "SELECT est_rows FROM perm_stat_plans WHERE operator = \
+             'Scan(messages)'"
+        in
+        (match rs.Engine.rows with
+        | [ [| Perm_value.Value.Float est |] ] ->
+          Alcotest.(check bool) "estimate positive" true (est > 0.)
+        | _ -> Alcotest.fail "est_rows row missing");
+        (* node ids are stable pre-order positions: the root is id 0
+           (filtered by fingerprint — the profile also retains the probe
+           queries against the view itself) *)
+        check_count e
+          "SELECT * FROM perm_stat_plans WHERE node_id = 0 AND fingerprint \
+           = 'select mid from messages'"
+          1;
+        Engine.reset_statement_stats e;
+        check_count e "SELECT * FROM perm_stat_plans" 0);
+    case "perm_stat_workers reports per-domain totals after a parallel run"
+      (fun () ->
+        let e = forum_engine () in
+        Engine.set_instrumentation e true;
+        Engine.set_parallel e (Engine.Par_domains 2);
+        Engine.set_parallel_threshold e 1;
+        Engine.set_morsel_rows e 1;
+        ignore (query_ok e "SELECT mid, text FROM messages WHERE mid >= 0");
+        (* one row per domain (participants and idle workers alike) *)
+        check_count e "SELECT * FROM perm_stat_workers" 2;
+        let rs =
+          query_ok e
+            "SELECT morsels, rows FROM perm_stat_workers ORDER BY domain"
+        in
+        let total_morsels =
+          List.fold_left
+            (fun acc row ->
+              match row.(0) with
+              | Perm_value.Value.Int n -> acc + n
+              | _ -> acc)
+            0 rs.Engine.rows
+        in
+        Alcotest.(check bool) "all morsels accounted for" true
+          (total_morsels > 0);
+        Engine.close e);
+    case "plan profile rides the parallel path under instrumentation"
+      (fun () ->
+        let e = forum_engine () in
+        Engine.set_instrumentation e true;
+        Engine.set_parallel e (Engine.Par_domains 2);
+        Engine.set_parallel_threshold e 1;
+        Engine.set_morsel_rows e 1;
+        ignore (query_ok e "SELECT mid, text FROM messages WHERE mid >= 0");
+        let rs =
+          query_ok e
+            "SELECT operator, act_rows FROM perm_stat_plans WHERE operator \
+             = 'Scan(messages)'"
+        in
+        (match rs.Engine.rows with
+        | [ [| _; Perm_value.Value.Int act |] ] ->
+          Alcotest.(check int) "scan rows from the morsel stages" 2 act
+        | _ -> Alcotest.fail "parallel scan profile missing");
+        Engine.close e);
+    case "Engine.progress reports the finished statement" (fun () ->
+        let e = forum_engine () in
+        ignore (query_ok e "SELECT mid FROM messages");
+        match Engine.progress e with
+        | None -> Alcotest.fail "no progress record"
+        | Some p ->
+          Alcotest.(check string) "sql" "SELECT mid FROM messages"
+            p.Engine.pr_sql;
+          Alcotest.(check bool) "not running anymore" false p.Engine.pr_running;
+          Alcotest.(check int) "rows" 2 p.Engine.pr_rows;
+          Alcotest.(check bool) "elapsed measured" true
+            (p.Engine.pr_elapsed_ms >= 0.));
+    case "parallel progress counts morsels" (fun () ->
+        let e = forum_engine () in
+        Engine.set_parallel e (Engine.Par_domains 2);
+        Engine.set_parallel_threshold e 1;
+        Engine.set_morsel_rows e 1;
+        ignore (query_ok e "SELECT mid, text FROM messages WHERE mid >= 0");
+        (match Engine.progress e with
+        | None -> Alcotest.fail "no progress record"
+        | Some p ->
+          Alcotest.(check bool) "fanned out" true (p.Engine.pr_morsels_total > 0);
+          Alcotest.(check int) "all morsels done" p.Engine.pr_morsels_total
+            p.Engine.pr_morsels_done;
+          Alcotest.(check int) "rows" 2 p.Engine.pr_rows);
+        Engine.close e);
+    case "governor kills report where the statement died" (fun () ->
+        let e = forum_engine () in
+        Engine.set_row_limit e 1;
+        (match Engine.execute_err e "SELECT mid FROM messages" with
+        | Ok _ -> Alcotest.fail "row limit did not fire"
+        | Error err ->
+          Alcotest.(check bool) "message carries the death site" true
+            (contains err.Perm_err.msg "died at"));
+        Engine.set_row_limit e 0);
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Trace export: Chrome trace events and nesting invariants            *)
 (* ------------------------------------------------------------------ *)
 
@@ -234,13 +349,26 @@ let trace_export_tests =
           | Ok doc -> doc
           | Error msg -> Alcotest.failf "export does not parse: %s" msg
         in
-        let events =
+        let all_events =
           match Option.bind (Json.member "traceEvents" doc) Json.to_list_opt with
           | Some evs -> evs
           | None -> Alcotest.fail "no traceEvents array"
         in
-        Alcotest.(check bool) "one event per span at least" true
+        (* lane-name metadata events ("M") carry no interval; the timing
+           invariants below apply to complete ("X") events only *)
+        let events =
+          List.filter
+            (fun ev ->
+              Option.bind (Json.member "ph" ev) Json.to_string_opt = Some "X")
+            all_events
+        in
+        Alcotest.(check bool) "one complete event per span at least" true
           (List.length events >= List.length roots);
+        Alcotest.(check bool) "lane metadata present" true
+          (List.exists
+             (fun ev ->
+               Option.bind (Json.member "ph" ev) Json.to_string_opt = Some "M")
+             all_events);
         let statements, phases =
           List.partition
             (fun ev ->
@@ -270,6 +398,50 @@ let trace_export_tests =
             Float.infinity events
         in
         Alcotest.(check (float 1e-6)) "relative timestamps" 0. min_ts);
+    case "parallel runs export one named lane per worker domain" (fun () ->
+        let e = forum_engine () in
+        Engine.set_parallel e (Engine.Par_domains 2);
+        Engine.set_parallel_threshold e 1;
+        Engine.set_morsel_rows e 1;
+        ignore (query_ok e "SELECT mid, text FROM messages WHERE mid >= 0");
+        Engine.close e;
+        let text = Json.to_string (Trace.to_chrome_json (Engine.trace_log e)) in
+        let doc =
+          match Json.parse text with
+          | Ok doc -> doc
+          | Error msg -> Alcotest.failf "export does not parse: %s" msg
+        in
+        let events =
+          match Option.bind (Json.member "traceEvents" doc) Json.to_list_opt with
+          | Some evs -> evs
+          | None -> Alcotest.fail "no traceEvents array"
+        in
+        let lane_names =
+          List.filter_map
+            (fun ev ->
+              if Option.bind (Json.member "ph" ev) Json.to_string_opt = Some "M"
+              then
+                Option.bind (Json.member "args" ev) (fun args ->
+                    Option.bind (Json.member "name" args) Json.to_string_opt)
+              else None)
+            events
+        in
+        List.iter
+          (fun lane ->
+            Alcotest.(check bool) (lane ^ " lane present") true
+              (List.mem lane lane_names))
+          [ "engine"; "worker 0"; "worker 1" ];
+        (* morsel slices actually land on worker lanes (tid >= 2) *)
+        let worker_slices =
+          List.exists
+            (fun ev ->
+              Option.bind (Json.member "ph" ev) Json.to_string_opt = Some "X"
+              && (match Option.bind (Json.member "tid" ev) Json.to_float_opt with
+                 | Some tid -> tid >= 2.
+                 | None -> false))
+            events
+        in
+        Alcotest.(check bool) "slices on worker lanes" true worker_slices);
     case "span tree nesting invariants: children within parents, in order"
       (fun () ->
         let e = forum_engine () in
@@ -423,6 +595,7 @@ let () =
       ("fingerprint", fingerprint_tests);
       ("stat_statements", stat_statements_tests);
       ("system_views", other_views_tests);
+      ("profiler_views", profiler_views_tests);
       ("trace_export", trace_export_tests);
       ("eventlog", eventlog_tests);
       ("json_parse", json_parse_tests);
