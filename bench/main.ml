@@ -565,6 +565,45 @@ let b9_prof ~size =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* B10-hist: telemetry-history overhead. Recording is one ring push +   *)
+(* a watchdog baseline check per top-level statement, so the on/off     *)
+(* delta should be flat (EXPERIMENTS.md targets < 5% on this battery).  *)
+(* ------------------------------------------------------------------ *)
+
+let hist_queries = guard_queries
+
+let b10_hist_measure ~size =
+  let e = Engine.create () in
+  Forum.load_scaled e ~messages:size ~users:(max 10 (size / 20)) ();
+  let h = Engine.history e in
+  (* warm the heap before measuring either arm (see b8_guard_measure) *)
+  List.iter (fun (_, sql) -> run_query e sql) hist_queries;
+  Gc.compact ();
+  List.map
+    (fun (name, sql) ->
+      Perm_obs.History.set_capacity h 0;
+      let t_off = time_query e sql in
+      Perm_obs.History.set_capacity h 128;
+      let t_on = time_query e sql in
+      Perm_obs.History.set_capacity h 0;
+      (name, t_off, t_on))
+    hist_queries
+
+let b10_hist ~size =
+  let rows =
+    List.map
+      (fun (name, t_off, t_on) ->
+        [ name; fms t_off; fms t_on; ffac (t_on /. t_off) ])
+      (b10_hist_measure ~size)
+  in
+  print_table
+    (Printf.sprintf
+       "B10-hist: telemetry history overhead, on vs. off (forum %d messages)"
+       size)
+    [ "query"; "history off ms"; "history on ms"; "overhead" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* Smoke mode: one instrumented pass over representative queries,       *)
 (* reporting the engine's own per-phase breakdown (no Bechamel); with   *)
 (* --json the breakdowns and the session metrics land in                *)
@@ -665,6 +704,9 @@ let smoke ~json () =
        profiler-off arm (must stay at the plain-path baseline) and the
        profiler-on overhead from here. *)
     let prof_measured = b9_prof_measure ~size:1_000 in
+    (* B10-hist rides along the same way: EXPERIMENTS.md quotes the
+       history-recording overhead (acceptance target < 5%) from here. *)
+    let hist_measured = b10_hist_measure ~size:1_000 in
     quota := saved_quota;
     let profiler_section =
       Json.Obj
@@ -682,6 +724,24 @@ let smoke ~json () =
                        ("overhead", Json.Float (t_on /. t_off));
                      ])
                  prof_measured) );
+        ]
+    in
+    let history_section =
+      Json.Obj
+        [
+          ("forum_messages", Json.Int 1_000);
+          ( "queries",
+            Json.List
+              (List.map
+                 (fun (name, t_off, t_on) ->
+                   Json.Obj
+                     [
+                       ("name", Json.String name);
+                       ("off_ms", Json.Float (ms t_off));
+                       ("on_ms", Json.Float (ms t_on));
+                       ("overhead", Json.Float (t_on /. t_off));
+                     ])
+                 hist_measured) );
         ]
     in
     let guard_section =
@@ -736,6 +796,7 @@ let smoke ~json () =
           ("parallel", parallel_section);
           ("guardrails", guard_section);
           ("profiler", profiler_section);
+          ("history", history_section);
           ( "queries",
             Json.List
               (List.map
@@ -913,4 +974,5 @@ let () =
   b8 ~size:(if fast then 2_000 else 20_000);
   b8_guard ~size:(if fast then 2_000 else 20_000);
   b9_prof ~size:(if fast then 2_000 else 20_000);
+  b10_hist ~size:(if fast then 2_000 else 20_000);
   print_newline ()

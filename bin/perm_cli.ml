@@ -6,6 +6,8 @@ module Engine = Perm_engine.Engine
 module Render = Perm_engine.Render
 module Trace = Perm_obs.Trace
 module Metrics = Perm_obs.Metrics
+module History = Perm_obs.History
+module Eventlog = Perm_obs.Eventlog
 module Err = Perm_err
 module Fault = Perm_fault
 
@@ -15,6 +17,8 @@ type session = {
   mutable timing : bool;  (* print wall-clock time per statement *)
   mutable trace : bool;  (* print the span tree per statement *)
   mutable progress : bool;  (* sample live progress while statements run *)
+  mutable watch : (bool Atomic.t * unit Domain.t) option;
+      (* the \watch dashboard sampler domain, while switched on *)
 }
 
 (* Live progress sampler: a domain polling the engine's lock-free progress
@@ -55,6 +59,105 @@ let stop_progress_sampler = function
   | Some (stop, d) ->
     Atomic.set stop true;
     Domain.join d
+
+(* ------------------------------------------------------------------ *)
+(* The \watch live dashboard                                           *)
+(* ------------------------------------------------------------------ *)
+
+let clip n s =
+  if String.length s <= n then s else String.sub s 0 (max 0 (n - 3)) ^ "..."
+
+let spark_chars = [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83";
+                     "\xe2\x96\x84"; "\xe2\x96\x85"; "\xe2\x96\x86";
+                     "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+let sparkline values =
+  match values with
+  | [] -> ""
+  | _ ->
+    let lo = List.fold_left Float.min Float.infinity values in
+    let hi = List.fold_left Float.max Float.neg_infinity values in
+    let range = hi -. lo in
+    String.concat ""
+      (List.map
+         (fun v ->
+           let idx =
+             if range <= 0. then 0
+             else int_of_float (Float.round ((v -. lo) /. range *. 7.))
+           in
+           spark_chars.(max 0 (min 7 idx)))
+         values)
+
+let watch_interval_s = 0.5
+let watch_window = 24  (* samples retained in the throughput sparkline *)
+
+(* The dashboard domain reads only the engine's lock-free progress
+   snapshot (atomics), like the \progress sampler — never the metrics or
+   history hashtables, which the REPL domain mutates while a statement
+   runs. The history summary prints once, from the REPL domain, when the
+   dashboard is toggled on. *)
+let start_watch session =
+  match session.watch with
+  | Some _ -> print_endline "watch is already on (\\watch off to stop)"
+  | None ->
+    let h = Engine.history session.engine in
+    Printf.printf
+      "watch on: %d fingerprint%s, %d regression%s retained; live dashboard \
+       prints to stderr while statements run\n"
+      (List.length (History.fingerprints h))
+      (if List.length (History.fingerprints h) = 1 then "" else "s")
+      (List.length (History.regressions h))
+      (if List.length (History.regressions h) = 1 then "" else "s");
+    let stop = Atomic.make false in
+    let d =
+      Domain.spawn (fun () ->
+          let samples = ref [] in  (* rows/s, newest last *)
+          let last = ref None in  (* previous (rows, unix seconds) *)
+          let rec loop () =
+            Unix.sleepf watch_interval_s;
+            if not (Atomic.get stop) then begin
+              (match Engine.progress session.engine with
+              | Some p when p.Engine.pr_running ->
+                let now = Unix.gettimeofday () in
+                let rate =
+                  match !last with
+                  | Some (r0, t0) when now > t0 ->
+                    float_of_int (p.Engine.pr_rows - r0) /. (now -. t0)
+                  | _ -> 0.
+                in
+                last := Some (p.Engine.pr_rows, now);
+                samples := !samples @ [ rate ];
+                let n = List.length !samples in
+                if n > watch_window then
+                  samples :=
+                    List.filteri (fun i _ -> i >= n - watch_window) !samples;
+                let morsels =
+                  if p.Engine.pr_morsels_total > 0 then
+                    Printf.sprintf " morsel %d/%d" p.Engine.pr_morsels_done
+                      p.Engine.pr_morsels_total
+                  else ""
+                in
+                Printf.eprintf "watch: %-32s %s %d rows (%.0f/s)%s %.0f ms\n%!"
+                  (clip 32 (String.trim p.Engine.pr_sql))
+                  (sparkline !samples) p.Engine.pr_rows rate morsels
+                  p.Engine.pr_elapsed_ms
+              | _ ->
+                last := None;
+                samples := []);
+              loop ()
+            end
+          in
+          loop ())
+    in
+    session.watch <- Some (stop, d)
+
+let stop_watch session =
+  match session.watch with
+  | None -> ()
+  | Some (stop, d) ->
+    Atomic.set stop true;
+    Domain.join d;
+    session.watch <- None
 
 let print_outcome session sql outcome =
   match (outcome : Engine.outcome) with
@@ -151,6 +254,13 @@ let help_text =
                            (e.g. \metrics executor.par)
   \progress on|off         sample live query progress (rows, morsels, elapsed)
                            on an interval while each statement runs
+  \watch [on|off]          live sparkline dashboard (row throughput, morsels)
+                           on stderr while statements run
+  \history [PREFIX]        retained per-fingerprint execution history and the
+                           regression watchdog's findings (optionally only
+                           fingerprints starting with PREFIX)
+  \telemetry export FILE   write the retained history (executions, regressions,
+                           metric samples) as JSON lines to FILE
   \strategy join|lateral|heuristic|cost
                            aggregation rewrite strategy (paper 2.2)
   \optimizer on|off        toggle the planner rewrites
@@ -165,6 +275,12 @@ let help_text =
   \set row_limit N         kill statements returning more than N rows (0 = off)
   \set tuple_budget N      kill statements moving more than N tuples across
                            operators (0 = off)
+  \set history N           history ring capacity per fingerprint (0 = off;
+                           default 128)
+  \set watchdog FACTOR     flag executions over FACTOR x the fingerprint's
+                           baseline (default 3)
+  \set history_cadence S   seconds between metric-history samples (default 1)
+  \set eventlog N          in-memory event-log ring capacity (default 256)
   \fault POINT PROB        deterministic fault injection: make the named point
                            (e.g. heap.scan, join.build, pool.dispatch,
                            engine.commit) fail with probability PROB
@@ -177,8 +293,9 @@ let help_text =
   \help                    this text
 Anything else is executed as an SQL-PLE statement (end with ;).
 Telemetry is also queryable as relations: perm_stat_statements,
-perm_stat_relations, perm_stat_plans, perm_stat_workers, perm_metrics
-(try SELECT * FROM perm_stat_plans ORDER BY self_ms DESC;).|}
+perm_stat_relations, perm_stat_plans, perm_stat_workers, perm_metrics,
+perm_stat_history, perm_stat_regressions, perm_metrics_history
+(try SELECT * FROM perm_stat_regressions ORDER BY seq DESC;).|}
 
 let handle_meta session line =
   match String.split_on_char ' ' (String.trim line) with
@@ -333,6 +450,102 @@ let handle_meta session line =
       else Printf.printf "tuple budget: %d tuples\n" n
     | _ -> print_endline "usage: \\set tuple_budget N (0 = off)");
     `Continue
+  | [ "\\watch" ] | [ "\\watch"; "on" ] ->
+    start_watch session;
+    `Continue
+  | [ "\\watch"; "off" ] ->
+    (match session.watch with
+    | None -> print_endline "watch is not on"
+    | Some _ ->
+      stop_watch session;
+      print_endline "watch off");
+    `Continue
+  | "\\history" :: rest ->
+    let prefix =
+      String.lowercase_ascii (String.trim (String.concat " " rest))
+    in
+    let h = Engine.history session.engine in
+    let matches fp = prefix = "" || String.starts_with ~prefix fp in
+    let fps = List.filter matches (History.fingerprints h) in
+    if not (History.enabled h) then
+      print_endline "history recording is off (\\set history N to enable)"
+    else if fps = [] then print_endline "no matching execution history"
+    else begin
+      List.iter
+        (fun fp ->
+          let recs = History.executions_for h fp in
+          let ms = List.map (fun r -> r.History.ex_ms) recs in
+          let last = List.nth recs (List.length recs - 1) in
+          let base =
+            match History.baseline h fp with
+            | Some (b, _) -> Printf.sprintf "%.2f" b
+            | None -> "-"
+          in
+          Printf.printf "%-48s n=%-4d last=%8.3f ms base=%s ms %s %s\n"
+            (clip 48 fp) (List.length recs) last.History.ex_ms base
+            (sparkline ms) last.History.ex_plan_hash)
+        fps;
+      match
+        List.filter (fun r -> matches r.History.rg_fingerprint)
+          (History.regressions h)
+      with
+      | [] -> ()
+      | regs ->
+        print_endline "regressions:";
+        List.iter
+          (fun r ->
+            Printf.printf "  #%-5d %-44s %8.3f ms (%.1fx) %-11s %s\n"
+              r.History.rg_seq
+              (clip 44 r.History.rg_fingerprint)
+              r.History.rg_ms r.History.rg_factor
+              (History.cause_label r.History.rg_cause)
+              r.History.rg_detail)
+          regs
+    end;
+    `Continue
+  | [ "\\telemetry"; "export"; path ] ->
+    let lines = History.export_jsonl (Engine.history session.engine) in
+    (try
+       Out_channel.with_open_text path (fun oc ->
+           List.iter
+             (fun j ->
+               Out_channel.output_string oc (Perm_obs.Json.to_string j);
+               Out_channel.output_char oc '\n')
+             lines);
+       Printf.printf "wrote %d telemetry record%s to %s\n" (List.length lines)
+         (if List.length lines = 1 then "" else "s")
+         path
+     with Sys_error msg -> Printf.printf "ERROR: %s\n" msg);
+    `Continue
+  | [ "\\set"; "history"; n ] ->
+    (match int_of_string_opt n with
+    | Some n when n >= 0 ->
+      History.set_capacity (Engine.history session.engine) n;
+      if n = 0 then print_endline "history recording off (retained records discarded)"
+      else Printf.printf "history: %d records per fingerprint\n" n
+    | _ -> print_endline "usage: \\set history N (records per fingerprint, 0 = off)");
+    `Continue
+  | [ "\\set"; "watchdog"; f ] ->
+    (match float_of_string_opt f with
+    | Some v when v >= 0. ->
+      History.set_factor (Engine.history session.engine) v;
+      Printf.printf "watchdog flags executions over %gx the baseline\n" v
+    | _ -> print_endline "usage: \\set watchdog FACTOR");
+    `Continue
+  | [ "\\set"; "history_cadence"; s ] ->
+    (match float_of_string_opt s with
+    | Some v when v >= 0. ->
+      History.set_cadence (Engine.history session.engine) v;
+      Printf.printf "metric sampling cadence: %g s\n" v
+    | _ -> print_endline "usage: \\set history_cadence SECONDS");
+    `Continue
+  | [ "\\set"; "eventlog"; n ] ->
+    (match int_of_string_opt n with
+    | Some n when n >= 1 ->
+      Eventlog.set_capacity (Engine.event_log session.engine) n;
+      Printf.printf "event log ring: %d events\n" n
+    | _ -> print_endline "usage: \\set eventlog N (ring capacity, >= 1)");
+    `Continue
   | [ "\\fault"; "list" ] ->
     List.iter
       (fun (name, prob, hits, injected) ->
@@ -419,6 +632,7 @@ let main demo script command =
       timing = false;
       trace = false;
       progress = false;
+      watch = None;
     }
   in
   if demo then Perm_workload.Forum.load session.engine;
@@ -432,7 +646,9 @@ let main demo script command =
       exit 1)
   | None, Some sql -> run_sql session sql
   | None, None -> repl session);
-  (* release the worker-domain pool, if a parallel query created one *)
+  (* stop the \watch dashboard domain, then release the worker-domain
+     pool, if a parallel query created one *)
+  stop_watch session;
   Engine.close session.engine
 
 open Cmdliner

@@ -114,6 +114,9 @@ val identity_project : t -> (Expr.t * Attr.t) list
 val children : t -> t list
 val map_children : (t -> t) -> t -> t
 
+val join_kind_name : join_kind -> string
+val apply_kind_name : apply_kind -> string
+
 val operator_name : t -> string
 (** Short name for tree displays: ["Scan(messages)"], ["Project"], ... *)
 

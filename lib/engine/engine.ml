@@ -25,6 +25,7 @@ module Stats = Perm_obs.Stats
 module Eventlog = Perm_obs.Eventlog
 module Json = Perm_obs.Json
 module Profile = Perm_obs.Profile
+module History = Perm_obs.History
 module Progress = Perm_executor.Progress
 module Fingerprint = Perm_sql.Fingerprint
 
@@ -78,7 +79,10 @@ type t = {
   stats_acc : Stats.t;  (* perm_stat_statements / perm_stat_relations *)
   virtuals : (string, virtual_provider) Hashtbl.t;
   mutable trace_log : Trace.span list;  (* finished roots, reverse order *)
+  mutable trace_cap : int;  (* retained roots bound; oldest are shed *)
+  mutable trace_len : int;
   event_log : Eventlog.t;
+  history : History.t;  (* perm_stat_history / _regressions / _metrics_history *)
   mutable stmt_rules : (string * int) list;
       (* rewrite-rule firings of the statement currently running, so the
          stats accumulator attributes rules to the right fingerprint *)
@@ -92,6 +96,11 @@ type t = {
   mutable token : Token.t;  (* cancellation token of the running statement *)
   profile : Profile.t;  (* perm_stat_plans / perm_stat_workers accumulator *)
   mutable stmt_fp : string;  (* fingerprint of the running top-level stmt *)
+  mutable stmt_plan_hash : string;
+      (* structural hash of the top-level statement's first executed plan;
+         "" until a plan runs (DDL, utility statements) *)
+  mutable stmt_est_rows : float;  (* planner total estimate of that plan *)
+  mutable stmt_skew : float;  (* max worker skew seen by the statement *)
   mutable live : live option;  (* progress of the last top-level statement *)
 }
 
@@ -192,6 +201,49 @@ let metric_rows metrics =
     []
   |> List.rev
 
+let history_row (r : History.exec_record) =
+  let ph name =
+    match List.assoc_opt name r.History.ex_phase_ms with
+    | Some v -> fnum v
+    | None -> Value.Null
+  in
+  [|
+    Value.Text r.History.ex_fingerprint;
+    Value.Int r.History.ex_seq;
+    fnum r.History.ex_ts;
+    Value.Text r.History.ex_plan_hash;
+    fnum r.History.ex_ms;
+    Value.Int r.History.ex_rows;
+    fnum r.History.ex_est_rows;
+    fnum r.History.ex_skew;
+    Value.Bool r.History.ex_error;
+    ph "analyze";
+    ph "rewrite";
+    ph "optimize";
+    ph "execute";
+  |]
+
+let regression_row (r : History.regression) =
+  [|
+    Value.Text r.History.rg_fingerprint;
+    Value.Int r.History.rg_seq;
+    fnum r.History.rg_ts;
+    fnum r.History.rg_ms;
+    fnum r.History.rg_baseline_ms;
+    fnum r.History.rg_factor;
+    Value.Text (History.cause_label r.History.rg_cause);
+    Value.Text r.History.rg_detail;
+    Value.Text r.History.rg_plan_hash;
+  |]
+
+let metric_sample_row (s : History.metric_sample) =
+  [|
+    Value.Text s.History.sm_name;
+    Value.Int s.History.sm_seq;
+    fnum s.History.sm_ts;
+    fnum s.History.sm_value;
+  |]
+
 let virtual_schemas =
   let col = Column.make in
   [
@@ -226,6 +278,29 @@ let virtual_schemas =
         col "domain" Dtype.Int; col "morsels" Dtype.Int;
         col "busy_ms" Dtype.Float; col "idle_ms" Dtype.Float;
         col "rows" Dtype.Int; col "max_skew" Dtype.Float;
+      ] );
+    ( "perm_stat_history",
+      [
+        col "fingerprint" Dtype.Text; col "seq" Dtype.Int;
+        col "ts" Dtype.Float; col "plan_hash" Dtype.Text;
+        col "total_ms" Dtype.Float; col "rows" Dtype.Int;
+        col "est_rows" Dtype.Float; col "skew" Dtype.Float;
+        col "error" Dtype.Bool; col "analyze_ms" Dtype.Float;
+        col "rewrite_ms" Dtype.Float; col "optimize_ms" Dtype.Float;
+        col "execute_ms" Dtype.Float;
+      ] );
+    ( "perm_stat_regressions",
+      [
+        col "fingerprint" Dtype.Text; col "seq" Dtype.Int;
+        col "ts" Dtype.Float; col "total_ms" Dtype.Float;
+        col "baseline_ms" Dtype.Float; col "factor" Dtype.Float;
+        col "cause" Dtype.Text; col "detail" Dtype.Text;
+        col "plan_hash" Dtype.Text;
+      ] );
+    ( "perm_metrics_history",
+      [
+        col "name" Dtype.Text; col "seq" Dtype.Int; col "ts" Dtype.Float;
+        col "value" Dtype.Float;
       ] );
   ]
 
@@ -265,6 +340,25 @@ let register_virtuals t =
     {
       vp_rows = (fun () -> List.map worker_row (Profile.workers t.profile));
       vp_estimate = (fun () -> List.length (Profile.workers t.profile));
+    };
+  add "perm_stat_history"
+    {
+      vp_rows = (fun () -> List.map history_row (History.executions t.history));
+      vp_estimate =
+        (fun () -> List.length (History.executions t.history));
+    };
+  add "perm_stat_regressions"
+    {
+      vp_rows =
+        (fun () -> List.map regression_row (History.regressions t.history));
+      vp_estimate = (fun () -> List.length (History.regressions t.history));
+    };
+  add "perm_metrics_history"
+    {
+      vp_rows =
+        (fun () ->
+          List.map metric_sample_row (History.metric_samples t.history));
+      vp_estimate = (fun () -> List.length (History.metric_samples t.history));
     }
 
 let create () =
@@ -284,7 +378,10 @@ let create () =
       stats_acc = Stats.create ();
       virtuals = Hashtbl.create 8;
       trace_log = [];
+      trace_cap = 512;
+      trace_len = 0;
       event_log = Eventlog.create ();
+      history = History.create ();
       stmt_rules = [];
       parallel_domains = 0;
       parallel_threshold = Planner.default_parallel_threshold;
@@ -296,6 +393,9 @@ let create () =
       token = Token.none;
       profile = Profile.create ();
       stmt_fp = "";
+      stmt_plan_hash = "";
+      stmt_est_rows = 0.;
+      stmt_skew = 1.;
       live = None;
     }
   in
@@ -524,7 +624,8 @@ let relation_stats t = Stats.relations t.stats_acc
 
 let reset_statement_stats t =
   Stats.reset t.stats_acc;
-  Profile.reset t.profile
+  Profile.reset t.profile;
+  History.reset t.history
 
 let plan_profile t = Profile.plan_nodes t.profile
 let worker_profile t = Profile.workers t.profile
@@ -566,8 +667,14 @@ let live_progress t =
   | Some lv when lv.lv_running -> Some lv.lv_progress
   | _ -> None
 let trace_log t = List.rev t.trace_log
-let clear_trace_log t = t.trace_log <- []
+
+let clear_trace_log t =
+  t.trace_log <- [];
+  t.trace_len <- 0
+
+let set_trace_capacity t n = t.trace_cap <- max 1 n
 let event_log t = t.event_log
+let history t = t.history
 
 (* Runs [f] as a named phase under the current statement span, so its
    duration shows up in the trace tree and in the per-phase histograms. *)
@@ -701,6 +808,19 @@ let try_parallel t optimized =
         None
       | Some run -> Some run)
 
+(* The top-level statement's first executed plan defines its plan hash and
+   estimate total for the telemetry history; nested executions (DML
+   helpers re-entering run_query) keep the enclosing statement's. The
+   execution mode is part of the hash: the parallel verdict flipping for
+   the same statement shape is a plan change the watchdog should see. *)
+let note_plan t optimized ~parallel =
+  if t.stmt_plan_hash = "" then begin
+    t.stmt_plan_hash <-
+      Executor.plan_hash ~mode:(if parallel then "parallel" else "serial")
+        optimized;
+    t.stmt_est_rows <- Planner.estimate_total (stats t) optimized
+  end
+
 let record_par_report t plan (r : Executor.Par.report) =
   Metrics.incr t.metrics "executor.par.queries";
   Metrics.incr t.metrics ~by:r.Executor.Par.par_morsels "executor.par.morsels";
@@ -734,6 +854,7 @@ let record_par_report t plan (r : Executor.Par.report) =
           ~rows:w.Pool.ws_rows ~skew)
       workers;
     Metrics.set_gauge t.metrics "executor.par.skew" !max_skew;
+    if !max_skew > t.stmt_skew then t.stmt_skew <- !max_skew;
     (* the statement root carries skew/utilization so the trace export
        shows imbalance without drilling into lanes *)
     match t.current_span with
@@ -817,6 +938,7 @@ let exec_plan t optimized =
   in
   match try_parallel t optimized with
   | Some run ->
+    note_plan t optimized ~parallel:true;
     phase_sp t "execute" (fun sp ->
         let run_par () =
           let par_sp = Option.map (fun s -> Trace.child s "parallel") sp in
@@ -858,6 +980,7 @@ let exec_plan t optimized =
           Metrics.incr t.metrics "executor.par.degraded";
           dat (run_serial ()))
   | None ->
+    note_plan t optimized ~parallel:false;
     if t.instrument then
       let* rows, exec_stats =
         dat
@@ -918,6 +1041,7 @@ let explain_query t sql (q : Ast.query) =
 
 let explain_analyze_query t sql (q : Ast.query) =
   let* _analyzed, _rewritten, optimized = prepare t q in
+  note_plan t optimized ~parallel:false;
   let report = Option.get t.report in
   (* EXPLAIN ANALYZE always instruments, whatever the session setting; it
      stays on the serial path because per-node self times need the
@@ -1411,7 +1535,36 @@ let record_statement_stats t sql (st : Ast.statement) root result =
     ~provenance:(statement_uses_provenance st)
     ~rows:(outcome_rows result)
     ~error:(Result.is_error result);
-  if Eventlog.enabled t.event_log && ms >= Eventlog.min_ms t.event_log then
+  (match
+     History.record t.history ~fingerprint ~ts:(Trace.start_s root)
+       ~plan_hash:t.stmt_plan_hash ~ms ~rows:(outcome_rows result)
+       ~est_rows:t.stmt_est_rows ~skew:t.stmt_skew
+       ~error:(Result.is_error result) ~phases
+   with
+  | Some rg ->
+    Metrics.incr t.metrics "history.regressions";
+    Metrics.incr t.metrics
+      ("history.cause." ^ History.cause_label rg.History.rg_cause)
+  | None -> ());
+  let now = Trace.now () in
+  if History.sample_due t.history ~now then begin
+    (* tracked series may include gc.* gauges; refresh them only when a
+       sample is actually due. The history self-accounting gauges ride
+       the same cadence: both need a scan over the retained rings, which
+       would dominate sub-millisecond statements if taken per statement *)
+    Metrics.set_gc_gauges t.metrics;
+    if History.enabled t.history then begin
+      Metrics.set_gauge t.metrics "history.bytes"
+        (float_of_int (History.approx_bytes t.history));
+      Metrics.set_gauge t.metrics "history.dropped"
+        (float_of_int (History.dropped t.history))
+    end;
+    History.sample t.history t.metrics ~now
+  end;
+  (* the in-memory ring always records past the threshold (bounded, so a
+     chatty session just forgets old events); the sink write inside [log]
+     additionally needs a file open *)
+  if ms >= Eventlog.min_ms t.event_log then
     Eventlog.log t.event_log
       (Json.Obj
          ([
@@ -1431,7 +1584,10 @@ let record_statement_stats t sql (st : Ast.statement) root result =
                ("error", Json.String (Err.to_string e));
                ("error_kind", Json.String (Err.kind_label e.Err.kind));
              ]
-           | Ok _ -> []))
+           | Ok _ -> []));
+  if Eventlog.dropped t.event_log > 0 then
+    Metrics.set_gauge t.metrics "eventlog.dropped"
+      (float_of_int (Eventlog.dropped t.event_log))
 
 (* Every top-level statement runs under a root span; pipeline phases attach
    to it via [phase]. The finished trace feeds [last_trace], the trace log,
@@ -1449,6 +1605,9 @@ let execute_statement t sql (st : Ast.statement) =
   if saved = None then begin
     t.stmt_rules <- [];
     t.stmt_fp <- Fingerprint.of_sql sql;
+    t.stmt_plan_hash <- "";
+    t.stmt_est_rows <- 0.;
+    t.stmt_skew <- 1.;
     t.live <-
       Some
         {
@@ -1493,16 +1652,6 @@ let execute_statement t sql (st : Ast.statement) =
       | None -> result)
     | _ -> result
   in
-  if saved = None then begin
-    (match t.live with
-    | Some lv ->
-      lv.lv_running <- false;
-      lv.lv_end_s <- Some (Trace.now ())
-    | None -> ());
-    t.last_trace <- Some root;
-    t.trace_log <- root :: t.trace_log;
-    record_statement_stats t sql st root result
-  end;
   Metrics.incr t.metrics "engine.statements";
   (match result with
   | Error e ->
@@ -1521,6 +1670,27 @@ let execute_statement t sql (st : Ast.statement) =
         ("engine.phase." ^ Trace.name sp ^ ".ms")
         (Trace.duration_ms sp))
     (Trace.children root);
+  (* counters above are already bumped, so a metric sample taken while
+     recording statement stats sees this statement too *)
+  if saved = None then begin
+    (match t.live with
+    | Some lv ->
+      lv.lv_running <- false;
+      lv.lv_end_s <- Some (Trace.now ())
+    | None -> ());
+    t.last_trace <- Some root;
+    t.trace_log <- root :: t.trace_log;
+    t.trace_len <- t.trace_len + 1;
+    (* bound the retained trace roots like every other telemetry store:
+       trim in batches (amortized O(1) per statement), counting drops *)
+    if t.trace_len > 2 * t.trace_cap then begin
+      let dropped = t.trace_len - t.trace_cap in
+      t.trace_log <- List.filteri (fun i _ -> i < t.trace_cap) t.trace_log;
+      t.trace_len <- t.trace_cap;
+      Metrics.incr t.metrics ~by:dropped "engine.trace.dropped"
+    end;
+    record_statement_stats t sql st root result
+  end;
   result
 
 (* The typed entry point. Lexer/parser failures are caught here too (the

@@ -124,7 +124,7 @@ val last_trace : t -> Perm_obs.Trace.span option
 
     Every session aggregates finished top-level statements by fingerprint
     (lexer-normalized SQL, {!Perm_sql.Fingerprint}) into a
-    {!Perm_obs.Stats} accumulator, and registers five {e virtual system
+    {!Perm_obs.Stats} accumulator, and registers eight {e virtual system
     relations} queryable through the ordinary pipeline — joinable,
     filterable, orderable like any table:
 
@@ -143,7 +143,17 @@ val last_trace : t -> Perm_obs.Trace.span option
       claimed, busy/idle milliseconds, rows produced and the worst
       busy-time skew ratio observed in any one fan-out;
     - [perm_metrics] — the live metrics registry as rows (GC gauges are
-      refreshed at scan time).
+      refreshed at scan time);
+    - [perm_stat_history] — the retained per-execution telemetry history:
+      one row per recorded top-level statement with sequence number,
+      timestamp, structural plan hash, wall/phase milliseconds, rows out,
+      the planner's total row estimate, worker skew and the error flag
+      (bounded rings, see {!history});
+    - [perm_stat_regressions] — the regression watchdog's findings: flagged
+      executions with their baseline, slowdown factor, attributed cause
+      ([plan-change] / [cardinality] / [skew] / [unknown]) and detail;
+    - [perm_metrics_history] — cadence-sampled values of selected metrics
+      series over time.
 
     Virtual relations are engine-owned: not droppable, not DML targets,
     and invisible to {!dump_sql}. *)
@@ -163,7 +173,9 @@ val worker_profile : t -> Perm_obs.Profile.worker list
     [perm_stat_workers]), sorted by domain index. *)
 
 val reset_statement_stats : t -> unit
-(** Clears statement/relation statistics and the plan/worker profiles. *)
+(** Clears statement/relation statistics, the plan/worker profiles and the
+    telemetry history (retained executions, regressions and metric
+    samples — history configuration is kept). *)
 
 (** {2 Live query progress}
 
@@ -198,10 +210,30 @@ val trace_log : t -> Perm_obs.Trace.span list
 
 val clear_trace_log : t -> unit
 
+val set_trace_capacity : t -> int -> unit
+(** Bound on retained trace roots (default 512, clamped at 1); beyond it
+    the oldest spans are shed in batches, counted by the
+    [engine.trace.dropped] metric. *)
+
 val event_log : t -> Perm_obs.Eventlog.t
-(** The session's JSON-lines event log. Open a sink file and set the
-    slow-query threshold through {!Perm_obs.Eventlog}; the engine writes
-    one line per top-level statement at least as slow as the threshold. *)
+(** The session's event log. Every top-level statement at least as slow as
+    the {!Perm_obs.Eventlog} threshold is recorded into a bounded
+    in-memory ring (drops surface as the [eventlog.dropped] gauge), and
+    also written as one JSON line when a sink file is open. *)
+
+val history : t -> Perm_obs.History.t
+(** The session's telemetry history and regression watchdog (the store
+    behind [perm_stat_history], [perm_stat_regressions] and
+    [perm_metrics_history]). Every finished top-level statement is
+    recorded with its structural plan hash
+    ({!Perm_executor.Executor.plan_hash} of the statement's first executed
+    plan, mode-tagged serial/parallel), the planner's
+    {!Perm_planner.Planner.estimate_total} and the worst worker skew; the
+    watchdog's verdicts also increment [history.regressions] /
+    [history.cause.*] counters, and the store's footprint is tracked by
+    the [history.bytes] gauge. Configure capacities, the watchdog factor
+    and the metric-sampling cadence directly through
+    {!Perm_obs.History}. *)
 
 (** {1 Rewrite-strategy and optimizer control (the demo's "activate or
     deactivate rewrite strategies", §3)} *)

@@ -199,3 +199,13 @@ val compile_row_predicate :
   (bool, string) result
 (** Row-at-a-time predicate evaluation against a fixed schema (DELETE /
     UPDATE row selection); [true] iff the predicate is SQL-[TRUE]. *)
+
+val plan_hash : ?mode:string -> Perm_algebra.Plan.t -> string
+(** A short stable digest of the plan's structure: operator tree, table
+    names, expression shapes, attribute names/types. Attribute ids are
+    canonicalized (they are gensym'd per analysis) and literal values are
+    blanked like statement fingerprints, so re-running or re-binding the
+    same statement hashes identically; planner estimates never enter the
+    hash, so it only moves when the plan itself changes. [mode] tags the
+    execution strategy (["serial"] / ["parallel"], default ["serial"]) —
+    a flipped parallel verdict is a plan change too. *)

@@ -1,14 +1,34 @@
 (* JSON-lines structured event log with a slow-query threshold — the
-   log_min_duration_statement analog. Disabled until a sink file is
-   opened; each event is one compact JSON object per line, flushed
-   immediately so the log is tail-able while a session runs. *)
+   log_min_duration_statement analog.
+
+   Events are always retained in a bounded in-memory ring (so the recent
+   slow-query log is queryable without configuring a sink), and also
+   written to a sink file when one is open; each sink event is one
+   compact JSON object per line, flushed immediately so the log is
+   tail-able while a session runs. When the ring is full the oldest
+   event is overwritten and a drop counter advances — the log can never
+   grow without bound. *)
 
 type t = {
   mutable sink : (string * out_channel) option;  (* path, channel *)
   mutable min_ms : float;  (* only events at least this slow are logged *)
+  mutable ring : Json.t option array;
+  mutable rstart : int;  (* index of the oldest retained event *)
+  mutable rlen : int;
+  mutable dropped : int;  (* events evicted from the ring *)
 }
 
-let create () = { sink = None; min_ms = 0. }
+let default_capacity = 256
+
+let create () =
+  {
+    sink = None;
+    min_ms = 0.;
+    ring = Array.make default_capacity None;
+    rstart = 0;
+    rlen = 0;
+    dropped = 0;
+  }
 
 let close t =
   match t.sink with
@@ -26,8 +46,42 @@ let set_min_ms t ms = t.min_ms <- Float.max 0. ms
 let min_ms t = t.min_ms
 let enabled t = Option.is_some t.sink
 let path t = Option.map fst t.sink
+let capacity t = Array.length t.ring
+let dropped t = t.dropped
+
+let recent t =
+  List.init t.rlen (fun i ->
+      match t.ring.((t.rstart + i) mod Array.length t.ring) with
+      | Some e -> e
+      | None -> Json.Null)
+
+let set_capacity t cap =
+  let cap = max 1 cap in
+  if cap <> Array.length t.ring then begin
+    let kept = min t.rlen cap in
+    let old = recent t in
+    let dropped_now = t.rlen - kept in
+    let ring = Array.make cap None in
+    List.iteri
+      (fun i e -> if i >= dropped_now then ring.(i - dropped_now) <- Some e)
+      old;
+    t.ring <- ring;
+    t.rstart <- 0;
+    t.rlen <- kept;
+    t.dropped <- t.dropped + dropped_now
+  end
 
 let log t json =
+  let cap = Array.length t.ring in
+  if t.rlen = cap then begin
+    t.ring.(t.rstart) <- Some json;
+    t.rstart <- (t.rstart + 1) mod cap;
+    t.dropped <- t.dropped + 1
+  end
+  else begin
+    t.ring.((t.rstart + t.rlen) mod cap) <- Some json;
+    t.rlen <- t.rlen + 1
+  end;
   match t.sink with
   | None -> ()
   | Some (_, oc) ->

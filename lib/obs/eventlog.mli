@@ -1,29 +1,48 @@
 (** JSON-lines structured event log with a slow-query threshold — the
     [log_min_duration_statement] analog.
 
-    The log is disabled until a sink file is opened; each event is one
-    compact JSON object per line, flushed immediately so the file can be
-    tailed while a session runs. The threshold check ([min_ms]) is the
-    caller's responsibility — the engine compares a statement's duration
-    against it before calling {!log}. *)
+    Every logged event is retained in a bounded in-memory ring (default
+    capacity 256), so the recent slow-query log is queryable without a
+    sink; when the ring is full the oldest event is dropped and counted.
+    Opening a sink file additionally writes each event as one compact
+    JSON object per line, flushed immediately so the file can be tailed
+    while a session runs. The threshold check ([min_ms]) is the caller's
+    responsibility — the engine compares a statement's duration against
+    it before calling {!log}. *)
 
 type t
 
 val create : unit -> t
-(** A disabled log: no sink, threshold 0 ms. *)
+(** No sink, threshold 0 ms, ring capacity 256. *)
 
 val open_file : t -> string -> unit
 (** Open (truncate) [path] as the sink, closing any previous sink. *)
 
 val close : t -> unit
-(** Close the sink and disable the log. Idempotent. *)
+(** Close the sink. The in-memory ring keeps recording. Idempotent. *)
 
 val set_min_ms : t -> float -> unit
 (** Set the slow-query threshold (clamped at 0). *)
 
 val min_ms : t -> float
+
 val enabled : t -> bool
+(** Whether a sink file is open. *)
+
 val path : t -> string option
 
+val set_capacity : t -> int -> unit
+(** Resize the in-memory ring (clamped at 1), keeping the newest events;
+    anything shed by shrinking counts as dropped. *)
+
+val capacity : t -> int
+
+val recent : t -> Json.t list
+(** Retained events, oldest first. *)
+
+val dropped : t -> int
+(** Events evicted from the ring since creation. *)
+
 val log : t -> Json.t -> unit
-(** Write one event as a single line; no-op while disabled. *)
+(** Record one event: always into the ring, and as a single line to the
+    sink when one is open. *)

@@ -159,6 +159,15 @@ let node_estimates stats (plan : Plan.t) : (Plan.t * float) list =
   in
   List.rev (walk [] plan)
 
+(* Total estimated row traffic of the plan — the scalar the telemetry
+   history retains per execution so the regression watchdog can tell
+   "the input grew" apart from "the plan changed". Estimates never feed
+   the plan hash itself: Executor.plan_hash is computed from plan
+   structure alone, so refreshed statistics move this total without
+   moving the hash (unless the optimizer actually picks another plan). *)
+let estimate_total stats (plan : Plan.t) : float =
+  List.fold_left (fun acc (_, est) -> acc +. est) 0. (node_estimates stats plan)
+
 (* ------------------------------------------------------------------ *)
 (* Cost model                                                          *)
 (* ------------------------------------------------------------------ *)

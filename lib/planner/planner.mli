@@ -43,6 +43,13 @@ val node_estimates :
     i-th entry is the estimate for node id i. Feeds the EXPLAIN ANALYZE
     est/act annotations and the [perm_stat_plans] view. *)
 
+val estimate_total : stats -> Perm_algebra.Plan.t -> float
+(** Sum of {!node_estimates} over the whole tree — the per-execution
+    "estimated row traffic" scalar retained by the telemetry history.
+    Estimates are deliberately kept out of {!Perm_executor.Executor.plan_hash}:
+    refreshed statistics move this total without moving the hash unless
+    the optimizer actually picks a different plan. *)
+
 val cost : stats -> Perm_algebra.Plan.t -> float
 (** Abstract cost units; only comparisons between plans are meaningful. *)
 

@@ -28,6 +28,24 @@ let fallback sql =
   |> List.filter (fun s -> s <> "")
   |> String.concat " "
 
+(* Collapse literal runs so parameterized statements that differ only in
+   arity land in one bucket: [IN (1, 2, 3)] and [IN (4)] both become
+   [in ( ? )], and multi-row [VALUES (1, 2), (3, 4)] folds to a single
+   [( ? )] row group. One left-to-right pass rewrites [? , ?] into [?]
+   and [( ? ) , ( ? )] into [( ? )]; collapsing a run can expose an
+   enclosing group run (the VALUES rows only look identical after their
+   members collapse), so the whole rewrite iterates to a fixpoint. *)
+let rec collapse_step = function
+  | "?" :: "," :: "?" :: rest -> collapse_step ("?" :: rest)
+  | "(" :: "?" :: ")" :: "," :: "(" :: "?" :: ")" :: rest ->
+    collapse_step ("(" :: "?" :: ")" :: rest)
+  | tok :: rest -> tok :: collapse_step rest
+  | [] -> []
+
+let rec collapse_runs toks =
+  let toks' = collapse_step toks in
+  if toks' = toks then toks else collapse_runs toks'
+
 let of_sql sql =
   match Lexer.tokenize sql with
   | Error _ -> fallback sql
@@ -37,4 +55,5 @@ let of_sql sql =
            match token with
            | Token.Eof | Token.Semicolon -> None
            | t -> Some (normalize_token t))
+    |> collapse_runs
     |> String.concat " "

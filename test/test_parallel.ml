@@ -235,6 +235,88 @@ let suite_metrics =
         Engine.close e);
   ]
 
+let suite_workers =
+  [
+    case "idle workers report zero morsels when domains outnumber morsels"
+      (fun () ->
+        let e = forum_engine () in
+        Engine.set_instrumentation e true;
+        (* 2 forum messages in one huge morsel: with 4 domains at least
+           two workers never receive work, yet every domain must appear *)
+        Engine.set_parallel e (Engine.Par_domains 4);
+        Engine.set_parallel_threshold e 1;
+        Engine.set_morsel_rows e 1_000_000;
+        ignore (query_ok e eligible);
+        let rs =
+          query_ok e
+            "SELECT domain, morsels, rows FROM perm_stat_workers ORDER BY \
+             domain"
+        in
+        Alcotest.(check int) "one row per domain" 4 (List.length rs.Engine.rows);
+        let morsels =
+          List.map
+            (fun r ->
+              match r.(1) with
+              | Value.Int n -> n
+              | _ -> Alcotest.fail "morsels not an int")
+            rs.Engine.rows
+        in
+        Alcotest.(check int) "single morsel total" 1
+          (List.fold_left ( + ) 0 morsels);
+        Alcotest.(check bool) "idle workers present with zero morsels" true
+          (List.exists (fun n -> n = 0) morsels);
+        (* idle workers also report zero rows, not garbage *)
+        List.iter
+          (fun r ->
+            match (r.(1), r.(2)) with
+            | Value.Int 0, Value.Int rows ->
+              Alcotest.(check int) "idle worker has no rows" 0 rows
+            | _ -> ())
+          rs.Engine.rows;
+        Engine.close e);
+    case "a single-domain pool still fills the worker view" (fun () ->
+        let e = forum_engine () in
+        Engine.set_instrumentation e true;
+        Engine.set_parallel e (Engine.Par_domains 1);
+        Engine.set_parallel_threshold e 1;
+        Engine.set_morsel_rows e 1;
+        ignore (query_ok e eligible);
+        let rs =
+          query_ok e "SELECT domain, morsels, rows FROM perm_stat_workers"
+        in
+        (match rs.Engine.rows with
+        | [ [| Value.Int 0; Value.Int morsels; Value.Int rows |] ] ->
+          Alcotest.(check bool) "all morsels on domain 0" true (morsels >= 1);
+          Alcotest.(check int) "all rows on domain 0" 2 rows
+        | _ -> Alcotest.fail "expected exactly the domain-0 row");
+        (* skew is meaningless on one domain: it must stay 1.0 *)
+        (match
+           (query_ok e "SELECT max_skew FROM perm_stat_workers").Engine.rows
+         with
+        | [ [| Value.Float skew |] ] ->
+          Alcotest.(check (float 1e-9)) "balanced by definition" 1. skew
+        | _ -> Alcotest.fail "max_skew row missing");
+        Engine.close e);
+  ]
+
+(* The determinism gate must hold with telemetry history recording on:
+   recording happens on the engine domain after the pool joins, so the
+   rings never race the workers, and results stay byte-identical. *)
+let suite_history =
+  [
+    case "serial = parallel with history recording enabled" (fun () ->
+        let e = forum_scaled () in
+        let h = Engine.history e in
+        Perm_obs.History.set_capacity h 128;
+        Perm_obs.History.set_cadence h 0.;
+        List.iter (check_identical e) forum_queries;
+        (* both arms of every check landed in the history rings *)
+        Alcotest.(check bool) "executions recorded" true
+          (List.length (Perm_obs.History.executions h)
+          >= 2 * List.length forum_queries);
+        Engine.close e);
+  ]
+
 let () =
   Alcotest.run "parallel"
     [
@@ -242,4 +324,6 @@ let () =
       ("lifecycle", suite_lifecycle);
       ("fallback", suite_fallback);
       ("metrics", suite_metrics);
+      ("workers", suite_workers);
+      ("history", suite_history);
     ]

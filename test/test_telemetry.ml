@@ -10,6 +10,7 @@ module Trace = Perm_obs.Trace
 module Json = Perm_obs.Json
 module Stats = Perm_obs.Stats
 module Eventlog = Perm_obs.Eventlog
+module History = Perm_obs.History
 open Perm_testkit.Kit
 
 let contains hay needle =
@@ -53,6 +54,35 @@ let fingerprint_tests =
           (a = fp "SELECT text FROM messages WHERE mid > 1");
         Alcotest.(check bool) "provenance is structural" false
           (a = fp "SELECT PROVENANCE text FROM messages WHERE mid = 1"));
+    case "IN-lists and VALUES rows collapse to one placeholder" (fun () ->
+        let fp = Fingerprint.of_sql in
+        Alcotest.(check string) "IN-list length is not shape"
+          (fp "SELECT * FROM t WHERE a IN (1, 2, 3, 4, 5)")
+          (fp "SELECT * FROM t WHERE a IN (42)");
+        Alcotest.(check string) "string IN-lists too"
+          (fp "SELECT * FROM t WHERE name IN ('a', 'b', 'c')")
+          (fp "SELECT * FROM t WHERE name IN ('z')");
+        Alcotest.(check string) "multi-row VALUES collapse"
+          (fp "INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, 'c')")
+          (fp "INSERT INTO t VALUES (9, 'z')");
+        (* collapsing is purely over literal runs: column lists keep arity *)
+        Alcotest.(check bool) "identifier lists keep their arity" false
+          (fp "SELECT a, b, c FROM t" = fp "SELECT a FROM t"));
+    case "normalization round-trips: of_sql is idempotent" (fun () ->
+        let fp = Fingerprint.of_sql in
+        List.iter
+          (fun sql ->
+            let once = fp sql in
+            Alcotest.(check string) ("fixpoint of " ^ sql) once (fp once))
+          [
+            "SELECT text FROM messages WHERE mid = 42";
+            "SELECT * FROM t WHERE a IN (1, 2, 3)";
+            "INSERT INTO t VALUES (1, 'a'), (2, 'b')";
+            "SELECT PROVENANCE m.text FROM messages m, users u WHERE m.uid \
+             = u.uid AND u.name = 'alice'";
+            "SELECT uid, count(*) FROM messages GROUP BY uid HAVING \
+             count(*) > 10";
+          ]);
     case "quoted identifiers keep case; unlexable input stays stable" (fun () ->
         let fp = Fingerprint.of_sql in
         Alcotest.(check bool) "quoted idents are case-sensitive names" false
@@ -326,6 +356,358 @@ let profiler_views_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry history: per-fingerprint rings + the regression watchdog  *)
+(* ------------------------------------------------------------------ *)
+
+let history_tests =
+  [
+    case "executions accumulate with a stable plan hash; literals share it"
+      (fun () ->
+        let e = forum_engine () in
+        let h = Engine.history e in
+        ignore (query_ok e "SELECT text FROM messages WHERE mid = 1");
+        ignore (query_ok e "SELECT text FROM messages WHERE mid = 2");
+        ignore (query_ok e "SELECT text FROM messages WHERE mid = 3");
+        let fp = Fingerprint.of_sql "SELECT text FROM messages WHERE mid = 1" in
+        let recs = History.executions_for h fp in
+        Alcotest.(check int) "one ring entry per execution" 3
+          (List.length recs);
+        (match recs with
+        | first :: rest ->
+          Alcotest.(check bool) "plan hash assigned" true
+            (first.History.ex_plan_hash <> "");
+          (* constants are blanked out of the hash, so different literals
+             are the same plan *)
+          List.iter
+            (fun r ->
+              Alcotest.(check string) "hash stable across re-executions"
+                first.History.ex_plan_hash r.History.ex_plan_hash)
+            rest;
+          ignore
+            (List.fold_left
+               (fun prev r ->
+                 Alcotest.(check bool) "seq monotone" true
+                   (r.History.ex_seq > prev);
+                 r.History.ex_seq)
+               (-1) recs)
+        | [] -> Alcotest.fail "no executions retained");
+        (* no watchdog noise from plain re-executions *)
+        Alcotest.(check int) "no regressions" 0
+          (List.length
+             (List.filter
+                (fun r -> r.History.rg_fingerprint = fp)
+                (History.regressions h))));
+    case "ring capacity bounds retention and counts drops" (fun () ->
+        let e = forum_engine () in
+        let h = Engine.history e in
+        History.set_capacity h 2;
+        let sql = "SELECT mid FROM messages" in
+        for _ = 1 to 5 do
+          ignore (query_ok e sql)
+        done;
+        let fp = Fingerprint.of_sql sql in
+        let recs = History.executions_for h fp in
+        Alcotest.(check int) "ring keeps capacity records" 2
+          (List.length recs);
+        (* the newest two of the five survive *)
+        Alcotest.(check bool) "newest retained" true
+          (List.for_all (fun r -> not r.History.ex_error) recs);
+        Alcotest.(check bool) "drops counted" true (History.dropped h >= 3));
+    case "capacity 0 disables recording and discards history" (fun () ->
+        let e = forum_engine () in
+        let h = Engine.history e in
+        ignore (query_ok e "SELECT mid FROM messages");
+        History.set_capacity h 0;
+        Alcotest.(check bool) "disabled" false (History.enabled h);
+        ignore (query_ok e "SELECT uid FROM users");
+        Alcotest.(check int) "nothing retained" 0
+          (List.length (History.executions h)));
+    case "errors are retained but never flagged, never fold into baseline"
+      (fun () ->
+        let h = History.create () in
+        History.set_factor h 0.;
+        History.set_min_samples h 1;
+        let rec_ok ms =
+          History.record h ~fingerprint:"q" ~ts:0. ~plan_hash:"abc" ~ms
+            ~rows:10 ~est_rows:10. ~skew:1. ~error:false ~phases:[]
+        in
+        ignore (rec_ok 1.);
+        let flagged =
+          History.record h ~fingerprint:"q" ~ts:1. ~plan_hash:"abc" ~ms:100.
+            ~rows:10 ~est_rows:10. ~skew:1. ~error:true ~phases:[]
+        in
+        Alcotest.(check bool) "error not flagged" true (flagged = None);
+        (match History.baseline h "q" with
+        | Some (_, samples) ->
+          Alcotest.(check int) "error did not fold into baseline" 1 samples
+        | None -> Alcotest.fail "baseline lost");
+        let recs = History.executions_for h "q" in
+        Alcotest.(check int) "error retained in ring" 2 (List.length recs);
+        Alcotest.(check bool) "error bit set" true
+          (List.exists (fun r -> r.History.ex_error) recs));
+    case "watchdog waits for min_samples before flagging" (fun () ->
+        let h = History.create () in
+        History.set_factor h 0.;
+        (* factor 0: flag whenever allowed *)
+        History.set_min_samples h 3;
+        let go ts =
+          History.record h ~fingerprint:"q" ~ts ~plan_hash:"abc" ~ms:1.
+            ~rows:10 ~est_rows:10. ~skew:1. ~error:false ~phases:[]
+        in
+        Alcotest.(check bool) "1st: no baseline yet" true (go 0. = None);
+        Alcotest.(check bool) "2nd: 1 sample < 3" true (go 1. = None);
+        Alcotest.(check bool) "3rd: 2 samples < 3" true (go 2. = None);
+        (match go 3. with
+        | Some rg ->
+          Alcotest.(check string) "cause" "unknown"
+            (History.cause_label rg.History.rg_cause)
+        | None -> Alcotest.fail "4th execution should be flagged"));
+    case "skew regression attributed to parallel imbalance" (fun () ->
+        let h = History.create () in
+        History.set_factor h 0.;
+        History.set_min_samples h 1;
+        ignore
+          (History.record h ~fingerprint:"q" ~ts:0. ~plan_hash:"abc" ~ms:1.
+             ~rows:10 ~est_rows:10. ~skew:1. ~error:false ~phases:[]);
+        (match
+           History.record h ~fingerprint:"q" ~ts:1. ~plan_hash:"abc" ~ms:1.
+             ~rows:10 ~est_rows:10. ~skew:3. ~error:false ~phases:[]
+         with
+        | Some rg ->
+          Alcotest.(check string) "cause" "skew"
+            (History.cause_label rg.History.rg_cause);
+          Alcotest.(check bool) "detail names the skew" true
+            (contains rg.History.rg_detail "skew")
+        | None -> Alcotest.fail "skewed execution should be flagged"));
+    case "LRU eviction bounds distinct fingerprints" (fun () ->
+        let h = History.create () in
+        History.set_max_fingerprints h 2;
+        let go fp =
+          ignore
+            (History.record h ~fingerprint:fp ~ts:0. ~plan_hash:"" ~ms:1.
+               ~rows:1 ~est_rows:1. ~skew:1. ~error:false ~phases:[])
+        in
+        go "a";
+        go "b";
+        go "c";
+        let fps = History.fingerprints h in
+        Alcotest.(check int) "two fingerprints retained" 2 (List.length fps);
+        Alcotest.(check bool) "oldest evicted" false (List.mem "a" fps);
+        Alcotest.(check bool) "eviction counted" true (History.dropped h >= 1));
+    case "approx_bytes grows with retention and the budget evicts" (fun () ->
+        let h = History.create () in
+        let before = History.approx_bytes h in
+        for i = 1 to 50 do
+          ignore
+            (History.record h
+               ~fingerprint:(Printf.sprintf "q%d" i)
+               ~ts:0. ~plan_hash:"abcdef012345" ~ms:1. ~rows:1 ~est_rows:1.
+               ~skew:1. ~error:false
+               ~phases:[ ("execute", 1.) ])
+        done;
+        let mid = History.approx_bytes h in
+        Alcotest.(check bool) "footprint grows" true (mid > before);
+        History.set_max_bytes h 1;
+        (* an impossible budget: everything evictable is evicted *)
+        ignore
+          (History.record h ~fingerprint:"last" ~ts:0. ~plan_hash:"" ~ms:1.
+             ~rows:1 ~est_rows:1. ~skew:1. ~error:false ~phases:[]);
+        Alcotest.(check bool) "budget shrank retention" true
+          (History.approx_bytes h < mid));
+  ]
+
+(* The acceptance scenario: an induced plan change is detected and
+   attributed, both through the History API and the SQL views. *)
+let watchdog_detection_tests =
+  [
+    case "CREATE INDEX flips the plan hash: plan-change regression" (fun () ->
+        let e = forum_engine () in
+        let h = Engine.history e in
+        let sql = "SELECT text FROM messages WHERE mid = 1" in
+        for _ = 1 to 3 do
+          ignore (query_ok e sql)
+        done;
+        ignore (exec_ok e "CREATE INDEX idx_mid ON messages(mid)");
+        ignore (query_ok e sql);
+        let fp = Fingerprint.of_sql sql in
+        let regs =
+          List.filter
+            (fun r -> r.History.rg_fingerprint = fp)
+            (History.regressions h)
+        in
+        Alcotest.(check int) "exactly one regression" 1 (List.length regs);
+        let rg = List.hd regs in
+        Alcotest.(check string) "cause" "plan-change"
+          (History.cause_label rg.History.rg_cause);
+        Alcotest.(check bool) "detail shows both hashes" true
+          (contains rg.History.rg_detail "plan hash");
+        Alcotest.(check bool) "new hash recorded" true
+          (rg.History.rg_plan_hash <> "");
+        (* the same report through the SQL surface *)
+        check_rows e
+          (Printf.sprintf
+             "SELECT cause FROM perm_stat_regressions WHERE fingerprint = \
+              '%s'"
+             fp)
+          [ [ "plan-change" ] ];
+        (* the history view shows the hash flip *)
+        let rs =
+          query_ok e
+            (Printf.sprintf
+               "SELECT plan_hash FROM perm_stat_history WHERE fingerprint = \
+                '%s' ORDER BY seq"
+               fp)
+        in
+        (match List.map (fun r -> Perm_value.Value.to_string r.(0)) rs.Engine.rows with
+        | h1 :: rest ->
+          let last = List.nth rest (List.length rest - 1) in
+          Alcotest.(check bool) "hash changed" true (h1 <> last)
+        | [] -> Alcotest.fail "history view empty"));
+    case "parallel verdict flip is a plan change too" (fun () ->
+        let e = forum_engine () in
+        let h = Engine.history e in
+        let sql = "SELECT mid, text FROM messages WHERE mid >= 0" in
+        ignore (query_ok e sql);
+        ignore (query_ok e sql);
+        Engine.set_parallel e (Engine.Par_domains 2);
+        Engine.set_parallel_threshold e 1;
+        Engine.set_morsel_rows e 1;
+        ignore (query_ok e sql);
+        let fp = Fingerprint.of_sql sql in
+        let regs =
+          List.filter
+            (fun r ->
+              r.History.rg_fingerprint = fp
+              && r.History.rg_cause = History.Plan_change)
+            (History.regressions h)
+        in
+        Alcotest.(check int) "serial -> parallel flagged" 1 (List.length regs);
+        Engine.close e);
+    case "cardinality growth is attributed when timing regresses" (fun () ->
+        let e = forum_engine () in
+        let h = Engine.history e in
+        (* factor 0 makes the timing gate unconditional once a baseline
+           exists, so the test is deterministic on any machine *)
+        History.set_factor h 0.;
+        History.set_min_samples h 1;
+        let sql = "SELECT text FROM messages" in
+        ignore (query_ok e sql);
+        for i = 10 to 17 do
+          ignore
+            (exec_ok e
+               (Printf.sprintf "INSERT INTO messages VALUES (%d, 'm%d', 1)" i
+                  i))
+        done;
+        ignore (query_ok e sql);
+        let fp = Fingerprint.of_sql sql in
+        let regs =
+          List.filter
+            (fun r -> r.History.rg_fingerprint = fp)
+            (History.regressions h)
+        in
+        (match List.rev regs with
+        | last :: _ ->
+          Alcotest.(check string) "cause" "cardinality"
+            (History.cause_label last.History.rg_cause);
+          Alcotest.(check bool) "detail quotes the row counts" true
+            (contains last.History.rg_detail "rows")
+        | [] -> Alcotest.fail "grown input not flagged"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* History SQL views and export                                        *)
+(* ------------------------------------------------------------------ *)
+
+let history_views_tests =
+  [
+    case "perm_stat_history exposes per-execution records with phases"
+      (fun () ->
+        let e = forum_engine () in
+        ignore (query_ok e "SELECT mid FROM messages");
+        ignore (query_ok e "SELECT mid FROM messages");
+        check_columns e
+          "SELECT * FROM perm_stat_history WHERE fingerprint = 'select mid \
+           from messages'"
+          [
+            "fingerprint"; "seq"; "ts"; "plan_hash"; "total_ms"; "rows";
+            "est_rows"; "skew"; "error"; "analyze_ms"; "rewrite_ms";
+            "optimize_ms"; "execute_ms";
+          ];
+        check_rows e
+          "SELECT rows, error FROM perm_stat_history WHERE fingerprint = \
+           'select mid from messages'"
+          [ [ "2"; "false" ]; [ "2"; "false" ] ];
+        (* the view is an ordinary relation: aggregable and joinable *)
+        let rs =
+          query_ok e
+            "SELECT fingerprint, count(*) FROM perm_stat_history GROUP BY \
+             fingerprint ORDER BY fingerprint"
+        in
+        Alcotest.(check bool) "grouped rows" true
+          (List.length rs.Engine.rows >= 1));
+    case "perm_metrics_history samples tracked series on a cadence" (fun () ->
+        let e = engine () in
+        let h = Engine.history e in
+        History.set_cadence h 0.;
+        ignore (exec_ok e "CREATE TABLE t (a int)");
+        ignore (exec_ok e "INSERT INTO t VALUES (1)");
+        let samples = History.metric_samples h in
+        Alcotest.(check bool) "engine.statements sampled" true
+          (List.exists
+             (fun s -> s.History.sm_name = "engine.statements")
+             samples);
+        Alcotest.(check bool) "gc.heap_words sampled" true
+          (List.exists
+             (fun s -> s.History.sm_name = "gc.heap_words")
+             samples);
+        let rs =
+          query_ok e
+            "SELECT value FROM perm_metrics_history WHERE name = \
+             'engine.statements' ORDER BY seq"
+        in
+        Alcotest.(check bool) "view rows present" true
+          (List.length rs.Engine.rows >= 2);
+        (* a counter series is monotone *)
+        ignore
+          (List.fold_left
+            (fun prev r ->
+              match r.(0) with
+              | Perm_value.Value.Float v ->
+                Alcotest.(check bool) "monotone counter" true (v >= prev);
+                v
+              | _ -> Alcotest.fail "value not a float")
+            0. rs.Engine.rows));
+    case "telemetry export emits parseable tagged JSON lines" (fun () ->
+        let e = forum_engine () in
+        let h = Engine.history e in
+        History.set_cadence h 0.;
+        ignore (query_ok e "SELECT mid FROM messages");
+        ignore (query_ok e "SELECT mid FROM messages");
+        let docs = History.export_jsonl h in
+        Alcotest.(check bool) "records exported" true (List.length docs > 0);
+        let kinds =
+          List.filter_map
+            (fun doc ->
+              (* round-trip through the compact printer, like the CLI *)
+              match Json.parse (Json.to_string doc) with
+              | Ok parsed ->
+                Option.bind (Json.member "kind" parsed) Json.to_string_opt
+              | Error msg -> Alcotest.failf "line does not parse: %s" msg)
+            docs
+        in
+        Alcotest.(check bool) "execution records tagged" true
+          (List.mem "execution" kinds);
+        Alcotest.(check bool) "metric samples tagged" true
+          (List.mem "metric" kinds));
+    case "reset_statement_stats clears the history views too" (fun () ->
+        let e = forum_engine () in
+        ignore (query_ok e "SELECT mid FROM messages");
+        Engine.reset_statement_stats e;
+        check_count e "SELECT * FROM perm_stat_history" 0;
+        check_count e "SELECT * FROM perm_stat_regressions" 0);
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Trace export: Chrome trace events and nesting invariants            *)
 (* ------------------------------------------------------------------ *)
 
@@ -504,6 +886,39 @@ let eventlog_tests =
           (Option.bind (Json.member "sql" doc) Json.to_string_opt);
         Alcotest.(check bool) "phases object present" true
           (Json.member "phases" doc <> None));
+    case "in-memory ring records without a sink, bounded with drops"
+      (fun () ->
+        let l = Eventlog.create () in
+        Eventlog.set_capacity l 3;
+        for i = 1 to 5 do
+          Eventlog.log l (Json.Obj [ ("n", Json.Int i) ])
+        done;
+        let nth_n evs k =
+          Option.bind (Json.member "n" (List.nth evs k)) Json.to_float_opt
+          |> Option.map int_of_float
+        in
+        let evs = Eventlog.recent l in
+        Alcotest.(check int) "ring holds capacity events" 3 (List.length evs);
+        Alcotest.(check (option int)) "oldest first" (Some 3) (nth_n evs 0);
+        Alcotest.(check (option int)) "newest last" (Some 5) (nth_n evs 2);
+        Alcotest.(check int) "two dropped" 2 (Eventlog.dropped l);
+        (* shrinking keeps the newest and counts the shed events *)
+        Eventlog.set_capacity l 2;
+        let evs = Eventlog.recent l in
+        Alcotest.(check int) "shrunk" 2 (List.length evs);
+        Alcotest.(check (option int)) "newest survive" (Some 4) (nth_n evs 0);
+        Alcotest.(check int) "shed counted" 3 (Eventlog.dropped l));
+    case "the engine feeds the ring even with no sink open" (fun () ->
+        let e = forum_engine () in
+        let before = List.length (Eventlog.recent (Engine.event_log e)) in
+        ignore (query_ok e "SELECT mid FROM messages");
+        let evs = Eventlog.recent (Engine.event_log e) in
+        Alcotest.(check bool) "statement event recorded" true
+          (List.length evs > before);
+        let last = List.nth evs (List.length evs - 1) in
+        Alcotest.(check (option string)) "sql field"
+          (Some "SELECT mid FROM messages")
+          (Option.bind (Json.member "sql" last) Json.to_string_opt));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -596,6 +1011,9 @@ let () =
       ("stat_statements", stat_statements_tests);
       ("system_views", other_views_tests);
       ("profiler_views", profiler_views_tests);
+      ("history", history_tests);
+      ("watchdog", watchdog_detection_tests);
+      ("history_views", history_views_tests);
       ("trace_export", trace_export_tests);
       ("eventlog", eventlog_tests);
       ("json_parse", json_parse_tests);
