@@ -604,6 +604,127 @@ let b10_hist ~size =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* B11-http: HTTP observability plane overhead. The server reads only   *)
+(* snapshots under the engine's obs lock (held for microseconds per     *)
+(* statement), so the guard battery under concurrent scrape load must   *)
+(* match the server-off baseline within noise (EXPERIMENTS.md < 5%).    *)
+(* ------------------------------------------------------------------ *)
+
+let http_queries = guard_queries
+
+(* Bechamel refuses to start sampling until the major heap stabilizes,
+   which can never happen while scraper domains allocate concurrently —
+   so B11 times both arms with the same plain monotonic loop. Returns
+   (median, min): the median prices CPU sharing with the scrapers (an
+   artifact of core count, gone with >= 2 cores), while the min is the
+   collision-free floor — the statistic that would rise if the plane's
+   locking actually blocked the query path, since a scrape is in flight
+   almost continuously at bench cadence. *)
+let time_query_plain engine sql =
+  let clock = Toolkit.Monotonic_clock.make () in
+  let now () = Toolkit.Monotonic_clock.get clock in
+  let budget_ns = !quota *. 1e9 in
+  let samples = ref [] in
+  let count = ref 0 in
+  let spent = ref 0. in
+  (* the sample cap only bounds pathologically fast queries; the median
+     must span many scrape cycles, so it has to be high enough that a
+     microsecond-scale query still samples across >> 100 ms of wall clock *)
+  while !spent < budget_ns && !count < 20_000 do
+    let t0 = now () in
+    run_query engine sql;
+    let dt = now () -. t0 in
+    samples := dt :: !samples;
+    incr count;
+    spent := !spent +. dt
+  done;
+  let sorted = List.sort Float.compare !samples in
+  (List.nth sorted (List.length sorted / 2), List.hd sorted)
+
+let b11_http_measure ~size =
+  let e = Engine.create () in
+  Forum.load_scaled e ~messages:size ~users:(max 10 (size / 20)) ();
+  (* the server raises the minor heap while it runs (fewer cross-domain
+     GC barriers); apply the same sizing to the server-off arm so the two
+     arms compare GC-for-GC, then restore afterwards *)
+  let saved_gc = Gc.get () in
+  Gc.set { saved_gc with Gc.minor_heap_size = 4 * 1024 * 1024 };
+  Fun.protect ~finally:(fun () -> Gc.set saved_gc) @@ fun () ->
+  (* warm the heap before measuring either arm (see b8_guard_measure) *)
+  List.iter (fun (_, sql) -> run_query e sql) http_queries;
+  Gc.compact ();
+  let off =
+    List.map (fun (name, sql) -> (name, time_query_plain e sql)) http_queries
+  in
+  match Perm_engine.Obs_server.start ~port:0 e with
+  | Error msg -> failwith ("B11-http: observability server refused: " ^ msg)
+  | Ok srv ->
+    let port = Perm_engine.Obs_server.port srv in
+    let stop = Atomic.make false in
+    let scrapes = Atomic.make 0 in
+    (* two scraper domains at a 100 ms cadence: one on the full Prometheus
+       exposition, one on a JSON stat relation — ~150x more aggressive
+       than Prometheus' default 15 s scrape interval, so a scrape overlaps
+       most in-flight queries without degenerating into a pure
+       CPU-starvation test on single-core machines *)
+    let scraper path =
+      Domain.spawn (fun () ->
+          while not (Atomic.get stop) do
+            (match Perm_obs.Httpd.get ~port path with
+            | Ok _ -> Atomic.incr scrapes
+            | Error _ -> ());
+            Unix.sleepf 0.1
+          done)
+    in
+    let scrapers = [ scraper "/metrics"; scraper "/stats/perm_stat_statements" ] in
+    let on =
+      List.map (fun (name, sql) -> (name, time_query_plain e sql)) http_queries
+    in
+    Atomic.set stop true;
+    List.iter Domain.join scrapers;
+    Perm_engine.Obs_server.stop srv;
+    let rows =
+      List.map2
+        (fun (name, off_t) (name', on_t) ->
+          assert (name = name');
+          (name, off_t, on_t))
+        off on
+    in
+    (rows, Atomic.get scrapes)
+
+let b11_http ~size =
+  let measured, scrapes = b11_http_measure ~size in
+  let rows =
+    List.map
+      (fun (name, (off_med, off_min), (on_med, on_min)) ->
+        [
+          name;
+          fms off_med;
+          fms on_med;
+          ffac (on_med /. off_med);
+          fms off_min;
+          fms on_min;
+          ffac (on_min /. off_min);
+        ])
+      measured
+  in
+  print_table
+    (Printf.sprintf
+       "B11-http: query latency with the HTTP plane scraping vs. off (forum \
+        %d messages, %d scrapes served; min = collision-free floor)"
+       size scrapes)
+    [
+      "query";
+      "off med ms";
+      "scraped med ms";
+      "med overhead";
+      "off min ms";
+      "scraped min ms";
+      "floor overhead";
+    ]
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* Smoke mode: one instrumented pass over representative queries,       *)
 (* reporting the engine's own per-phase breakdown (no Bechamel); with   *)
 (* --json the breakdowns and the session metrics land in                *)
@@ -707,6 +828,10 @@ let smoke ~json () =
     (* B10-hist rides along the same way: EXPERIMENTS.md quotes the
        history-recording overhead (acceptance target < 5%) from here. *)
     let hist_measured = b10_hist_measure ~size:1_000 in
+    (* B11-http rides along the same way: EXPERIMENTS.md quotes the
+       under-scrape overhead (acceptance target: within noise of the
+       server-off arm) from here. *)
+    let http_measured, http_scrapes = b11_http_measure ~size:1_000 in
     quota := saved_quota;
     let profiler_section =
       Json.Obj
@@ -742,6 +867,28 @@ let smoke ~json () =
                        ("overhead", Json.Float (t_on /. t_off));
                      ])
                  hist_measured) );
+        ]
+    in
+    let http_section =
+      Json.Obj
+        [
+          ("forum_messages", Json.Int 1_000);
+          ("scrapes_served", Json.Int http_scrapes);
+          ( "queries",
+            Json.List
+              (List.map
+                 (fun (name, (off_med, off_min), (on_med, on_min)) ->
+                   Json.Obj
+                     [
+                       ("name", Json.String name);
+                       ("off_ms", Json.Float (ms off_med));
+                       ("scraped_ms", Json.Float (ms on_med));
+                       ("overhead", Json.Float (on_med /. off_med));
+                       ("off_min_ms", Json.Float (ms off_min));
+                       ("scraped_min_ms", Json.Float (ms on_min));
+                       ("floor_overhead", Json.Float (on_min /. off_min));
+                     ])
+                 http_measured) );
         ]
     in
     let guard_section =
@@ -797,6 +944,7 @@ let smoke ~json () =
           ("guardrails", guard_section);
           ("profiler", profiler_section);
           ("history", history_section);
+          ("http", http_section);
           ( "queries",
             Json.List
               (List.map
@@ -975,4 +1123,5 @@ let () =
   b8_guard ~size:(if fast then 2_000 else 20_000);
   b9_prof ~size:(if fast then 2_000 else 20_000);
   b10_hist ~size:(if fast then 2_000 else 20_000);
+  b11_http ~size:(if fast then 2_000 else 20_000);
   print_newline ()

@@ -3,6 +3,7 @@
    rewrite strategies and contribution semantics interactively. *)
 
 module Engine = Perm_engine.Engine
+module Obs_server = Perm_engine.Obs_server
 module Render = Perm_engine.Render
 module Trace = Perm_obs.Trace
 module Metrics = Perm_obs.Metrics
@@ -19,7 +20,37 @@ type session = {
   mutable progress : bool;  (* sample live progress while statements run *)
   mutable watch : (bool Atomic.t * unit Domain.t) option;
       (* the \watch dashboard sampler domain, while switched on *)
+  mutable serve : Obs_server.t option;
+      (* the HTTP observability plane, while switched on *)
 }
+
+(* ------------------------------------------------------------------ *)
+(* The \serve HTTP observability plane                                 *)
+(* ------------------------------------------------------------------ *)
+
+let default_http_port = 7133
+
+let start_serve session port =
+  match session.serve with
+  | Some srv ->
+    Printf.printf "already serving on http://127.0.0.1:%d (\\serve off to stop)\n"
+      (Obs_server.port srv)
+  | None -> (
+    match Obs_server.start ~port session.engine with
+    | Ok srv ->
+      session.serve <- Some srv;
+      Printf.printf
+        "serving observability plane on http://127.0.0.1:%d (generation %d)\n\
+        \  /metrics /stats/<relation> /healthz /readyz /trace /events\n"
+        (Obs_server.port srv) (Obs_server.generation srv)
+    | Error msg -> Printf.printf "ERROR: cannot serve on port %d: %s\n" port msg)
+
+let stop_serve session =
+  match session.serve with
+  | None -> ()
+  | Some srv ->
+    Obs_server.stop srv;
+    session.serve <- None
 
 (* Live progress sampler: a domain polling the engine's lock-free progress
    snapshot while the statement runs on this one. Stderr, so redirected
@@ -259,8 +290,13 @@ let help_text =
   \history [PREFIX]        retained per-fingerprint execution history and the
                            regression watchdog's findings (optionally only
                            fingerprints starting with PREFIX)
-  \telemetry export FILE   write the retained history (executions, regressions,
+  \telemetry export FILE   stream the retained history (executions, regressions,
                            metric samples) as JSON lines to FILE
+  \serve [on [PORT]|off]   HTTP observability plane on 127.0.0.1 (default port
+                           7133, 0 = ephemeral; also via PERM_HTTP_PORT):
+                           /metrics (Prometheus), /stats/<relation> (JSON),
+                           /healthz, /readyz, /trace (Chrome trace),
+                           /events (SSE: eventlog + live progress)
   \strategy join|lateral|heuristic|cost
                            aggregation rewrite strategy (paper 2.2)
   \optimizer on|off        toggle the planner rewrites
@@ -329,7 +365,10 @@ let handle_meta session line =
     session.timing <- (v = "on");
     `Continue
   | [ "\\trace"; "export"; path ] ->
-    (match Engine.trace_log session.engine with
+    (match
+       Engine.locked session.engine (fun () ->
+           Engine.trace_log session.engine)
+     with
     | [] -> print_endline "no statement traces recorded yet"
     | roots -> (
       let json = Trace.to_chrome_json roots in
@@ -350,17 +389,20 @@ let handle_meta session line =
   | [ "\\log"; "min"; ms ] ->
     (match float_of_string_opt ms with
     | Some v ->
-      Perm_obs.Eventlog.set_min_ms (Engine.event_log session.engine) v;
+      Engine.locked session.engine (fun () ->
+          Perm_obs.Eventlog.set_min_ms (Engine.event_log session.engine) v);
       Printf.printf "logging statements taking at least %g ms\n" v
     | None -> print_endline "usage: \\log min MS");
     `Continue
   | [ "\\log"; "off" ] ->
-    Perm_obs.Eventlog.close (Engine.event_log session.engine);
+    Engine.locked session.engine (fun () ->
+        Perm_obs.Eventlog.close (Engine.event_log session.engine));
     print_endline "statement log closed";
     `Continue
   | [ "\\log"; path ] ->
     (try
-       Perm_obs.Eventlog.open_file (Engine.event_log session.engine) path;
+       Engine.locked session.engine (fun () ->
+           Perm_obs.Eventlog.open_file (Engine.event_log session.engine) path);
        Printf.printf "logging statements to %s (min %g ms)\n" path
          (Perm_obs.Eventlog.min_ms (Engine.event_log session.engine))
      with Sys_error msg -> Printf.printf "ERROR: %s\n" msg);
@@ -504,23 +546,50 @@ let handle_meta session line =
     end;
     `Continue
   | [ "\\telemetry"; "export"; path ] ->
-    let lines = History.export_jsonl (Engine.history session.engine) in
+    (* streamed record by record: each JSON object is rendered and written
+       individually, so the export never materializes in memory. Under the
+       engine lock so an HTTP reader can't interleave with a snapshot *)
     (try
+       let count = ref 0 in
        Out_channel.with_open_text path (fun oc ->
-           List.iter
-             (fun j ->
-               Out_channel.output_string oc (Perm_obs.Json.to_string j);
-               Out_channel.output_char oc '\n')
-             lines);
-       Printf.printf "wrote %d telemetry record%s to %s\n" (List.length lines)
-         (if List.length lines = 1 then "" else "s")
+           Engine.locked session.engine (fun () ->
+               History.iter_export (Engine.history session.engine) (fun j ->
+                   Out_channel.output_string oc (Perm_obs.Json.to_string j);
+                   Out_channel.output_char oc '\n';
+                   incr count)));
+       Printf.printf "wrote %d telemetry record%s to %s\n" !count
+         (if !count = 1 then "" else "s")
          path
      with Sys_error msg -> Printf.printf "ERROR: %s\n" msg);
+    `Continue
+  | [ "\\serve" ] ->
+    (match session.serve with
+    | Some srv ->
+      Printf.printf
+        "serving on http://127.0.0.1:%d (generation %d)\n"
+        (Obs_server.port srv) (Obs_server.generation srv)
+    | None -> print_endline "not serving (\\serve on [PORT] to start)");
+    `Continue
+  | [ "\\serve"; "on" ] ->
+    start_serve session default_http_port;
+    `Continue
+  | [ "\\serve"; "on"; port ] ->
+    (match int_of_string_opt port with
+    | Some p when p >= 0 && p < 65536 -> start_serve session p
+    | _ -> print_endline "usage: \\serve on [PORT] (0 = ephemeral)");
+    `Continue
+  | [ "\\serve"; "off" ] ->
+    (match session.serve with
+    | None -> print_endline "not serving"
+    | Some _ ->
+      stop_serve session;
+      print_endline "observability server stopped");
     `Continue
   | [ "\\set"; "history"; n ] ->
     (match int_of_string_opt n with
     | Some n when n >= 0 ->
-      History.set_capacity (Engine.history session.engine) n;
+      Engine.locked session.engine (fun () ->
+          History.set_capacity (Engine.history session.engine) n);
       if n = 0 then print_endline "history recording off (retained records discarded)"
       else Printf.printf "history: %d records per fingerprint\n" n
     | _ -> print_endline "usage: \\set history N (records per fingerprint, 0 = off)");
@@ -528,21 +597,24 @@ let handle_meta session line =
   | [ "\\set"; "watchdog"; f ] ->
     (match float_of_string_opt f with
     | Some v when v >= 0. ->
-      History.set_factor (Engine.history session.engine) v;
+      Engine.locked session.engine (fun () ->
+          History.set_factor (Engine.history session.engine) v);
       Printf.printf "watchdog flags executions over %gx the baseline\n" v
     | _ -> print_endline "usage: \\set watchdog FACTOR");
     `Continue
   | [ "\\set"; "history_cadence"; s ] ->
     (match float_of_string_opt s with
     | Some v when v >= 0. ->
-      History.set_cadence (Engine.history session.engine) v;
+      Engine.locked session.engine (fun () ->
+          History.set_cadence (Engine.history session.engine) v);
       Printf.printf "metric sampling cadence: %g s\n" v
     | _ -> print_endline "usage: \\set history_cadence SECONDS");
     `Continue
   | [ "\\set"; "eventlog"; n ] ->
     (match int_of_string_opt n with
     | Some n when n >= 1 ->
-      Eventlog.set_capacity (Engine.event_log session.engine) n;
+      Engine.locked session.engine (fun () ->
+          Eventlog.set_capacity (Engine.event_log session.engine) n);
       Printf.printf "event log ring: %d events\n" n
     | _ -> print_endline "usage: \\set eventlog N (ring capacity, >= 1)");
     `Continue
@@ -633,9 +705,25 @@ let main demo script command =
       trace = false;
       progress = false;
       watch = None;
+      serve = None;
     }
   in
   if demo then Perm_workload.Forum.load session.engine;
+  (* PERM_HTTP_PORT starts the observability plane before any statement
+     runs, so scripted/CI sessions are scrapeable without a \serve line *)
+  (match Sys.getenv_opt "PERM_HTTP_PORT" with
+  | Some p -> (
+    match int_of_string_opt (String.trim p) with
+    | Some port when port >= 0 && port < 65536 -> (
+      match Obs_server.start ~port session.engine with
+      | Ok srv ->
+        session.serve <- Some srv;
+        Printf.eprintf "serving observability plane on http://127.0.0.1:%d\n%!"
+          (Obs_server.port srv)
+      | Error msg ->
+        Printf.eprintf "WARNING: PERM_HTTP_PORT=%s: %s\n%!" p msg)
+    | _ -> Printf.eprintf "WARNING: ignoring bad PERM_HTTP_PORT=%s\n%!" p)
+  | None -> ());
   (match script, command with
   | Some path, _ ->
     let sql = In_channel.with_open_text path In_channel.input_all in
@@ -646,9 +734,12 @@ let main demo script command =
       exit 1)
   | None, Some sql -> run_sql session sql
   | None, None -> repl session);
-  (* stop the \watch dashboard domain, then release the worker-domain
-     pool, if a parallel query created one *)
+  (* stop the \watch dashboard domain and drain the observability server,
+     then release the worker-domain pool, if a parallel query created one
+     (Engine.close would also drain the server via its at_close hook;
+     stopping here first is just the explicit order) *)
   stop_watch session;
+  stop_serve session;
   Engine.close session.engine
 
 open Cmdliner

@@ -1,0 +1,21 @@
+(* Validate a Prometheus text exposition read from stdin (or a file given
+   as argv) with the same round-trip parser the test suite uses: name and
+   label charsets, duplicate samples, histogram bucket monotonicity, the
+   terminal +Inf bucket and its agreement with _count. CI pipes the live
+   /metrics scrape through this.
+
+   Exit 0 and a one-line summary on success; exit 1 with the first
+   violation otherwise. *)
+
+let () =
+  let input =
+    match Sys.argv with
+    | [| _; path |] -> In_channel.with_open_text path In_channel.input_all
+    | _ -> In_channel.input_all In_channel.stdin
+  in
+  match Perm_obs.Prometheus.validate input with
+  | Ok samples ->
+    Printf.printf "OK: %d samples, exposition is well-formed\n" samples
+  | Error msg ->
+    Printf.eprintf "INVALID: %s\n" msg;
+    exit 1

@@ -102,7 +102,21 @@ type t = {
   mutable stmt_est_rows : float;  (* planner total estimate of that plan *)
   mutable stmt_skew : float;  (* max worker skew seen by the statement *)
   mutable live : live option;  (* progress of the last top-level statement *)
+  obs_lock : Mutex.t;
+      (* Serializes engine-side telemetry-store *writes* (Stats, Profile,
+         History, Eventlog, trace_log) against observability-plane *reads*
+         from other domains ([locked], [virtual_relation], ...). The
+         engine domain is the only writer and never needs the lock to read
+         its own stores, so query execution itself stays lock-free; the
+         engine takes the lock only at statement-finalize/record points,
+         for microseconds per statement. Not reentrant. *)
+  mutable on_close : (unit -> unit) list;  (* run (LIFO) by [close] *)
 }
+
+(* OCaml's [Mutex] is not reentrant and 5.1 has no [Mutex.protect]. *)
+let obs_locked t f =
+  Mutex.lock t.obs_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.obs_lock) f
 
 (* ------------------------------------------------------------------ *)
 (* Virtual system relations                                            *)
@@ -304,6 +318,25 @@ let virtual_schemas =
       ] );
   ]
 
+(* Telemetry-loss accounting as gauges, so /metrics (and perm_metrics) can
+   alert on the observability plane itself shedding data: eventlog ring
+   drops, history ring wrap-around, and LRU/byte-budget fingerprint
+   eviction. Unlocked: called either from the engine domain (vp_rows
+   during a scan) or from an observability reader already holding
+   [obs_lock] — both contexts where taking the lock again would be wrong
+   (it is not reentrant). *)
+let refresh_loss_gauges_unlocked t =
+  Metrics.set_gauge t.metrics "eventlog.logged"
+    (float_of_int (Eventlog.logged t.event_log));
+  Metrics.set_gauge t.metrics "eventlog.dropped"
+    (float_of_int (Eventlog.dropped t.event_log));
+  Metrics.set_gauge t.metrics "history.dropped"
+    (float_of_int (History.dropped t.history));
+  Metrics.set_gauge t.metrics "history.evicted"
+    (float_of_int (History.evicted t.history));
+  Metrics.set_gauge t.metrics "history.bytes"
+    (float_of_int (History.approx_bytes t.history))
+
 let register_virtuals t =
   List.iter
     (fun (name, cols) ->
@@ -326,8 +359,10 @@ let register_virtuals t =
     {
       vp_rows =
         (fun () ->
-          (* GC gauges refresh lazily, when somebody actually looks *)
+          (* GC and telemetry-loss gauges refresh lazily, when somebody
+             actually looks *)
           Metrics.set_gc_gauges t.metrics;
+          refresh_loss_gauges_unlocked t;
           metric_rows t.metrics);
       vp_estimate = (fun () -> List.length (Metrics.names t.metrics));
     };
@@ -397,6 +432,8 @@ let create () =
       stmt_est_rows = 0.;
       stmt_skew = 1.;
       live = None;
+      obs_lock = Mutex.create ();
+      on_close = [];
     }
   in
   Perm_fault.init_from_env ();
@@ -538,9 +575,17 @@ let pool t =
     t.pool <- Some pool;
     pool
 
-(* Release the worker domains. The engine remains usable afterwards: the
-   next parallel query recreates the pool. *)
-let close t = shutdown_pool t
+(* Run registered shutdown hooks (LIFO — the HTTP server drains before
+   anything it depends on goes away), then release the worker domains. The
+   engine remains usable afterwards: the next parallel query recreates the
+   pool. Hooks run once; a hook that raises does not stop the others. *)
+let at_close t f = t.on_close <- f :: t.on_close
+
+let close t =
+  let hooks = t.on_close in
+  t.on_close <- [];
+  List.iter (fun f -> try f () with _ -> ()) hooks;
+  shutdown_pool t
 let last_report t = t.report
 let provenance_columns t name =
   Hashtbl.find_opt t.prov_tables (String.lowercase_ascii name)
@@ -623,9 +668,10 @@ let statement_stats t = Stats.statements t.stats_acc
 let relation_stats t = Stats.relations t.stats_acc
 
 let reset_statement_stats t =
-  Stats.reset t.stats_acc;
-  Profile.reset t.profile;
-  History.reset t.history
+  obs_locked t (fun () ->
+      Stats.reset t.stats_acc;
+      Profile.reset t.profile;
+      History.reset t.history)
 
 let plan_profile t = Profile.plan_nodes t.profile
 let worker_profile t = Profile.workers t.profile
@@ -669,12 +715,45 @@ let live_progress t =
 let trace_log t = List.rev t.trace_log
 
 let clear_trace_log t =
-  t.trace_log <- [];
-  t.trace_len <- 0
+  obs_locked t (fun () ->
+      t.trace_log <- [];
+      t.trace_len <- 0)
 
 let set_trace_capacity t n = t.trace_cap <- max 1 n
 let event_log t = t.event_log
 let history t = t.history
+
+(* ------------------------------------------------------------------ *)
+(* Cross-domain observability reads (the HTTP plane)                   *)
+(* ------------------------------------------------------------------ *)
+
+let locked t f = obs_locked t f
+
+let refresh_loss_gauges t =
+  obs_locked t (fun () -> refresh_loss_gauges_unlocked t)
+
+let virtual_names t =
+  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.virtuals [])
+
+(* Materialize a perm_stat_* view outside a query, for the /stats JSON
+   endpoints: same provider closure a scan uses, but under [obs_lock] so
+   it can run on a server domain while the engine executes statements.
+   [t.virtuals] itself is only written at engine creation, so the lookup
+   needs no lock. *)
+let virtual_relation t name =
+  let name = String.lowercase_ascii name in
+  match Hashtbl.find_opt t.virtuals name with
+  | None -> None
+  | Some vp ->
+    let columns =
+      match List.assoc_opt name virtual_schemas with
+      | Some cols -> List.map (fun (c : Column.t) -> c.Column.name) cols
+      | None -> []
+    in
+    Some (columns, obs_locked t (fun () -> vp.vp_rows ()))
+
+let recent_events t ~since =
+  obs_locked t (fun () -> Eventlog.since t.event_log since)
 
 (* Runs [f] as a named phase under the current statement span, so its
    duration shows up in the trace tree and in the per-phase histograms. *)
@@ -720,10 +799,12 @@ let record_exec_stats t stats =
       Metrics.incr t.metrics ~by:ns.Executor.stat_invocations
         ("executor.invocations." ^ ns.Executor.stat_kind))
     (Executor.stats_entries stats);
-  List.iter
-    (fun (table, (ns : Executor.node_stats)) ->
-      Stats.record_scan t.stats_acc ~relation:table ~rows:ns.Executor.stat_rows)
-    (Executor.scan_stats stats)
+  obs_locked t (fun () ->
+      List.iter
+        (fun (table, (ns : Executor.node_stats)) ->
+          Stats.record_scan t.stats_acc ~relation:table
+            ~rows:ns.Executor.stat_rows)
+        (Executor.scan_stats stats))
 
 (* Planner estimates for every node of the executed plan, keyed by physical
    identity — the pre-order position doubles as the stable node id. *)
@@ -741,6 +822,7 @@ let estimate_of ests node =
 let record_plan_profile t plan exec_stats =
   if t.stmt_fp <> "" then begin
     let ests = plan_estimates t plan in
+    obs_locked t @@ fun () ->
     List.iter
       (fun (node, (ns : Executor.node_stats)) ->
         if ns.Executor.stat_id >= 0 then
@@ -822,6 +904,7 @@ let note_plan t optimized ~parallel =
   end
 
 let record_par_report t plan (r : Executor.Par.report) =
+  obs_locked t @@ fun () ->
   Metrics.incr t.metrics "executor.par.queries";
   Metrics.incr t.metrics ~by:r.Executor.Par.par_morsels "executor.par.morsels";
   Metrics.set_gauge t.metrics "executor.par.domains"
@@ -1553,12 +1636,7 @@ let record_statement_stats t sql (st : Ast.statement) root result =
        the same cadence: both need a scan over the retained rings, which
        would dominate sub-millisecond statements if taken per statement *)
     Metrics.set_gc_gauges t.metrics;
-    if History.enabled t.history then begin
-      Metrics.set_gauge t.metrics "history.bytes"
-        (float_of_int (History.approx_bytes t.history));
-      Metrics.set_gauge t.metrics "history.dropped"
-        (float_of_int (History.dropped t.history))
-    end;
+    refresh_loss_gauges_unlocked t;
     History.sample t.history t.metrics ~now
   end;
   (* the in-memory ring always records past the threshold (bounded, so a
@@ -1678,18 +1756,23 @@ let execute_statement t sql (st : Ast.statement) =
       lv.lv_running <- false;
       lv.lv_end_s <- Some (Trace.now ())
     | None -> ());
-    t.last_trace <- Some root;
-    t.trace_log <- root :: t.trace_log;
-    t.trace_len <- t.trace_len + 1;
-    (* bound the retained trace roots like every other telemetry store:
-       trim in batches (amortized O(1) per statement), counting drops *)
-    if t.trace_len > 2 * t.trace_cap then begin
-      let dropped = t.trace_len - t.trace_cap in
-      t.trace_log <- List.filteri (fun i _ -> i < t.trace_cap) t.trace_log;
-      t.trace_len <- t.trace_cap;
-      Metrics.incr t.metrics ~by:dropped "engine.trace.dropped"
-    end;
-    record_statement_stats t sql st root result
+    (* single critical section for the whole finalize: trace log, stats
+       accumulator, history/watchdog, event log — an observability-plane
+       reader sees the statement either fully recorded or not at all *)
+    obs_locked t (fun () ->
+        t.last_trace <- Some root;
+        t.trace_log <- root :: t.trace_log;
+        t.trace_len <- t.trace_len + 1;
+        (* bound the retained trace roots like every other telemetry
+           store: trim in batches (amortized O(1) per statement),
+           counting drops *)
+        if t.trace_len > 2 * t.trace_cap then begin
+          let dropped = t.trace_len - t.trace_cap in
+          t.trace_log <- List.filteri (fun i _ -> i < t.trace_cap) t.trace_log;
+          t.trace_len <- t.trace_cap;
+          Metrics.incr t.metrics ~by:dropped "engine.trace.dropped"
+        end;
+        record_statement_stats t sql st root result)
   end;
   result
 

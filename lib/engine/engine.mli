@@ -235,6 +235,44 @@ val history : t -> Perm_obs.History.t
     and the metric-sampling cadence directly through
     {!Perm_obs.History}. *)
 
+(** {2 Cross-domain observability reads}
+
+    The engine domain is the only writer of the telemetry stores (Stats,
+    Profile, History, Eventlog, the trace log) and takes an internal lock
+    only at statement-finalize/record points; readers on other domains —
+    the HTTP observability plane — use the accessors below, which take the
+    same lock, so they see each statement either fully recorded or not at
+    all and can never block query execution for more than a finalize
+    critical section. *)
+
+val locked : t -> (unit -> 'a) -> 'a
+(** Run [f] holding the engine's observability lock — required when
+    reading telemetry stores ({!statement_stats}, {!trace_log},
+    {!event_log}, {!history}, ...) from a domain other than the engine's.
+    Not reentrant; [f] must not execute statements or call other [locked]
+    accessors ({!virtual_relation}, {!recent_events},
+    {!refresh_loss_gauges}). *)
+
+val virtual_names : t -> string list
+(** The registered [perm_stat_*] virtual relation names, sorted. *)
+
+val virtual_relation :
+  t -> string -> (string list * Perm_storage.Tuple.t list) option
+(** Materialize a virtual system relation ([column names], [rows]) via
+    the same provider closure a table scan uses, under the observability
+    lock — the /stats JSON endpoints. [None] for unknown names. *)
+
+val recent_events : t -> since:int -> int * Perm_obs.Json.t list
+(** Tail the event log from a cursor (see {!Perm_obs.Eventlog.since}),
+    under the observability lock — the /events SSE endpoint. *)
+
+val refresh_loss_gauges : t -> unit
+(** Refresh the telemetry-loss gauges ([eventlog.logged],
+    [eventlog.dropped], [history.dropped], [history.evicted],
+    [history.bytes]) from the live stores, under the observability lock.
+    Called before rendering /metrics so scrapes can alert on the
+    telemetry plane shedding data. *)
+
 (** {1 Rewrite-strategy and optimizer control (the demo's "activate or
     deactivate rewrite strategies", §3)} *)
 
@@ -331,8 +369,14 @@ val cancel : t -> string -> unit
     tuple budget is armed. Safe to call at any time. *)
 
 val close : t -> unit
-(** Releases the worker domains. The session stays usable: the next
-    parallel query recreates the pool. Idempotent. *)
+(** Runs the {!at_close} hooks (newest first), then releases the worker
+    domains. The session stays usable: the next parallel query recreates
+    the pool. Idempotent (hooks run once). *)
+
+val at_close : t -> (unit -> unit) -> unit
+(** Register a shutdown hook run by {!close} — e.g. draining the HTTP
+    observability server before the engine goes away. A raising hook does
+    not prevent the others from running. *)
 
 val last_report : t -> Perm_provenance.Rewriter.report option
 (** Rewrite report of the most recent query execution. *)

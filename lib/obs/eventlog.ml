@@ -16,6 +16,7 @@ type t = {
   mutable rstart : int;  (* index of the oldest retained event *)
   mutable rlen : int;
   mutable dropped : int;  (* events evicted from the ring *)
+  mutable total : int;  (* events ever logged (monotone, for tailing) *)
 }
 
 let default_capacity = 256
@@ -28,6 +29,7 @@ let create () =
     rstart = 0;
     rlen = 0;
     dropped = 0;
+    total = 0;
   }
 
 let close t =
@@ -48,6 +50,7 @@ let enabled t = Option.is_some t.sink
 let path t = Option.map fst t.sink
 let capacity t = Array.length t.ring
 let dropped t = t.dropped
+let logged t = t.total
 
 let recent t =
   List.init t.rlen (fun i ->
@@ -71,7 +74,25 @@ let set_capacity t cap =
     t.dropped <- t.dropped + dropped_now
   end
 
+(* Tail of the ring newer than global sequence number [seq] (events are
+   numbered from 0 in logging order). Returns the new cursor — i.e.
+   [logged t] — and the events, oldest first; events that fell out of the
+   ring before being read are simply absent (the caller can detect the gap
+   by comparing cursors against the list length). *)
+let since t seq =
+  let oldest = t.total - t.rlen in
+  let from = max seq oldest in
+  let events =
+    List.init (t.total - from) (fun i ->
+        let ring_idx = from - oldest + i in
+        match t.ring.((t.rstart + ring_idx) mod Array.length t.ring) with
+        | Some e -> e
+        | None -> Json.Null)
+  in
+  (t.total, events)
+
 let log t json =
+  t.total <- t.total + 1;
   let cap = Array.length t.ring in
   if t.rlen = cap then begin
     t.ring.(t.rstart) <- Some json;

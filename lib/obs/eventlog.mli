@@ -43,6 +43,16 @@ val recent : t -> Json.t list
 val dropped : t -> int
 (** Events evicted from the ring since creation. *)
 
+val logged : t -> int
+(** Events ever logged (monotone, regardless of ring evictions) — the
+    cursor space used by {!since}. *)
+
+val since : t -> int -> int * Json.t list
+(** [since t cursor] returns [(logged t, events)] where [events] are the
+    retained events with sequence number >= [cursor], oldest first.
+    Events evicted before being read are absent; feed the returned cursor
+    back in to tail the log incrementally (the SSE endpoint does). *)
+
 val log : t -> Json.t -> unit
 (** Record one event: always into the ring, and as a single line to the
     sink when one is open. *)

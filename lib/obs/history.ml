@@ -627,3 +627,17 @@ let export_jsonl t =
   List.map exec_to_json (executions t)
   @ List.map regression_to_json (regressions t)
   @ List.map metric_sample_to_json (metric_samples t)
+
+(* Streaming variant of [export_jsonl]: records are emitted one at a time
+   so a large telemetry dump never materializes as a single list/string in
+   memory (the CLI writes each straight to the file). Same record order. *)
+let iter_export t f =
+  List.iter (fun ex -> f (exec_to_json ex)) (executions t);
+  List.iter (fun r -> f (regression_to_json r)) (regressions t);
+  List.iter (fun s -> f (metric_sample_to_json s)) (metric_samples t)
+
+(* Records lost specifically to fingerprint-LRU / byte-budget eviction, as
+   opposed to ordinary ring wrap-around — exported as its own gauge so an
+   alert can tell "history is just full" from "the budget is shedding
+   whole fingerprints". *)
+let evicted t = t.evicted

@@ -156,6 +156,11 @@ val dropped : t -> int
 (** Total records lost to ring wrap-around, capacity changes and LRU /
     byte-budget eviction. *)
 
+val evicted : t -> int
+(** The subset of {!dropped} lost to fingerprint-LRU / byte-budget
+    eviction specifically (whole fingerprints shed under memory
+    pressure). *)
+
 (** {1 Export} *)
 
 val exec_to_json : exec_record -> Json.t
@@ -166,3 +171,8 @@ val export_jsonl : t -> Json.t list
 (** One JSON object per retained record (executions, then regressions,
     then metric samples), each tagged with a ["kind"] field — the payload
     of [\telemetry export]. *)
+
+val iter_export : t -> (Json.t -> unit) -> unit
+(** Streaming [export_jsonl]: applies [f] to each record in the same
+    order without building the full list, so exports stay O(1) in
+    additional memory. *)

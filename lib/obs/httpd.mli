@@ -1,0 +1,61 @@
+(** A dependency-free HTTP/1.1 server for the observability plane.
+
+    One accept domain plus one short-lived domain per connection, all
+    separate from the domain executing statements; handlers are expected
+    to read only snapshot/atomic state so serving a scrape can never block
+    the query path. Responses are either fully materialized ([Fixed]) or
+    incremental ([Stream], used for server-sent events): a stream handler
+    receives a write function that returns [false] once the client is gone
+    or the server is stopping, and is expected to return promptly after
+    that.
+
+    Each [start] gets a fresh generation number (like the executor pool),
+    so a socket lingering in TIME_WAIT or a slow in-flight response from a
+    previous incarnation can never be confused with the current server.
+
+    Every connection is [Connection: close]: the observability endpoints
+    are scrape-style, and single-shot connections keep the lifecycle (and
+    the drain logic) trivial. Concurrent connections are capped; beyond
+    the cap clients receive 503 rather than queueing behind the accept
+    loop. *)
+
+type request = {
+  rq_method : string;  (** uppercased, e.g. ["GET"] *)
+  rq_path : string;  (** decoded path without the query string *)
+  rq_query : (string * string) list;  (** decoded query parameters *)
+}
+
+type response =
+  | Fixed of { status : int; content_type : string; body : string }
+  | Stream of { content_type : string; write : (string -> bool) -> unit }
+      (** [write chunk] returns [false] when the client disconnected or
+          the server is stopping; the handler must then return. *)
+
+type handler = request -> response
+(** Handlers run on a connection domain. Exceptions are caught and mapped
+    to a 500 response. *)
+
+type t
+
+val start :
+  ?max_connections:int -> port:int -> handler -> (t, string) result
+(** Bind the loopback interface on [port] (0 picks an ephemeral port — see
+    [port t] for the actual one) and serve until [stop].
+    [max_connections] (default 8) caps concurrently-served requests. *)
+
+val port : t -> int
+val generation : t -> int
+
+val rejected : t -> int
+(** Connections turned away with 503 because the concurrency cap was
+    reached. *)
+
+val stop : t -> unit
+(** Graceful shutdown: stop accepting, nudge in-flight streams via their
+    write function, and join every connection domain. Idempotent. *)
+
+val get :
+  ?timeout_s:float -> port:int -> string -> (int * string, string) result
+(** Minimal loopback HTTP client for tests, benchmarks and CI: one
+    [GET path] request, returns (status, body). [timeout_s] (default 10)
+    bounds the socket reads. *)

@@ -20,10 +20,24 @@ type metric =
   | Gauge of { mutable g : float }
   | Histogram of histogram
 
-type t = { tbl : (string, metric) Hashtbl.t }
+(* The registry is read by the HTTP observability plane from a different
+   domain than the one executing statements, so every operation that
+   touches [tbl] structurally — or reads a multi-word histogram — takes
+   the registry mutex. Counter/gauge single-field writes would be benign
+   races under the OCaml 5 memory model, but Hashtbl resizes are not, and
+   a torn histogram (count bumped, bucket not yet) would render a
+   non-monotone exposition; locking everything keeps the invariants
+   simple. The critical sections are a few dozen instructions, far below
+   contention concern at statement granularity. *)
+type t = { tbl : (string, metric) Hashtbl.t; mu : Mutex.t }
 
-let create () = { tbl = Hashtbl.create 64 }
-let reset t = Hashtbl.reset t.tbl
+(* OCaml's [Mutex] is not reentrant and 5.1 has no [Mutex.protect]. *)
+let with_lock t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let create () = { tbl = Hashtbl.create 64; mu = Mutex.create () }
+let reset t = with_lock t (fun () -> Hashtbl.reset t.tbl)
 
 let kind_name = function
   | Counter _ -> "counter"
@@ -43,14 +57,16 @@ let mismatch name m expected =
     (Printf.sprintf "metric %S is a %s, not a %s" name (kind_name m) expected)
 
 let incr ?(by = 1) t name =
-  match find_or_add t name (fun () -> Counter { c = 0 }) with
-  | Counter r -> r.c <- r.c + by
-  | m -> mismatch name m "counter"
+  with_lock t (fun () ->
+      match find_or_add t name (fun () -> Counter { c = 0 }) with
+      | Counter r -> r.c <- r.c + by
+      | m -> mismatch name m "counter")
 
 let set_gauge t name v =
-  match find_or_add t name (fun () -> Gauge { g = 0. }) with
-  | Gauge r -> r.g <- v
-  | m -> mismatch name m "gauge"
+  with_lock t (fun () ->
+      match find_or_add t name (fun () -> Gauge { g = 0. }) with
+      | Gauge r -> r.g <- v
+      | m -> mismatch name m "gauge")
 
 let new_histogram bounds =
   {
@@ -69,38 +85,55 @@ let bucket_index bounds v =
   go 0
 
 let declare_histogram ?(bounds = default_bounds) t name =
-  match find_or_add t name (fun () -> Histogram (new_histogram bounds)) with
-  | Histogram _ -> ()
-  | m -> mismatch name m "histogram"
+  with_lock t (fun () ->
+      match find_or_add t name (fun () -> Histogram (new_histogram bounds)) with
+      | Histogram _ -> ()
+      | m -> mismatch name m "histogram")
 
 let observe ?(bounds = default_bounds) t name v =
-  match find_or_add t name (fun () -> Histogram (new_histogram bounds)) with
-  | Histogram h ->
-    let i = bucket_index h.bounds v in
-    h.buckets.(i) <- h.buckets.(i) + 1;
-    h.h_count <- h.h_count + 1;
-    h.h_sum <- h.h_sum +. v;
-    if v < h.h_min then h.h_min <- v;
-    if v > h.h_max then h.h_max <- v
-  | m -> mismatch name m "histogram"
+  with_lock t (fun () ->
+      match find_or_add t name (fun () -> Histogram (new_histogram bounds)) with
+      | Histogram h ->
+        let i = bucket_index h.bounds v in
+        h.buckets.(i) <- h.buckets.(i) + 1;
+        h.h_count <- h.h_count + 1;
+        h.h_sum <- h.h_sum +. v;
+        if v < h.h_min then h.h_min <- v;
+        if v > h.h_max then h.h_max <- v
+      | m -> mismatch name m "histogram")
 
 let counter t name =
-  match Hashtbl.find_opt t.tbl name with
-  | Some (Counter r) -> r.c
-  | Some m -> mismatch name m "counter"
-  | None -> 0
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.tbl name with
+      | Some (Counter r) -> r.c
+      | Some m -> mismatch name m "counter"
+      | None -> 0)
 
 let gauge t name =
-  match Hashtbl.find_opt t.tbl name with
-  | Some (Gauge r) -> Some r.g
-  | Some m -> mismatch name m "gauge"
-  | None -> None
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.tbl name with
+      | Some (Gauge r) -> Some r.g
+      | Some m -> mismatch name m "gauge"
+      | None -> None)
+
+(* Deep copy, so callers can inspect a histogram outside the lock without
+   seeing torn updates from a concurrently-observing domain. *)
+let copy_histogram h =
+  {
+    bounds = h.bounds;
+    buckets = Array.copy h.buckets;
+    h_count = h.h_count;
+    h_sum = h.h_sum;
+    h_min = h.h_min;
+    h_max = h.h_max;
+  }
 
 let histogram t name =
-  match Hashtbl.find_opt t.tbl name with
-  | Some (Histogram h) -> Some h
-  | Some m -> mismatch name m "histogram"
-  | None -> None
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.tbl name with
+      | Some (Histogram h) -> Some (copy_histogram h)
+      | Some m -> mismatch name m "histogram"
+      | None -> None)
 
 (* Upper bound of the bucket where the cumulative count first reaches
    [q * count] — a coarse but monotone quantile estimate. *)
@@ -139,13 +172,29 @@ let set_gc_gauges t =
   set_gauge t "gc.top_heap_words" (float_of_int s.Gc.top_heap_words);
   set_gauge t "gc.minor_words" s.Gc.minor_words
 
-let names t =
+let names_unlocked t =
   List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl [])
 
+let names t = with_lock t (fun () -> names_unlocked t)
+
+(* Consistent point-in-time copy of the whole registry, in sorted name
+   order. Histograms are deep-copied; this is what cross-domain readers
+   (the Prometheus renderer, JSON dumps) iterate. *)
+let snapshot t =
+  with_lock t (fun () ->
+      List.map
+        (fun name ->
+          let m =
+            match Hashtbl.find t.tbl name with
+            | Counter r -> Counter { c = r.c }
+            | Gauge r -> Gauge { g = r.g }
+            | Histogram h -> Histogram (copy_histogram h)
+          in
+          (name, m))
+        (names_unlocked t))
+
 let fold t f init =
-  List.fold_left
-    (fun acc name -> f acc name (Hashtbl.find t.tbl name))
-    init (names t)
+  List.fold_left (fun acc (name, m) -> f acc name m) init (snapshot t)
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)
@@ -159,24 +208,25 @@ let dump_text ?prefix t =
   in
   let buf = Buffer.create 512 in
   List.iter
-    (fun name ->
-      match Hashtbl.find t.tbl name with
-      | Counter r ->
-        Buffer.add_string buf (Printf.sprintf "counter    %-44s %d\n" name r.c)
-      | Gauge r ->
-        Buffer.add_string buf (Printf.sprintf "gauge      %-44s %g\n" name r.g)
-      | Histogram h ->
-        if h.h_count = 0 then
-          Buffer.add_string buf
-            (Printf.sprintf "histogram  %-44s count=0\n" name)
-        else
-          Buffer.add_string buf
-            (Printf.sprintf
-               "histogram  %-44s count=%d sum=%.3f min=%.3f max=%.3f \
-                p50<=%.3f p95<=%.3f p99<=%.3f\n"
-               name h.h_count h.h_sum h.h_min h.h_max (quantile h 0.50)
-               (quantile h 0.95) (quantile h 0.99)))
-    (List.filter keep (names t));
+    (fun (name, m) ->
+      if keep name then
+        match m with
+        | Counter r ->
+          Buffer.add_string buf (Printf.sprintf "counter    %-44s %d\n" name r.c)
+        | Gauge r ->
+          Buffer.add_string buf (Printf.sprintf "gauge      %-44s %g\n" name r.g)
+        | Histogram h ->
+          if h.h_count = 0 then
+            Buffer.add_string buf
+              (Printf.sprintf "histogram  %-44s count=0\n" name)
+          else
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "histogram  %-44s count=%d sum=%.3f min=%.3f max=%.3f \
+                  p50<=%.3f p95<=%.3f p99<=%.3f\n"
+                 name h.h_count h.h_sum h.h_min h.h_max (quantile h 0.50)
+                 (quantile h 0.95) (quantile h 0.99)))
+    (snapshot t);
   Buffer.contents buf
 
 let histogram_to_json h =
@@ -211,10 +261,10 @@ let histogram_to_json h =
 let to_json t =
   Json.Obj
     (List.map
-       (fun name ->
+       (fun (name, m) ->
          ( name,
-           match Hashtbl.find t.tbl name with
+           match m with
            | Counter r -> Json.Int r.c
            | Gauge r -> Json.Float r.g
            | Histogram h -> histogram_to_json h ))
-       (names t))
+       (snapshot t))

@@ -7,7 +7,13 @@
     runtime condition).
 
     All dumps iterate names in sorted order, so output is deterministic for
-    a given sequence of observations. *)
+    a given sequence of observations.
+
+    The registry is thread-safe: every operation takes an internal mutex,
+    so the HTTP observability plane can read ([snapshot], [fold],
+    [dump_text], [to_json]) from a different domain than the one recording
+    observations. [histogram] and [snapshot] return deep copies, never
+    live internal state. *)
 
 type t
 
@@ -45,7 +51,10 @@ val counter : t -> string -> int
 (** Current counter value; [0] when the counter was never incremented. *)
 
 val gauge : t -> string -> float option
+
 val histogram : t -> string -> histogram option
+(** A deep copy of the named histogram, safe to inspect outside the
+    registry lock. *)
 
 val quantile : histogram -> float -> float
 (** Bucket-resolution quantile estimate (an upper bound, clamped to the
@@ -54,8 +63,13 @@ val quantile : histogram -> float -> float
 val names : t -> string list
 (** All registered metric names, sorted. *)
 
+val snapshot : t -> (string * metric) list
+(** Consistent point-in-time copy of the registry in sorted name order.
+    Histograms are deep copies; mutating the result does not touch the
+    registry. *)
+
 val fold : t -> ('a -> string -> metric -> 'a) -> 'a -> 'a
-(** Fold over metrics in sorted name order. *)
+(** Fold over a [snapshot] in sorted name order. *)
 
 val default_bounds : float array
 

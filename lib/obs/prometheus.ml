@@ -1,0 +1,434 @@
+type sample = {
+  s_name : string;
+  s_labels : (string * string) list;
+  s_value : float;
+}
+
+type kind = Counter | Gauge | Histogram | Untyped
+
+type family = {
+  f_name : string;
+  f_help : string;
+  f_kind : kind;
+  f_samples : sample list;
+}
+
+let kind_to_string = function
+  | Counter -> "counter"
+  | Gauge -> "gauge"
+  | Histogram -> "histogram"
+  | Untyped -> "untyped"
+
+let kind_of_string = function
+  | "counter" -> Counter
+  | "gauge" -> Gauge
+  | "histogram" -> Histogram
+  | _ -> Untyped
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = ':'
+
+let sanitize_name ?(namespace = "perm") name =
+  let b = Buffer.create (String.length name + String.length namespace + 1) in
+  Buffer.add_string b namespace;
+  Buffer.add_char b '_';
+  String.iter
+    (fun c -> Buffer.add_char b (if is_name_char c then c else '_'))
+    name;
+  Buffer.contents b
+
+let escape_label_value s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Shortest decimal that round-trips to the same double: bucket bounds
+   like 0.005 must render as written, not as 0.0050000000000000001. *)
+let fmt_float v =
+  if Float.is_nan v then "NaN"
+  else if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else
+    let rec try_prec p =
+      if p > 17 then Printf.sprintf "%.17g" v
+      else
+        let s = Printf.sprintf "%.*g" p v in
+        if float_of_string s = v then s else try_prec (p + 1)
+    in
+    try_prec 6
+
+let render_sample buf s =
+  Buffer.add_string buf s.s_name;
+  (match s.s_labels with
+  | [] -> ()
+  | labels ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf k;
+        Buffer.add_string buf "=\"";
+        Buffer.add_string buf (escape_label_value v);
+        Buffer.add_char buf '"')
+      labels;
+    Buffer.add_char buf '}');
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (fmt_float s.s_value);
+  Buffer.add_char buf '\n'
+
+let render families =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun f ->
+      Buffer.add_string buf
+        (Printf.sprintf "# HELP %s %s\n" f.f_name f.f_help);
+      Buffer.add_string buf
+        (Printf.sprintf "# TYPE %s %s\n" f.f_name (kind_to_string f.f_kind));
+      List.iter (render_sample buf) f.f_samples)
+    families;
+  Buffer.contents buf
+
+let histogram_samples ~name ~labels (h : Metrics.histogram) =
+  let acc = ref 0 in
+  let buckets =
+    Array.to_list
+      (Array.mapi
+         (fun i bound ->
+           acc := !acc + h.Metrics.buckets.(i);
+           {
+             s_name = name ^ "_bucket";
+             s_labels = labels @ [ ("le", fmt_float bound) ];
+             s_value = float_of_int !acc;
+           })
+         h.Metrics.bounds)
+  in
+  buckets
+  @ [
+      {
+        s_name = name ^ "_bucket";
+        s_labels = labels @ [ ("le", "+Inf") ];
+        s_value = float_of_int h.Metrics.h_count;
+      };
+      { s_name = name ^ "_sum"; s_labels = labels; s_value = h.Metrics.h_sum };
+      {
+        s_name = name ^ "_count";
+        s_labels = labels;
+        s_value = float_of_int h.Metrics.h_count;
+      };
+    ]
+
+let of_metrics ?namespace t =
+  List.map
+    (fun (reg_name, m) ->
+      let name = sanitize_name ?namespace reg_name in
+      let help = "Perm registry metric " ^ reg_name in
+      match m with
+      | Metrics.Counter r ->
+        {
+          f_name = name;
+          f_help = help;
+          f_kind = Counter;
+          f_samples =
+            [
+              {
+                s_name = name ^ "_total";
+                s_labels = [];
+                s_value = float_of_int r.c;
+              };
+            ];
+        }
+      | Metrics.Gauge r ->
+        {
+          f_name = name;
+          f_help = help;
+          f_kind = Gauge;
+          f_samples = [ { s_name = name; s_labels = []; s_value = r.g } ];
+        }
+      | Metrics.Histogram h ->
+        {
+          f_name = name;
+          f_help = help ^ " (milliseconds)";
+          f_kind = Histogram;
+          f_samples = histogram_samples ~name ~labels:[] h;
+        })
+    (Metrics.snapshot t)
+
+let render_metrics ?namespace ?(extra = []) t =
+  render (of_metrics ?namespace t @ extra)
+
+(* ------------------------------------------------------------------ *)
+(* Round-trip parser                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type parsed = {
+  p_types : (string * kind) list;
+  p_samples : sample list;
+}
+
+exception Bad of string
+
+let parse_value s =
+  match s with
+  | "+Inf" | "Inf" -> Float.infinity
+  | "-Inf" -> Float.neg_infinity
+  | "NaN" -> Float.nan
+  | s -> (
+    match float_of_string_opt s with
+    | Some v -> v
+    | None -> raise (Bad (Printf.sprintf "bad sample value %S" s)))
+
+(* [name{l1="v1",l2="v2"} value [timestamp]] *)
+let parse_sample_line line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some line.[!pos] else None in
+  let take_while p =
+    let start = !pos in
+    while !pos < n && p line.[!pos] do incr pos done;
+    String.sub line start (!pos - start)
+  in
+  let skip_ws () = ignore (take_while (fun c -> c = ' ' || c = '\t')) in
+  let name = take_while is_name_char in
+  if name = "" then raise (Bad (Printf.sprintf "bad metric name in %S" line));
+  let labels = ref [] in
+  (if peek () = Some '{' then begin
+     incr pos;
+     let rec loop () =
+       skip_ws ();
+       if peek () = Some '}' then incr pos
+       else begin
+         let lname = take_while (fun c -> is_name_char c && c <> ':') in
+         if lname = "" then raise (Bad ("bad label name in " ^ line));
+         if peek () <> Some '=' then raise (Bad ("expected = in " ^ line));
+         incr pos;
+         if peek () <> Some '"' then raise (Bad ("expected \" in " ^ line));
+         incr pos;
+         let b = Buffer.create 16 in
+         let rec str () =
+           if !pos >= n then raise (Bad ("unterminated label value in " ^ line))
+           else
+             match line.[!pos] with
+             | '"' -> incr pos
+             | '\\' ->
+               if !pos + 1 >= n then raise (Bad ("dangling escape in " ^ line));
+               (match line.[!pos + 1] with
+               | '\\' -> Buffer.add_char b '\\'
+               | '"' -> Buffer.add_char b '"'
+               | 'n' -> Buffer.add_char b '\n'
+               | c ->
+                 raise
+                   (Bad (Printf.sprintf "bad escape \\%c in %S" c line)));
+               pos := !pos + 2;
+               str ()
+             | c ->
+               Buffer.add_char b c;
+               incr pos;
+               str ()
+         in
+         str ();
+         labels := (lname, Buffer.contents b) :: !labels;
+         skip_ws ();
+         match peek () with
+         | Some ',' ->
+           incr pos;
+           loop ()
+         | Some '}' -> incr pos
+         | _ -> raise (Bad ("expected , or } in " ^ line))
+       end
+     in
+     loop ()
+   end);
+  skip_ws ();
+  let value_str = take_while (fun c -> c <> ' ' && c <> '\t') in
+  if value_str = "" then raise (Bad ("missing value in " ^ line));
+  (* anything after the value is an optional timestamp; ignore it *)
+  { s_name = name; s_labels = List.rev !labels; s_value = parse_value value_str }
+
+let parse text =
+  try
+    let types = ref [] and samples = ref [] in
+    List.iter
+      (fun line ->
+        let line = String.trim line in
+        if line = "" then ()
+        else if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then begin
+          match
+            String.split_on_char ' '
+              (String.trim (String.sub line 7 (String.length line - 7)))
+          with
+          | [ name; kind ] -> types := (name, kind_of_string kind) :: !types
+          | _ -> raise (Bad ("malformed TYPE line: " ^ line))
+        end
+        else if line.[0] = '#' then () (* HELP or free comment *)
+        else samples := parse_sample_line line :: !samples)
+      (String.split_on_char '\n' text);
+    Ok { p_types = List.rev !types; p_samples = List.rev !samples }
+  with Bad msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let valid_metric_name s =
+  s <> ""
+  && (let c = s.[0] in
+      (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':')
+  && String.for_all is_name_char s
+
+let valid_label_name s =
+  s <> ""
+  && (let c = s.[0] in
+      (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_')
+  && String.for_all (fun c -> is_name_char c && c <> ':') s
+
+let canonical_labels labels =
+  String.concat ","
+    (List.map
+       (fun (k, v) -> k ^ "=" ^ escape_label_value v)
+       (List.sort compare labels))
+
+let ends_with ~suffix s =
+  let ls = String.length s and lf = String.length suffix in
+  ls >= lf && String.sub s (ls - lf) lf = suffix
+
+let validate text =
+  match parse text with
+  | Error e -> Error e
+  | Ok { p_types; p_samples } -> (
+    try
+      (* name charsets *)
+      List.iter
+        (fun s ->
+          if not (valid_metric_name s.s_name) then
+            raise (Bad (Printf.sprintf "invalid metric name %S" s.s_name));
+          List.iter
+            (fun (k, _) ->
+              if not (valid_label_name k) then
+                raise
+                  (Bad
+                     (Printf.sprintf "invalid label name %S on %s" k s.s_name)))
+            s.s_labels)
+        p_samples;
+      (* no duplicate samples *)
+      let seen = Hashtbl.create 64 in
+      List.iter
+        (fun s ->
+          let key = s.s_name ^ "{" ^ canonical_labels s.s_labels ^ "}" in
+          if Hashtbl.mem seen key then
+            raise (Bad ("duplicate sample " ^ key));
+          Hashtbl.replace seen key ())
+        p_samples;
+      (* duplicate TYPE declarations *)
+      let tseen = Hashtbl.create 16 in
+      List.iter
+        (fun (name, _) ->
+          if Hashtbl.mem tseen name then
+            raise (Bad ("duplicate TYPE for " ^ name));
+          Hashtbl.replace tseen name ())
+        p_types;
+      (* histogram invariants, per family and per non-le label set *)
+      List.iter
+        (fun (base, kind) ->
+          if kind = Histogram then begin
+            let bucket_name = base ^ "_bucket" in
+            let groups = Hashtbl.create 4 in
+            List.iter
+              (fun s ->
+                if s.s_name = bucket_name then begin
+                  let le =
+                    match List.assoc_opt "le" s.s_labels with
+                    | Some le -> le
+                    | None ->
+                      raise (Bad (bucket_name ^ " sample without le label"))
+                  in
+                  let rest =
+                    List.filter (fun (k, _) -> k <> "le") s.s_labels
+                  in
+                  let key = canonical_labels rest in
+                  let prev =
+                    Option.value (Hashtbl.find_opt groups key) ~default:[]
+                  in
+                  Hashtbl.replace groups key
+                    ((parse_value le, s.s_value) :: prev)
+                end)
+              p_samples;
+            if Hashtbl.length groups = 0 then
+              raise (Bad ("histogram " ^ base ^ " has no _bucket samples"));
+            Hashtbl.iter
+              (fun key buckets ->
+                let buckets =
+                  List.sort (fun (a, _) (b, _) -> compare a b) buckets
+                in
+                (* monotone cumulative counts *)
+                ignore
+                  (List.fold_left
+                     (fun prev (_, count) ->
+                       if count < prev then
+                         raise
+                           (Bad
+                              (Printf.sprintf
+                                 "histogram %s{%s} has non-monotone buckets"
+                                 base key));
+                       count)
+                     0. buckets);
+                (* terminal +Inf bucket present and equal to _count *)
+                let inf_count =
+                  match List.rev buckets with
+                  | (le, count) :: _ when le = Float.infinity -> count
+                  | _ ->
+                    raise
+                      (Bad
+                         (Printf.sprintf
+                            "histogram %s{%s} is missing the +Inf bucket" base
+                            key))
+                in
+                let find_suffix suffix =
+                  List.find_opt
+                    (fun s ->
+                      s.s_name = base ^ suffix
+                      && canonical_labels s.s_labels = key)
+                    p_samples
+                in
+                (match find_suffix "_count" with
+                | Some s when s.s_value = inf_count -> ()
+                | Some _ ->
+                  raise
+                    (Bad
+                       (Printf.sprintf
+                          "histogram %s{%s}: +Inf bucket disagrees with _count"
+                          base key))
+                | None ->
+                  raise
+                    (Bad
+                       (Printf.sprintf "histogram %s{%s} has no _count" base key)));
+                if find_suffix "_sum" = None then
+                  raise
+                    (Bad
+                       (Printf.sprintf "histogram %s{%s} has no _sum" base key)))
+              groups
+          end)
+        p_types;
+      (* counter families must expose the conventional _total sample *)
+      List.iter
+        (fun (base, kind) ->
+          if kind = Counter then
+            if
+              not
+                (List.exists
+                   (fun s -> ends_with ~suffix:"_total" s.s_name
+                             && s.s_name = base ^ "_total")
+                   p_samples)
+            then raise (Bad ("counter " ^ base ^ " has no _total sample")))
+        p_types;
+      Ok (List.length p_samples)
+    with Bad msg -> Error msg)

@@ -1,0 +1,71 @@
+(** Prometheus text exposition (format 0.0.4) over a {!Metrics} registry,
+    plus a round-trip parser/validator shared by the test suite and CI.
+
+    The registry's flat dotted names are mapped to the Prometheus charset
+    ([engine.exec.ms] becomes [perm_engine_exec_ms]); counters gain the
+    conventional [_total] suffix; histograms render the cumulative
+    [_bucket{le="..."}] series with a terminal [+Inf] bucket followed by
+    [_sum] and [_count]. Output is deterministic (sorted family order) so
+    scrapes diff cleanly. *)
+
+type sample = {
+  s_name : string;
+  s_labels : (string * string) list;  (** in rendered order *)
+  s_value : float;
+}
+
+type kind = Counter | Gauge | Histogram | Untyped
+
+type family = {
+  f_name : string;  (** base name, already sanitized; no suffixes *)
+  f_help : string;
+  f_kind : kind;
+  f_samples : sample list;
+      (** full sample names ([f_name], [f_name_total], [f_name_bucket],
+          ...) as they appear on the wire *)
+}
+
+val sanitize_name : ?namespace:string -> string -> string
+(** Map a registry name to the Prometheus name charset
+    [[a-zA-Z0-9_:]]: dots and invalid characters become underscores and
+    the namespace (default ["perm"]) is prefixed. *)
+
+val escape_label_value : string -> string
+(** Escape a label value for exposition: backslash, double quote and
+    newline per the format spec. *)
+
+val histogram_samples :
+  name:string -> labels:(string * string) list -> Metrics.histogram ->
+  sample list
+(** Cumulative [_bucket] series (terminating with [le="+Inf"]) followed by
+    [_sum] and [_count], all carrying [labels]. *)
+
+val of_metrics : ?namespace:string -> Metrics.t -> family list
+(** One family per registry metric, from a consistent
+    {!Metrics.snapshot}. *)
+
+val render : family list -> string
+(** [# HELP] / [# TYPE] headers followed by samples, families separated by
+    their headers only (no blank lines), trailing newline. *)
+
+val render_metrics :
+  ?namespace:string -> ?extra:family list -> Metrics.t -> string
+(** [render (of_metrics t @ extra)] — the body served at [GET /metrics].
+    [extra] carries labelled families built outside the registry (e.g.
+    per-statement series keyed by fingerprint). *)
+
+type parsed = {
+  p_types : (string * kind) list;  (** from [# TYPE] lines, in order *)
+  p_samples : sample list;  (** in exposition order *)
+}
+
+val parse : string -> (parsed, string) result
+(** Parse an exposition body back into samples; [Error] describes the
+    first malformed line. Inverse of [render] up to [# HELP] text. *)
+
+val validate : string -> (int, string) result
+(** Parse and check structural invariants: metric/label name charsets, no
+    duplicate samples (same name and label set), and for every histogram
+    family a terminal [+Inf] bucket, monotonically non-decreasing
+    cumulative buckets, and agreement between the [+Inf] bucket and
+    [_count]. Returns the number of samples on success. *)
