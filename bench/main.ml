@@ -725,6 +725,76 @@ let b11_http ~size =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* B12-vec: vectorized batch-at-a-time executor vs the row-at-a-time    *)
+(* closures, per query class, plus a batch_rows sweep. Serial on both   *)
+(* arms: this isolates the kernel/dispatch win from parallelism (B7-par *)
+(* covers the combination).                                             *)
+(* ------------------------------------------------------------------ *)
+
+let b12_vec_queries =
+  [
+    ("scan+filter", "SELECT mid, text FROM messages WHERE mid % 3 = 0");
+    ("project+expr", "SELECT mid * 2 + uid, upper(text) FROM messages");
+    ( "join probe",
+      "SELECT m.text, u.name FROM messages m, users u WHERE m.uid = u.uid" );
+    ("aggregate", "SELECT uid, count(*), max(mid) FROM messages GROUP BY uid");
+    ( "prov join",
+      "SELECT PROVENANCE m.text, a.uid FROM messages m JOIN approved a ON \
+       m.mid = a.mid" );
+  ]
+
+let b12_vec_sweep = [ 256; 1_024; 4_096 ]
+
+(* [(query, row_ns, [(batch_rows, ns)])] — shared by the table printer and
+   the BENCH_phases.json "vectorized" section. *)
+let b12_vec_measure ~size =
+  let e = Engine.create () in
+  Forum.load_scaled e ~messages:size ~users:(max 10 (size / 20)) ();
+  Gc.compact ();
+  Engine.set_parallel e Engine.Par_off;
+  let rows =
+    List.map
+      (fun (name, sql) ->
+        Engine.set_vectorized e false;
+        let t_row = time_query e sql in
+        Engine.set_vectorized e true;
+        let sweep =
+          List.map
+            (fun bn ->
+              Engine.set_batch_rows e bn;
+              (bn, time_query e sql))
+            b12_vec_sweep
+        in
+        Engine.set_batch_rows e Perm_executor.Executor.default_batch_rows;
+        (name, t_row, sweep))
+      b12_vec_queries
+  in
+  Engine.close e;
+  rows
+
+let b12_vec ~size =
+  let measured = b12_vec_measure ~size in
+  let rows =
+    List.map
+      (fun (name, t_row, sweep) ->
+        name :: fms t_row
+        :: List.concat_map
+             (fun (_, t) -> [ fms t; ffac (t_row /. t) ])
+             sweep)
+      measured
+  in
+  print_table
+    (Printf.sprintf
+       "B12-vec: batch-at-a-time executor vs row closures (forum %d \
+        messages, serial)"
+       size)
+    ([ "query"; "row ms" ]
+    @ List.concat_map
+        (fun bn -> [ Printf.sprintf "b%d ms" bn; Printf.sprintf "b%d speedup" bn ])
+        b12_vec_sweep)
+    rows
+
+(* ------------------------------------------------------------------ *)
 (* Smoke mode: one instrumented pass over representative queries,       *)
 (* reporting the engine's own per-phase breakdown (no Bechamel); with   *)
 (* --json the breakdowns and the session metrics land in                *)
@@ -814,6 +884,10 @@ let smoke ~json () =
     let saved_quota = !quota in
     quota := 0.15;
     let par_measured = b7_par_measure ~size:4_000 in
+    (* B12-vec rides along: the row-closure baseline vs the batch path per
+       query class plus the batch_rows sweep — EXPERIMENTS.md quotes the
+       serial speedups from here. *)
+    let vec_measured = b12_vec_measure ~size:4_000 in
     (* B8-guard rides along too: the regression gate only reads "queries",
        so the guardrails section is informational — EXPERIMENTS.md quotes
        the armed-but-idle overhead from here. A small relation keeps every
@@ -935,11 +1009,38 @@ let smoke ~json () =
                  par_measured) );
         ]
     in
+    let vectorized_section =
+      Json.Obj
+        [
+          ("forum_messages", Json.Int 4_000);
+          ("default_batch_rows", Json.Int Perm_executor.Executor.default_batch_rows);
+          ( "queries",
+            Json.List
+              (List.map
+                 (fun (name, t_row, sweep) ->
+                   Json.Obj
+                     ([
+                        ("name", Json.String name);
+                        ("row_ms", Json.Float (ms t_row));
+                      ]
+                     @ List.concat_map
+                         (fun (bn, t) ->
+                           [
+                             ( Printf.sprintf "batch_%d_ms" bn,
+                               Json.Float (ms t) );
+                             ( Printf.sprintf "batch_%d_speedup" bn,
+                               Json.Float (t_row /. t) );
+                           ])
+                         sweep))
+                 vec_measured) );
+        ]
+    in
     let doc =
       Json.Obj
         [
           ("suite", Json.String "perm-bench-smoke");
           ("forum_messages", Json.Int 1_000);
+          ("vectorized", vectorized_section);
           ("parallel", parallel_section);
           ("guardrails", guard_section);
           ("profiler", profiler_section);
@@ -1119,6 +1220,7 @@ let () =
   b6 ~size:mid_size;
   b7 ~scale:(if fast then 300 else 3_000);
   b7_par ~size:(if fast then 2_000 else 20_000);
+  b12_vec ~size:(if fast then 2_000 else 20_000);
   b8 ~size:(if fast then 2_000 else 20_000);
   b8_guard ~size:(if fast then 2_000 else 20_000);
   b9_prof ~size:(if fast then 2_000 else 20_000);

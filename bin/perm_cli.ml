@@ -305,7 +305,12 @@ let help_text =
                            results are bit-identical to serial execution)
   \set parallel_threshold N
                            min driving-table rows before a query fans out
-  \set morsel_rows N       rows per morsel (default 1024)
+  \set morsel_rows N       rows per morsel (0 = planner-sized from the
+                           driving table, batch size, and domain count)
+  \set batch_rows N        rows per executor batch on the vectorized path
+                           (default 1024; PERM_BATCH_ROWS overrides at start)
+  \set vectorized on|off   batch-at-a-time executor (default on; off runs
+                           the row-at-a-time closures)
   \set statement_timeout MS
                            kill statements running longer than MS ms (0 = off)
   \set row_limit N         kill statements returning more than N rows (0 = off)
@@ -463,10 +468,28 @@ let handle_meta session line =
     `Continue
   | [ "\\set"; "morsel_rows"; n ] ->
     (match int_of_string_opt n with
-    | Some n when n >= 1 ->
+    | Some n when n >= 0 ->
       Engine.set_morsel_rows session.engine n;
-      Printf.printf "morsel size: %d rows\n" n
-    | _ -> print_endline "usage: \\set morsel_rows N");
+      if n = 0 then print_endline "morsel size: planner-chosen"
+      else Printf.printf "morsel size: %d rows\n" n
+    | _ -> print_endline "usage: \\set morsel_rows N (0 = planner-chosen)");
+    `Continue
+  | [ "\\set"; "batch_rows"; n ] ->
+    (match int_of_string_opt n with
+    | Some n when n >= 1 ->
+      Engine.set_batch_rows session.engine n;
+      Printf.printf "batch size: %d rows\n" n
+    | _ -> print_endline "usage: \\set batch_rows N");
+    `Continue
+  | [ "\\set"; "vectorized"; v ] ->
+    (match v with
+    | "on" ->
+      Engine.set_vectorized session.engine true;
+      print_endline "vectorized execution on"
+    | "off" ->
+      Engine.set_vectorized session.engine false;
+      print_endline "vectorized execution off (row-at-a-time)"
+    | _ -> print_endline "usage: \\set vectorized on|off");
     `Continue
   | [ "\\set"; "statement_timeout"; ms ] ->
     (match float_of_string_opt ms with

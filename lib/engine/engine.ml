@@ -88,7 +88,9 @@ type t = {
          stats accumulator attributes rules to the right fingerprint *)
   mutable parallel_domains : int;  (* 0 = parallel execution off *)
   mutable parallel_threshold : int;  (* min driving-table rows to fan out *)
-  mutable morsel_rows : int;  (* rows per morsel *)
+  mutable morsel_rows : int;  (* rows per morsel; 0 = planner-chosen *)
+  mutable batch_rows : int;  (* rows per executor batch (vectorized path) *)
+  mutable vectorized : bool;  (* batch-at-a-time executor on/off *)
   mutable pool : Pool.t option;  (* lazily created, reused *)
   mutable statement_timeout_ms : float;  (* governor: 0 = off *)
   mutable row_limit : int;  (* governor: 0 = off *)
@@ -420,7 +422,18 @@ let create () =
       stmt_rules = [];
       parallel_domains = 0;
       parallel_threshold = Planner.default_parallel_threshold;
-      morsel_rows = Executor.Par.default_morsel_rows;
+      morsel_rows = 0;
+      batch_rows =
+        (match Sys.getenv_opt "PERM_BATCH_ROWS" with
+        | Some s -> (
+          match int_of_string_opt (String.trim s) with
+          | Some n when n > 0 -> n
+          | _ -> Executor.default_batch_rows)
+        | None -> Executor.default_batch_rows);
+      vectorized =
+        (match Sys.getenv_opt "PERM_VECTORIZED" with
+        | Some ("0" | "off" | "false") -> false
+        | _ -> true);
       pool = None;
       statement_timeout_ms = 0.;
       row_limit = 0;
@@ -536,9 +549,18 @@ let set_parallel t setting =
 let parallel_domains t = t.parallel_domains
 let set_parallel_threshold t n = t.parallel_threshold <- max 0 n
 let parallel_threshold t = t.parallel_threshold
-let set_morsel_rows t n = t.morsel_rows <- max 1 n
+let set_morsel_rows t n = t.morsel_rows <- max 0 n
 let morsel_rows t = t.morsel_rows
+let set_batch_rows t n = t.batch_rows <- max 1 n
+let batch_rows t = t.batch_rows
+let set_vectorized t b = t.vectorized <- b
+let vectorized t = t.vectorized
 let pool_size t = match t.pool with Some p -> Pool.size p | None -> 0
+
+(* The executor's batch compiler declines Apply/Prov shapes; when it does
+   (or the session switched vectorization off) every call site falls back
+   to the row-at-a-time closures, so [None] here means "row path". *)
+let active_batch_rows t = if t.vectorized then Some t.batch_rows else None
 
 (* ------------------------------------------------------------------ *)
 (* Resource governor settings                                          *)
@@ -627,6 +649,22 @@ let provider t : Executor.provider =
         | None -> (
           match Hashtbl.find_opt t.virtuals (String.lowercase_ascii table) with
           | Some vp -> Executor.morsels_of_list ~morsel_rows:rows (vp.vp_rows ())
+          | None ->
+            raise
+              (Executor.Runtime_error
+                 (Printf.sprintf "table %S vanished" table))));
+    Executor.scan_batches =
+      (fun table rows ->
+        match Store.find t.store table with
+        | Some heap -> Heap.scan_batches heap ~rows
+        | None -> (
+          match Hashtbl.find_opt t.virtuals (String.lowercase_ascii table) with
+          | Some vp ->
+            let tuples = vp.vp_rows () in
+            let arity =
+              match tuples with t0 :: _ -> Array.length t0 | [] -> 0
+            in
+            Executor.batches_of_list ~arity ~batch_rows:rows tuples
           | None ->
             raise
               (Executor.Runtime_error
@@ -877,10 +915,17 @@ let try_parallel t optimized =
     | Planner.Par_fallback reason ->
       Metrics.incr t.metrics ("executor.par.fallback." ^ reason);
       None
-    | Planner.Par_ok _ -> (
+    | Planner.Par_ok { par_est_rows; _ } -> (
+      let morsel_rows =
+        if t.morsel_rows > 0 then t.morsel_rows
+        else if t.vectorized then
+          Planner.choose_morsel_rows ~batch_rows:t.batch_rows
+            ~driving_rows:par_est_rows ~domains:t.parallel_domains
+        else Executor.Par.default_morsel_rows
+      in
       match
         Executor.Par.prepare ~provider:(provider t) ~pool:(pool t)
-          ~morsel_rows:t.morsel_rows ~token:t.token
+          ~morsel_rows ?batch_rows:(active_batch_rows t) ~token:t.token
           ?row_limit:(active_row_limit t) ?progress:(live_progress t)
           ~profile:t.instrument optimized
       with
@@ -897,9 +942,12 @@ let try_parallel t optimized =
    the same statement shape is a plan change the watchdog should see. *)
 let note_plan t optimized ~parallel =
   if t.stmt_plan_hash = "" then begin
-    t.stmt_plan_hash <-
-      Executor.plan_hash ~mode:(if parallel then "parallel" else "serial")
-        optimized;
+    let mode =
+      if parallel then "parallel"
+      else if t.vectorized && Executor.batch_eligible optimized then "vector"
+      else "serial"
+    in
+    t.stmt_plan_hash <- Executor.plan_hash ~mode optimized;
     t.stmt_est_rows <- Planner.estimate_total (stats t) optimized
   end
 
@@ -1017,7 +1065,8 @@ let attach_worker_lanes psp (r : Executor.Par.report) =
 let exec_plan t optimized =
   let run_serial () =
     Executor.run ~token:t.token ?row_limit:(active_row_limit t)
-      ?progress:(live_progress t) ~provider:(provider t) optimized
+      ?progress:(live_progress t) ?batch_rows:(active_batch_rows t)
+      ~provider:(provider t) optimized
   in
   match try_parallel t optimized with
   | Some run ->
@@ -1070,7 +1119,8 @@ let exec_plan t optimized =
           (phase t "execute" (fun () ->
                Executor.run_instrumented ~token:t.token
                  ?row_limit:(active_row_limit t)
-                 ?progress:(live_progress t) ~provider:(provider t)
+                 ?progress:(live_progress t)
+                 ?batch_rows:(active_batch_rows t) ~provider:(provider t)
                  optimized))
       in
       record_exec_stats t exec_stats;
@@ -1101,7 +1151,7 @@ let run_plan t plan =
     (capture t (fun () ->
          dat
            (Executor.run ~token:t.token ?row_limit:(active_row_limit t)
-              ~provider:(provider t) plan)))
+              ?batch_rows:(active_batch_rows t) ~provider:(provider t) plan)))
 
 let explain_query t sql (q : Ast.query) =
   let* analyzed, rewritten, optimized = prepare t q in
@@ -1134,7 +1184,8 @@ let explain_analyze_query t sql (q : Ast.query) =
       (phase t "execute" (fun () ->
            Executor.run_instrumented ~token:t.token
              ?row_limit:(active_row_limit t) ?progress:(live_progress t)
-             ~provider:(provider t) optimized))
+             ?batch_rows:(active_batch_rows t) ~provider:(provider t)
+             optimized))
   in
   record_exec_stats t exec_stats;
   record_plan_profile t optimized exec_stats;

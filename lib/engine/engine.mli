@@ -321,9 +321,27 @@ val set_parallel_threshold : t -> int -> unit
 
 val parallel_threshold : t -> int
 val set_morsel_rows : t -> int -> unit
-(** Rows per morsel (default {!Perm_executor.Executor.Par.default_morsel_rows}). *)
+(** Rows per morsel. 0 (the default) lets the planner size morsels from
+    the driving-table estimate, the session's [batch_rows], and the
+    domain count ({!Perm_planner.Planner.choose_morsel_rows}); a positive
+    value pins the size. *)
 
 val morsel_rows : t -> int
+
+val set_batch_rows : t -> int -> unit
+(** Rows per executor batch on the vectorized path (clamped to >= 1;
+    default {!Perm_executor.Executor.default_batch_rows}, overridable by
+    the [PERM_BATCH_ROWS] environment variable at {!create}). *)
+
+val batch_rows : t -> int
+
+val set_vectorized : t -> bool -> unit
+(** Toggle the batch-at-a-time executor (default on; [PERM_VECTORIZED=0]
+    in the environment starts sessions with it off). When off, or for
+    plan shapes the batch compiler declines (Apply/Prov), statements run
+    on the row-at-a-time closures. *)
+
+val vectorized : t -> bool
 
 val pool_size : t -> int
 (** Size of the live worker pool; 0 when no pool has been created yet (no

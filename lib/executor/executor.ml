@@ -5,6 +5,25 @@ module Builtins = Perm_algebra.Builtins
 module Value = Perm_value.Value
 module Tristate = Perm_value.Tristate
 module Tuple = Perm_storage.Tuple
+module Batch = Perm_storage.Batch
+module Dtype = Perm_value.Dtype
+
+(* Monomorphic hash tables for the single-column aggregate fast paths:
+   grouping on an immediate int avoids per-row key-tuple allocation and
+   polymorphic [caml_hash]; strings hash with the stdlib string hash. *)
+module Int_hash = Hashtbl.Make (struct
+  type t = int
+
+  let equal (a : int) b = a = b
+  let hash (x : int) = (x * 0x9e3779b1) land max_int
+end)
+
+module Str_hash = Hashtbl.Make (struct
+  type t = string
+
+  let equal (a : string) b = String.equal a b
+  let hash (s : string) = Hashtbl.hash s
+end)
 
 exception Runtime_error of string
 
@@ -25,6 +44,11 @@ type provider = {
   scan_morsels : string -> int -> Tuple.t array array;
       (* contiguous row slices of at most [morsel_rows] rows, in scan order:
          concatenating them must reproduce [scan_table] exactly *)
+  scan_batches : string -> int -> Perm_storage.Batch.t array;
+      (* columnar batches of at most [batch_rows] live rows, in scan order:
+         their live tuples must reproduce [scan_table] exactly. Storage
+         backends may serve these from a cached columnar image; callers
+         must never mutate the column arrays. *)
 }
 
 (* Default morsel slicing for providers without native chunked storage
@@ -38,6 +62,17 @@ let morsels_of_list ~morsel_rows rows =
     (fun i ->
       let pos = i * size in
       Array.sub rows pos (min size (len - pos)))
+
+(* Default batch slicing for providers without native columnar storage. *)
+let batches_of_list ~arity ~batch_rows rows =
+  let rows = Array.of_list rows in
+  let len = Array.length rows in
+  let size = max 1 batch_rows in
+  Array.init
+    ((len + size - 1) / size)
+    (fun i ->
+      let pos = i * size in
+      Perm_storage.Batch.of_rows ~arity rows ~pos ~len:(min size (len - pos)))
 
 (* ------------------------------------------------------------------ *)
 (* Expression compilation                                              *)
@@ -807,16 +842,1030 @@ let materialize ?row_limit ?progress seq =
          seq)
 
 (* ------------------------------------------------------------------ *)
+(* Vectorized batch-at-a-time execution                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The batch path exchanges columnar batches (column arrays + a selection
+   vector, [Perm_storage.Batch]) between operators instead of pulling one
+   tuple at a time through per-row closures. Filters narrow the selection
+   vector with tight kernels specialized on the constant's constructor;
+   projections on dense batches share column pointers (the provenance
+   rewrites are projection-heavy, so attribute moves become free); joins
+   expand matches out of line into capped output batches; aggregation feeds
+   group states from column reads. Every kernel applies the exact same
+   [Value] operations in the exact same row order as the row path, so
+   results are byte-identical by construction and the serial/parallel
+   determinism contract carries over unchanged. *)
+
+let default_batch_rows = 1024
+
+type bop = unit -> Batch.t Seq.t
+type bwrapper = Plan.t -> bop -> bop
+
+let no_bwrap : bwrapper = fun _ thunk -> thunk
+
+(* Plans containing correlated subplans (Apply) or an unrewritten
+   provenance marker fall back to the row path wholesale. *)
+let rec batch_supported (p : Plan.t) =
+  match p with
+  | Plan.Apply _ | Plan.Prov _ -> false
+  | _ -> List.for_all batch_supported (Plan.children p)
+
+let batch_eligible = batch_supported
+
+(* Attribute -> column position over a schema (no outer resolution: the
+   batch path never sees Apply). *)
+let positions_of_schema (schema : Attr.t list) : Attr.t -> int option =
+  let table = Hashtbl.create 16 in
+  List.iteri (fun i (a : Attr.t) -> Hashtbl.replace table a.Attr.id i) schema;
+  fun a -> Hashtbl.find_opt table a.Attr.id
+
+(* Batch expression evaluator: [f b p] evaluates over physical row [p] of
+   batch [b]. Plain attributes and constants compile to direct array
+   reads; everything else reuses the row compiler through a current-row
+   cursor, so semantics and error messages are identical by construction.
+   The cursor makes general evaluators stateful: NOT shareable across
+   domains — the parallel path instantiates them per morsel. *)
+let bexpr_of (pos : Attr.t -> int option) (e : Expr.t) : Batch.t -> int -> Value.t =
+  match e with
+  | Expr.Const v -> fun _ _ -> v
+  | Expr.Attr a -> (
+    match pos a with
+    | Some i -> fun b p -> (Batch.col b i).(p)
+    | None -> errf "internal: unbound attribute %s#%d" a.Attr.name a.Attr.id)
+  | e ->
+    let cur = ref (Batch.dense [||] 0) in
+    let cp = ref 0 in
+    let resolve : resolver =
+     fun a ->
+      match pos a with
+      | Some i -> Some (fun _ -> (Batch.col !cur i).(!cp))
+      | None -> None
+    in
+    let f = compile_expr resolve e in
+    fun b p ->
+      cur := b;
+      cp := p;
+      f [||]
+
+let bpred_of pos e =
+  let f = bexpr_of pos e in
+  fun b p -> Tristate.is_true (unwrap (Tristate.of_value (f b p)))
+
+(* Multi-column key extraction by physical index (join keys, group keys). *)
+let key_filler pos exprs : Batch.t -> int -> Tuple.t =
+  let gets = Array.of_list (List.map (bexpr_of pos) exprs) in
+  let n = Array.length gets in
+  fun b p ->
+    let key = Array.make n Value.Null in
+    for i = 0 to n - 1 do
+      key.(i) <- (Array.unsafe_get gets i) b p
+    done;
+    key
+
+let brow (b : Batch.t) p = Array.map (fun col -> col.(p)) b.Batch.cols
+
+(* Chunk a row array into dense batches of at most [batch_rows] rows. *)
+let batches_of_rows ~arity ~batch_rows (rows : Tuple.t array) : Batch.t Seq.t =
+  let len = Array.length rows in
+  let size = max 1 batch_rows in
+  Seq.init
+    ((len + size - 1) / size)
+    (fun i ->
+      let pos = i * size in
+      Batch.of_rows ~arity rows ~pos ~len:(min size (len - pos)))
+
+let batches_of_tuple_list ~arity ~batch_rows rows =
+  batches_of_rows ~arity ~batch_rows (Array.of_list rows)
+
+let collect_tuples (bs : Batch.t Seq.t) : Tuple.t array =
+  let acc = ref [] in
+  Seq.iter
+    (fun b -> List.iter (fun t -> acc := t :: !acc) (Batch.to_tuples b))
+    bs;
+  Array.of_list (List.rev !acc)
+
+(* ---- filter kernels ---------------------------------------------- *)
+
+(* A conjunct kernel narrows sel[0..n-1] in place and returns the new live
+   count. Hot comparison shapes get a [Value.t -> bool] test specialized
+   on the constant's constructor; every non-matching arm falls back to the
+   generic SQL operator, so numeric promotion, NULL handling and the
+   type-rank total order behave identically to the row path. *)
+let generic_keep op v k =
+  match op v k with Value.Bool b -> b | _ -> false
+
+(* Ordered comparisons: int/date arms use [rel_i], an inline primitive
+   comparison on unboxed ints (no polymorphic-compare C call per row);
+   float arms take [Stdlib.compare] through [rel] so they keep
+   [Value.compare]'s total order (NaN included). *)
+let test_rel sqlop (rel : int -> bool) (rel_i : int -> int -> bool) k =
+  match k with
+  | Value.Int y -> (
+    function
+    | Value.Int x -> rel_i x y
+    | Value.Null -> false
+    | v -> generic_keep sqlop v k)
+  | Value.Float y -> (
+    function
+    | Value.Float x -> rel (Stdlib.compare x y)
+    | Value.Int x -> rel (Stdlib.compare (float_of_int x) y)
+    | Value.Null -> false
+    | v -> generic_keep sqlop v k)
+  | Value.Text y -> (
+    function
+    | Value.Text x -> rel (String.compare x y)
+    | Value.Null -> false
+    | v -> generic_keep sqlop v k)
+  | Value.Date y -> (
+    function
+    | Value.Date x -> rel_i x y
+    | Value.Null -> false
+    | v -> generic_keep sqlop v k)
+  | k -> fun v -> generic_keep sqlop v k
+
+let test_eq k =
+  match k with
+  | Value.Int y -> (
+    function
+    | Value.Int x -> x = y
+    | Value.Null -> false
+    | v -> generic_keep Value.sql_eq v k)
+  | Value.Float y -> (
+    function
+    | Value.Float x -> x = y
+    | Value.Int x -> float_of_int x = y
+    | Value.Null -> false
+    | v -> generic_keep Value.sql_eq v k)
+  | Value.Text y -> (
+    function
+    | Value.Text x -> String.equal x y
+    | Value.Null -> false
+    | v -> generic_keep Value.sql_eq v k)
+  | Value.Date y -> (
+    function
+    | Value.Date x -> x = y
+    | Value.Null -> false
+    | v -> generic_keep Value.sql_eq v k)
+  | k -> fun v -> generic_keep Value.sql_eq v k
+
+let test_neq k =
+  let eq = test_eq k in
+  fun v -> if Value.is_null v then false else not (eq v)
+
+let test_for op k =
+  match op with
+  | Expr.Eq -> Some (test_eq k)
+  | Expr.Neq -> Some (test_neq k)
+  | Expr.Lt ->
+    Some (test_rel Value.sql_lt (fun c -> c < 0) (fun (x : int) y -> x < y) k)
+  | Expr.Leq ->
+    Some (test_rel Value.sql_leq (fun c -> c <= 0) (fun (x : int) y -> x <= y) k)
+  | Expr.Gt ->
+    Some (test_rel Value.sql_gt (fun c -> c > 0) (fun (x : int) y -> x > y) k)
+  | Expr.Geq ->
+    Some (test_rel Value.sql_geq (fun c -> c >= 0) (fun (x : int) y -> x >= y) k)
+  | _ -> None
+
+(* [attr OP const] with the constant on the left flips to the mirrored
+   operator over the attribute. *)
+let flip_op = function
+  | Expr.Eq -> Expr.Eq
+  | Expr.Neq -> Expr.Neq
+  | Expr.Lt -> Expr.Gt
+  | Expr.Leq -> Expr.Geq
+  | Expr.Gt -> Expr.Lt
+  | Expr.Geq -> Expr.Leq
+  | op -> op
+
+let narrow_col ci (test : Value.t -> bool) : Batch.t -> int array -> int -> int
+    =
+ fun b sel n ->
+  let col = b.Batch.cols.(ci) in
+  let m = ref 0 in
+  for i = 0 to n - 1 do
+    let p = Array.unsafe_get sel i in
+    if test (Array.unsafe_get col p) then begin
+      Array.unsafe_set sel !m p;
+      incr m
+    end
+  done;
+  !m
+
+let narrow_generic (keep : Batch.t -> int -> bool) :
+    Batch.t -> int array -> int -> int =
+ fun b sel n ->
+  let m = ref 0 in
+  for i = 0 to n - 1 do
+    let p = Array.unsafe_get sel i in
+    if keep b p then begin
+      Array.unsafe_set sel !m p;
+      incr m
+    end
+  done;
+  !m
+
+(* NOT thread-safe in general (generic fallback kernels carry a row
+   cursor): instantiate per worker on the parallel path. *)
+let conjunct_kernel (pos : Attr.t -> int option) (c : Expr.t) :
+    Batch.t -> int array -> int -> int =
+  let col a = pos a in
+  let fallback () = narrow_generic (bpred_of pos c) in
+  match c with
+  | Expr.Binop
+      ( (Expr.Eq | Expr.Neq | Expr.Lt | Expr.Leq | Expr.Gt | Expr.Geq) as op,
+        Expr.Attr a,
+        Expr.Const k ) -> (
+    match col a, test_for op k with
+    | Some ci, Some test -> narrow_col ci test
+    | _ -> fallback ())
+  | Expr.Binop
+      ( (Expr.Eq | Expr.Neq | Expr.Lt | Expr.Leq | Expr.Gt | Expr.Geq) as op,
+        Expr.Const k,
+        Expr.Attr a ) -> (
+    match col a, test_for (flip_op op) k with
+    | Some ci, Some test -> narrow_col ci test
+    | _ -> fallback ())
+  | Expr.Binop
+      ( Expr.Eq,
+        Expr.Binop (Expr.Mod, Expr.Attr a, Expr.Const (Value.Int m)),
+        Expr.Const (Value.Int r) )
+    when m <> 0 -> (
+    match col a with
+    | Some ci ->
+      narrow_col ci (function
+        | Value.Int x -> x mod m = r
+        | Value.Null -> false
+        | v ->
+          errf "%% expects integers, got %s and %s" (Value.to_string v)
+            (Value.to_string (Value.Int m)))
+    | None -> fallback ())
+  | Expr.Binop ((Expr.Eq | Expr.Neq | Expr.Lt | Expr.Leq | Expr.Gt | Expr.Geq) as op,
+                Expr.Attr a, Expr.Attr b) -> (
+    match col a, col b with
+    | Some ci, Some cj ->
+      let sqlop =
+        match op with
+        | Expr.Eq -> Value.sql_eq
+        | Expr.Neq -> Value.sql_neq
+        | Expr.Lt -> Value.sql_lt
+        | Expr.Leq -> Value.sql_leq
+        | Expr.Gt -> Value.sql_gt
+        | Expr.Geq -> Value.sql_geq
+        | _ -> assert false
+      in
+      narrow_generic (fun bt p ->
+          generic_keep sqlop bt.Batch.cols.(ci).(p) bt.Batch.cols.(cj).(p))
+    | _ -> fallback ())
+  | Expr.Unop (Expr.Is_null, Expr.Attr a) -> (
+    match col a with
+    | Some ci -> narrow_col ci Value.is_null
+    | None -> fallback ())
+  | Expr.Unop (Expr.Not, Expr.Unop (Expr.Is_null, Expr.Attr a)) -> (
+    match col a with
+    | Some ci -> narrow_col ci (fun v -> not (Value.is_null v))
+    | None -> fallback ())
+  | Expr.Binop (Expr.Like, Expr.Attr a, Expr.Const (Value.Text _ as pat)) -> (
+    match col a with
+    | Some ci -> narrow_col ci (fun v -> generic_keep Value.like v pat)
+    | None -> fallback ())
+  | _ -> fallback ()
+
+let filter_kernels pos pred = List.map (conjunct_kernel pos) (Expr.conjuncts pred)
+
+(* Conjunct-wise narrowing evaluates exactly the (row, conjunct) pairs a
+   short-circuiting AND would: rows failing conjunct i never see conjunct
+   i+1. *)
+let apply_filter kernels b =
+  let n0 = Batch.live b in
+  if n0 = 0 then None
+  else
+    let sel = Batch.sel_array b in
+    let n =
+      List.fold_left (fun n k -> if n = 0 then 0 else k b sel n) n0 kernels
+    in
+    if n = 0 then None else Some (Batch.with_sel b sel n)
+
+(* ---- projection kernels ------------------------------------------ *)
+
+type col_builder =
+  | Share of int  (* plain attribute: share the column pointer when dense *)
+  | Compute of (Batch.t -> int -> Value.t)
+
+let project_builders pos cols =
+  Array.of_list
+    (List.map
+       (fun (e, _) ->
+         match e with
+         | Expr.Attr a -> (
+           match pos a with
+           | Some i -> Share i
+           | None -> Compute (bexpr_of pos e))
+         | e -> Compute (bexpr_of pos e))
+       cols)
+
+let apply_project builders b =
+  let all_share =
+    Array.for_all (function Share _ -> true | Compute _ -> false) builders
+  in
+  if all_share then
+    (* plain-attribute projection: share column pointers and keep the
+       selection vector — no per-row copying even on filtered batches *)
+    Batch.with_cols b
+      (Array.map
+         (function Share i -> Batch.col b i | Compute _ -> assert false)
+         builders)
+  else
+    let n = Batch.live b in
+    let dense = Batch.is_dense b in
+    let cols =
+      Array.map
+        (function
+          | Share i ->
+            if dense then Batch.col b i
+            else begin
+              let src = Batch.col b i in
+              let dst = Array.make n Value.Null in
+              for j = 0 to n - 1 do
+                dst.(j) <- src.(Batch.idx b j)
+              done;
+              dst
+            end
+          | Compute f ->
+            let dst = Array.make n Value.Null in
+            for j = 0 to n - 1 do
+              dst.(j) <- f b (Batch.idx b j)
+            done;
+            dst)
+        builders
+    in
+    Batch.dense cols n
+
+(* ---- join probe kernel ------------------------------------------- *)
+
+(* Probe one left batch against a built join hash table. Semi/Anti narrow
+   the selection vector in place; the expanding kinds gather matches out
+   of line (left physical index + right row reference) and flush into
+   dense output batches capped at [batch_rows], so giant expansions stay
+   streamed and the cancel token keeps batch-granular kill latency.
+   Candidate order is [List.rev] of the build list — exactly the row
+   path's probe order, so output rows are byte-identical. *)
+let probe_batch ~kind ~r_arity ~batch_rows ~(lkey : Batch.t -> int -> Tuple.t)
+    ~usable ~(tbl : (int * Tuple.t) list Tuple.Hash.t)
+    ~(residual_f : (Tuple.t -> bool) option)
+    ~(matched_right : bool array option) (lb : Batch.t) : Batch.t list =
+  let find key =
+    if not (usable key) then []
+    else
+      match Tuple.Hash.find_opt tbl key with
+      | None -> []
+      | Some l -> List.rev l
+  in
+  match kind with
+  | Plan.Semi | Plan.Anti ->
+    let want = kind = Plan.Semi in
+    let sel = Batch.sel_array lb in
+    let n = Batch.live lb in
+    let m = ref 0 in
+    for i = 0 to n - 1 do
+      let p = sel.(i) in
+      let cands = find (lkey lb p) in
+      let hit =
+        match residual_f with
+        | None -> cands <> []
+        | Some rf ->
+          let lrow = brow lb p in
+          List.exists (fun (_, rrow) -> rf (Tuple.concat lrow rrow)) cands
+      in
+      if hit = want then begin
+        sel.(!m) <- p;
+        incr m
+      end
+    done;
+    if !m = 0 then [] else [ Batch.with_sel lb sel !m ]
+  | Plan.Inner | Plan.Cross | Plan.Left | Plan.Full ->
+    let l_arity = Batch.arity lb in
+    let cap = max 1 batch_rows in
+    let lidx = Array.make cap 0 in
+    let pad_row = Array.make r_arity Value.Null in
+    let rref = Array.make cap pad_row in
+    let cnt = ref 0 in
+    let out = ref [] in
+    let flush () =
+      if !cnt > 0 then begin
+        let n = !cnt in
+        let cols = Array.make (l_arity + r_arity) [||] in
+        for c = 0 to l_arity - 1 do
+          let src = lb.Batch.cols.(c) in
+          let dst = Array.make n Value.Null in
+          for j = 0 to n - 1 do
+            dst.(j) <- src.(lidx.(j))
+          done;
+          cols.(c) <- dst
+        done;
+        for c = 0 to r_arity - 1 do
+          let dst = Array.make n Value.Null in
+          for j = 0 to n - 1 do
+            dst.(j) <- (rref.(j)).(c)
+          done;
+          cols.(l_arity + c) <- dst
+        done;
+        out := Batch.dense cols n :: !out;
+        cnt := 0
+      end
+    in
+    let push p rrow =
+      lidx.(!cnt) <- p;
+      rref.(!cnt) <- rrow;
+      incr cnt;
+      if !cnt = cap then flush ()
+    in
+    let mark idx =
+      match matched_right with Some m -> m.(idx) <- true | None -> ()
+    in
+    Batch.iter_live
+      (fun p ->
+        let cands = find (lkey lb p) in
+        match kind with
+        | Plan.Inner | Plan.Cross -> (
+          match residual_f with
+          | None -> List.iter (fun (_, rrow) -> push p rrow) cands
+          | Some rf ->
+            let lrow = brow lb p in
+            List.iter
+              (fun (_, rrow) ->
+                if rf (Tuple.concat lrow rrow) then push p rrow)
+              cands)
+        | Plan.Left | Plan.Full ->
+          let any = ref false in
+          (match residual_f with
+          | None ->
+            List.iter
+              (fun (idx, rrow) ->
+                any := true;
+                mark idx;
+                push p rrow)
+              cands
+          | Some rf ->
+            let lrow = brow lb p in
+            List.iter
+              (fun (idx, rrow) ->
+                if rf (Tuple.concat lrow rrow) then begin
+                  any := true;
+                  mark idx;
+                  push p rrow
+                end)
+              cands);
+          if not !any then push p pad_row
+        | Plan.Semi | Plan.Anti | Plan.Right -> assert false)
+      lb;
+    flush ();
+    List.rev !out
+  | Plan.Right -> assert false
+
+(* ---- batch operator compilation ---------------------------------- *)
+
+let rec compile_batch ~(provider : provider) ~batch_rows ~(bwrap : bwrapper)
+    (plan : Plan.t) : bop =
+  bwrap plan (compile_batch_node ~provider ~batch_rows ~bwrap plan)
+
+and compile_batch_node ~provider ~batch_rows ~bwrap (plan : Plan.t) : bop =
+  match plan with
+  | Plan.Scan { table; _ } ->
+    fun () -> Array.to_seq (provider.scan_batches table batch_rows)
+  | Plan.Index_scan { table; key_col; key; _ } ->
+    let arity = List.length (Plan.schema plan) in
+    let fkey = compile_expr no_outer key in
+    fun () ->
+      batches_of_tuple_list ~arity ~batch_rows
+        (List.of_seq (provider.probe_index table key_col (fkey [||])))
+  | Plan.Values { rows; _ } ->
+    let arity = List.length (Plan.schema plan) in
+    let compiled =
+      List.map (fun row -> List.map (compile_expr no_outer) row) rows
+    in
+    fun () ->
+      batches_of_tuple_list ~arity ~batch_rows
+        (List.map
+           (fun row -> Array.of_list (List.map (fun f -> f [||]) row))
+           compiled)
+  | Plan.Project { child; cols } ->
+    let pos = positions_of_schema (Plan.schema child) in
+    let builders = project_builders pos cols in
+    let run_child = compile_batch ~provider ~batch_rows ~bwrap child in
+    fun () -> Seq.map (apply_project builders) (run_child ())
+  | Plan.Filter { child; pred } ->
+    let pos = positions_of_schema (Plan.schema child) in
+    let kernels = filter_kernels pos pred in
+    let run_child = compile_batch ~provider ~batch_rows ~bwrap child in
+    fun () -> Seq.filter_map (apply_filter kernels) (run_child ())
+  | Plan.Join { kind; left; right; pred } ->
+    compile_batch_join ~provider ~batch_rows ~bwrap kind left right pred
+  | Plan.Aggregate { child; group_by; aggs } ->
+    compile_batch_aggregate ~provider ~batch_rows ~bwrap child group_by aggs
+  | Plan.Distinct child ->
+    let run_child = compile_batch ~provider ~batch_rows ~bwrap child in
+    fun () ->
+      Seq.memoize
+        (fun () ->
+          let seen = Tuple.Hash.create 64 in
+          Seq.filter_map
+            (fun b ->
+              let sel = Batch.sel_array b in
+              let n = Batch.live b in
+              let m = ref 0 in
+              for i = 0 to n - 1 do
+                let p = sel.(i) in
+                let row = brow b p in
+                if not (Tuple.Hash.mem seen row) then begin
+                  Tuple.Hash.replace seen row ();
+                  sel.(!m) <- p;
+                  incr m
+                end
+              done;
+              if !m = 0 then None else Some (Batch.with_sel b sel !m))
+            (run_child ())
+            ())
+  | Plan.Set_op { kind; all; left; right; _ } ->
+    compile_batch_set_op ~provider ~batch_rows ~bwrap kind all left right
+  | Plan.Sort { child; keys } ->
+    let resolve = resolver_of_schema (Plan.schema child) in
+    let keyfs =
+      List.map (fun (e, dir) -> (compile_expr resolve e, dir)) keys
+    in
+    let cmp a b =
+      let rec go = function
+        | [] -> 0
+        | (f, dir) :: rest ->
+          let c = Value.compare (f a) (f b) in
+          let c = match dir with Plan.Asc -> c | Plan.Desc -> -c in
+          if c <> 0 then c else go rest
+      in
+      go keyfs
+    in
+    let arity = List.length (Plan.schema child) in
+    let run_child = compile_batch ~provider ~batch_rows ~bwrap child in
+    fun () ->
+      Perm_fault.trip fp_sort;
+      let rows = collect_tuples (run_child ()) in
+      Array.stable_sort cmp rows;
+      batches_of_rows ~arity ~batch_rows rows
+  | Plan.Limit { child; limit; offset } ->
+    let run_child = compile_batch ~provider ~batch_rows ~bwrap child in
+    fun () ->
+      let rec go skip rem s () =
+        if rem = 0 then Seq.Nil
+        else
+          match s () with
+          | Seq.Nil -> Seq.Nil
+          | Seq.Cons (b, rest) ->
+            let n = Batch.live b in
+            if skip >= n then go (skip - n) rem rest ()
+            else
+              let take_n = min rem (n - skip) in
+              let b' =
+                if skip = 0 && take_n = n then b
+                else
+                  let sel = Batch.sel_array b in
+                  Batch.with_sel b (Array.sub sel skip take_n) take_n
+              in
+              Seq.Cons (b', go 0 (rem - take_n) rest)
+      in
+      go offset
+        (match limit with Some n -> n | None -> max_int)
+        (run_child ())
+  | Plan.Apply _ ->
+    err "internal: Apply reached the batch compiler (not batch-eligible)"
+  | Plan.Prov _ ->
+    err "internal: provenance marker reached the executor (rewriter not run)"
+  | Plan.Baserel { child; _ } | Plan.External { child; _ } ->
+    compile_batch ~provider ~batch_rows ~bwrap child
+
+and compile_batch_join ~provider ~batch_rows ~bwrap kind left right pred =
+  let left_schema = Plan.schema left and right_schema = Plan.schema right in
+  let l_arity = List.length left_schema
+  and r_arity = List.length right_schema in
+  match kind with
+  | Plan.Right ->
+    (* evaluate as a left join with sides swapped, then permute the column
+       arrays back — a pointer shuffle per batch, no row rebuilds *)
+    let swapped =
+      Plan.Join { kind = Plan.Left; left = right; right = left; pred }
+    in
+    let run = compile_batch ~provider ~batch_rows ~bwrap swapped in
+    fun () ->
+      Seq.map
+        (fun b ->
+          let b = Batch.compact b in
+          let cols =
+            Array.append
+              (Array.sub b.Batch.cols r_arity l_arity)
+              (Array.sub b.Batch.cols 0 r_arity)
+          in
+          Batch.dense cols b.Batch.rows)
+        (run ())
+  | _ ->
+    let run_left = compile_batch ~provider ~batch_rows ~bwrap left in
+    let run_right = compile_batch ~provider ~batch_rows ~bwrap right in
+    let l_pos = positions_of_schema left_schema in
+    let r_resolve = resolver_of_schema right_schema in
+    let keys, residual =
+      match pred with
+      | None -> ([], [])
+      | Some p -> split_join_pred left_schema right_schema p
+    in
+    let lkey = key_filler l_pos (List.map (fun k -> k.l_expr) keys) in
+    let rkey_fs =
+      Array.of_list (List.map (fun k -> compile_expr r_resolve k.r_expr) keys)
+    in
+    let null_safety = Array.of_list (List.map (fun k -> k.null_safe) keys) in
+    let residual_f =
+      match residual with
+      | [] -> None
+      | preds ->
+        Some
+          (compile_pred
+             (resolver_of_schema (left_schema @ right_schema))
+             (Expr.conjoin preds))
+    in
+    let usable = key_usable null_safety in
+    fun () ->
+      Seq.memoize
+        (fun () ->
+          Perm_fault.trip fp_join_build;
+          let tbl = Tuple.Hash.create 256 in
+          let right_rows = collect_tuples (run_right ()) in
+          let matched_right =
+            match kind with
+            | Plan.Full -> Some (Array.make (Array.length right_rows) false)
+            | _ -> None
+          in
+          Array.iteri
+            (fun idx rrow ->
+              let key = key_of rkey_fs rrow in
+              let prev =
+                match Tuple.Hash.find_opt tbl key with
+                | Some l -> l
+                | None -> []
+              in
+              Tuple.Hash.replace tbl key ((idx, rrow) :: prev))
+            right_rows;
+          let main =
+            Seq.concat_map
+              (fun lb ->
+                List.to_seq
+                  (probe_batch ~kind ~r_arity ~batch_rows ~lkey ~usable ~tbl
+                     ~residual_f ~matched_right lb))
+              (run_left ())
+          in
+          match kind with
+          | Plan.Full ->
+            let matched = Option.get matched_right in
+            let tail () =
+              let unmatched = ref [] in
+              Array.iteri
+                (fun i rrow ->
+                  if not matched.(i) then
+                    unmatched :=
+                      Tuple.concat (Array.make l_arity Value.Null) rrow
+                      :: !unmatched)
+                right_rows;
+              batches_of_tuple_list ~arity:(l_arity + r_arity) ~batch_rows
+                (List.rev !unmatched)
+                ()
+            in
+            (* main must be fully consumed before the tail is forced so the
+               matched flags are complete; Seq.append guarantees that *)
+            Seq.append main tail ()
+          | _ -> main ())
+
+and compile_batch_aggregate ~provider ~batch_rows ~bwrap child group_by aggs =
+  let pos = positions_of_schema (Plan.schema child) in
+  let gkey = key_filler pos (List.map fst group_by) in
+  let aggs_arr = Array.of_list aggs in
+  let nagg = Array.length aggs_arr in
+  let arg_gets =
+    Array.of_list
+      (List.map
+         (fun (c : Plan.agg_call) -> Option.map (bexpr_of pos) c.arg)
+         aggs)
+  in
+  let run_child = compile_batch ~provider ~batch_rows ~bwrap child in
+  let global = group_by = [] in
+  let ngroup = List.length group_by in
+  let out_arity = ngroup + nagg in
+  let emit key states =
+    let row = Array.make out_arity Value.Null in
+    Array.blit key 0 row 0 ngroup;
+    for k = 0 to nagg - 1 do
+      row.(ngroup + k) <- agg_result aggs_arr.(k) states.(k)
+    done;
+    row
+  in
+  let fresh_states () = Array.map (fun c -> new_agg_state c) aggs_arr in
+  let feed_row states b p =
+    for k = 0 to nagg - 1 do
+      let v =
+        match arg_gets.(k) with None -> None | Some g -> Some (g b p)
+      in
+      agg_feed aggs_arr.(k) states.(k) v
+    done
+  in
+  (* Group-key specialization: a single plain-attribute key of an
+     immediate dtype hashes on the unboxed int (or the raw string) — no
+     per-row key-tuple allocation, no polymorphic hashing. An engine-typed
+     column only ever carries its declared constructor or NULL, and NULL
+     (which never equals anything but groups with itself) gets its own
+     slot, so group identity and first-seen order match the generic path
+     exactly. *)
+  let single_col =
+    match group_by with
+    | [ (Expr.Attr a, _) ] -> Option.map (fun i -> (i, a.Attr.ty)) (pos a)
+    | _ -> None
+  in
+  fun () ->
+    Seq.memoize
+      (fun () ->
+        Perm_fault.trip fp_agg_merge;
+        let order = ref [] in
+        let ngroups = ref 0 in
+        let rows_of_order () =
+          if global && !ngroups = 0 then [ emit [||] (fresh_states ()) ]
+          else List.rev_map (fun (key, states) -> emit key states) !order
+        in
+        let generic_groups : agg_state array Tuple.Hash.t =
+          Tuple.Hash.create 64
+        in
+        let generic_feed key b p =
+          let states =
+            match Tuple.Hash.find_opt generic_groups key with
+            | Some states -> states
+            | None ->
+              let states = fresh_states () in
+              Tuple.Hash.replace generic_groups key states;
+              order := (key, states) :: !order;
+              incr ngroups;
+              states
+          in
+          feed_row states b p
+        in
+        (if global then begin
+           (* no grouping: one state array, no hash table at all *)
+           let states = fresh_states () in
+           Seq.iter
+             (fun b ->
+               Batch.iter_live
+                 (fun p ->
+                   incr ngroups;
+                   feed_row states b p)
+                 b)
+             (run_child ());
+           if !ngroups > 0 then order := ([||], states) :: !order;
+           ngroups := min !ngroups 1
+         end
+         else
+           match single_col with
+           | Some (ci, (Dtype.Int | Dtype.Date | Dtype.Bool)) ->
+             let igroups : agg_state array Int_hash.t = Int_hash.create 64 in
+             let null_states = ref None in
+             Seq.iter
+               (fun b ->
+                 let col = Batch.col b ci in
+                 Batch.iter_live
+                   (fun p ->
+                     match Array.unsafe_get col p with
+                     | (Value.Int k | Value.Date k) as v ->
+                       let states =
+                         match Int_hash.find_opt igroups k with
+                         | Some states -> states
+                         | None ->
+                           let states = fresh_states () in
+                           Int_hash.replace igroups k states;
+                           order := ([| v |], states) :: !order;
+                           incr ngroups;
+                           states
+                       in
+                       feed_row states b p
+                     | Value.Bool bv as v ->
+                       let k = if bv then 1 else 0 in
+                       let states =
+                         match Int_hash.find_opt igroups k with
+                         | Some states -> states
+                         | None ->
+                           let states = fresh_states () in
+                           Int_hash.replace igroups k states;
+                           order := ([| v |], states) :: !order;
+                           incr ngroups;
+                           states
+                       in
+                       feed_row states b p
+                     | Value.Null ->
+                       let states =
+                         match !null_states with
+                         | Some states -> states
+                         | None ->
+                           let states = fresh_states () in
+                           null_states := Some states;
+                           order := ([| Value.Null |], states) :: !order;
+                           incr ngroups;
+                           states
+                       in
+                       feed_row states b p
+                     | v ->
+                       (* off-dtype straggler: group through the generic
+                          table so semantics never depend on the schema
+                          invariant *)
+                       generic_feed [| v |] b p)
+                   b)
+               (run_child ())
+           | Some (ci, Dtype.Text) ->
+             let sgroups : agg_state array Str_hash.t = Str_hash.create 64 in
+             let null_states = ref None in
+             Seq.iter
+               (fun b ->
+                 let col = Batch.col b ci in
+                 Batch.iter_live
+                   (fun p ->
+                     match Array.unsafe_get col p with
+                     | Value.Text k as v ->
+                       let states =
+                         match Str_hash.find_opt sgroups k with
+                         | Some states -> states
+                         | None ->
+                           let states = fresh_states () in
+                           Str_hash.replace sgroups k states;
+                           order := ([| v |], states) :: !order;
+                           incr ngroups;
+                           states
+                       in
+                       feed_row states b p
+                     | Value.Null ->
+                       let states =
+                         match !null_states with
+                         | Some states -> states
+                         | None ->
+                           let states = fresh_states () in
+                           null_states := Some states;
+                           order := ([| Value.Null |], states) :: !order;
+                           incr ngroups;
+                           states
+                       in
+                       feed_row states b p
+                     | v -> generic_feed [| v |] b p)
+                   b)
+               (run_child ())
+           | _ ->
+             Seq.iter
+               (fun b ->
+                 Batch.iter_live (fun p -> generic_feed (gkey b p) b p) b)
+               (run_child ()));
+        batches_of_tuple_list ~arity:out_arity ~batch_rows (rows_of_order ())
+          ())
+
+and compile_batch_set_op ~provider ~batch_rows ~bwrap kind all left right =
+  let run_left = compile_batch ~provider ~batch_rows ~bwrap left in
+  let run_right = compile_batch ~provider ~batch_rows ~bwrap right in
+  let narrow_rows keep b =
+    let sel = Batch.sel_array b in
+    let n = Batch.live b in
+    let m = ref 0 in
+    for i = 0 to n - 1 do
+      let p = sel.(i) in
+      if keep (brow b p) then begin
+        sel.(!m) <- p;
+        incr m
+      end
+    done;
+    if !m = 0 then None else Some (Batch.with_sel b sel !m)
+  in
+  match kind, all with
+  | Plan.Union, true -> fun () -> Seq.append (run_left ()) (run_right ())
+  | Plan.Union, false ->
+    fun () ->
+      Seq.memoize
+        (fun () ->
+          let seen = Tuple.Hash.create 64 in
+          let keep row =
+            if Tuple.Hash.mem seen row then false
+            else begin
+              Tuple.Hash.replace seen row ();
+              true
+            end
+          in
+          Seq.filter_map (narrow_rows keep)
+            (Seq.append (run_left ()) (run_right ()))
+            ())
+  | (Plan.Intersect | Plan.Except), _ ->
+    fun () ->
+      Seq.memoize
+        (fun () ->
+          let counts = Tuple.Hash.create 64 in
+          Seq.iter
+            (fun b ->
+              Batch.iter_live
+                (fun p ->
+                  let row = brow b p in
+                  let c =
+                    match Tuple.Hash.find_opt counts row with
+                    | Some c -> c
+                    | None -> 0
+                  in
+                  Tuple.Hash.replace counts row (c + 1))
+                b)
+            (run_right ());
+          let emitted = Tuple.Hash.create 64 in
+          let keep row =
+            let rc =
+              match Tuple.Hash.find_opt counts row with
+              | Some c -> c
+              | None -> 0
+            in
+            match kind, all with
+            | Plan.Intersect, true ->
+              if rc > 0 then begin
+                Tuple.Hash.replace counts row (rc - 1);
+                true
+              end
+              else false
+            | Plan.Intersect, false ->
+              if rc > 0 && not (Tuple.Hash.mem emitted row) then begin
+                Tuple.Hash.replace emitted row ();
+                true
+              end
+              else false
+            | Plan.Except, true ->
+              if rc > 0 then begin
+                Tuple.Hash.replace counts row (rc - 1);
+                false
+              end
+              else true
+            | Plan.Except, false ->
+              if rc = 0 && not (Tuple.Hash.mem emitted row) then begin
+                Tuple.Hash.replace emitted row ();
+                true
+              end
+              else false
+            | Plan.Union, _ -> assert false
+          in
+          Seq.filter_map (narrow_rows keep) (run_left ()) ())
+
+(* ---- batch guardrails and root materialization -------------------- *)
+
+(* Cancel-token checks move to batch boundaries: one [Token.charge] per
+   batch (of its live row count) at every multiplicity-source node, plus a
+   deadline check at operator start. Kill latency is bounded by one batch
+   per operator instead of [guard_interval] rows. *)
+let guard_bwrap (token : Token.t) : bwrapper =
+ fun node thunk ->
+  if not (guard_this_node node) then thunk
+  else
+    fun () ->
+      Token.check token;
+      Seq.map
+        (fun b ->
+          Token.charge token (Batch.live b);
+          b)
+        (thunk ())
+
+let materialize_batches ?row_limit ?progress (bs : Batch.t Seq.t) =
+  let acc = ref [] in
+  let count = ref 0 in
+  Seq.iter
+    (fun b ->
+      let n = Batch.live b in
+      (match progress with None -> () | Some p -> Progress.add_rows p n);
+      (match row_limit with
+      | Some limit when !count + n > limit -> over_row_limit limit
+      | _ -> ());
+      count := !count + n;
+      List.iter (fun t -> acc := t :: !acc) (Batch.to_tuples b))
+    bs;
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
 (* Entry points                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let run ?(token = Token.none) ?row_limit ?progress ~provider plan =
+let run_rows ?(token = Token.none) ?row_limit ?progress ~provider plan =
   let wrap = if Token.active token then guard_wrap token else no_wrap in
   match
     materialize ?row_limit ?progress ((compile ~provider ~wrap no_outer plan) ())
   with
   | rows -> Ok rows
   | exception Runtime_error msg -> Error msg
+
+let run ?(token = Token.none) ?row_limit ?progress ?batch_rows ~provider plan
+    =
+  match batch_rows with
+  | Some batch_rows when batch_rows > 0 && batch_supported plan -> (
+    let bwrap = if Token.active token then guard_bwrap token else no_bwrap in
+    match
+      materialize_batches ?row_limit ?progress
+        ((compile_batch ~provider ~batch_rows ~bwrap plan) ())
+    with
+    | rows -> Ok rows
+    | exception Runtime_error msg -> Error msg)
+  | _ -> run_rows ~token ?row_limit ?progress ~provider plan
 
 (* ------------------------------------------------------------------ *)
 (* Instrumented execution (EXPLAIN ANALYZE, \trace on)                 *)
@@ -833,7 +1882,10 @@ type node_stats = {
   mutable stat_time_s : float;
   mutable stat_self_s : float;  (* exclusive time, derived by [finalize] *)
   mutable stat_peak_rows : int;  (* max rows out of a single invocation *)
-  mutable stat_peak_bytes : int;  (* peak_rows * estimated row width *)
+  mutable stat_peak_bytes : int;  (* peak_rows * estimated row width, or —
+                                     on the batch path — the exact measured
+                                     heap footprint of the largest batch *)
+  mutable stat_exact_bytes : bool;  (* peak_bytes measured, not estimated *)
 }
 
 (* Stats are keyed by the physical identity of the plan node: the plan is a
@@ -890,7 +1942,8 @@ let finalize stats plan =
             0. (Plan.children node)
         in
         ns.stat_self_s <- Float.max 0. (ns.stat_time_s -. child_s);
-        ns.stat_peak_bytes <- ns.stat_peak_rows * row_bytes node)
+        if not ns.stat_exact_bytes then
+          ns.stat_peak_bytes <- ns.stat_peak_rows * row_bytes node)
     (node_ids plan)
 
 (* Per-base-relation view of the recorded stats: the leaf scans, labelled
@@ -919,6 +1972,7 @@ let instrumenting_wrap stats : wrapper =
       stat_self_s = 0.;
       stat_peak_rows = 0;
       stat_peak_bytes = 0;
+      stat_exact_bytes = false;
     }
   in
   stats.entries <- (node, ns) :: stats.entries;
@@ -947,20 +2001,84 @@ let instrumenting_wrap stats : wrapper =
 let compose_wrap (outer : wrapper) (inner : wrapper) : wrapper =
  fun node thunk -> outer node (inner node thunk)
 
-let run_instrumented ?(token = Token.none) ?row_limit ?progress ~provider plan
-    =
-  let stats = { entries = [] } in
-  let wrap = instrumenting_wrap stats in
-  let wrap =
-    if Token.active token then compose_wrap (guard_wrap token) wrap else wrap
+(* Batch-path instrumentation: rows accumulate by live count per batch, and
+   peak_bytes is the exact reachable-heap footprint of the largest batch
+   the node emitted ([Batch.measured_bytes]) instead of the row-width
+   estimate — [finalize] leaves measured values untouched. *)
+let instrumenting_bwrap stats : bwrapper =
+ fun node thunk ->
+  let ns =
+    {
+      stat_kind = Plan.operator_kind node;
+      stat_id = -1;
+      stat_invocations = 0;
+      stat_rows = 0;
+      stat_time_s = 0.;
+      stat_self_s = 0.;
+      stat_peak_rows = 0;
+      stat_peak_bytes = 0;
+      stat_exact_bytes = true;
+    }
   in
-  match
-    materialize ?row_limit ?progress ((compile ~provider ~wrap no_outer plan) ())
-  with
-  | rows ->
-    finalize stats plan;
-    Ok (rows, stats)
-  | exception Runtime_error msg -> Error msg
+  stats.entries <- (node, ns) :: stats.entries;
+  fun () ->
+    ns.stat_invocations <- ns.stat_invocations + 1;
+    let inv_rows = ref 0 in
+    let t0 = now_s () in
+    let seq = thunk () in
+    ns.stat_time_s <- ns.stat_time_s +. (now_s () -. t0);
+    let rec step s () =
+      let t0 = now_s () in
+      let cell = s () in
+      ns.stat_time_s <- ns.stat_time_s +. (now_s () -. t0);
+      match cell with
+      | Seq.Nil -> Seq.Nil
+      | Seq.Cons (b, rest) ->
+        let live = Batch.live b in
+        ns.stat_rows <- ns.stat_rows + live;
+        inv_rows := !inv_rows + live;
+        if !inv_rows > ns.stat_peak_rows then ns.stat_peak_rows <- !inv_rows;
+        let bytes = Batch.measured_bytes b in
+        if bytes > ns.stat_peak_bytes then ns.stat_peak_bytes <- bytes;
+        Seq.Cons (b, step rest)
+    in
+    step seq
+
+let compose_bwrap (outer : bwrapper) (inner : bwrapper) : bwrapper =
+ fun node thunk -> outer node (inner node thunk)
+
+let run_instrumented ?(token = Token.none) ?row_limit ?progress ?batch_rows
+    ~provider plan =
+  match batch_rows with
+  | Some batch_rows when batch_rows > 0 && batch_supported plan -> (
+    let stats = { entries = [] } in
+    let bwrap = instrumenting_bwrap stats in
+    let bwrap =
+      if Token.active token then compose_bwrap (guard_bwrap token) bwrap
+      else bwrap
+    in
+    match
+      materialize_batches ?row_limit ?progress
+        ((compile_batch ~provider ~batch_rows ~bwrap plan) ())
+    with
+    | rows ->
+      finalize stats plan;
+      Ok (rows, stats)
+    | exception Runtime_error msg -> Error msg)
+  | _ -> (
+    let stats = { entries = [] } in
+    let wrap = instrumenting_wrap stats in
+    let wrap =
+      if Token.active token then compose_wrap (guard_wrap token) wrap else wrap
+    in
+    match
+      materialize ?row_limit ?progress
+        ((compile ~provider ~wrap no_outer plan) ())
+    with
+    | rows ->
+      finalize stats plan;
+      Ok (rows, stats)
+    | exception Runtime_error msg -> Error msg)
 
 (* ------------------------------------------------------------------ *)
 (* Morsel-driven parallel execution (Leis et al., SIGMOD 2014)         *)
@@ -1035,6 +2153,17 @@ module Par = struct
       fun row ->
         Atomic.incr c.sc_rows;
         emit row
+
+  (* Batch-fragment variant of [prof_emit]: rows accumulate by live count
+     per pushed batch; loops still count chain instantiations (morsels). *)
+  let prof_bemit c emit =
+    match c with
+    | None -> emit
+    | Some c ->
+      Atomic.incr c.sc_loops;
+      fun b ->
+        ignore (Atomic.fetch_and_add c.sc_rows (Batch.live b));
+        emit b
 
   (* One-shot accounting for serial stages (aggregate merge, sort/limit/
      project tails). *)
@@ -1227,12 +2356,308 @@ module Par = struct
                 mk stage ))
     | _ -> None
 
+  (* Batch-fragment compilation: the same pipeline spine as [frag], but
+     workers push columnar batches instead of rows, reusing the serial
+     batch kernels (selection-vector filters, pointer-sharing projections,
+     out-of-line probe expansion) so per-morsel overhead amortizes across
+     [batch_rows] rows and the output row order stays byte-identical to
+     the serial paths. The returned [int] is the driving scan's arity.
+     Kernels with a row cursor (generic expression fallbacks) are
+     instantiated per morsel in the [fun emit ->] stage, which runs on the
+     claiming worker — nothing mutable is shared across domains except
+     the read-only join hash tables built serially in [inst ()]. *)
+  let rec bfrag ~(provider : provider) ~batch_rows ?prof (plan : Plan.t) :
+      (string * int * (unit -> (Batch.t -> unit) -> Batch.t -> unit)) option =
+    match plan with
+    | Plan.Scan { table; _ } ->
+      let c = prof_register prof plan in
+      let arity = List.length (Plan.schema plan) in
+      Some (table, arity, fun () emit -> prof_bemit c emit)
+    | Plan.Baserel { child; _ } | Plan.External { child; _ } ->
+      bfrag ~provider ~batch_rows ?prof child
+    | Plan.Filter { child; pred } -> (
+      match bfrag ~provider ~batch_rows ?prof child with
+      | None -> None
+      | Some (table, arity, inst) ->
+        let pos = positions_of_schema (Plan.schema child) in
+        let conjuncts = Expr.conjuncts pred in
+        let c = prof_register prof plan in
+        Some
+          ( table,
+            arity,
+            fun () ->
+              let mk = inst () in
+              fun emit ->
+                let emit = prof_bemit c emit in
+                let kernels = List.map (conjunct_kernel pos) conjuncts in
+                mk (fun b ->
+                    match apply_filter kernels b with
+                    | None -> ()
+                    | Some b -> emit b) ))
+    | Plan.Project { child; cols } -> (
+      match bfrag ~provider ~batch_rows ?prof child with
+      | None -> None
+      | Some (table, arity, inst) ->
+        let pos = positions_of_schema (Plan.schema child) in
+        let c = prof_register prof plan in
+        Some
+          ( table,
+            arity,
+            fun () ->
+              let mk = inst () in
+              fun emit ->
+                let emit = prof_bemit c emit in
+                let builders = project_builders pos cols in
+                mk (fun b -> emit (apply_project builders b)) ))
+    | Plan.Join
+        {
+          kind = (Plan.Inner | Plan.Cross | Plan.Left | Plan.Semi | Plan.Anti) as kind;
+          left;
+          right;
+          pred;
+        } -> (
+      match bfrag ~provider ~batch_rows ?prof left with
+      | None -> None
+      | Some (table, arity, inst) ->
+        let left_schema = Plan.schema left
+        and right_schema = Plan.schema right in
+        let r_arity = List.length right_schema in
+        let l_pos = positions_of_schema left_schema in
+        let r_resolve = resolver_of_schema right_schema in
+        let keys, residual =
+          match pred with
+          | None -> ([], [])
+          | Some p -> split_join_pred left_schema right_schema p
+        in
+        let key_exprs = List.map (fun k -> k.l_expr) keys in
+        let rkey_fs =
+          Array.of_list
+            (List.map (fun k -> compile_expr r_resolve k.r_expr) keys)
+        in
+        let null_safety =
+          Array.of_list (List.map (fun k -> k.null_safe) keys)
+        in
+        let residual_f =
+          match residual with
+          | [] -> None
+          | preds ->
+            Some
+              (compile_pred
+                 (resolver_of_schema (left_schema @ right_schema))
+                 (Expr.conjoin preds))
+        in
+        let usable = key_usable null_safety in
+        let run_right = compile ~provider ~wrap:no_wrap no_outer right in
+        let c = prof_register prof plan in
+        Some
+          ( table,
+            arity,
+            fun () ->
+              let mk = inst () in
+              (* serial build: hash the right side once; workers only read *)
+              Perm_fault.trip fp_join_build;
+              let tbl = Tuple.Hash.create 256 in
+              let right_rows = Array.of_seq (run_right ()) in
+              Array.iteri
+                (fun idx rrow ->
+                  let key = key_of rkey_fs rrow in
+                  let prev =
+                    match Tuple.Hash.find_opt tbl key with
+                    | Some l -> l
+                    | None -> []
+                  in
+                  Tuple.Hash.replace tbl key ((idx, rrow) :: prev))
+                right_rows;
+              fun emit ->
+                let emit = prof_bemit c emit in
+                let lkey = key_filler l_pos key_exprs in
+                mk (fun lb ->
+                    List.iter emit
+                      (probe_batch ~kind ~r_arity ~batch_rows ~lkey ~usable
+                         ~tbl ~residual_f ~matched_right:None lb)) ))
+    | _ -> None
+
   (* Fan a compiled fragment out over the driving table's morsels; per-
      morsel outputs concatenate in morsel order, reproducing scan order.
      Every task checks the cancellation token before touching its morsel
      and charges it per emitted batch, so a kill (deadline, budget, manual
      cancel) noticed by any domain stops the rest at their next morsel. *)
-  let run_pipeline ~provider ~pool ~morsel_rows ~token ?prof ?progress plan =
+  (* Batch variant of [run_pipeline]: each task slices its morsel into
+     batches of [batch_rows] and pushes them through the fragment chain;
+     emitted batches flatten back to rows per morsel, so the morsel-order
+     merge (and therefore row order) is unchanged. The token is charged
+     once per emitted batch — cancel checks at batch boundaries. *)
+  let run_bpipeline ~provider ~pool ~morsel_rows ~batch_rows ~token ?prof
+      ?progress plan =
+    match bfrag ~provider ~batch_rows ?prof plan with
+    | None -> None
+    | Some (table, arity, inst) ->
+      Some
+        (fun () ->
+          Token.check token;
+          let morsels = provider.scan_morsels table morsel_rows in
+          let mk = inst () in
+          let n = Array.length morsels in
+          Option.iter (fun p -> Progress.set_morsels_total p n) progress;
+          let out = Array.make n [] in
+          let charge =
+            if Token.active token then fun k -> Token.charge token k
+            else fun _ -> ()
+          in
+          let tasks =
+            Array.init n (fun i () ->
+                Token.check token;
+                let acc = ref [] and cnt = ref 0 in
+                let consume =
+                  mk (fun b ->
+                      let live = Batch.live b in
+                      charge live;
+                      cnt := !cnt + live;
+                      List.iter
+                        (fun t -> acc := t :: !acc)
+                        (Batch.to_tuples b))
+                in
+                let m = morsels.(i) in
+                let len = Array.length m in
+                let size = max 1 batch_rows in
+                let off = ref 0 in
+                while !off < len do
+                  let l = min size (len - !off) in
+                  consume (Batch.of_rows ~arity m ~pos:!off ~len:l);
+                  off := !off + l
+                done;
+                out.(i) <- List.rev !acc;
+                Option.iter
+                  (fun p ->
+                    Progress.add_rows p !cnt;
+                    Progress.incr_morsels_done p)
+                  progress;
+                !cnt)
+          in
+          let rp = Pool.run pool tasks in
+          (List.concat (Array.to_list out), n, rp))
+
+  (* Batch variant of [run_aggregate]: per-morsel pre-aggregation fed from
+     column reads, merged in morsel order with the same [agg_merge] as the
+     row path — results and group order stay byte-identical to serial. *)
+  let run_baggregate ~provider ~pool ~morsel_rows ~batch_rows ~token ?prof
+      ?progress plan child group_by aggs =
+    if not (List.for_all mergeable_agg aggs) then None
+    else
+      match bfrag ~provider ~batch_rows ?prof child with
+      | None -> None
+      | Some (table, arity, inst) ->
+        let pos = positions_of_schema (Plan.schema child) in
+        let group_exprs = List.map fst group_by in
+        let aggs_arr = Array.of_list aggs in
+        let nagg = Array.length aggs_arr in
+        let global = group_by = [] in
+        let c = prof_register prof plan in
+        Some
+          (fun () ->
+            let morsels = provider.scan_morsels table morsel_rows in
+            let mk = inst () in
+            let n = Array.length morsels in
+            Option.iter (fun p -> Progress.set_morsels_total p n) progress;
+            let partials : (Tuple.t * agg_state array) list array =
+              Array.make n []
+            in
+            let charge =
+              if Token.active token then fun k -> Token.charge token k
+              else fun _ -> ()
+            in
+            let tasks =
+              Array.init n (fun i () ->
+                  Token.check token;
+                  let groups = Tuple.Hash.create 64 in
+                  let order = ref [] in
+                  let cnt = ref 0 in
+                  let gkey = key_filler pos group_exprs in
+                  let arg_gets =
+                    Array.of_list
+                      (List.map
+                         (fun (ac : Plan.agg_call) ->
+                           Option.map (bexpr_of pos) ac.arg)
+                         aggs)
+                  in
+                  let consume =
+                    mk (fun b ->
+                        let live = Batch.live b in
+                        charge live;
+                        cnt := !cnt + live;
+                        Batch.iter_live
+                          (fun p ->
+                            let key = gkey b p in
+                            let states =
+                              match Tuple.Hash.find_opt groups key with
+                              | Some s -> s
+                              | None ->
+                                let s =
+                                  Array.map (fun a -> new_agg_state a) aggs_arr
+                                in
+                                Tuple.Hash.replace groups key s;
+                                order := (key, s) :: !order;
+                                s
+                            in
+                            for k = 0 to nagg - 1 do
+                              let v =
+                                match arg_gets.(k) with
+                                | None -> None
+                                | Some g -> Some (g b p)
+                              in
+                              agg_feed aggs_arr.(k) states.(k) v
+                            done)
+                          b)
+                  in
+                  let m = morsels.(i) in
+                  let len = Array.length m in
+                  let size = max 1 batch_rows in
+                  let off = ref 0 in
+                  while !off < len do
+                    let l = min size (len - !off) in
+                    consume (Batch.of_rows ~arity m ~pos:!off ~len:l);
+                    off := !off + l
+                  done;
+                  partials.(i) <- List.rev !order;
+                  Option.iter
+                    (fun p ->
+                      Progress.add_rows p !cnt;
+                      Progress.incr_morsels_done p)
+                    progress;
+                  !cnt)
+            in
+            let rp = Pool.run pool tasks in
+            Token.check token;
+            Perm_fault.trip fp_agg_merge;
+            let groups = Tuple.Hash.create 64 in
+            let order = ref [] in
+            Array.iter
+              (List.iter (fun (key, states) ->
+                   match Tuple.Hash.find_opt groups key with
+                   | None ->
+                     Tuple.Hash.replace groups key states;
+                     order := key :: !order
+                   | Some gstates ->
+                     for k = 0 to nagg - 1 do
+                       agg_merge aggs_arr.(k) gstates.(k) states.(k)
+                     done))
+              partials;
+            let emit key states =
+              Array.append key (Array.map2 agg_result aggs_arr states)
+            in
+            let rows =
+              if global && Tuple.Hash.length groups = 0 then
+                [ emit [||] (Array.map (fun a -> new_agg_state a) aggs_arr) ]
+              else
+                List.rev_map
+                  (fun key -> emit key (Tuple.Hash.find groups key))
+                  !order
+            in
+            prof_count c (List.length rows);
+            (rows, n, rp))
+
+  let run_row_pipeline ~provider ~pool ~morsel_rows ~token ?prof ?progress
+      plan =
     match frag ~provider ?prof plan with
     | None -> None
     | Some (table, inst) ->
@@ -1269,11 +2694,20 @@ module Par = struct
           let rp = Pool.run pool tasks in
           (List.concat (Array.to_list out), n, rp))
 
+  let run_pipeline ~provider ~pool ~morsel_rows ?batch_rows ~token ?prof
+      ?progress plan =
+    match batch_rows with
+    | Some bn when bn > 0 ->
+      run_bpipeline ~provider ~pool ~morsel_rows ~batch_rows:bn ~token ?prof
+        ?progress plan
+    | _ ->
+      run_row_pipeline ~provider ~pool ~morsel_rows ~token ?prof ?progress plan
+
   (* Partitioned pre-aggregation: each morsel aggregates into its own group
      table, the driver merges partitions in morsel order so the first-seen
      group order (and therefore row order) matches serial execution. *)
-  let run_aggregate ~provider ~pool ~morsel_rows ~token ?prof ?progress plan
-      child group_by aggs =
+  let run_row_aggregate ~provider ~pool ~morsel_rows ~token ?prof ?progress
+      plan child group_by aggs =
     if not (List.for_all mergeable_agg aggs) then None
     else
       match frag ~provider ?prof child with
@@ -1369,6 +2803,16 @@ module Par = struct
             prof_count c (List.length rows);
             (rows, n, rp))
 
+  let run_aggregate ~provider ~pool ~morsel_rows ?batch_rows ~token ?prof
+      ?progress plan child group_by aggs =
+    match batch_rows with
+    | Some bn when bn > 0 ->
+      run_baggregate ~provider ~pool ~morsel_rows ~batch_rows:bn ~token ?prof
+        ?progress plan child group_by aggs
+    | _ ->
+      run_row_aggregate ~provider ~pool ~morsel_rows ~token ?prof ?progress
+        plan child group_by aggs
+
   let rec drop n l =
     if n <= 0 then l else match l with [] -> [] | _ :: t -> drop (n - 1) t
 
@@ -1377,14 +2821,15 @@ module Par = struct
     else match l with [] -> [] | x :: t -> x :: take (n - 1) t
 
   (* Serial tails (Sort/Limit/final Project) over a parallel core. *)
-  let rec runner ~provider ~pool ~morsel_rows ~token ?prof ?progress
-      (plan : Plan.t) : (unit -> Tuple.t list * int * Pool.report) option =
+  let rec runner ~provider ~pool ~morsel_rows ?batch_rows ~token ?prof
+      ?progress (plan : Plan.t) :
+      (unit -> Tuple.t list * int * Pool.report) option =
     match plan with
     | Plan.Aggregate { child; group_by; aggs } ->
-      run_aggregate ~provider ~pool ~morsel_rows ~token ?prof ?progress plan
-        child group_by aggs
+      run_aggregate ~provider ~pool ~morsel_rows ?batch_rows ~token ?prof
+        ?progress plan child group_by aggs
     | Plan.Sort { child; keys } -> (
-      match runner ~provider ~pool ~morsel_rows ~token ?prof ?progress child with
+      match runner ~provider ~pool ~morsel_rows ?batch_rows ~token ?prof ?progress child with
       | None -> None
       | Some run ->
         let resolve = resolver_of_schema (Plan.schema child) in
@@ -1412,7 +2857,7 @@ module Par = struct
             prof_count c (Array.length arr);
             (Array.to_list arr, m, rp)))
     | Plan.Limit { child; limit; offset } -> (
-      match runner ~provider ~pool ~morsel_rows ~token ?prof ?progress child with
+      match runner ~provider ~pool ~morsel_rows ?batch_rows ~token ?prof ?progress child with
       | None -> None
       | Some run ->
         let c = prof_register prof plan in
@@ -1430,11 +2875,11 @@ module Par = struct
          part of the spine — roll the registry back so only stages that
          actually run are reported. *)
       let saved = match prof with Some reg -> !reg | None -> [] in
-      match run_pipeline ~provider ~pool ~morsel_rows ~token ?prof ?progress plan with
+      match run_pipeline ~provider ~pool ~morsel_rows ?batch_rows ~token ?prof ?progress plan with
       | Some r -> Some r
       | None -> (
         (match prof with Some reg -> reg := saved | None -> ());
-        match runner ~provider ~pool ~morsel_rows ~token ?prof ?progress child with
+        match runner ~provider ~pool ~morsel_rows ?batch_rows ~token ?prof ?progress child with
         | None -> None
         | Some run ->
           let resolve = resolver_of_schema (Plan.schema child) in
@@ -1451,15 +2896,21 @@ module Par = struct
               in
               prof_count c (List.length rows);
               (rows, m, rp))))
-    | _ -> run_pipeline ~provider ~pool ~morsel_rows ~token ?prof ?progress plan
+    | _ ->
+      run_pipeline ~provider ~pool ~morsel_rows ?batch_rows ~token ?prof
+        ?progress plan
 
   (* [prepare] returns None when the plan shape is not morsel-eligible (the
      caller falls back to the serial compile); otherwise a thunk that runs
      the parallel plan and reports fan-out statistics. *)
   let prepare ~provider ~pool ?(morsel_rows = default_morsel_rows)
-      ?(token = Token.none) ?row_limit ?progress ?(profile = false) plan =
+      ?batch_rows ?(token = Token.none) ?row_limit ?progress
+      ?(profile = false) plan =
     let prof = if profile then Some (ref []) else None in
-    match runner ~provider ~pool ~morsel_rows ~token ?prof ?progress plan with
+    match
+      runner ~provider ~pool ~morsel_rows ?batch_rows ~token ?prof ?progress
+        plan
+    with
     | None -> None
     | Some run ->
       Some

@@ -28,6 +28,12 @@ type provider = {
       (** [scan_morsels table rows]: the table partitioned into fixed-size
           morsels (the last may be short) in scan order; concatenating the
           morsels must reproduce [scan_table]. Backs {!Par}. *)
+  scan_batches : string -> int -> Perm_storage.Batch.t array;
+      (** [scan_batches table rows]: the table as columnar batches of at
+          most [rows] rows each, in scan order; their live tuples must
+          reproduce [scan_table]. Storage backends may serve a cached
+          columnar image — callers must never mutate the column arrays.
+          Backs the vectorized path's [Plan.Scan]. *)
 }
 
 val morsels_of_list :
@@ -36,16 +42,46 @@ val morsels_of_list :
     implementation for providers without chunked storage (virtual
     relations, test fixtures). *)
 
+val batches_of_list :
+  arity:int ->
+  batch_rows:int ->
+  Perm_storage.Tuple.t list ->
+  Perm_storage.Batch.t array
+(** Transpose a materialized row list into dense batches — the
+    [scan_batches] implementation for providers without columnar storage. *)
+
+val default_batch_rows : int
+(** Default batch size for the vectorized path (rows per columnar batch). *)
+
+val batch_eligible : Perm_algebra.Plan.t -> bool
+(** [true] when the whole plan can run on the vectorized batch path: any
+    correlated [Apply] (or stray [Prov] marker) anywhere in the tree forces
+    the row-at-a-time fallback. *)
+
 val run :
   ?token:Perm_err.Token.t ->
   ?row_limit:int ->
   ?progress:Progress.t ->
+  ?batch_rows:int ->
   provider:provider ->
   Perm_algebra.Plan.t ->
   (Perm_storage.Tuple.t list, string) result
 (** Executes the plan and materializes the result in plan-schema column
     order. Runtime errors (division by zero, failing casts, scalar
     subqueries returning several rows) are returned as [Error].
+
+    When [batch_rows] is given (and positive) and the plan is
+    {!batch_eligible}, operators exchange columnar batches of at most
+    [batch_rows] rows (column arrays + a selection vector) instead of
+    pulling tuples one at a time: filters narrow the selection vector with
+    kernels specialized on the compared constant, projections of plain
+    attributes share column pointers, joins expand matches out of line,
+    and aggregation feeds group states from column reads. Every kernel
+    applies the same [Value] operations in the same row order as the row
+    path, so results are byte-identical regardless of batch size. With an
+    active [token], the batch path checks it at operator start and charges
+    it per batch (of its live row count) — cancel latency is bounded by
+    one batch per operator.
 
     When [progress] is given, every row materialized at the plan root
     bumps its lock-free row counter, so another domain can sample live
@@ -86,8 +122,12 @@ type node_stats = {
       (** max rows produced by a single invocation — the largest batch
           this operator streamed *)
   mutable stat_peak_bytes : int;
-      (** [stat_peak_rows] times an estimated row width: a coarse peak
-          batch memory estimate *)
+      (** peak batch memory: on the row path, [stat_peak_rows] times an
+          estimated row width; on the vectorized path, the exact measured
+          heap footprint of the largest batch the operator emitted *)
+  mutable stat_exact_bytes : bool;
+      (** [true] when [stat_peak_bytes] was measured ([Obj.reachable_words]
+          per batch, vectorized path) rather than estimated *)
 }
 
 type exec_stats
@@ -96,6 +136,7 @@ val run_instrumented :
   ?token:Perm_err.Token.t ->
   ?row_limit:int ->
   ?progress:Progress.t ->
+  ?batch_rows:int ->
   provider:provider ->
   Perm_algebra.Plan.t ->
   (Perm_storage.Tuple.t list * exec_stats, string) result
@@ -163,6 +204,7 @@ module Par : sig
     provider:provider ->
     pool:Pool.t ->
     ?morsel_rows:int ->
+    ?batch_rows:int ->
     ?token:Perm_err.Token.t ->
     ?row_limit:int ->
     ?progress:Progress.t ->
@@ -174,6 +216,13 @@ module Par : sig
       aggregates, Index_scan or Values spines) — the caller falls back to
       {!run}. The returned thunk may be invoked once per statement; the
       pool is reused across calls.
+
+      When [batch_rows] is given (and positive), workers slice their
+      morsels into columnar batches and push them through the same batch
+      kernels as the serial vectorized path — per-morsel overhead
+      amortizes across the batch, and the token is charged per batch.
+      Output rows still concatenate in morsel order, so results remain
+      byte-identical to both serial paths.
 
       When [token] is active every morsel task checks it on entry and
       charges it per emitted batch, so a kill noticed by one domain stops

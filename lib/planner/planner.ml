@@ -760,3 +760,15 @@ let parallel_verdict ?(threshold = default_parallel_threshold) (stats : stats)
   | Ok (table, rows) ->
     if rows < threshold then Par_fallback "small"
     else Par_ok { par_table = table; par_est_rows = rows }
+
+(* Morsel sizing for the batch-at-a-time parallel path. A morsel is the
+   unit of work-stealing; a batch is the unit of kernel execution. Making
+   the morsel a whole multiple of [batch_rows] means workers never slice
+   ragged sub-batches mid-morsel, and targeting ~4 morsels per domain
+   keeps the claim counter warm without starving the tail. *)
+let choose_morsel_rows ~batch_rows ~driving_rows ~domains =
+  let batch_rows = max 1 batch_rows in
+  let domains = max 1 domains in
+  let target = max batch_rows (driving_rows / (4 * domains)) in
+  let batches = (target + batch_rows - 1) / batch_rows in
+  batches * batch_rows

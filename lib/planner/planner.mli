@@ -98,3 +98,9 @@ val default_parallel_threshold : int
 
 val parallel_verdict :
   ?threshold:int -> stats -> Perm_algebra.Plan.t -> par_verdict
+
+val choose_morsel_rows :
+  batch_rows:int -> driving_rows:int -> domains:int -> int
+(** Morsel size for the batch-at-a-time parallel path: a whole multiple
+    of [batch_rows] targeting ~4 morsels per domain over the driving
+    relation, never smaller than one batch. *)

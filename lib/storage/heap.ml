@@ -23,6 +23,9 @@ type t = {
   schema : Schema.t;
   rows : Tuple.t Vec.t;
   mutable distinct_cache : int array option;
+  mutable batch_cache : (int * Batch.t array) option;
+      (* (batch_rows, columnar image) — transposed once per table version
+         and shared by every vectorized scan until the next mutation *)
   indexes : (int, index) Hashtbl.t;  (* column position -> index *)
 }
 
@@ -31,6 +34,7 @@ let create schema =
     schema;
     rows = Vec.create ();
     distinct_cache = None;
+    batch_cache = None;
     indexes = Hashtbl.create 4;
   }
 
@@ -41,6 +45,9 @@ let copy t =
     schema = t.schema;
     rows = Vec.copy t.rows;
     distinct_cache = t.distinct_cache;
+    (* batches are immutable, so the image can be shared; each copy
+       invalidates its own cache on its own mutations *)
+    batch_cache = t.batch_cache;
     indexes;
   }
 
@@ -80,6 +87,7 @@ let insert t row =
         Vec.push t.rows out;
         Hashtbl.iter (fun col idx -> index_add idx out.(col) pos) t.indexes;
         t.distinct_cache <- None;
+        t.batch_cache <- None;
         Ok ()
       end
       else
@@ -140,11 +148,13 @@ let replace_all t rows =
         Hashtbl.iter (fun col idx -> index_add idx out.(col) pos) t.indexes)
       staged;
     t.distinct_cache <- None;
+    t.batch_cache <- None;
     Ok ()
 
 let truncate t =
   Vec.clear t.rows;
   t.distinct_cache <- None;
+  t.batch_cache <- None;
   (* keep index definitions, drop their contents *)
   Hashtbl.iter (fun _ idx -> Value_hash.reset idx) t.indexes
 
@@ -161,6 +171,34 @@ let scan_chunk t ~pos ~len = Vec.sub t.rows pos len
 let scan_morsels t ~rows =
   Perm_fault.trip fp_scan;
   Vec.chunks t.rows ~size:rows
+
+(* Columnar scan for the vectorized executor. The transpose runs once per
+   (table version, batch size) and the resulting image — column arrays
+   shared by every batch — is reused by all later scans; any mutation
+   drops it. The fault point trips per scan, like [scan_morsels], so
+   chaos schedules are unchanged by caching. *)
+let scan_batches t ~rows =
+  Perm_fault.trip fp_scan;
+  let size = max 1 rows in
+  match t.batch_cache with
+  | Some (sz, batches) when sz = size -> batches
+  | _ ->
+    let n = Vec.length t.rows in
+    let arity = Schema.arity t.schema in
+    let batches =
+      Array.init
+        ((n + size - 1) / size)
+        (fun bi ->
+          let pos = bi * size in
+          let len = min size (n - pos) in
+          let cols =
+            Array.init arity (fun c ->
+                Array.init len (fun i -> (Vec.get t.rows (pos + i)).(c)))
+          in
+          Batch.dense cols len)
+    in
+    t.batch_cache <- Some (size, batches);
+    batches
 
 let distinct_estimate t col =
   let counts =

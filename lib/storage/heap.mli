@@ -37,6 +37,13 @@ val scan_morsels : t -> rows:int -> Tuple.t array array
     in insertion order, for morsel-driven parallel scans: concatenating
     the morsels reproduces {!scan}. *)
 
+val scan_batches : t -> rows:int -> Batch.t array
+(** The heap as columnar batches of at most [rows] rows each, in
+    insertion order: their live tuples reproduce {!scan}. The transpose
+    runs once per (table version, batch size) and is cached until the
+    next write, so repeated vectorized scans share one immutable columnar
+    image. Callers must not mutate the column arrays. *)
+
 val distinct_estimate : t -> int -> int
 (** [distinct_estimate h col] is the exact number of distinct values in
     column [col], computed on demand and cached until the next write. Used

@@ -240,6 +240,93 @@ let suite_determinism =
           "replayed schedule matches" a b);
   ]
 
+(* Batch-boundary guarantees of the vectorized path: the cancel token is
+   checked at operator start and charged once per emitted batch, so a
+   governor kill lands within a bounded number of batches; fault points
+   trip per operator invocation, so the injection schedule is a function
+   of the seed alone — not of the batch size, and not of whether the
+   statement ran on the row or the batch path. *)
+let suite_batch =
+  let expect_timeout e ~bound_ms sql =
+    Engine.set_statement_timeout e bound_ms;
+    let t0 = Unix.gettimeofday () in
+    let err =
+      match Engine.execute_err e sql with
+      | Ok _ -> Alcotest.failf "%s finished under a %.0f ms timeout" sql bound_ms
+      | Error err -> err
+    in
+    let elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+    Engine.set_statement_timeout e 0.;
+    Alcotest.(check bool)
+      (Printf.sprintf "killed with Timeout [got %s]" (Err.kind_label err.Err.kind))
+      true
+      (err.Err.kind = Err.Timeout);
+    Alcotest.(check bool)
+      (Printf.sprintf "killed within 2x bound (%.0f ms <= %.0f ms)" elapsed_ms
+         (2. *. bound_ms))
+      true
+      (elapsed_ms <= 2. *. bound_ms)
+  in
+  [
+    case "fault schedule identical across batch sizes and vs the row path"
+      (fun () ->
+        let outcomes ~vectorized ~batch_rows =
+          let e = engine () in
+          Perm_workload.Forum.load_scaled e ~messages:100 ~users:5 ();
+          Engine.set_parallel e Engine.Par_off;
+          Engine.set_vectorized e vectorized;
+          Engine.set_batch_rows e batch_rows;
+          Fault.reset ();
+          Fault.set_seed seed;
+          List.iter (fun p -> Fault.set p 0.3) all_points;
+          let kinds =
+            List.map
+              (fun sql ->
+                match Engine.execute_err e sql with
+                | Ok _ -> "ok"
+                | Error err -> Err.kind_label err.Err.kind)
+              (battery_queries @ battery_queries)
+          in
+          let injected = Fault.injections () in
+          Fault.reset ();
+          (kinds, injected)
+        in
+        let row_path = outcomes ~vectorized:false ~batch_rows:1024 in
+        List.iter
+          (fun n ->
+            Alcotest.(check (pair (list string) int))
+              (Printf.sprintf "batch_rows=%d replays the row-path schedule" n)
+              row_path
+              (outcomes ~vectorized:true ~batch_rows:n))
+          [ 1; 7; 1024 ]);
+    case "timeout on the serial batch path: killed within 2x at batch bounds"
+      (fun () ->
+        let e = engine () in
+        Perm_workload.Forum.load_scaled e ~messages:400 ~users:3 ();
+        Engine.set_parallel e Engine.Par_off;
+        Engine.set_vectorized e true;
+        Engine.set_batch_rows e 64;
+        expect_timeout e ~bound_ms:250.
+          "SELECT m1.mid + m2.mid + m3.mid FROM messages m1, messages m2, \
+           messages m3";
+        (* session still healthy on the same path *)
+        ignore (query_ok e "SELECT count(*) FROM messages"));
+    case "timeout on the parallel batch path: pool drains and survives"
+      (fun () ->
+        let e = engine () in
+        Perm_workload.Forum.load_scaled e ~messages:3000 ~users:3 ();
+        go_parallel e;
+        Engine.set_vectorized e true;
+        Engine.set_batch_rows e 64;
+        expect_timeout e ~bound_ms:400.
+          "SELECT PROVENANCE m1.text, m2.text FROM messages m1, messages m2 \
+           WHERE m1.uid = m2.uid";
+        ignore (query_ok e "SELECT mid, text FROM messages WHERE mid >= 0");
+        Alcotest.(check int) "pool reused after the kill" domains
+          (Engine.pool_size e);
+        Engine.close e);
+  ]
+
 let () =
   Alcotest.run "chaos"
     [
@@ -247,4 +334,5 @@ let () =
       ("sweep", suite_sweep);
       ("integrity", suite_integrity);
       ("determinism", suite_determinism);
+      ("batch", suite_batch);
     ]

@@ -42,6 +42,10 @@ let provider : Executor.provider =
       (fun table rows ->
         Executor.morsels_of_list ~morsel_rows:rows
           (List.map row (if table = "r" then r_rows else s_rows)));
+    Executor.scan_batches =
+      (fun table rows ->
+        Executor.batches_of_list ~arity:2 ~batch_rows:rows
+          (List.map row (if table = "r" then r_rows else s_rows)));
   }
 
 let scan table =
