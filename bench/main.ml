@@ -489,6 +489,9 @@ let b8_guard_measure ~size =
      left in parallel mode by B7-par, which would swamp the guard delta *)
   let e = Engine.create () in
   Forum.load_scaled e ~messages:size ~users:(max 10 (size / 20)) ();
+  (* spill off: the armed arm must exercise the kill-switch guard, not
+     the graceful spill threshold *)
+  Engine.set_spill e false;
   (* run the whole battery once before measuring anything: the heap grows
      to working size on the first heavy query, and whichever arm ran
      first would otherwise eat that cost as phantom overhead *)
@@ -795,6 +798,118 @@ let b12_vec ~size =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* B13-wal: durability cost. Per-statement WAL logging prices one       *)
+(* append per mutation plus a sealed commit frame; fsync-on-commit adds *)
+(* the stable-storage wait. The spill sweep prices graceful             *)
+(* degradation: the same sort+join under shrinking tuple budgets,       *)
+(* external runs and chunked builds vs all in memory.                   *)
+(* ------------------------------------------------------------------ *)
+
+let b13_inserts = 300
+
+let b13_temp_dir () =
+  let d = Filename.temp_file "perm_bench_wal" "" in
+  Sys.remove d;
+  Unix.mkdir d 0o755;
+  d
+
+let b13_wal_measure () =
+  let clock = Toolkit.Monotonic_clock.make () in
+  let now () = Toolkit.Monotonic_clock.get clock in
+  let exec e sql =
+    match Engine.execute e sql with
+    | Ok _ -> ()
+    | Error msg -> failwith ("B13-wal: " ^ msg)
+  in
+  let arm ~wal ~fsync =
+    let e = Engine.create () in
+    let dir = if wal then Some (b13_temp_dir ()) else None in
+    (match dir with
+    | Some d -> (
+      match Engine.enable_wal e d with
+      | Ok _ -> Engine.set_wal_fsync e fsync
+      | Error err -> failwith ("B13-wal: " ^ Perm_err.to_string err))
+    | None -> ());
+    exec e "CREATE TABLE b13 (k INTEGER, v TEXT);";
+    (* warm: the first inserts pay heap growth and, on the WAL arms,
+       file creation *)
+    for i = 0 to 49 do
+      exec e (Printf.sprintf "INSERT INTO b13 VALUES (%d, 'warm%d');" i i)
+    done;
+    let t0 = now () in
+    for i = 0 to b13_inserts - 1 do
+      exec e (Printf.sprintf "INSERT INTO b13 VALUES (%d, 'row%d');" (i + 50) i)
+    done;
+    let dt = now () -. t0 in
+    Engine.close e;
+    (match dir with
+    | Some d ->
+      ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote d)))
+    | None -> ());
+    dt /. float_of_int b13_inserts
+  in
+  [
+    ("wal off", arm ~wal:false ~fsync:false);
+    ("wal on, fsync off", arm ~wal:true ~fsync:false);
+    ("wal on, fsync on", arm ~wal:true ~fsync:true);
+  ]
+
+(* 0 = budget off (pure in-memory); the small budgets force external
+   sort runs and chunked join builds through the spill path *)
+let b13_spill_budgets = [ 0; 20_000; 2_000; 500 ]
+
+let b13_spill_measure ~size =
+  let e = Engine.create () in
+  Forum.load_scaled e ~messages:size ~users:(max 10 (size / 20)) ();
+  Gc.compact ();
+  let sql =
+    "SELECT m.text, u.name FROM messages m, users u WHERE m.uid = u.uid \
+     ORDER BY m.text, u.name"
+  in
+  let rows =
+    List.map
+      (fun budget ->
+        Engine.set_tuple_budget e budget;
+        (budget, time_query e sql))
+      b13_spill_budgets
+  in
+  Engine.set_tuple_budget e 0;
+  Engine.close e;
+  rows
+
+let b13_wal ~size =
+  let wal_rows =
+    let base = ref 0. in
+    List.map
+      (fun (name, t) ->
+        if !base = 0. then base := t;
+        [ name; fms t; ffac (t /. !base) ])
+      (b13_wal_measure ())
+  in
+  print_table
+    (Printf.sprintf
+       "B13-wal: per-insert durability cost (%d single-row inserts)"
+       b13_inserts)
+    [ "arm"; "ms/insert"; "vs off" ]
+    wal_rows;
+  let spill_rows =
+    List.map
+      (fun (budget, t) ->
+        [
+          (if budget = 0 then "off (in memory)" else string_of_int budget);
+          fms t;
+        ])
+      (b13_spill_measure ~size)
+  in
+  print_table
+    (Printf.sprintf
+       "B13-spill: tuple-budget sweep through the spilling sort+join (forum \
+        %d messages)"
+       size)
+    [ "tuple budget"; "ms" ]
+    spill_rows
+
+(* ------------------------------------------------------------------ *)
 (* Smoke mode: one instrumented pass over representative queries,       *)
 (* reporting the engine's own per-phase breakdown (no Bechamel); with   *)
 (* --json the breakdowns and the session metrics land in                *)
@@ -906,6 +1021,10 @@ let smoke ~json () =
        under-scrape overhead (acceptance target: within noise of the
        server-off arm) from here. *)
     let http_measured, http_scrapes = b11_http_measure ~size:1_000 in
+    (* B13-wal rides along: EXPERIMENTS.md quotes the per-insert WAL and
+       fsync cost and the spill-threshold sweep from here. *)
+    let wal_measured = b13_wal_measure () in
+    let spill_measured = b13_spill_measure ~size:1_000 in
     quota := saved_quota;
     let profiler_section =
       Json.Obj
@@ -1035,11 +1154,39 @@ let smoke ~json () =
                  vec_measured) );
         ]
     in
+    let durability_section =
+      Json.Obj
+        [
+          ("inserts", Json.Int b13_inserts);
+          ( "wal",
+            Json.List
+              (List.map
+                 (fun (name, t) ->
+                   Json.Obj
+                     [
+                       ("arm", Json.String name);
+                       ("ms_per_insert", Json.Float (ms t));
+                     ])
+                 wal_measured) );
+          ("spill_forum_messages", Json.Int 1_000);
+          ( "spill",
+            Json.List
+              (List.map
+                 (fun (budget, t) ->
+                   Json.Obj
+                     [
+                       ("tuple_budget", Json.Int budget);
+                       ("ms", Json.Float (ms t));
+                     ])
+                 spill_measured) );
+        ]
+    in
     let doc =
       Json.Obj
         [
           ("suite", Json.String "perm-bench-smoke");
           ("forum_messages", Json.Int 1_000);
+          ("durability", durability_section);
           ("vectorized", vectorized_section);
           ("parallel", parallel_section);
           ("guardrails", guard_section);
@@ -1226,4 +1373,5 @@ let () =
   b9_prof ~size:(if fast then 2_000 else 20_000);
   b10_hist ~size:(if fast then 2_000 else 20_000);
   b11_http ~size:(if fast then 2_000 else 20_000);
+  b13_wal ~size:(if fast then 2_000 else 20_000);
   print_newline ()

@@ -315,7 +315,18 @@ let help_text =
                            kill statements running longer than MS ms (0 = off)
   \set row_limit N         kill statements returning more than N rows (0 = off)
   \set tuple_budget N      kill statements moving more than N tuples across
-                           operators (0 = off)
+                           operators (0 = off); with spill on, the budget is
+                           a spill threshold instead of a kill
+  \set spill on|off        degrade gracefully past the tuple budget (external
+                           sort, chunked join build) instead of erroring
+                           (default on)
+  \set spill_dir DIR       directory for spill temp files (default $TMPDIR)
+  \set wal on DIR          write-ahead log in DIR: replay committed state,
+                           then log every mutation (PERM_WAL_DIR at start)
+  \set wal off             close the log; the session keeps running in memory
+  \set wal_fsync on|off    fsync the log on every commit (default on)
+  \wal status              log size, record count, last LSN, replay summary
+  \checkpoint              compact: snapshot.sql + truncate the log
   \set history N           history ring capacity per fingerprint (0 = off;
                            default 128)
   \set watchdog FACTOR     flag executions over FACTOR x the fingerprint's
@@ -337,6 +348,15 @@ Telemetry is also queryable as relations: perm_stat_statements,
 perm_stat_relations, perm_stat_plans, perm_stat_workers, perm_metrics,
 perm_stat_history, perm_stat_regressions, perm_metrics_history
 (try SELECT * FROM perm_stat_regressions ORDER BY seq DESC;).|}
+
+let print_replay_summary dir (rp : Perm_wal.replay) =
+  Printf.printf
+    "WAL on %s: replayed %s%d records (%d transactions committed, %d frames \
+     discarded, %d torn bytes truncated)\n"
+    dir
+    (if rp.Perm_wal.rp_snapshot then "snapshot + " else "")
+    rp.Perm_wal.rp_records rp.Perm_wal.rp_committed rp.Perm_wal.rp_discarded
+    rp.Perm_wal.rp_truncated_bytes
 
 let handle_meta session line =
   match String.split_on_char ' ' (String.trim line) with
@@ -514,6 +534,63 @@ let handle_meta session line =
       if n = 0 then print_endline "tuple budget off"
       else Printf.printf "tuple budget: %d tuples\n" n
     | _ -> print_endline "usage: \\set tuple_budget N (0 = off)");
+    `Continue
+  | [ "\\set"; "spill"; v ] ->
+    (match v with
+    | "on" ->
+      Engine.set_spill session.engine true;
+      print_endline "spill on (tuple budget degrades to disk instead of killing)"
+    | "off" ->
+      Engine.set_spill session.engine false;
+      print_endline "spill off (tuple budget kills statements again)"
+    | _ -> print_endline "usage: \\set spill on|off");
+    `Continue
+  | [ "\\set"; "spill_dir"; dir ] ->
+    Engine.set_spill_dir session.engine dir;
+    Printf.printf "spill directory: %s\n" dir;
+    `Continue
+  | [ "\\set"; "wal"; "on"; dir ] ->
+    (match Engine.enable_wal session.engine dir with
+    | Ok rp -> print_replay_summary dir rp
+    | Error e -> Printf.printf "ERROR: %s\n" (Err.to_string e));
+    `Continue
+  | [ "\\set"; "wal"; "off" ] ->
+    if Engine.wal_enabled session.engine then begin
+      Engine.disable_wal session.engine;
+      print_endline "WAL closed (session continues without durability)"
+    end
+    else print_endline "WAL is not enabled";
+    `Continue
+  | [ "\\set"; "wal_fsync"; v ] ->
+    (match v with
+    | "on" | "off" ->
+      Engine.set_wal_fsync session.engine (v = "on");
+      Printf.printf "WAL fsync on commit: %s\n" v
+    | _ -> print_endline "usage: \\set wal_fsync on|off");
+    `Continue
+  | [ "\\wal" ] | [ "\\wal"; "status" ] ->
+    (match Engine.wal_status session.engine with
+    | None -> print_endline "WAL is not enabled (\\set wal on DIR)"
+    | Some ws ->
+      Printf.printf "dir:    %s\n" ws.Engine.ws_dir;
+      Printf.printf "log:    %d bytes, %d records since checkpoint, last LSN %d%s\n"
+        ws.Engine.ws_bytes ws.Engine.ws_records ws.Engine.ws_last_lsn
+        (if ws.Engine.ws_dirty then "  [DIRTY: rebuild pending]" else "");
+      Printf.printf "fsync:  %s (%d since open)\n"
+        (if ws.Engine.ws_fsync_on then "on every commit" else "off")
+        ws.Engine.ws_fsyncs;
+      let rp = ws.Engine.ws_replay in
+      Printf.printf
+        "replay: %s%d records, %d transactions committed, %d frames discarded, \
+         %d torn bytes truncated\n"
+        (if rp.Perm_wal.rp_snapshot then "snapshot + " else "")
+        rp.Perm_wal.rp_records rp.Perm_wal.rp_committed rp.Perm_wal.rp_discarded
+        rp.Perm_wal.rp_truncated_bytes);
+    `Continue
+  | [ "\\checkpoint" ] ->
+    (match Engine.checkpoint session.engine with
+    | Ok () -> print_endline "checkpoint written; log truncated"
+    | Error e -> Printf.printf "ERROR: %s\n" (Err.to_string e));
     `Continue
   | [ "\\watch" ] | [ "\\watch"; "on" ] ->
     start_watch session;
@@ -731,6 +808,18 @@ let main demo script command =
       serve = None;
     }
   in
+  (* PERM_WAL_DIR enables durability before anything mutates: recovered
+     state is replayed here, and every later statement (demo load included)
+     is logged *)
+  (match Sys.getenv_opt "PERM_WAL_DIR" with
+  | Some dir when String.trim dir <> "" -> (
+    let dir = String.trim dir in
+    match Engine.enable_wal session.engine dir with
+    | Ok rp -> print_replay_summary dir rp
+    | Error e ->
+      Printf.eprintf "ERROR: PERM_WAL_DIR=%s: %s\n%!" dir (Err.to_string e);
+      exit 1)
+  | _ -> ());
   if demo then Perm_workload.Forum.load session.engine;
   (* PERM_HTTP_PORT starts the observability plane before any statement
      runs, so scripted/CI sessions are scrapeable without a \serve line *)

@@ -15,6 +15,8 @@ module Column = Perm_catalog.Column
 module Store = Perm_storage.Store
 module Heap = Perm_storage.Heap
 module Tuple = Perm_storage.Tuple
+module Spill = Perm_storage.Spill
+module Wal = Perm_wal
 module Value = Perm_value.Value
 module Dtype = Perm_value.Dtype
 module Metrics = Perm_obs.Metrics
@@ -104,6 +106,15 @@ type t = {
   mutable stmt_est_rows : float;  (* planner total estimate of that plan *)
   mutable stmt_skew : float;  (* max worker skew seen by the statement *)
   mutable live : live option;  (* progress of the last top-level statement *)
+  mutable wal : Wal.t option;  (* durability log; None = in-memory only *)
+  mutable wal_fsync : bool;  (* fsync on commit (default); off for benches *)
+  mutable wal_dirty : bool;
+      (* an append/fsync failed: the log trails the heaps. Logging stops
+         and the next top-level statement rebuilds the log from a
+         checkpoint before running. *)
+  mutable wal_begun : bool;  (* a Begin frame is open in the log *)
+  mutable spill_on : bool;  (* graceful spill instead of budget kills *)
+  mutable spill_dir : string;  (* where spill temp files go *)
   obs_lock : Mutex.t;
       (* Serializes engine-side telemetry-store *writes* (Stats, Profile,
          History, Eventlog, trace_log) against observability-plane *reads*
@@ -445,6 +456,12 @@ let create () =
       stmt_est_rows = 0.;
       stmt_skew = 1.;
       live = None;
+      wal = None;
+      wal_fsync = true;
+      wal_dirty = false;
+      wal_begun = false;
+      spill_on = true;
+      spill_dir = Filename.get_temp_dir_name ();
       obs_lock = Mutex.create ();
       on_close = [];
     }
@@ -573,19 +590,36 @@ let row_limit t = t.row_limit
 let set_tuple_budget t n = t.tuple_budget <- max 0 n
 let tuple_budget t = t.tuple_budget
 let cancel t reason = Token.cancel t.token reason
+let set_spill t b = t.spill_on <- b
+let spill_enabled t = t.spill_on
+let set_spill_dir t dir = t.spill_dir <- dir
+let spill_dir t = t.spill_dir
 
 let active_row_limit t = if t.row_limit > 0 then Some t.row_limit else None
+
+(* With spill on (the default) a tuple budget is a degradation threshold,
+   not a kill switch: the executor spills oversized sorts and join builds
+   to temp files instead of the token raising [Resource_exhausted]. [\set
+   spill off] restores the hard error. *)
+let active_spill t =
+  if t.spill_on && t.tuple_budget > 0 then
+    Some { Spill.dir = t.spill_dir; threshold = t.tuple_budget }
+  else None
 
 (* A fresh token per top-level statement, armed from the session's governor
    settings. Always a real token (never [Token.none]) so {!cancel} from
    another domain has something to fire at; the executor only installs its
-   per-operator guard when a limit is actually armed. *)
+   per-operator guard when a limit is actually armed. The tuple budget
+   arms the token only when spilling is off — otherwise it becomes the
+   spill threshold instead of a hard kill. *)
 let fresh_token t =
   Token.create
     ?timeout_ms:
       (if t.statement_timeout_ms > 0. then Some t.statement_timeout_ms
        else None)
-    ?tuple_budget:(if t.tuple_budget > 0 then Some t.tuple_budget else None)
+    ?tuple_budget:
+      (if t.tuple_budget > 0 && not t.spill_on then Some t.tuple_budget
+       else None)
     ()
 
 (* Lazily create the reusable worker pool on the first parallel query. *)
@@ -607,6 +641,11 @@ let close t =
   let hooks = t.on_close in
   t.on_close <- [];
   List.iter (fun f -> try f () with _ -> ()) hooks;
+  (match t.wal with
+  | Some w ->
+    Wal.close w;
+    t.wal <- None
+  | None -> ());
   shutdown_pool t
 let last_report t = t.report
 let provenance_columns t name =
@@ -927,7 +966,7 @@ let try_parallel t optimized =
         Executor.Par.prepare ~provider:(provider t) ~pool:(pool t)
           ~morsel_rows ?batch_rows:(active_batch_rows t) ~token:t.token
           ?row_limit:(active_row_limit t) ?progress:(live_progress t)
-          ~profile:t.instrument optimized
+          ~profile:t.instrument ?spill:(active_spill t) optimized
       with
       | None ->
         (* the planner mirror accepted a shape the executor declined *)
@@ -1066,7 +1105,7 @@ let exec_plan t optimized =
   let run_serial () =
     Executor.run ~token:t.token ?row_limit:(active_row_limit t)
       ?progress:(live_progress t) ?batch_rows:(active_batch_rows t)
-      ~provider:(provider t) optimized
+      ?spill:(active_spill t) ~provider:(provider t) optimized
   in
   match try_parallel t optimized with
   | Some run ->
@@ -1099,6 +1138,12 @@ let exec_plan t optimized =
           (* a governor kill is not a worker failure: the generation has
              already drained, so re-raise for the boundary — no retry *)
           raise e
+        | exception Spill.Fallback_needed _ ->
+          (* a build side or sort blew the spill threshold: the parallel
+             path never spills, the serial row path does *)
+          Spill.note_fallback ();
+          Metrics.incr t.metrics "executor.par.fallback.spill";
+          dat (run_serial ())
         | exception e ->
           (* a worker blew past the executor's error contract (injected
              fault, poisoned generation): degrade to the serial path once.
@@ -1120,8 +1165,8 @@ let exec_plan t optimized =
                Executor.run_instrumented ~token:t.token
                  ?row_limit:(active_row_limit t)
                  ?progress:(live_progress t)
-                 ?batch_rows:(active_batch_rows t) ~provider:(provider t)
-                 optimized))
+                 ?batch_rows:(active_batch_rows t) ?spill:(active_spill t)
+                 ~provider:(provider t) optimized))
       in
       record_exec_stats t exec_stats;
       record_plan_profile t optimized exec_stats;
@@ -1151,7 +1196,8 @@ let run_plan t plan =
     (capture t (fun () ->
          dat
            (Executor.run ~token:t.token ?row_limit:(active_row_limit t)
-              ?batch_rows:(active_batch_rows t) ~provider:(provider t) plan)))
+              ?batch_rows:(active_batch_rows t) ?spill:(active_spill t)
+              ~provider:(provider t) plan)))
 
 let explain_query t sql (q : Ast.query) =
   let* analyzed, rewritten, optimized = prepare t q in
@@ -1256,10 +1302,83 @@ let schema_of_plan plan =
   in
   Schema.make cols
 
+(* ------------------------------------------------------------------ *)
+(* Write-ahead logging: canonical DDL and logged mutation entry points  *)
+(* ------------------------------------------------------------------ *)
+
+(* Canonical SQL renderers, shared by [dump_sql] (the \save script and the
+   WAL checkpoint snapshot) and the Create/Drop WAL frames, so replay
+   re-executes exactly the DDL the dump would. *)
+let create_table_sql (def : Catalog.table_def) =
+  Printf.sprintf "CREATE TABLE %s (%s);" def.Catalog.table_name
+    (String.concat ", "
+       (List.map
+          (fun (c : Column.t) -> c.Column.name ^ " " ^ Dtype.to_string c.Column.ty)
+          (Schema.columns def.Catalog.table_schema)))
+
+let create_index_sql (d : Catalog.index_def) =
+  Printf.sprintf "CREATE INDEX %s ON %s (%s);" d.Catalog.index_name
+    d.Catalog.index_table d.Catalog.index_column
+
+let create_view_sql (v : Catalog.view_def) =
+  Printf.sprintf "CREATE VIEW %s AS %s;" v.Catalog.view_name v.Catalog.view_sql
+
+(* Append one frame, opening the statement's transaction lazily (read-only
+   statements never touch the log). Mutations are logged *after* they hit
+   the heap, so the frame records what actually happened — including a
+   partially applied insert. On an append failure the log is marked dirty:
+   logging stops (the heaps are ahead of the log) and the next top-level
+   statement rebuilds the log from a checkpoint before running. *)
+let wal_append t frame =
+  match t.wal with
+  | None -> ()
+  | Some w ->
+    if not t.wal_dirty then begin
+      try
+        if not t.wal_begun then begin
+          t.wal_begun <- true;
+          Wal.append w Wal.Begin
+        end;
+        Wal.append w frame
+      with e ->
+        t.wal_dirty <- true;
+        Metrics.incr t.metrics "wal.append.errors";
+        raise e
+    end
+
+(* The single logged entry points every DML/DDL path goes through, so the
+   WAL and the heaps can never disagree on the applied row set. *)
+
+(* [insert_all] keeps the inserted prefix when a later row fails
+   validation; log exactly the rows that landed. *)
+let logged_insert t name heap rows =
+  let before = Heap.row_count heap in
+  let result = Heap.insert_all heap rows in
+  let after = Heap.row_count heap in
+  if after > before then
+    wal_append t
+      (Wal.Insert
+         ( name,
+           Array.to_list (Heap.scan_chunk heap ~pos:before ~len:(after - before))
+         ));
+  result
+
+(* [replace_all] is atomic (validates everything first), so on [Ok] the
+   heap holds exactly [rows]. *)
+let logged_replace t name heap rows =
+  let result = Heap.replace_all heap rows in
+  (match result with Ok () -> wal_append t (Wal.Replace (name, rows)) | Error _ -> ());
+  result
+
+let logged_truncate t name heap =
+  Heap.truncate heap;
+  wal_append t (Wal.Delete name)
+
 let create_relation t name schema rows =
-  let* _def = sem (Catalog.add_table t.cat name schema) in
+  let* def = sem (Catalog.add_table t.cat name schema) in
   let* heap = sem (Store.create_table t.store name schema) in
-  let* () = dat (Heap.insert_all heap rows) in
+  wal_append t (Wal.Create (create_table_sql def));
+  let* () = dat (logged_insert t name heap rows) in
   Ok ()
 
 (* ------------------------------------------------------------------ *)
@@ -1294,13 +1413,13 @@ let insert_values t name rows =
       eval_rows (r :: acc) rest
   in
   let* rows = eval_rows [] rows in
-  let* () = dat (Heap.insert_all heap rows) in
+  let* () = dat (logged_insert t name heap rows) in
   Ok (List.length rows)
 
 let insert_select t name q =
   let* _def, heap = find_heap t name in
   let* { rows; _ } = run_query t q in
-  let* () = dat (Heap.insert_all heap rows) in
+  let* () = dat (logged_insert t name heap rows) in
   Ok (List.length rows)
 
 (* DELETE/UPDATE row selection reuses the analyzer+executor through a
@@ -1323,7 +1442,7 @@ let delete_rows t name where =
   match where with
   | None ->
     let n = Heap.row_count heap in
-    Heap.truncate heap;
+    logged_truncate t name heap;
     Ok n
   | Some _ ->
     let* matched = matching_rows t name where in
@@ -1333,7 +1452,7 @@ let delete_rows t name where =
       List.filter (fun r -> not (Tuple.Hash.mem victims r)) (Heap.to_list heap)
     in
     let deleted = Heap.row_count heap - List.length keep in
-    let* () = dat (Heap.replace_all heap keep) in
+    let* () = dat (logged_replace t name heap keep) in
     Ok deleted
 
 let update_rows t name assigns where =
@@ -1373,7 +1492,7 @@ let update_rows t name assigns where =
   let keep =
     List.filter (fun r -> not (Tuple.Hash.mem victims r)) (Heap.to_list heap)
   in
-  let* () = dat (Heap.replace_all heap (keep @ updated.rows)) in
+  let* () = dat (logged_replace t name heap (keep @ updated.rows)) in
   Ok (List.length updated.rows)
 
 (* ------------------------------------------------------------------ *)
@@ -1409,9 +1528,9 @@ let store_provenance t q name =
         String.length c.name >= 5 && String.sub c.name 0 5 = "prov_")
       (Schema.columns schema)
   in
-  Hashtbl.replace t.prov_tables
-    (String.lowercase_ascii name)
-    (List.map (fun (c : Column.t) -> c.name) prov_cols);
+  let prov_names = List.map (fun (c : Column.t) -> c.name) prov_cols in
+  Hashtbl.replace t.prov_tables (String.lowercase_ascii name) prov_names;
+  wal_append t (Wal.Prov (String.lowercase_ascii name, prov_names));
   Ok
     (Message
        (Printf.sprintf "stored provenance of query into table %S (%d rows, %d provenance columns)"
@@ -1456,7 +1575,18 @@ let copy_from t name path =
         let* () = dat (Heap.insert heap row) in
         load (n + 1) rest
   in
-  let* n = load 0 rows in
+  (* rows land one at a time (an invalid CSV row keeps the loaded prefix);
+     the WAL gets the applied prefix as a single Insert frame either way *)
+  let before = Heap.row_count heap in
+  let result = load 0 rows in
+  let after = Heap.row_count heap in
+  if after > before then
+    wal_append t
+      (Wal.Insert
+         ( name,
+           Array.to_list (Heap.scan_chunk heap ~pos:before ~len:(after - before))
+         ));
+  let* n = result in
   Ok (Affected n)
 
 let copy_to t name path =
@@ -1487,13 +1617,8 @@ let dump_sql t =
   let buf = Buffer.create 4096 in
   List.iter
     (fun (def : Catalog.table_def) ->
-      Buffer.add_string buf
-        (Printf.sprintf "CREATE TABLE %s (%s);\n" def.Catalog.table_name
-           (String.concat ", "
-              (List.map
-                 (fun (c : Column.t) ->
-                   c.Column.name ^ " " ^ Dtype.to_string c.Column.ty)
-                 (Schema.columns def.Catalog.table_schema))));
+      Buffer.add_string buf (create_table_sql def);
+      Buffer.add_char buf '\n';
       match Store.find t.store def.Catalog.table_name with
       | None -> ()
       | Some heap ->
@@ -1521,18 +1646,106 @@ let dump_sql t =
     (fun (def : Catalog.table_def) ->
       List.iter
         (fun (d : Catalog.index_def) ->
-          Buffer.add_string buf
-            (Printf.sprintf "CREATE INDEX %s ON %s (%s);\n" d.Catalog.index_name
-               d.Catalog.index_table d.Catalog.index_column))
+          Buffer.add_string buf (create_index_sql d);
+          Buffer.add_char buf '\n')
         (Catalog.indexes_on t.cat def.Catalog.table_name))
     (Catalog.tables t.cat);
   List.iter
     (fun (v : Catalog.view_def) ->
-      Buffer.add_string buf
-        (Printf.sprintf "CREATE VIEW %s AS %s;\n" v.Catalog.view_name
-           v.Catalog.view_sql))
+      Buffer.add_string buf (create_view_sql v);
+      Buffer.add_char buf '\n')
     (Catalog.views t.cat);
   Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* WAL commit protocol                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let wal_error t = function
+  | Perm_fault.Injected p ->
+    Metrics.incr t.metrics ("fault.injected." ^ p);
+    Error (Err.faulted (Printf.sprintf "fault injected at %s" p))
+  | Unix.Unix_error (err, fn, _) ->
+    Error (Err.runtime (Printf.sprintf "WAL %s: %s" fn (Unix.error_message err)))
+  | Sys_error msg -> Error (Err.runtime ("WAL: " ^ msg))
+  | e -> raise e
+
+let prov_list t =
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.prov_tables [])
+
+(* Compact the log into a snapshot of the current heaps. Also the repair
+   path for a dirty log: the snapshot is taken from the heaps, which are
+   authoritative, so afterwards log and heaps agree again. *)
+let wal_rebuild t w =
+  match Wal.checkpoint w ~snapshot_sql:(dump_sql t) ~prov:(prov_list t) with
+  | () ->
+    t.wal_dirty <- false;
+    t.wal_begun <- false;
+    Metrics.incr t.metrics "wal.checkpoints";
+    Ok ()
+  | exception e ->
+    Metrics.incr t.metrics "wal.checkpoint.errors";
+    wal_error t e
+
+(* Dirty-log repair, run before each top-level statement (never inside a
+   transaction: the heaps hold uncommitted state there). Deliberately not
+   run at statement end — a crash right after the fault must leave the
+   torn log for recovery to discard, not a freshly repaired one. *)
+let wal_repair t =
+  match t.wal with
+  | Some w when t.wal_dirty && t.snapshot = None -> (
+    match wal_rebuild t w with
+    | Ok () -> Metrics.incr t.metrics "wal.repairs"
+    | Error _ -> (* still dirty; logging stays off, retried next statement *) ())
+  | _ -> ()
+
+(* Append Commit and make it durable (fsync unless [\set wal_fsync off]).
+   On failure the log is dirty: the Commit may or may not have hit the
+   platter, and the next repair rebuilds from the heaps either way. *)
+let wal_commit_frames t w =
+  match
+    Wal.append w Wal.Commit;
+    if t.wal_fsync then Wal.fsync w
+  with
+  | () ->
+    t.wal_begun <- false;
+    Ok ()
+  | exception e ->
+    t.wal_dirty <- true;
+    t.wal_begun <- false;
+    Metrics.incr t.metrics "wal.append.errors";
+    wal_error t e
+
+(* Statement-boundary commit, outside explicit transactions. A dirty log
+   is left for the next statement's repair (see [wal_repair]). *)
+let wal_seal_statement t =
+  match t.wal with
+  | None -> Ok ()
+  | Some w ->
+    if t.wal_dirty || not t.wal_begun then Ok () else wal_commit_frames t w
+
+(* COMMIT of an explicit transaction: the heaps hold exactly the committed
+   state here, so a dirty log is rebuilt from them on the spot. *)
+let wal_txn_seal t =
+  match t.wal with
+  | None -> Ok ()
+  | Some w ->
+    if t.wal_dirty then wal_rebuild t w
+    else if not t.wal_begun then Ok ()
+    else wal_commit_frames t w
+
+(* ROLLBACK: the Abort frame is advisory (replay discards unsealed frames
+   anyway), so failures here only mark the log dirty. *)
+let wal_abort t =
+  match t.wal with
+  | Some w when t.wal_begun ->
+    t.wal_begun <- false;
+    if not t.wal_dirty then (
+      try Wal.append w Wal.Abort
+      with _ ->
+        t.wal_dirty <- true;
+        Metrics.incr t.metrics "wal.append.errors")
+  | _ -> ()
 
 let run_statement t sql (st : Ast.statement) =
   match st with
@@ -1559,13 +1772,15 @@ let run_statement t sql (st : Ast.statement) =
     (* validate now; store the SQL text for unfolding *)
     let* analyzed = sem (Analyzer.analyze_query t.cat q) in
     let* schema = sem (schema_of_plan analyzed) in
-    let* _def = sem (Catalog.add_view t.cat name ~sql:(Printer.query_to_string q) schema) in
+    let* def = sem (Catalog.add_view t.cat name ~sql:(Printer.query_to_string q) schema) in
+    wal_append t (Wal.Create (create_view_sql def));
     Ok (Message (Printf.sprintf "created view %S" name))
   | Ast.St_drop_table name ->
     let* () = sem (Catalog.drop_table t.cat name) in
     let* () = sem (Store.drop_table t.store name) in
     Catalog.drop_table_indexes t.cat name;
     Hashtbl.remove t.prov_tables (String.lowercase_ascii name);
+    wal_append t (Wal.Drop (Printf.sprintf "DROP TABLE %s;" name));
     Ok (Message (Printf.sprintf "dropped table %S" name))
   | Ast.St_create_index { index; table; column } ->
     let* def = sem (Catalog.add_index t.cat ~name:index ~table ~column) in
@@ -1575,6 +1790,7 @@ let run_statement t sql (st : Ast.statement) =
       | Some (pos, _) -> Heap.create_index heap pos
       | None -> ())
     | _ -> ());
+    wal_append t (Wal.Create (create_index_sql def));
     Ok (Message (Printf.sprintf "created index %S on %s(%s)" index table column))
   | Ast.St_drop_index name ->
     let* def = sem (Catalog.drop_index t.cat name) in
@@ -1587,9 +1803,11 @@ let run_statement t sql (st : Ast.statement) =
       | Some (pos, _) -> Heap.drop_index heap pos
       | None -> ())
     | _ -> ());
+    wal_append t (Wal.Drop (Printf.sprintf "DROP INDEX %s;" def.Catalog.index_name));
     Ok (Message (Printf.sprintf "dropped index %S" name))
   | Ast.St_drop_view name ->
     let* () = sem (Catalog.drop_view t.cat name) in
+    wal_append t (Wal.Drop (Printf.sprintf "DROP VIEW %s;" name));
     Ok (Message (Printf.sprintf "dropped view %S" name))
   | Ast.St_insert_values (name, rows) ->
     let* n = insert_values t name rows in
@@ -1625,6 +1843,9 @@ let run_statement t sql (st : Ast.statement) =
       (* the injection point sits before the snapshot drop: a faulted
          commit leaves the transaction open and the snapshot intact *)
       Perm_fault.trip fp_commit;
+      (* seal the transaction's frames (fsynced) before dropping the
+         rollback snapshot; on failure the transaction stays open *)
+      let* () = wal_txn_seal t in
       t.snapshot <- None;
       Ok (Message "transaction committed"))
   | Ast.St_rollback -> (
@@ -1635,7 +1856,134 @@ let run_statement t sql (st : Ast.statement) =
       t.store <- snap.snap_store;
       t.prov_tables <- snap.snap_prov;
       t.snapshot <- None;
+      wal_abort t;
       Ok (Message "transaction rolled back"))
+
+(* ------------------------------------------------------------------ *)
+(* WAL lifecycle                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Replay callback: run a snapshot script or one canonical DDL statement
+   against the live state. [t.wal] is not installed while replay runs, so
+   nothing is re-logged. *)
+let replay_sql t sql =
+  match Parser.parse_script sql with
+  | Error e -> Error (Parser.error_to_string ~input:sql e)
+  | Ok statements ->
+    let rec go = function
+      | [] -> Ok ()
+      | st :: rest -> (
+        match
+          capture t (fun () -> run_statement t (Printer.statement_to_string st) st)
+        with
+        | Ok _ -> go rest
+        | Error e -> Error (Err.to_string e))
+    in
+    go statements
+
+let wal_enabled t = t.wal <> None
+let set_wal_fsync t b = t.wal_fsync <- b
+let wal_fsync_enabled t = t.wal_fsync
+
+let enable_wal t dir =
+  if t.wal <> None then Error (Err.runtime "WAL is already enabled")
+  else if t.snapshot <> None then
+    Error (Err.runtime "cannot enable WAL inside a transaction")
+  else begin
+    let had_state = Catalog.tables t.cat <> [] || Catalog.views t.cat <> [] in
+    (* replay mutates live state; keep a copy so a failed replay leaves
+       the session exactly as it was *)
+    let save_cat = Catalog.copy t.cat in
+    let save_store = Store.copy t.store in
+    let save_prov = Hashtbl.copy t.prov_tables in
+    let heap_of name =
+      match Store.find t.store name with
+      | Some heap -> Ok heap
+      | None -> Error (Printf.sprintf "WAL replay: table %S does not exist" name)
+    in
+    let apply =
+      {
+        Wal.ap_sql = (fun sql -> replay_sql t sql);
+        Wal.ap_insert =
+          (fun name rows ->
+            Result.bind (heap_of name) (fun h -> Heap.insert_all h rows));
+        Wal.ap_truncate =
+          (fun name -> Result.map (fun h -> Heap.truncate h) (heap_of name));
+        Wal.ap_replace =
+          (fun name rows ->
+            Result.bind (heap_of name) (fun h -> Heap.replace_all h rows));
+        Wal.ap_prov =
+          (fun name cols ->
+            Hashtbl.replace t.prov_tables (String.lowercase_ascii name) cols;
+            Ok ());
+      }
+    in
+    let restore () =
+      t.cat <- save_cat;
+      t.store <- save_store;
+      t.prov_tables <- save_prov
+    in
+    match (try Ok (Wal.open_ ~dir ~apply) with e -> Error e) with
+    | Error e ->
+      restore ();
+      wal_error t e
+    | Ok (Error msg) ->
+      restore ();
+      Error (Err.runtime msg)
+    | Ok (Ok (w, replay)) ->
+      t.wal <- Some w;
+      t.wal_dirty <- false;
+      t.wal_begun <- false;
+      Metrics.incr t.metrics "wal.opens";
+      (* state created before WAL was switched on is not in the log:
+         capture it in a checkpoint right away *)
+      if had_state then (match wal_rebuild t w with Ok () | Error _ -> ());
+      Ok replay
+  end
+
+let disable_wal t =
+  match t.wal with
+  | None -> ()
+  | Some w ->
+    Wal.close w;
+    t.wal <- None;
+    t.wal_dirty <- false;
+    t.wal_begun <- false
+
+let checkpoint t =
+  match t.wal with
+  | None -> Error (Err.runtime "WAL is not enabled")
+  | Some w ->
+    if t.snapshot <> None then
+      Error (Err.runtime "cannot checkpoint inside a transaction")
+    else wal_rebuild t w
+
+type wal_status = {
+  ws_dir : string;
+  ws_bytes : int;
+  ws_records : int;
+  ws_last_lsn : int;
+  ws_fsyncs : int;
+  ws_fsync_on : bool;
+  ws_dirty : bool;
+  ws_replay : Wal.replay;
+}
+
+let wal_status t =
+  Option.map
+    (fun w ->
+      let s = Wal.status w in
+      {
+        ws_dir = s.Wal.st_dir;
+        ws_bytes = s.Wal.st_bytes;
+        ws_records = s.Wal.st_records;
+        ws_last_lsn = s.Wal.st_last_lsn;
+        ws_fsyncs = s.Wal.st_fsyncs;
+        ws_fsync_on = t.wal_fsync;
+        ws_dirty = t.wal_dirty;
+        ws_replay = s.Wal.st_replay;
+      })
+    t.wal
 
 let statement_uses_provenance (st : Ast.statement) =
   match st with
@@ -1748,7 +2096,11 @@ let execute_statement t sql (st : Ast.statement) =
         };
     (* a fresh governor token per top-level statement; nested statements
        share the enclosing statement's token (and its deadline) *)
-    t.token <- fresh_token t
+    t.token <- fresh_token t;
+    (* a dirty log (failed append/fsync) is rebuilt from a checkpoint
+       before anything else runs, closing the window where the log
+       trailed the heaps *)
+    wal_repair t
   end;
   let result =
     Fun.protect
@@ -1781,6 +2133,18 @@ let execute_statement t sql (st : Ast.statement) =
       | None -> result)
     | _ -> result
   in
+  (* Statement-boundary WAL commit, outside explicit transactions. Even a
+     failed statement may have mutated the heaps (partially applied
+     insert), so its frames are sealed either way — the log tracks the
+     heaps, not the statement's verdict. A commit failure downgrades an
+     [Ok] outcome: the caller must not believe the work is durable. *)
+  let result =
+    if saved = None && t.snapshot = None then
+      match wal_seal_statement t with
+      | Ok () -> result
+      | Error e -> ( match result with Error _ -> result | Ok _ -> Error e)
+    else result
+  in
   Metrics.incr t.metrics "engine.statements";
   (match result with
   | Error e ->
@@ -1799,6 +2163,26 @@ let execute_statement t sql (st : Ast.statement) =
         ("engine.phase." ^ Trace.name sp ^ ".ms")
         (Trace.duration_ms sp))
     (Trace.children root);
+  (* graceful-degradation telemetry: the process-global spill counters
+     mirrored as gauges (cheap; only once anything ever spilled), plus the
+     WAL's size so /metrics tracks log growth between checkpoints *)
+  (let sc = Spill.counters () in
+   if sc.Spill.c_spills > 0 || sc.Spill.c_fallbacks > 0 then begin
+     Metrics.set_gauge t.metrics "executor.spill.spills" (float_of_int sc.Spill.c_spills);
+     Metrics.set_gauge t.metrics "executor.spill.runs" (float_of_int sc.Spill.c_runs);
+     Metrics.set_gauge t.metrics "executor.spill.chunks" (float_of_int sc.Spill.c_chunks);
+     Metrics.set_gauge t.metrics "executor.spill.rows" (float_of_int sc.Spill.c_rows);
+     Metrics.set_gauge t.metrics "executor.spill.bytes" (float_of_int sc.Spill.c_bytes);
+     Metrics.set_gauge t.metrics "executor.spill.fallbacks"
+       (float_of_int sc.Spill.c_fallbacks)
+   end);
+  (match t.wal with
+  | Some w ->
+    let s = Wal.status w in
+    Metrics.set_gauge t.metrics "wal.bytes" (float_of_int s.Wal.st_bytes);
+    Metrics.set_gauge t.metrics "wal.records" (float_of_int s.Wal.st_records);
+    Metrics.set_gauge t.metrics "wal.fsyncs" (float_of_int s.Wal.st_fsyncs)
+  | None -> ());
   (* counters above are already bumped, so a metric sample taken while
      recording statement stats sees this statement too *)
   if saved = None then begin

@@ -375,10 +375,31 @@ val row_limit : t -> int
 
 val set_tuple_budget : t -> int -> unit
 (** Budget on tuples flowing across operator boundaries (a proxy for
-    intermediate-result memory); exceeding it kills the statement with
-    [Resource_exhausted]. [0] = off. *)
+    intermediate-result memory). With spill on (the default) exceeding it
+    makes materializing operators degrade to disk (see {!set_spill});
+    with spill off it kills the statement with [Resource_exhausted].
+    [0] = off. *)
 
 val tuple_budget : t -> int
+
+val set_spill : t -> bool -> unit
+(** Graceful spill-to-disk (default on). When on and a tuple budget is
+    armed, the budget becomes a degradation threshold instead of a kill:
+    sorts past the threshold run as external merge sorts and hash-join
+    build sides are chunked onto temp files, with results byte-identical
+    to the in-memory path. The batch and parallel executors never spill
+    themselves — they fall back to the spilling serial row path (counted
+    in [executor.spill.fallbacks]). When off, the tuple budget arms the
+    token and blowing it raises [Resource_exhausted] as before. *)
+
+val spill_enabled : t -> bool
+
+val set_spill_dir : t -> string -> unit
+(** Directory for spill temp files (default: the system temp dir). Files
+    are created per materializing operator and removed when the statement
+    finishes. *)
+
+val spill_dir : t -> string
 
 val cancel : t -> string -> unit
 (** Cooperatively cancel the running statement from another domain; it
@@ -409,6 +430,58 @@ val provenance_columns : t -> string -> string list option
 val dump_sql : t -> string
 (** A re-executable SQL script recreating all tables (schema + rows) and
     views; feed it back through {!execute_script} to restore a session. *)
+
+(** {1 Durability (write-ahead log)}
+
+    With a WAL enabled, every mutating statement appends frames to an
+    append-only, CRC-checksummed log ({!Perm_wal}) *after* the heaps
+    applied them, and seals them with a fsynced [Commit] at the statement
+    boundary (at [COMMIT] for explicit transactions). On {!enable_wal}
+    the existing log is replayed: the engine recovers to the last
+    committed state, discarding a torn tail and any unsealed transaction.
+    A failed append/fsync marks the log dirty — logging pauses and the
+    log is rebuilt from a checkpoint before the next top-level statement
+    runs, so log and heaps can never silently disagree. *)
+
+val enable_wal : t -> string -> (Perm_wal.replay, Perm_err.t) result
+(** [enable_wal t dir] opens (creating if needed) the log in [dir] and
+    replays it into the session. A failed replay leaves the session
+    unchanged. Enabling on a session that already holds tables or views
+    checkpoints immediately, so that pre-existing state becomes durable
+    too. Refused inside a transaction or when a WAL is already open. *)
+
+val disable_wal : t -> unit
+(** Close the log (no implicit checkpoint); the session continues
+    in-memory only. Idempotent. *)
+
+val wal_enabled : t -> bool
+
+val set_wal_fsync : t -> bool -> unit
+(** Whether Commit frames are fsynced (default true). Off trades the
+    crash-durability guarantee for speed — for benchmarks measuring the
+    append overhead alone. *)
+
+val wal_fsync_enabled : t -> bool
+
+val checkpoint : t -> (unit, Perm_err.t) result
+(** Compact the log: dump the whole session as SQL into the snapshot
+    file, truncate the log, re-log provenance-column metadata. Replay
+    cost becomes proportional to state size, not history length. Refused
+    inside a transaction or without a WAL. *)
+
+type wal_status = {
+  ws_dir : string;
+  ws_bytes : int;  (** log size in bytes *)
+  ws_records : int;  (** records since the last checkpoint *)
+  ws_last_lsn : int;  (** monotonic record ordinal, replay included *)
+  ws_fsyncs : int;  (** fsyncs since open *)
+  ws_fsync_on : bool;
+  ws_dirty : bool;  (** a failed append left the log behind the heaps *)
+  ws_replay : Perm_wal.replay;  (** what {!enable_wal} recovered *)
+}
+
+val wal_status : t -> wal_status option
+(** [None] when no WAL is enabled. *)
 
 (** {1 Plan-level access (benchmarks and tests)} *)
 

@@ -31,12 +31,130 @@ let err msg = raise (Runtime_error msg)
 let errf fmt = Printf.ksprintf err fmt
 
 module Token = Perm_err.Token
+module Spill = Perm_storage.Spill
 
 (* Chaos-harness injection points (no-ops unless armed via Perm_fault),
    shared between the serial and parallel paths of each operator. *)
 let fp_join_build = Perm_fault.point "join.build"
 let fp_agg_merge = Perm_fault.point "agg.merge"
 let fp_sort = Perm_fault.point "sort.materialize"
+
+(* ------------------------------------------------------------------ *)
+(* Graceful spill-to-disk                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Statement-scoped spill configuration, installed by the entry points
+   ([run_rows]/[run]/[run_instrumented]/[Par.prepare]) from the engine's
+   governor settings. An atomic module global rather than a parameter
+   because it must reach operator closures across the whole compile
+   recursion and the parallel workers; the engine executes one statement
+   at a time, so statement scoping is enough. When set, the serial row
+   path spills sort materializations and join build sides past the
+   threshold, while the batch and parallel paths raise
+   {!Spill.Fallback_needed} so the engine can retry on the row path. *)
+let current_spill : Spill.config option Atomic.t = Atomic.make None
+
+let spill_config () =
+  match Atomic.get current_spill with
+  | Some c when c.Spill.threshold > 0 -> Some c
+  | _ -> None
+
+let fallback_if_spill ~what n =
+  match spill_config () with
+  | Some c when n > c.Spill.threshold ->
+    raise
+      (Spill.Fallback_needed
+         (Printf.sprintf "%s materialized %d rows over the spill threshold %d"
+            what n c.Spill.threshold))
+  | _ -> ()
+
+(* Pull at most [n] elements (in order); return them with the unforced
+   tail, so callers can detect "fits in memory" without materializing
+   everything. *)
+let take_up_to n seq =
+  let rec go acc k s =
+    if k = 0 then (List.rev acc, s)
+    else
+      match s () with
+      | Seq.Nil -> (List.rev acc, Seq.empty)
+      | Seq.Cons (x, rest) -> go (x :: acc) (k - 1) rest
+  in
+  go [] n seq
+
+let rec seq_append_list xs tail =
+  match xs with
+  | [] -> tail ()
+  | x :: rest -> Seq.Cons (x, fun () -> seq_append_list rest tail)
+
+(* External merge sort: inputs within the threshold take the exact
+   in-memory path; larger inputs are cut into threshold-sized runs, each
+   stable-sorted and spilled, then k-way merged. Ties pick the
+   lowest-numbered run — runs hold earlier input rows — so the merged
+   stream is byte-identical to [Array.stable_sort] over the whole input. *)
+let external_sort (cfg : Spill.config) cmp (seq : Tuple.t Seq.t) : Tuple.t Seq.t
+    =
+  let th = cfg.Spill.threshold in
+  let first, rest = take_up_to th seq in
+  match rest () with
+  | Seq.Nil ->
+    let rows = Array.of_list first in
+    Array.stable_sort cmp rows;
+    Array.to_seq rows
+  | Seq.Cons (x0, rest') ->
+    Spill.note_spill ();
+    let runs = ref [] in
+    let flush chunk =
+      let arr = Array.of_list chunk in
+      Array.stable_sort cmp arr;
+      let f = Spill.create cfg in
+      Array.iter (Spill.push f) arr;
+      Spill.rewind f;
+      Spill.note_run ();
+      runs := f :: !runs
+    in
+    flush first;
+    let rec consume acc n s =
+      match s () with
+      | Seq.Nil -> if n > 0 then flush (List.rev acc)
+      | Seq.Cons (x, tail) ->
+        let acc = x :: acc and n = n + 1 in
+        if n = th then begin
+          flush (List.rev acc);
+          consume [] 0 tail
+        end
+        else consume acc n tail
+    in
+    consume [ x0 ] 1 rest';
+    let runs = Array.of_list (List.rev !runs) in
+    let n_runs = Array.length runs in
+    let heads = Array.map Spill.next runs in
+    let next_row () =
+      let best = ref (-1) in
+      for i = 0 to n_runs - 1 do
+        match heads.(i) with
+        | None -> ()
+        | Some x -> (
+          if !best = -1 then best := i
+          else
+            match heads.(!best) with
+            | Some y -> if cmp x y < 0 then best := i
+            | None -> assert false)
+      done;
+      if !best = -1 then None
+      else begin
+        let row = Option.get heads.(!best) in
+        heads.(!best) <- Spill.next runs.(!best);
+        Some row
+      end
+    in
+    let rec emit () =
+      match next_row () with
+      | None ->
+        Array.iter Spill.release runs;
+        Seq.Nil
+      | Some row -> Seq.Cons (row, emit)
+    in
+    emit
 
 type provider = {
   scan_table : string -> Tuple.t Seq.t;
@@ -457,11 +575,16 @@ and compile_node ~(provider : provider) ~(wrap : wrapper) (outer : resolver)
     let run_child = compile ~provider ~wrap outer child in
     fun () ->
       (* materialize into an array and sort in place: large sorts avoid the
-         intermediate list and List.stable_sort's allocation *)
+         intermediate list and List.stable_sort's allocation. Under a spill
+         configuration the materialization degrades to an external merge
+         sort past the threshold instead of blowing the budget. *)
       Perm_fault.trip fp_sort;
-      let rows = Array.of_seq (run_child ()) in
-      Array.stable_sort cmp rows;
-      Array.to_seq rows
+      (match spill_config () with
+      | Some cfg -> external_sort cfg cmp (run_child ())
+      | None ->
+        let rows = Array.of_seq (run_child ()) in
+        Array.stable_sort cmp rows;
+        Array.to_seq rows)
   | Plan.Limit { child; limit; offset } ->
     let run_child = compile ~provider ~wrap outer child in
     fun () ->
@@ -502,74 +625,238 @@ and compile_join ~provider ~wrap outer kind left right pred =
   in
   let key_usable = key_usable null_safety in
   let pad n = Array.make n Value.Null in
+  (* The probe body shared by the in-memory and spilled builds: matches
+     come back in ascending right-row order (within the hash table /
+     chunk), with the residual applied. *)
+  let probe_in tbl lrow =
+    let key = key_of lkey_fs lrow in
+    if not (key_usable key) then []
+    else
+      match Tuple.Hash.find_opt tbl key with
+      | None -> []
+      | Some candidates ->
+        List.filter_map
+          (fun (idx, rrow) ->
+            let combined = Tuple.concat lrow rrow in
+            if residual_f combined then Some (idx, combined) else None)
+          (List.rev candidates)
+  in
+  let hash_rows rows =
+    let tbl = Tuple.Hash.create 256 in
+    Array.iteri
+      (fun idx rrow ->
+        let key = key_of rkey_fs rrow in
+        let prev =
+          match Tuple.Hash.find_opt tbl key with Some l -> l | None -> []
+        in
+        Tuple.Hash.replace tbl key ((idx, rrow) :: prev))
+      rows;
+    tbl
+  in
   match kind with
   | Plan.Cross | Plan.Inner | Plan.Left | Plan.Full | Plan.Semi | Plan.Anti ->
+    (* The whole build side fits in memory: hash it once and stream the
+       probe side through. *)
+    let in_memory right_rows : Tuple.t Seq.node =
+      let table = hash_rows right_rows in
+      let matched_right = Array.make (Array.length right_rows) false in
+      let left_seq = run_left () in
+      let main =
+        Seq.concat_map
+          (fun lrow ->
+            let matches = probe_in table lrow in
+            match kind with
+            | Plan.Semi ->
+              if matches <> [] then Seq.return lrow else Seq.empty
+            | Plan.Anti ->
+              if matches = [] then Seq.return lrow else Seq.empty
+            | Plan.Inner | Plan.Cross ->
+              seq_of_list (List.map snd matches)
+            | Plan.Left | Plan.Full ->
+              if matches = [] then
+                Seq.return (Tuple.concat lrow (pad r_arity))
+              else begin
+                List.iter (fun (idx, _) -> matched_right.(idx) <- true) matches;
+                seq_of_list (List.map snd matches)
+              end
+            | Plan.Right -> assert false)
+          left_seq
+      in
+      match kind with
+      | Plan.Full ->
+        (* main must be fully consumed before the right-pad tail so the
+           matched_right flags are complete; Seq.append is lazy and
+           ordered, which guarantees that *)
+        Seq.append main
+          (Seq.concat_map
+             (fun i ->
+               if matched_right.(i) then Seq.empty
+               else Seq.return (Tuple.concat (pad l_arity) right_rows.(i)))
+             (Seq.init (Array.length right_rows) (fun i -> i)))
+          ()
+      | _ -> main ()
+    in
+    (* Spilled build: the build side is cut into threshold-sized chunks on
+       temp files and the probe side is materialized to a temp file once.
+       Each chunk is hashed in turn and probed with one sequential pass
+       over the probe file; matches are written as (probe index, row)
+       pairs per chunk, then merged back in probe order, chunk order
+       within a probe row. That order — ascending global right-row index
+       per probe row, pads in stream position, FULL right-pads appended in
+       right order — reproduces the in-memory stream byte for byte while
+       holding at most one chunk (plus a probe-side bitmap) in memory. *)
+    let spilled cfg first rest : Tuple.t Seq.node =
+      let th = cfg.Spill.threshold in
+      Spill.note_spill ();
+      let chunks = ref [] in
+      let flush rows =
+        let f = Spill.create cfg in
+        List.iter (Spill.push f) rows;
+        Spill.rewind f;
+        Spill.note_chunk ();
+        chunks := f :: !chunks
+      in
+      flush first;
+      let rec consume acc n s =
+        match s () with
+        | Seq.Nil -> if n > 0 then flush (List.rev acc)
+        | Seq.Cons (x, tail) ->
+          let acc = x :: acc and n = n + 1 in
+          if n = th then begin
+            flush (List.rev acc);
+            consume [] 0 tail
+          end
+          else consume acc n tail
+      in
+      consume [] 0 rest;
+      let chunks = Array.of_list (List.rev !chunks) in
+      (* materialize the probe side once: its pipeline must run exactly
+         one pass whatever the chunk count (progress counters, fault
+         schedules and non-reentrant child state all assume one pass) *)
+      let probe_file = Spill.create cfg in
+      Seq.iter (Spill.push probe_file) (run_left ());
+      let n_probe = Spill.count probe_file in
+      let matched_left = Bytes.make (max 1 n_probe) '\000' in
+      let outs = Array.map (fun _ -> Spill.create cfg) chunks in
+      let pads = Spill.create cfg in
+      Array.iteri
+        (fun ci chunk ->
+          let buf = ref [] in
+          let rec read_chunk () =
+            match Spill.next chunk with
+            | Some r ->
+              buf := r :: !buf;
+              read_chunk ()
+            | None -> ()
+          in
+          read_chunk ();
+          let rows = Array.of_list (List.rev !buf) in
+          Spill.release chunk;
+          let tbl = hash_rows rows in
+          let matched_chunk = Array.make (Array.length rows) false in
+          Spill.rewind probe_file;
+          let out = outs.(ci) in
+          let p = ref 0 in
+          let rec probe_pass () =
+            match Spill.next probe_file with
+            | None -> ()
+            | Some lrow ->
+              let pi = !p in
+              incr p;
+              (match probe_in tbl lrow with
+              | [] -> ()
+              | ms ->
+                Bytes.set matched_left pi '\001';
+                List.iter
+                  (fun (idx, combined) ->
+                    matched_chunk.(idx) <- true;
+                    match kind with
+                    | Plan.Inner | Plan.Cross | Plan.Left | Plan.Full ->
+                      Spill.push out (pi, combined)
+                    | Plan.Semi | Plan.Anti | Plan.Right -> ())
+                  ms);
+              probe_pass ()
+          in
+          probe_pass ();
+          Spill.rewind out;
+          match kind with
+          | Plan.Full ->
+            Array.iteri
+              (fun i rrow ->
+                if not matched_chunk.(i) then
+                  Spill.push pads (Tuple.concat (pad l_arity) rrow))
+              rows
+          | _ -> ())
+        chunks;
+      Spill.rewind pads;
+      Spill.rewind probe_file;
+      let heads = Array.map Spill.next outs in
+      let release_everything () =
+        Array.iter Spill.release outs;
+        Spill.release probe_file;
+        Spill.release pads
+      in
+      (* matches of one probe row, chunks in order — ascending global
+         right-row index, like the in-memory probe *)
+      let matches_for pi =
+        let acc = ref [] in
+        for ci = 0 to Array.length outs - 1 do
+          let more = ref true in
+          while !more do
+            match heads.(ci) with
+            | Some (p, combined) when p = pi ->
+              acc := combined :: !acc;
+              heads.(ci) <- Spill.next outs.(ci)
+            | _ -> more := false
+          done
+        done;
+        List.rev !acc
+      in
+      let next_probe = ref 0 in
+      let rec main () =
+        match Spill.next probe_file with
+        | None -> (
+          match kind with
+          | Plan.Full -> pads_tail ()
+          | _ ->
+            release_everything ();
+            Seq.Nil)
+        | Some lrow -> (
+          let pi = !next_probe in
+          incr next_probe;
+          let matched = Bytes.get matched_left pi = '\001' in
+          match kind with
+          | Plan.Semi -> if matched then Seq.Cons (lrow, main) else main ()
+          | Plan.Anti ->
+            if not matched then Seq.Cons (lrow, main) else main ()
+          | Plan.Inner | Plan.Cross -> seq_append_list (matches_for pi) main
+          | Plan.Left | Plan.Full ->
+            if not matched then
+              Seq.Cons (Tuple.concat lrow (pad r_arity), main)
+            else seq_append_list (matches_for pi) main
+          | Plan.Right -> assert false)
+      and pads_tail () =
+        match Spill.next pads with
+        | None ->
+          release_everything ();
+          Seq.Nil
+        | Some row -> Seq.Cons (row, pads_tail)
+      in
+      main ()
+    in
     fun () ->
       Seq.memoize
         (fun () ->
           (* build on the right *)
           Perm_fault.trip fp_join_build;
-          let table = Tuple.Hash.create 256 in
-          let right_rows = Array.of_seq (run_right ()) in
-          let matched_right = Array.make (Array.length right_rows) false in
-          Array.iteri
-            (fun idx rrow ->
-              let key = key_of rkey_fs rrow in
-              let prev =
-                match Tuple.Hash.find_opt table key with
-                | Some l -> l
-                | None -> []
-              in
-              Tuple.Hash.replace table key ((idx, rrow) :: prev))
-            right_rows;
-          let probe lrow =
-            let key = key_of lkey_fs lrow in
-            if not (key_usable key) then []
-            else
-              match Tuple.Hash.find_opt table key with
-              | None -> []
-              | Some candidates ->
-                List.filter_map
-                  (fun (idx, rrow) ->
-                    let combined = Tuple.concat lrow rrow in
-                    if residual_f combined then Some (idx, combined) else None)
-                  (List.rev candidates)
-          in
-          let left_seq = run_left () in
-          let main =
-            Seq.concat_map
-              (fun lrow ->
-                let matches = probe lrow in
-                match kind with
-                | Plan.Semi ->
-                  if matches <> [] then Seq.return lrow else Seq.empty
-                | Plan.Anti ->
-                  if matches = [] then Seq.return lrow else Seq.empty
-                | Plan.Inner | Plan.Cross ->
-                  seq_of_list (List.map snd matches)
-                | Plan.Left | Plan.Full ->
-                  if matches = [] then
-                    Seq.return (Tuple.concat lrow (pad r_arity))
-                  else begin
-                    List.iter (fun (idx, _) -> matched_right.(idx) <- true) matches;
-                    seq_of_list (List.map snd matches)
-                  end
-                | Plan.Right -> assert false)
-              left_seq
-          in
-          match kind with
-          | Plan.Full ->
-            (* main must be fully consumed before the right-pad tail so the
-               matched_right flags are complete; Seq.append is lazy and
-               ordered, which guarantees that *)
-            Seq.append main
-              (Seq.concat_map
-                 (fun i ->
-                   if matched_right.(i) then Seq.empty
-                   else Seq.return (Tuple.concat (pad l_arity) right_rows.(i)))
-                 (Seq.init (Array.length right_rows) (fun i -> i)))
-              ()
-          | _ -> main ())
+          match spill_config () with
+          | Some cfg -> (
+            let first, rest = take_up_to cfg.Spill.threshold (run_right ()) in
+            match rest () with
+            | Seq.Nil -> in_memory (Array.of_list first)
+            | Seq.Cons (x0, rest') ->
+              spilled cfg first (fun () -> Seq.Cons (x0, rest')))
+          | None -> in_memory (Array.of_seq (run_right ())))
   | Plan.Right ->
     (* evaluate as a left join with sides swapped, then reorder columns *)
     let swapped =
@@ -1408,6 +1695,9 @@ and compile_batch_node ~provider ~batch_rows ~bwrap (plan : Plan.t) : bop =
     fun () ->
       Perm_fault.trip fp_sort;
       let rows = collect_tuples (run_child ()) in
+      (* the batch path does not spill; hand oversized sorts back to the
+         engine, which retries on the spilling row path *)
+      fallback_if_spill ~what:"sort" (Array.length rows);
       Array.stable_sort cmp rows;
       batches_of_rows ~arity ~batch_rows rows
   | Plan.Limit { child; limit; offset } ->
@@ -1495,6 +1785,9 @@ and compile_batch_join ~provider ~batch_rows ~bwrap kind left right pred =
           Perm_fault.trip fp_join_build;
           let tbl = Tuple.Hash.create 256 in
           let right_rows = collect_tuples (run_right ()) in
+          (* the batch path does not spill; hand oversized builds back to
+             the engine, which retries on the spilling row path *)
+          fallback_if_spill ~what:"join build" (Array.length right_rows);
           let matched_right =
             match kind with
             | Plan.Full -> Some (Array.make (Array.length right_rows) false)
@@ -1846,16 +2139,25 @@ let materialize_batches ?row_limit ?progress (bs : Batch.t Seq.t) =
 (* Entry points                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let run_rows ?(token = Token.none) ?row_limit ?progress ~provider plan =
+let run_rows ?(token = Token.none) ?row_limit ?progress ?spill ~provider plan
+    =
+  Atomic.set current_spill spill;
   let wrap = if Token.active token then guard_wrap token else no_wrap in
   match
-    materialize ?row_limit ?progress ((compile ~provider ~wrap no_outer plan) ())
+    (* release any spill files an abandoned lazy consumer left behind
+       (LIMIT over a spilled sort never reaches the sort's own cleanup) *)
+    Fun.protect
+      ~finally:Spill.release_all
+      (fun () ->
+        materialize ?row_limit ?progress
+          ((compile ~provider ~wrap no_outer plan) ()))
   with
   | rows -> Ok rows
   | exception Runtime_error msg -> Error msg
 
-let run ?(token = Token.none) ?row_limit ?progress ?batch_rows ~provider plan
-    =
+let run ?(token = Token.none) ?row_limit ?progress ?batch_rows ?spill
+    ~provider plan =
+  Atomic.set current_spill spill;
   match batch_rows with
   | Some batch_rows when batch_rows > 0 && batch_supported plan -> (
     let bwrap = if Token.active token then guard_bwrap token else no_bwrap in
@@ -1864,8 +2166,13 @@ let run ?(token = Token.none) ?row_limit ?progress ?batch_rows ~provider plan
         ((compile_batch ~provider ~batch_rows ~bwrap plan) ())
     with
     | rows -> Ok rows
-    | exception Runtime_error msg -> Error msg)
-  | _ -> run_rows ~token ?row_limit ?progress ~provider plan
+    | exception Runtime_error msg -> Error msg
+    | exception Spill.Fallback_needed _ ->
+      (* the batch path refuses to materialize past the spill threshold;
+         the row path spills to disk instead *)
+      Spill.note_fallback ();
+      run_rows ~token ?row_limit ?progress ?spill ~provider plan)
+  | _ -> run_rows ~token ?row_limit ?progress ?spill ~provider plan
 
 (* ------------------------------------------------------------------ *)
 (* Instrumented execution (EXPLAIN ANALYZE, \trace on)                 *)
@@ -2048,7 +2355,26 @@ let compose_bwrap (outer : bwrapper) (inner : bwrapper) : bwrapper =
  fun node thunk -> outer node (inner node thunk)
 
 let run_instrumented ?(token = Token.none) ?row_limit ?progress ?batch_rows
-    ~provider plan =
+    ?spill ~provider plan =
+  Atomic.set current_spill spill;
+  let row_path () =
+    let stats = { entries = [] } in
+    let wrap = instrumenting_wrap stats in
+    let wrap =
+      if Token.active token then compose_wrap (guard_wrap token) wrap else wrap
+    in
+    match
+      Fun.protect
+        ~finally:Spill.release_all
+        (fun () ->
+          materialize ?row_limit ?progress
+            ((compile ~provider ~wrap no_outer plan) ()))
+    with
+    | rows ->
+      finalize stats plan;
+      Ok (rows, stats)
+    | exception Runtime_error msg -> Error msg
+  in
   match batch_rows with
   | Some batch_rows when batch_rows > 0 && batch_supported plan -> (
     let stats = { entries = [] } in
@@ -2064,21 +2390,11 @@ let run_instrumented ?(token = Token.none) ?row_limit ?progress ?batch_rows
     | rows ->
       finalize stats plan;
       Ok (rows, stats)
-    | exception Runtime_error msg -> Error msg)
-  | _ -> (
-    let stats = { entries = [] } in
-    let wrap = instrumenting_wrap stats in
-    let wrap =
-      if Token.active token then compose_wrap (guard_wrap token) wrap else wrap
-    in
-    match
-      materialize ?row_limit ?progress
-        ((compile ~provider ~wrap no_outer plan) ())
-    with
-    | rows ->
-      finalize stats plan;
-      Ok (rows, stats)
-    | exception Runtime_error msg -> Error msg)
+    | exception Runtime_error msg -> Error msg
+    | exception Spill.Fallback_needed _ ->
+      Spill.note_fallback ();
+      row_path ())
+  | _ -> row_path ()
 
 (* ------------------------------------------------------------------ *)
 (* Morsel-driven parallel execution (Leis et al., SIGMOD 2014)         *)
@@ -2317,6 +2633,10 @@ module Par = struct
               Perm_fault.trip fp_join_build;
               let tbl = Tuple.Hash.create 256 in
               let right_rows = Array.of_seq (run_right ()) in
+              (* the parallel path does not spill; hand oversized builds
+                 back to the engine for a spilling serial retry *)
+              fallback_if_spill ~what:"parallel join build"
+                (Array.length right_rows);
               Array.iteri
                 (fun idx rrow ->
                   let key = key_of rkey_fs rrow in
@@ -2458,6 +2778,8 @@ module Par = struct
               Perm_fault.trip fp_join_build;
               let tbl = Tuple.Hash.create 256 in
               let right_rows = Array.of_seq (run_right ()) in
+              fallback_if_spill ~what:"parallel join build"
+                (Array.length right_rows);
               Array.iteri
                 (fun idx rrow ->
                   let key = key_of rkey_fs rrow in
@@ -2853,6 +3175,7 @@ module Par = struct
             Token.check token;
             Perm_fault.trip fp_sort;
             let arr = Array.of_list rows in
+            fallback_if_spill ~what:"parallel sort" (Array.length arr);
             Array.stable_sort cmp arr;
             prof_count c (Array.length arr);
             (Array.to_list arr, m, rp)))
@@ -2905,7 +3228,8 @@ module Par = struct
      the parallel plan and reports fan-out statistics. *)
   let prepare ~provider ~pool ?(morsel_rows = default_morsel_rows)
       ?batch_rows ?(token = Token.none) ?row_limit ?progress
-      ?(profile = false) plan =
+      ?(profile = false) ?spill plan =
+    Atomic.set current_spill spill;
     let prof = if profile then Some (ref []) else None in
     match
       runner ~provider ~pool ~morsel_rows ?batch_rows ~token ?prof ?progress

@@ -63,12 +63,22 @@ val run :
   ?row_limit:int ->
   ?progress:Progress.t ->
   ?batch_rows:int ->
+  ?spill:Perm_storage.Spill.config ->
   provider:provider ->
   Perm_algebra.Plan.t ->
   (Perm_storage.Tuple.t list, string) result
 (** Executes the plan and materializes the result in plan-schema column
     order. Runtime errors (division by zero, failing casts, scalar
     subqueries returning several rows) are returned as [Error].
+
+    When [spill] is given, materializing operators on the row path degrade
+    gracefully past [spill.threshold] rows: sorts become external merge
+    sorts and hash-join build sides are chunked onto temp files, with
+    results byte-identical to the in-memory path. The batch path instead
+    raises {!Perm_storage.Spill.Fallback_needed} internally and re-runs on
+    the spilling row path (counted by the [executor.spill.*] metrics).
+    Callers that arm a tuple budget on [token] should omit [spill] — and
+    vice versa: the spill threshold replaces the budget's hard kill.
 
     When [batch_rows] is given (and positive) and the plan is
     {!batch_eligible}, operators exchange columnar batches of at most
@@ -137,6 +147,7 @@ val run_instrumented :
   ?row_limit:int ->
   ?progress:Progress.t ->
   ?batch_rows:int ->
+  ?spill:Perm_storage.Spill.config ->
   provider:provider ->
   Perm_algebra.Plan.t ->
   (Perm_storage.Tuple.t list * exec_stats, string) result
@@ -209,6 +220,7 @@ module Par : sig
     ?row_limit:int ->
     ?progress:Progress.t ->
     ?profile:bool ->
+    ?spill:Perm_storage.Spill.config ->
     Perm_algebra.Plan.t ->
     (unit -> (Perm_storage.Tuple.t list * report, string) result) option
   (** [None] when the plan shape is not morsel-eligible (correlated

@@ -1,0 +1,57 @@
+(** Graceful spill-to-disk for memory-hungry operators.
+
+    When the governor's tuple budget would otherwise kill a statement, the
+    executor's serial row path degrades gracefully: sorts become external
+    merge sorts and hash-join build sides are chunked, both backed by temp
+    files created here. The batch and parallel paths raise
+    {!Fallback_needed} instead; the engine re-runs the plan on the
+    spilling row path. *)
+
+type config = {
+  dir : string;  (** temp-file directory; created on first use *)
+  threshold : int;  (** max rows an operator may hold in memory *)
+}
+
+exception Fallback_needed of string
+(** Raised by the batch/parallel paths when a materialization exceeds
+    [threshold]; the engine catches it and retries on the row path. *)
+
+(** {1 Process-global accounting} — the [executor.spill.*] metric family *)
+
+type counters = {
+  c_spills : int;  (** operator instances that spilled *)
+  c_runs : int;  (** external-sort run files written *)
+  c_chunks : int;  (** join build chunks *)
+  c_rows : int;  (** values written to spill files *)
+  c_bytes : int;  (** bytes written to spill files *)
+  c_fallbacks : int;  (** batch/parallel plans re-run on the row path *)
+}
+
+val counters : unit -> counters
+val note_spill : unit -> unit
+val note_run : unit -> unit
+val note_chunk : unit -> unit
+val note_fallback : unit -> unit
+
+(** {1 Spill files}
+
+    Write-only until {!rewind}, read-only after. Values are marshalled;
+    files are process-private and removed on {!release}. Single-domain
+    use only (the serial row path). *)
+
+type 'a file
+
+val create : config -> 'a file
+val push : 'a file -> 'a -> unit
+val count : 'a file -> int
+
+val rewind : 'a file -> unit
+(** End the write phase and start reading from the beginning. *)
+
+val next : 'a file -> 'a option
+val release : 'a file -> unit
+
+val release_all : unit -> unit
+(** Release every live spill file — the executor's statement-end hook, so
+    abandoned lazy consumers (LIMIT over a spilled sort) cannot leak temp
+    files. *)

@@ -1,0 +1,473 @@
+(* Append-only, CRC-checksummed write-ahead log.
+
+   File layout: an 8-byte magic ("PERMWAL1") followed by records, each
+   [u32 LE payload-length][u32 LE CRC-32 of payload][payload]. A payload
+   is one {!frame}, written by the engine at statement boundaries:
+   mutations accumulate between a lazy [Begin] and the [Commit] appended
+   when the top-level statement (or explicit transaction) finishes, and
+   only [Commit] is fsynced — the fsync contract is "committed work
+   survives a crash; a torn tail may lose the open transaction".
+
+   Replay scans from the magic, stops at the first structurally bad
+   record (short header, over-long length, CRC mismatch, undecodable
+   frame), truncates that torn tail off the file, and applies each
+   committed transaction's frames through caller-supplied callbacks.
+   Frames after the last [Commit] are discarded; a duplicate [Commit]
+   (possible when a crash lands between the engine's append and its
+   bookkeeping) applies nothing and is ignored.
+
+   [checkpoint] compacts the log: the caller's SQL snapshot is written
+   to [snapshot.sql] (via a temp file + rename so a crash never leaves a
+   half snapshot), the log is truncated back to the magic, and
+   provenance-column metadata — the one piece of engine state the SQL
+   snapshot cannot express — is re-logged as a committed [Prov]
+   transaction. *)
+
+module Value = Perm_value.Value
+module Tuple = Perm_storage.Tuple
+
+let fp_append = Perm_fault.point "wal.append"
+let fp_fsync = Perm_fault.point "wal.fsync"
+let fp_replay = Perm_fault.point "wal.replay"
+let magic = "PERMWAL1"
+
+(* ---- CRC-32 (IEEE 802.3, poly 0xedb88320) ------------------------- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xedb88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xffffffffl in
+  String.iter
+    (fun ch ->
+      let idx =
+        Int32.to_int
+          (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xffl)
+      in
+      c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.to_int (Int32.logxor !c 0xffffffffl) land 0xffffffff
+
+(* ---- frames and their codec --------------------------------------- *)
+
+type frame =
+  | Begin
+  | Commit
+  | Abort
+  | Create of string  (** canonical DDL: CREATE TABLE/VIEW/INDEX *)
+  | Drop of string  (** canonical DDL: DROP TABLE/VIEW *)
+  | Insert of string * Tuple.t list  (** rows appended to a heap *)
+  | Delete of string  (** heap truncated *)
+  | Replace of string * Tuple.t list  (** heap contents replaced *)
+  | Prov of string * string list  (** provenance-column names of a table *)
+
+exception Corrupt
+
+let add_u32 buf n =
+  Buffer.add_char buf (Char.chr (n land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 24) land 0xff))
+
+let add_i64 buf (n : int64) =
+  for i = 0 to 7 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical n (8 * i)) 0xffL)))
+  done
+
+let add_lstring buf s =
+  add_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+let add_value buf (v : Value.t) =
+  match v with
+  | Value.Null -> Buffer.add_char buf '\000'
+  | Value.Int n ->
+    Buffer.add_char buf '\001';
+    add_i64 buf (Int64.of_int n)
+  | Value.Float f ->
+    Buffer.add_char buf '\002';
+    add_i64 buf (Int64.bits_of_float f)
+  | Value.Bool b ->
+    Buffer.add_char buf '\003';
+    Buffer.add_char buf (if b then '\001' else '\000')
+  | Value.Text s ->
+    Buffer.add_char buf '\004';
+    add_lstring buf s
+  | Value.Date d ->
+    Buffer.add_char buf '\005';
+    add_i64 buf (Int64.of_int d)
+
+let add_rows buf rows =
+  add_u32 buf (List.length rows);
+  List.iter
+    (fun row ->
+      add_u32 buf (Array.length row);
+      Array.iter (add_value buf) row)
+    rows
+
+let encode_frame frame =
+  let buf = Buffer.create 64 in
+  (match frame with
+  | Begin -> Buffer.add_char buf '\000'
+  | Commit -> Buffer.add_char buf '\001'
+  | Abort -> Buffer.add_char buf '\002'
+  | Create sql ->
+    Buffer.add_char buf '\003';
+    add_lstring buf sql
+  | Drop sql ->
+    Buffer.add_char buf '\004';
+    add_lstring buf sql
+  | Insert (tbl, rows) ->
+    Buffer.add_char buf '\005';
+    add_lstring buf tbl;
+    add_rows buf rows
+  | Delete tbl ->
+    Buffer.add_char buf '\006';
+    add_lstring buf tbl
+  | Replace (tbl, rows) ->
+    Buffer.add_char buf '\007';
+    add_lstring buf tbl;
+    add_rows buf rows
+  | Prov (tbl, cols) ->
+    Buffer.add_char buf '\008';
+    add_lstring buf tbl;
+    add_u32 buf (List.length cols);
+    List.iter (add_lstring buf) cols);
+  Buffer.contents buf
+
+(* Decoding: a cursor over the payload string; any out-of-bounds read or
+   unknown tag raises [Corrupt], which replay treats as a torn tail. *)
+
+let u8 s pos =
+  if !pos >= String.length s then raise Corrupt;
+  let c = Char.code s.[!pos] in
+  incr pos;
+  c
+
+let u32 s pos =
+  let a = u8 s pos in
+  let b = u8 s pos in
+  let c = u8 s pos in
+  let d = u8 s pos in
+  a lor (b lsl 8) lor (c lsl 16) lor (d lsl 24)
+
+let i64 s pos =
+  let v = ref 0L in
+  for i = 0 to 7 do
+    v := Int64.logor !v (Int64.shift_left (Int64.of_int (u8 s pos)) (8 * i))
+  done;
+  !v
+
+let lstring s pos =
+  let len = u32 s pos in
+  if len < 0 || !pos + len > String.length s then raise Corrupt;
+  let r = String.sub s !pos len in
+  pos := !pos + len;
+  r
+
+let value s pos =
+  match u8 s pos with
+  | 0 -> Value.Null
+  | 1 -> Value.Int (Int64.to_int (i64 s pos))
+  | 2 -> Value.Float (Int64.float_of_bits (i64 s pos))
+  | 3 -> Value.Bool (u8 s pos <> 0)
+  | 4 -> Value.Text (lstring s pos)
+  | 5 -> Value.Date (Int64.to_int (i64 s pos))
+  | _ -> raise Corrupt
+
+let rows s pos =
+  let n = u32 s pos in
+  if n < 0 || n > String.length s then raise Corrupt;
+  List.init n (fun _ ->
+      let arity = u32 s pos in
+      if arity < 0 || arity > String.length s then raise Corrupt;
+      Array.init arity (fun _ -> value s pos))
+
+let decode_frame payload =
+  match
+    let pos = ref 0 in
+    let frame =
+      match u8 payload pos with
+      | 0 -> Begin
+      | 1 -> Commit
+      | 2 -> Abort
+      | 3 -> Create (lstring payload pos)
+      | 4 -> Drop (lstring payload pos)
+      | 5 ->
+        let tbl = lstring payload pos in
+        Insert (tbl, rows payload pos)
+      | 6 -> Delete (lstring payload pos)
+      | 7 ->
+        let tbl = lstring payload pos in
+        Replace (tbl, rows payload pos)
+      | 8 ->
+        let tbl = lstring payload pos in
+        let n = u32 payload pos in
+        if n < 0 || n > String.length payload then raise Corrupt;
+        Prov (tbl, List.init n (fun _ -> lstring payload pos))
+      | _ -> raise Corrupt
+    in
+    if !pos <> String.length payload then raise Corrupt;
+    frame
+  with
+  | frame -> Some frame
+  | exception Corrupt -> None
+
+(* ---- replay -------------------------------------------------------- *)
+
+type apply = {
+  ap_sql : string -> (unit, string) result;
+      (** run canonical DDL (or a whole snapshot script) *)
+  ap_insert : string -> Tuple.t list -> (unit, string) result;
+  ap_truncate : string -> (unit, string) result;
+  ap_replace : string -> Tuple.t list -> (unit, string) result;
+  ap_prov : string -> string list -> (unit, string) result;
+}
+
+type replay = {
+  rp_snapshot : bool;  (** a snapshot.sql was applied first *)
+  rp_records : int;  (** structurally valid records scanned *)
+  rp_committed : int;  (** committed transactions applied *)
+  rp_discarded : int;  (** trailing uncommitted frames discarded *)
+  rp_truncated_bytes : int;  (** torn-tail bytes chopped off the log *)
+}
+
+let no_replay =
+  {
+    rp_snapshot = false;
+    rp_records = 0;
+    rp_committed = 0;
+    rp_discarded = 0;
+    rp_truncated_bytes = 0;
+  }
+
+type t = {
+  dir : string;
+  log_path : string;
+  snapshot_path : string;
+  fd : Unix.file_descr;
+  mutable bytes : int;
+  mutable records : int;  (** records in the log since the last checkpoint *)
+  mutable last_lsn : int;  (** monotonic record ordinal, replay included *)
+  mutable fsyncs : int;
+  replayed : replay;
+}
+
+type status = {
+  st_dir : string;
+  st_bytes : int;
+  st_records : int;
+  st_last_lsn : int;
+  st_fsyncs : int;
+  st_replay : replay;
+}
+
+exception Apply_error of string
+
+let ap = function Ok () -> () | Error msg -> raise (Apply_error msg)
+
+let apply_one apply = function
+  | Begin | Commit | Abort -> ()
+  | Create sql | Drop sql -> ap (apply.ap_sql sql)
+  | Insert (tbl, rows) -> ap (apply.ap_insert tbl rows)
+  | Delete tbl -> ap (apply.ap_truncate tbl)
+  | Replace (tbl, rows) -> ap (apply.ap_replace tbl rows)
+  | Prov (tbl, cols) -> ap (apply.ap_prov tbl cols)
+
+let rec write_all fd b off len =
+  if len > 0 then begin
+    let n = Unix.write fd b off len in
+    write_all fd b (off + n) (len - n)
+  end
+
+let u32_at s p =
+  Char.code s.[p]
+  lor (Char.code s.[p + 1] lsl 8)
+  lor (Char.code s.[p + 2] lsl 16)
+  lor (Char.code s.[p + 3] lsl 24)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let open_ ~dir ~apply =
+  let log_path = Filename.concat dir "wal.log" in
+  let snapshot_path = Filename.concat dir "snapshot.sql" in
+  try
+    mkdir_p dir;
+    let snapshot_applied =
+      if Sys.file_exists snapshot_path then begin
+        let sql = In_channel.with_open_bin snapshot_path In_channel.input_all in
+        ap (apply.ap_sql sql);
+        true
+      end
+      else false
+    in
+    let data =
+      if Sys.file_exists log_path then
+        In_channel.with_open_bin log_path In_channel.input_all
+      else ""
+    in
+    if String.length data >= 8 && String.sub data 0 8 <> magic then
+      Error (Printf.sprintf "%s is not a WAL file (bad magic)" log_path)
+    else begin
+      (* A log shorter than the magic can only be a torn creation — start
+         it over. *)
+      let fresh = String.length data < 8 in
+      let total = String.length data in
+      let pos = ref 8 in
+      let good = ref 8 in
+      let records = ref 0 in
+      let pending = ref [] in
+      let in_txn = ref false in
+      let committed = ref 0 in
+      let discarded = ref 0 in
+      let torn = ref false in
+      if not fresh then begin
+        while (not !torn) && !pos + 8 <= total do
+          let len = u32_at data !pos in
+          let crc = u32_at data (!pos + 4) in
+          if len < 0 || len > total - (!pos + 8) then torn := true
+          else begin
+            let payload = String.sub data (!pos + 8) len in
+            if crc32 payload <> crc then torn := true
+            else
+              match decode_frame payload with
+              | None -> torn := true
+              | Some frame ->
+                Perm_fault.trip fp_replay;
+                (match frame with
+                | Begin ->
+                  (* an open transaction cut short by a new Begin never
+                     committed — discard it *)
+                  discarded := !discarded + List.length !pending;
+                  pending := [];
+                  in_txn := true
+                | Commit ->
+                  if !in_txn || !pending <> [] then begin
+                    List.iter (apply_one apply) (List.rev !pending);
+                    incr committed;
+                    pending := [];
+                    in_txn := false
+                  end
+                  (* duplicate Commit: nothing pending, nothing to do *)
+                | Abort ->
+                  discarded := !discarded + List.length !pending;
+                  pending := [];
+                  in_txn := false
+                | frame -> pending := frame :: !pending);
+                incr records;
+                good := !pos + 8 + len;
+                pos := !good
+          end
+        done;
+        if !pos < total then torn := true;
+        discarded := !discarded + List.length !pending
+      end;
+      let fd = Unix.openfile log_path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644 in
+      let truncated_bytes = if fresh then 0 else total - !good in
+      if fresh then begin
+        Unix.ftruncate fd 0;
+        write_all fd (Bytes.of_string magic) 0 8
+      end
+      else if !good < total then Unix.ftruncate fd !good;
+      let replayed =
+        {
+          rp_snapshot = snapshot_applied;
+          rp_records = !records;
+          rp_committed = !committed;
+          rp_discarded = !discarded;
+          rp_truncated_bytes = truncated_bytes;
+        }
+      in
+      Ok
+        ( {
+            dir;
+            log_path;
+            snapshot_path;
+            fd;
+            bytes = (if fresh then 8 else !good);
+            records = !records;
+            last_lsn = !records;
+            fsyncs = 0;
+            replayed;
+          },
+          replayed )
+    end
+  with
+  | Apply_error msg -> Error ("WAL replay: " ^ msg)
+  (* Perm_fault.Injected at wal.replay escapes on purpose: the engine
+     maps it to its typed Faulted error after restoring its state *)
+  | Unix.Unix_error (e, fn, _) ->
+    Error (Printf.sprintf "WAL open: %s: %s" fn (Unix.error_message e))
+  | Sys_error msg -> Error ("WAL open: " ^ msg)
+
+let raw_append t frame =
+  let payload = encode_frame frame in
+  let buf = Buffer.create (String.length payload + 8) in
+  add_u32 buf (String.length payload);
+  add_u32 buf (crc32 payload);
+  Buffer.add_string buf payload;
+  let b = Buffer.to_bytes buf in
+  write_all t.fd b 0 (Bytes.length b);
+  t.bytes <- t.bytes + Bytes.length b;
+  t.records <- t.records + 1;
+  t.last_lsn <- t.last_lsn + 1
+
+let append t frame =
+  Perm_fault.trip fp_append;
+  raw_append t frame
+
+let fsync t =
+  Perm_fault.trip fp_fsync;
+  Unix.fsync t.fd;
+  t.fsyncs <- t.fsyncs + 1
+
+(* Compact: snapshot the whole state as SQL, then truncate the log. Not
+   fault-instrumented — this is also the repair path the engine takes
+   after an append/fsync failure left the log behind the heaps. *)
+let checkpoint t ~snapshot_sql ~prov =
+  let tmp = t.snapshot_path ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let b = Bytes.of_string snapshot_sql in
+  write_all fd b 0 (Bytes.length b);
+  Unix.fsync fd;
+  Unix.close fd;
+  Sys.rename tmp t.snapshot_path;
+  Unix.ftruncate t.fd 8;
+  t.bytes <- 8;
+  t.records <- 0;
+  (* prov-column metadata is engine state the SQL snapshot cannot
+     express — re-log it as one committed transaction *)
+  if prov <> [] then begin
+    raw_append t Begin;
+    List.iter (fun (tbl, cols) -> raw_append t (Prov (tbl, cols))) prov;
+    raw_append t Commit
+  end;
+  Unix.fsync t.fd
+
+let status t =
+  {
+    st_dir = t.dir;
+    st_bytes = t.bytes;
+    st_records = t.records;
+    st_last_lsn = t.last_lsn;
+    st_fsyncs = t.fsyncs;
+    st_replay = t.replayed;
+  }
+
+let log_path t = t.log_path
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -220,6 +220,8 @@ let suite_governor =
         Engine.close e);
     case "tuple_budget kills tuple-hungry statements" (fun () ->
         let e = forum_scaled ~messages:2000 () in
+        (* spill off turns the budget back into a hard kill switch *)
+        Engine.set_spill e false;
         Engine.set_tuple_budget e 1000;
         check_kind e "SELECT count(*) FROM messages" Err.Resource_exhausted;
         Engine.set_tuple_budget e 0;
