@@ -352,11 +352,11 @@ perm_stat_history, perm_stat_regressions, perm_metrics_history
 let print_replay_summary dir (rp : Perm_wal.replay) =
   Printf.printf
     "WAL on %s: replayed %s%d records (%d transactions committed, %d frames \
-     discarded, %d torn bytes truncated)\n"
+     discarded, %d already in snapshot, %d torn bytes truncated)\n"
     dir
     (if rp.Perm_wal.rp_snapshot then "snapshot + " else "")
     rp.Perm_wal.rp_records rp.Perm_wal.rp_committed rp.Perm_wal.rp_discarded
-    rp.Perm_wal.rp_truncated_bytes
+    rp.Perm_wal.rp_skipped rp.Perm_wal.rp_truncated_bytes
 
 let handle_meta session line =
   match String.split_on_char ' ' (String.trim line) with
@@ -579,13 +579,14 @@ let handle_meta session line =
       Printf.printf "fsync:  %s (%d since open)\n"
         (if ws.Engine.ws_fsync_on then "on every commit" else "off")
         ws.Engine.ws_fsyncs;
+      Printf.printf "epoch:  %d\n" ws.Engine.ws_epoch;
       let rp = ws.Engine.ws_replay in
       Printf.printf
         "replay: %s%d records, %d transactions committed, %d frames discarded, \
-         %d torn bytes truncated\n"
+         %d already in snapshot, %d torn bytes truncated\n"
         (if rp.Perm_wal.rp_snapshot then "snapshot + " else "")
         rp.Perm_wal.rp_records rp.Perm_wal.rp_committed rp.Perm_wal.rp_discarded
-        rp.Perm_wal.rp_truncated_bytes);
+        rp.Perm_wal.rp_skipped rp.Perm_wal.rp_truncated_bytes);
     `Continue
   | [ "\\checkpoint" ] ->
     (match Engine.checkpoint session.engine with

@@ -597,10 +597,13 @@ let spill_dir t = t.spill_dir
 
 let active_row_limit t = if t.row_limit > 0 then Some t.row_limit else None
 
-(* With spill on (the default) a tuple budget is a degradation threshold,
-   not a kill switch: the executor spills oversized sorts and join builds
-   to temp files instead of the token raising [Resource_exhausted]. [\set
-   spill off] restores the hard error. *)
+(* With spill on (the default) a tuple budget is a degradation threshold
+   for spillable shapes: the executor spills oversized sorts and join
+   builds to temp files instead of the token raising [Resource_exhausted].
+   Materializations no path can spill — hash-aggregate groups, DISTINCT
+   and set-op tables — still enforce the budget as a hard ceiling at the
+   materialization point, so the budget is never silently ignored. [\set
+   spill off] restores the hard error everywhere. *)
 let active_spill t =
   if t.spill_on && t.tuple_budget > 0 then
     Some { Spill.dir = t.spill_dir; threshold = t.tuple_budget }
@@ -611,7 +614,8 @@ let active_spill t =
    another domain has something to fire at; the executor only installs its
    per-operator guard when a limit is actually armed. The tuple budget
    arms the token only when spilling is off — otherwise it becomes the
-   spill threshold instead of a hard kill. *)
+   spill threshold, with the executor enforcing the same value as a hard
+   ceiling on non-spillable materialized state. *)
 let fresh_token t =
   Token.create
     ?timeout_ms:
@@ -1966,6 +1970,7 @@ type wal_status = {
   ws_fsyncs : int;
   ws_fsync_on : bool;
   ws_dirty : bool;
+  ws_epoch : int;
   ws_replay : Wal.replay;
 }
 
@@ -1981,6 +1986,7 @@ let wal_status t =
         ws_fsyncs = s.Wal.st_fsyncs;
         ws_fsync_on = t.wal_fsync;
         ws_dirty = t.wal_dirty;
+        ws_epoch = s.Wal.st_epoch;
         ws_replay = s.Wal.st_replay;
       })
     t.wal

@@ -477,6 +477,7 @@ type wal_status = {
   ws_fsyncs : int;  (** fsyncs since open *)
   ws_fsync_on : bool;
   ws_dirty : bool;  (** a failed append left the log behind the heaps *)
+  ws_epoch : int;  (** checkpoint epoch of the published snapshot *)
   ws_replay : Perm_wal.replay;  (** what {!enable_wal} recovered *)
 }
 

@@ -197,6 +197,7 @@ let healthz engine server_ref start_s =
                  ("fsyncs", Json.Int ws.Engine.ws_fsyncs);
                  ("fsync", Json.Bool ws.Engine.ws_fsync_on);
                  ("dirty", Json.Bool ws.Engine.ws_dirty);
+                 ("epoch", Json.Int ws.Engine.ws_epoch);
                  ( "replay",
                    Json.Obj
                      [
@@ -208,6 +209,8 @@ let healthz engine server_ref start_s =
                          Json.Int ws.Engine.ws_replay.Perm_wal.rp_committed );
                        ( "discarded",
                          Json.Int ws.Engine.ws_replay.Perm_wal.rp_discarded );
+                       ( "skipped",
+                         Json.Int ws.Engine.ws_replay.Perm_wal.rp_skipped );
                        ( "truncated_bytes",
                          Json.Int ws.Engine.ws_replay.Perm_wal.rp_truncated_bytes
                        );

@@ -59,13 +59,34 @@ let spill_config () =
   | Some c when c.Spill.threshold > 0 -> Some c
   | _ -> None
 
+let spill_fallback ~what n threshold =
+  raise
+    (Spill.Fallback_needed
+       (Printf.sprintf "%s materialized %d rows over the spill threshold %d"
+          what n threshold))
+
 let fallback_if_spill ~what n =
+  match spill_config () with
+  | Some c when n > c.Spill.threshold -> spill_fallback ~what n c.Spill.threshold
+  | _ -> ()
+
+(* Hard ceiling for materialized state no path can spill (hash-aggregate
+   groups, DISTINCT / set-op seen-tables). With spill on the row-path
+   token carries no tuple budget — sorts and join builds degrade to disk
+   instead — so without this check those operators would run unguarded.
+   Call it with the current size of the in-memory table; past the
+   threshold the statement dies with Resource_exhausted rather than
+   silently ignoring the configured budget. *)
+let budget_materialized ~what n =
   match spill_config () with
   | Some c when n > c.Spill.threshold ->
     raise
-      (Spill.Fallback_needed
-         (Printf.sprintf "%s materialized %d rows over the spill threshold %d"
-            what n c.Spill.threshold))
+      (Perm_err.Cancel
+         ( Perm_err.Resource_exhausted,
+           Printf.sprintf
+             "tuple budget exceeded: %s holds %d rows (budget %d, not \
+              spillable)"
+             what n c.Spill.threshold ))
   | _ -> ()
 
 (* Pull at most [n] elements (in order); return them with the unforced
@@ -154,7 +175,10 @@ let external_sort (cfg : Spill.config) cmp (seq : Tuple.t Seq.t) : Tuple.t Seq.t
         Seq.Nil
       | Some row -> Seq.Cons (row, emit)
     in
-    emit
+    (* The k-way merge mutates run heads and releases the spill files at
+       exhaustion — memoize so re-forcing the result behaves like the
+       persistent Array.to_seq of the in-memory branch. *)
+    Seq.memoize emit
 
 type provider = {
   scan_table : string -> Tuple.t Seq.t;
@@ -549,6 +573,7 @@ and compile_node ~(provider : provider) ~(wrap : wrapper) (outer : resolver)
               if Tuple.Hash.mem seen row then false
               else begin
                 Tuple.Hash.replace seen row ();
+                budget_materialized ~what:"DISTINCT" (Tuple.Hash.length seen);
                 true
               end)
             (run_child ())
@@ -938,6 +963,8 @@ and compile_aggregate ~provider ~wrap outer child group_by aggs =
               | None ->
                 let states = List.map new_agg_state aggs in
                 Tuple.Hash.replace groups key (key, states);
+                budget_materialized ~what:"GROUP BY"
+                  (Tuple.Hash.length groups);
                 order := key :: !order;
                 states
             in
@@ -982,6 +1009,7 @@ and compile_set_op ~provider ~wrap outer kind all left right =
               if Tuple.Hash.mem seen row then false
               else begin
                 Tuple.Hash.replace seen row ();
+                budget_materialized ~what:"UNION" (Tuple.Hash.length seen);
                 true
               end)
             (Seq.append (run_left ()) (run_right ()))
@@ -996,7 +1024,10 @@ and compile_set_op ~provider ~wrap outer kind all left right =
               let c =
                 match Tuple.Hash.find_opt counts row with
                 | Some c -> c
-                | None -> 0
+                | None ->
+                  budget_materialized ~what:"INTERSECT/EXCEPT"
+                    (Tuple.Hash.length counts + 1);
+                  0
               in
               Tuple.Hash.replace counts row (c + 1))
             (run_right ());
@@ -1030,6 +1061,8 @@ and compile_set_op ~provider ~wrap outer kind all left right =
               | Plan.Except, false ->
                 if rc = 0 && not (Tuple.Hash.mem emitted row) then begin
                   Tuple.Hash.replace emitted row ();
+                  budget_materialized ~what:"EXCEPT"
+                    (Tuple.Hash.length emitted);
                   true
                 end
                 else false
@@ -1225,11 +1258,42 @@ let batches_of_rows ~arity ~batch_rows (rows : Tuple.t array) : Batch.t Seq.t =
 let batches_of_tuple_list ~arity ~batch_rows rows =
   batches_of_rows ~arity ~batch_rows (Array.of_list rows)
 
-let collect_tuples (bs : Batch.t Seq.t) : Tuple.t array =
+(* Materialize a batch stream into tuples, raising Fallback_needed as
+   soon as the count passes the spill threshold — the fallback must fire
+   before the memory spike it exists to bound, not after full
+   materialization. *)
+let collect_tuples_bounded ~what (bs : Batch.t Seq.t) : Tuple.t array =
+  let limit =
+    match spill_config () with
+    | Some c -> c.Spill.threshold
+    | None -> max_int
+  in
   let acc = ref [] in
+  let n = ref 0 in
   Seq.iter
-    (fun b -> List.iter (fun t -> acc := t :: !acc) (Batch.to_tuples b))
+    (fun b ->
+      n := !n + Batch.live b;
+      if !n > limit then spill_fallback ~what !n limit;
+      List.iter (fun t -> acc := t :: !acc) (Batch.to_tuples b))
     bs;
+  Array.of_list (List.rev !acc)
+
+(* Incremental-threshold Array.of_seq for tuple streams (parallel build
+   sides): same contract as {!collect_tuples_bounded}. *)
+let array_of_seq_bounded ~what (seq : Tuple.t Seq.t) : Tuple.t array =
+  let limit =
+    match spill_config () with
+    | Some c -> c.Spill.threshold
+    | None -> max_int
+  in
+  let acc = ref [] in
+  let n = ref 0 in
+  Seq.iter
+    (fun t ->
+      incr n;
+      if !n > limit then spill_fallback ~what !n limit;
+      acc := t :: !acc)
+    seq;
   Array.of_list (List.rev !acc)
 
 (* ---- filter kernels ---------------------------------------------- *)
@@ -1670,6 +1734,7 @@ and compile_batch_node ~provider ~batch_rows ~bwrap (plan : Plan.t) : bop =
                   incr m
                 end
               done;
+              budget_materialized ~what:"DISTINCT" (Tuple.Hash.length seen);
               if !m = 0 then None else Some (Batch.with_sel b sel !m))
             (run_child ())
             ())
@@ -1694,10 +1759,10 @@ and compile_batch_node ~provider ~batch_rows ~bwrap (plan : Plan.t) : bop =
     let run_child = compile_batch ~provider ~batch_rows ~bwrap child in
     fun () ->
       Perm_fault.trip fp_sort;
-      let rows = collect_tuples (run_child ()) in
       (* the batch path does not spill; hand oversized sorts back to the
-         engine, which retries on the spilling row path *)
-      fallback_if_spill ~what:"sort" (Array.length rows);
+         engine (which retries on the spilling row path) as soon as the
+         threshold is crossed, before the full input is in memory *)
+      let rows = collect_tuples_bounded ~what:"sort" (run_child ()) in
       Array.stable_sort cmp rows;
       batches_of_rows ~arity ~batch_rows rows
   | Plan.Limit { child; limit; offset } ->
@@ -1784,10 +1849,13 @@ and compile_batch_join ~provider ~batch_rows ~bwrap kind left right pred =
         (fun () ->
           Perm_fault.trip fp_join_build;
           let tbl = Tuple.Hash.create 256 in
-          let right_rows = collect_tuples (run_right ()) in
           (* the batch path does not spill; hand oversized builds back to
-             the engine, which retries on the spilling row path *)
-          fallback_if_spill ~what:"join build" (Array.length right_rows);
+             the engine (which retries on the spilling row path) as soon
+             as the threshold is crossed, before the full build side is
+             in memory *)
+          let right_rows =
+            collect_tuples_bounded ~what:"join build" (run_right ())
+          in
           let matched_right =
             match kind with
             | Plan.Full -> Some (Array.make (Array.length right_rows) false)
@@ -1882,6 +1950,13 @@ and compile_batch_aggregate ~provider ~batch_rows ~bwrap child group_by aggs =
         Perm_fault.trip fp_agg_merge;
         let order = ref [] in
         let ngroups = ref 0 in
+        (* group state is not spillable: enforce the hard ceiling as
+           groups are created (the global path counts rows, not groups,
+           and holds exactly one state array — never checked) *)
+        let note_group () =
+          incr ngroups;
+          budget_materialized ~what:"GROUP BY" !ngroups
+        in
         let rows_of_order () =
           if global && !ngroups = 0 then [ emit [||] (fresh_states ()) ]
           else List.rev_map (fun (key, states) -> emit key states) !order
@@ -1897,7 +1972,7 @@ and compile_batch_aggregate ~provider ~batch_rows ~bwrap child group_by aggs =
               let states = fresh_states () in
               Tuple.Hash.replace generic_groups key states;
               order := (key, states) :: !order;
-              incr ngroups;
+              note_group ();
               states
           in
           feed_row states b p
@@ -1935,7 +2010,7 @@ and compile_batch_aggregate ~provider ~batch_rows ~bwrap child group_by aggs =
                            let states = fresh_states () in
                            Int_hash.replace igroups k states;
                            order := ([| v |], states) :: !order;
-                           incr ngroups;
+                           note_group ();
                            states
                        in
                        feed_row states b p
@@ -1948,7 +2023,7 @@ and compile_batch_aggregate ~provider ~batch_rows ~bwrap child group_by aggs =
                            let states = fresh_states () in
                            Int_hash.replace igroups k states;
                            order := ([| v |], states) :: !order;
-                           incr ngroups;
+                           note_group ();
                            states
                        in
                        feed_row states b p
@@ -1960,7 +2035,7 @@ and compile_batch_aggregate ~provider ~batch_rows ~bwrap child group_by aggs =
                            let states = fresh_states () in
                            null_states := Some states;
                            order := ([| Value.Null |], states) :: !order;
-                           incr ngroups;
+                           note_group ();
                            states
                        in
                        feed_row states b p
@@ -1988,7 +2063,7 @@ and compile_batch_aggregate ~provider ~batch_rows ~bwrap child group_by aggs =
                            let states = fresh_states () in
                            Str_hash.replace sgroups k states;
                            order := ([| v |], states) :: !order;
-                           incr ngroups;
+                           note_group ();
                            states
                        in
                        feed_row states b p
@@ -2000,7 +2075,7 @@ and compile_batch_aggregate ~provider ~batch_rows ~bwrap child group_by aggs =
                            let states = fresh_states () in
                            null_states := Some states;
                            order := ([| Value.Null |], states) :: !order;
-                           incr ngroups;
+                           note_group ();
                            states
                        in
                        feed_row states b p
@@ -2042,6 +2117,7 @@ and compile_batch_set_op ~provider ~batch_rows ~bwrap kind all left right =
             if Tuple.Hash.mem seen row then false
             else begin
               Tuple.Hash.replace seen row ();
+              budget_materialized ~what:"UNION" (Tuple.Hash.length seen);
               true
             end
           in
@@ -2061,7 +2137,10 @@ and compile_batch_set_op ~provider ~batch_rows ~bwrap kind all left right =
                   let c =
                     match Tuple.Hash.find_opt counts row with
                     | Some c -> c
-                    | None -> 0
+                    | None ->
+                      budget_materialized ~what:"INTERSECT/EXCEPT"
+                        (Tuple.Hash.length counts + 1);
+                      0
                   in
                   Tuple.Hash.replace counts row (c + 1))
                 b)
@@ -2095,6 +2174,7 @@ and compile_batch_set_op ~provider ~batch_rows ~bwrap kind all left right =
             | Plan.Except, false ->
               if rc = 0 && not (Tuple.Hash.mem emitted row) then begin
                 Tuple.Hash.replace emitted row ();
+                budget_materialized ~what:"EXCEPT" (Tuple.Hash.length emitted);
                 true
               end
               else false
@@ -2632,11 +2712,13 @@ module Par = struct
               (* serial build: hash the right side once; workers only read *)
               Perm_fault.trip fp_join_build;
               let tbl = Tuple.Hash.create 256 in
-              let right_rows = Array.of_seq (run_right ()) in
               (* the parallel path does not spill; hand oversized builds
-                 back to the engine for a spilling serial retry *)
-              fallback_if_spill ~what:"parallel join build"
-                (Array.length right_rows);
+                 back to the engine for a spilling serial retry, bailing
+                 as soon as the threshold is crossed *)
+              let right_rows =
+                array_of_seq_bounded ~what:"parallel join build"
+                  (run_right ())
+              in
               Array.iteri
                 (fun idx rrow ->
                   let key = key_of rkey_fs rrow in
@@ -2777,9 +2859,10 @@ module Par = struct
               (* serial build: hash the right side once; workers only read *)
               Perm_fault.trip fp_join_build;
               let tbl = Tuple.Hash.create 256 in
-              let right_rows = Array.of_seq (run_right ()) in
-              fallback_if_spill ~what:"parallel join build"
-                (Array.length right_rows);
+              let right_rows =
+                array_of_seq_bounded ~what:"parallel join build"
+                  (run_right ())
+              in
               Array.iteri
                 (fun idx rrow ->
                   let key = key_of rkey_fs rrow in
@@ -2918,6 +3001,10 @@ module Par = struct
                                   Array.map (fun a -> new_agg_state a) aggs_arr
                                 in
                                 Tuple.Hash.replace groups key s;
+                                (* Cancel raised here propagates through
+                                   Pool.run to the coordinator *)
+                                budget_materialized ~what:"GROUP BY"
+                                  (Tuple.Hash.length groups);
                                 order := (key, s) :: !order;
                                 s
                             in
@@ -2958,6 +3045,8 @@ module Par = struct
                    match Tuple.Hash.find_opt groups key with
                    | None ->
                      Tuple.Hash.replace groups key states;
+                     budget_materialized ~what:"GROUP BY"
+                       (Tuple.Hash.length groups);
                      order := key :: !order
                    | Some gstates ->
                      for k = 0 to nagg - 1 do
@@ -3072,6 +3161,8 @@ module Par = struct
                           | None ->
                             let states = List.map new_agg_state aggs in
                             Tuple.Hash.replace groups key states;
+                            budget_materialized ~what:"GROUP BY"
+                              (Tuple.Hash.length groups);
                             order := (key, states) :: !order;
                             states
                         in
@@ -3107,6 +3198,8 @@ module Par = struct
                    match Tuple.Hash.find_opt groups key with
                    | None ->
                      Tuple.Hash.replace groups key states;
+                     budget_materialized ~what:"GROUP BY"
+                       (Tuple.Hash.length groups);
                      order := key :: !order
                    | Some gstates -> iter3 agg_merge aggs gstates states))
               partials;
@@ -3174,8 +3267,10 @@ module Par = struct
             let rows, m, rp = run () in
             Token.check token;
             Perm_fault.trip fp_sort;
+            (* the input list is already materialized by the fragment
+               runner; bail before the extra array copy *)
+            fallback_if_spill ~what:"parallel sort" (List.length rows);
             let arr = Array.of_list rows in
-            fallback_if_spill ~what:"parallel sort" (Array.length arr);
             Array.stable_sort cmp arr;
             prof_count c (Array.length arr);
             (Array.to_list arr, m, rp)))

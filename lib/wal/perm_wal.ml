@@ -16,12 +16,21 @@
    (possible when a crash lands between the engine's append and its
    bookkeeping) applies nothing and is ignored.
 
-   [checkpoint] compacts the log: the caller's SQL snapshot is written
-   to [snapshot.sql] (via a temp file + rename so a crash never leaves a
-   half snapshot), the log is truncated back to the magic, and
-   provenance-column metadata — the one piece of engine state the SQL
-   snapshot cannot express — is re-logged as a committed [Prov]
-   transaction. *)
+   [checkpoint] compacts the log under a monotonically increasing
+   *epoch* so the snapshot and the log can never disagree after a crash:
+   (1) a fsynced [Checkpoint epoch] marker is appended, (2) the caller's
+   SQL snapshot — prefixed with an epoch header line — is written to a
+   temp file, fsynced, renamed over [snapshot.sql], and the directory is
+   fsynced so the rename is durable, (3) only then is the log truncated
+   back to the magic and provenance-column metadata (the one piece of
+   engine state the SQL snapshot cannot express) re-logged as a
+   committed [Prov] transaction. A crash anywhere in that sequence
+   recovers exactly: replay skips every record up to (and including) the
+   last [Checkpoint e] marker with [e <= snapshot epoch], because those
+   records are provably captured by the applied snapshot — so the
+   rename-landed-but-truncate-didn't window can no longer double-apply
+   committed transactions, and the directory fsync stops the reverse
+   window (truncate persisted, rename reverted) from losing them. *)
 
 module Value = Perm_value.Value
 module Tuple = Perm_storage.Tuple
@@ -29,6 +38,15 @@ module Tuple = Perm_storage.Tuple
 let fp_append = Perm_fault.point "wal.append"
 let fp_fsync = Perm_fault.point "wal.fsync"
 let fp_replay = Perm_fault.point "wal.replay"
+
+(* Checkpoint crash windows, in protocol order: [mark] fires before the
+   epoch marker is appended, [publish] after the temp snapshot is written
+   but before the rename, [truncate] after the rename is durable but
+   before the log shrinks. The chaos suite kills at each and recovery
+   must reproduce the committed state exactly. *)
+let fp_ckpt_mark = Perm_fault.point "wal.checkpoint.mark"
+let fp_ckpt_publish = Perm_fault.point "wal.checkpoint.publish"
+let fp_ckpt_truncate = Perm_fault.point "wal.checkpoint.truncate"
 let magic = "PERMWAL1"
 
 (* ---- CRC-32 (IEEE 802.3, poly 0xedb88320) ------------------------- *)
@@ -70,6 +88,9 @@ type frame =
   | Delete of string  (** heap truncated *)
   | Replace of string * Tuple.t list  (** heap contents replaced *)
   | Prov of string * string list  (** provenance-column names of a table *)
+  | Checkpoint of int
+      (** epoch marker: every record before this one is captured by the
+          snapshot carrying the same epoch *)
 
 exception Corrupt
 
@@ -143,7 +164,10 @@ let encode_frame frame =
     Buffer.add_char buf '\008';
     add_lstring buf tbl;
     add_u32 buf (List.length cols);
-    List.iter (add_lstring buf) cols);
+    List.iter (add_lstring buf) cols
+  | Checkpoint epoch ->
+    Buffer.add_char buf '\009';
+    add_i64 buf (Int64.of_int epoch));
   Buffer.contents buf
 
 (* Decoding: a cursor over the payload string; any out-of-bounds read or
@@ -216,6 +240,10 @@ let decode_frame payload =
         let n = u32 payload pos in
         if n < 0 || n > String.length payload then raise Corrupt;
         Prov (tbl, List.init n (fun _ -> lstring payload pos))
+      | 9 ->
+        let epoch = Int64.to_int (i64 payload pos) in
+        if epoch < 0 then raise Corrupt;
+        Checkpoint epoch
       | _ -> raise Corrupt
     in
     if !pos <> String.length payload then raise Corrupt;
@@ -240,6 +268,9 @@ type replay = {
   rp_records : int;  (** structurally valid records scanned *)
   rp_committed : int;  (** committed transactions applied *)
   rp_discarded : int;  (** trailing uncommitted frames discarded *)
+  rp_skipped : int;
+      (** records already captured by the snapshot (a checkpoint crashed
+          between its rename and its log truncation) and skipped *)
   rp_truncated_bytes : int;  (** torn-tail bytes chopped off the log *)
 }
 
@@ -249,6 +280,7 @@ let no_replay =
     rp_records = 0;
     rp_committed = 0;
     rp_discarded = 0;
+    rp_skipped = 0;
     rp_truncated_bytes = 0;
   }
 
@@ -261,6 +293,7 @@ type t = {
   mutable records : int;  (** records in the log since the last checkpoint *)
   mutable last_lsn : int;  (** monotonic record ordinal, replay included *)
   mutable fsyncs : int;
+  mutable epoch : int;  (** epoch of the published snapshot (0 = none) *)
   replayed : replay;
 }
 
@@ -270,6 +303,7 @@ type status = {
   st_records : int;
   st_last_lsn : int;
   st_fsyncs : int;
+  st_epoch : int;
   st_replay : replay;
 }
 
@@ -278,7 +312,7 @@ exception Apply_error of string
 let ap = function Ok () -> () | Error msg -> raise (Apply_error msg)
 
 let apply_one apply = function
-  | Begin | Commit | Abort -> ()
+  | Begin | Commit | Abort | Checkpoint _ -> ()
   | Create sql | Drop sql -> ap (apply.ap_sql sql)
   | Insert (tbl, rows) -> ap (apply.ap_insert tbl rows)
   | Delete tbl -> ap (apply.ap_truncate tbl)
@@ -303,18 +337,48 @@ let rec mkdir_p dir =
     try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
+(* Make a rename durable: fsync the containing directory. Best-effort on
+   filesystems that reject fsync on a directory fd. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | dfd ->
+    (try Unix.fsync dfd with Unix.Unix_error _ -> ());
+    Unix.close dfd
+  | exception Unix.Unix_error _ -> ()
+
+(* The snapshot carries its checkpoint epoch as a leading SQL-comment
+   header so replay can prove which log records it already contains. The
+   header is stripped before the script reaches the engine; a snapshot
+   without one (or with an unparsable one) is epoch 0. *)
+let epoch_header = "-- perm-wal-epoch: "
+
+let render_snapshot ~epoch sql = Printf.sprintf "%s%d\n%s" epoch_header epoch sql
+
+let split_snapshot data =
+  let hlen = String.length epoch_header in
+  if String.length data >= hlen && String.sub data 0 hlen = epoch_header then
+    match String.index_opt data '\n' with
+    | Some nl -> (
+      match int_of_string_opt (String.trim (String.sub data hlen (nl - hlen))) with
+      | Some epoch when epoch >= 0 ->
+        (epoch, String.sub data (nl + 1) (String.length data - nl - 1))
+      | _ -> (0, data))
+    | None -> (0, data)
+  else (0, data)
+
 let open_ ~dir ~apply =
   let log_path = Filename.concat dir "wal.log" in
   let snapshot_path = Filename.concat dir "snapshot.sql" in
   try
     mkdir_p dir;
-    let snapshot_applied =
+    let snapshot_epoch, snapshot_applied =
       if Sys.file_exists snapshot_path then begin
-        let sql = In_channel.with_open_bin snapshot_path In_channel.input_all in
+        let data = In_channel.with_open_bin snapshot_path In_channel.input_all in
+        let epoch, sql = split_snapshot data in
         ap (apply.ap_sql sql);
-        true
+        (epoch, true)
       end
-      else false
+      else (0, false)
     in
     let data =
       if Sys.file_exists log_path then
@@ -330,12 +394,11 @@ let open_ ~dir ~apply =
       let total = String.length data in
       let pos = ref 8 in
       let good = ref 8 in
-      let records = ref 0 in
-      let pending = ref [] in
-      let in_txn = ref false in
-      let committed = ref 0 in
-      let discarded = ref 0 in
       let torn = ref false in
+      let frames = ref [] in
+      (* Pass 1 — structural scan: find the valid prefix and collect its
+         frames without applying anything, because the skip point (below)
+         depends on Checkpoint markers that may sit anywhere in the log. *)
       if not fresh then begin
         while (not !torn) && !pos + 8 <= total do
           let len = u32_at data !pos in
@@ -349,34 +412,62 @@ let open_ ~dir ~apply =
               | None -> torn := true
               | Some frame ->
                 Perm_fault.trip fp_replay;
-                (match frame with
-                | Begin ->
-                  (* an open transaction cut short by a new Begin never
-                     committed — discard it *)
-                  discarded := !discarded + List.length !pending;
-                  pending := [];
-                  in_txn := true
-                | Commit ->
-                  if !in_txn || !pending <> [] then begin
-                    List.iter (apply_one apply) (List.rev !pending);
-                    incr committed;
-                    pending := [];
-                    in_txn := false
-                  end
-                  (* duplicate Commit: nothing pending, nothing to do *)
-                | Abort ->
-                  discarded := !discarded + List.length !pending;
-                  pending := [];
-                  in_txn := false
-                | frame -> pending := frame :: !pending);
-                incr records;
+                frames := frame :: !frames;
                 good := !pos + 8 + len;
                 pos := !good
           end
         done;
-        if !pos < total then torn := true;
-        discarded := !discarded + List.length !pending
+        if !pos < total then torn := true
       end;
+      let frames = Array.of_list (List.rev !frames) in
+      let records = Array.length frames in
+      (* Every record before a [Checkpoint e] marker is captured by the
+         snapshot published for epoch [e]. If the snapshot on disk is at
+         least that epoch, those records have already been applied via the
+         snapshot — replaying them would double-apply committed work (the
+         crash window between snapshot rename and log truncation). Skip
+         through the LAST such marker; a log with no qualifying marker
+         (the common case: truncation succeeded) replays in full. *)
+      let skip_to = ref 0 in
+      let max_epoch = ref snapshot_epoch in
+      Array.iteri
+        (fun i frame ->
+          match frame with
+          | Checkpoint e ->
+            if e > !max_epoch then max_epoch := e;
+            if e <= snapshot_epoch then skip_to := i + 1
+          | _ -> ())
+        frames;
+      let skipped = !skip_to in
+      (* Pass 2 — transactional replay of the surviving suffix. *)
+      let pending = ref [] in
+      let in_txn = ref false in
+      let committed = ref 0 in
+      let discarded = ref 0 in
+      for i = skipped to records - 1 do
+        match frames.(i) with
+        | Begin ->
+          (* an open transaction cut short by a new Begin never
+             committed — discard it *)
+          discarded := !discarded + List.length !pending;
+          pending := [];
+          in_txn := true
+        | Commit ->
+          if !in_txn || !pending <> [] then begin
+            List.iter (apply_one apply) (List.rev !pending);
+            incr committed;
+            pending := [];
+            in_txn := false
+          end
+          (* duplicate Commit: nothing pending, nothing to do *)
+        | Abort ->
+          discarded := !discarded + List.length !pending;
+          pending := [];
+          in_txn := false
+        | Checkpoint _ -> ()
+        | frame -> pending := frame :: !pending
+      done;
+      discarded := !discarded + List.length !pending;
       let fd = Unix.openfile log_path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644 in
       let truncated_bytes = if fresh then 0 else total - !good in
       if fresh then begin
@@ -387,10 +478,11 @@ let open_ ~dir ~apply =
       let replayed =
         {
           rp_snapshot = snapshot_applied;
-          rp_records = !records;
+          rp_records = records;
           rp_committed = !committed;
           rp_discarded = !discarded;
           rp_truncated_bytes = truncated_bytes;
+          rp_skipped = skipped;
         }
       in
       Ok
@@ -400,9 +492,10 @@ let open_ ~dir ~apply =
             snapshot_path;
             fd;
             bytes = (if fresh then 8 else !good);
-            records = !records;
-            last_lsn = !records;
+            records;
+            last_lsn = records;
             fsyncs = 0;
+            epoch = !max_epoch;
             replayed;
           },
           replayed )
@@ -436,17 +529,37 @@ let fsync t =
   Unix.fsync t.fd;
   t.fsyncs <- t.fsyncs + 1
 
-(* Compact: snapshot the whole state as SQL, then truncate the log. Not
-   fault-instrumented — this is also the repair path the engine takes
-   after an append/fsync failure left the log behind the heaps. *)
+(* Compact: snapshot the whole state as SQL, then truncate the log. Also
+   the repair path the engine takes after an append/fsync failure left
+   the log behind the heaps.
+
+   Crash-atomic via the epoch protocol. Three durable steps, each safe to
+   crash after:
+     1. append + fsync a [Checkpoint (epoch+1)] marker — a crash here
+        leaves the old snapshot; the marker's epoch exceeds it, so replay
+        skips nothing and recovery is the pre-checkpoint state.
+     2. write snapshot tmp (with the epoch header), fsync, rename over
+        snapshot.sql, fsync the directory — a crash here leaves the new
+        snapshot plus the full old log; replay sees the marker with the
+        snapshot's own epoch and skips everything up to it, so committed
+        work is applied exactly once.
+     3. truncate the log — the steady state. *)
 let checkpoint t ~snapshot_sql ~prov =
+  let epoch = t.epoch + 1 in
+  Perm_fault.trip fp_ckpt_mark;
+  raw_append t (Checkpoint epoch);
+  Unix.fsync t.fd;
   let tmp = t.snapshot_path ^ ".tmp" in
   let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
-  let b = Bytes.of_string snapshot_sql in
+  let b = Bytes.of_string (render_snapshot ~epoch snapshot_sql) in
   write_all fd b 0 (Bytes.length b);
   Unix.fsync fd;
   Unix.close fd;
+  Perm_fault.trip fp_ckpt_publish;
   Sys.rename tmp t.snapshot_path;
+  fsync_dir t.dir;
+  t.epoch <- epoch;
+  Perm_fault.trip fp_ckpt_truncate;
   Unix.ftruncate t.fd 8;
   t.bytes <- 8;
   t.records <- 0;
@@ -466,6 +579,7 @@ let status t =
     st_records = t.records;
     st_last_lsn = t.last_lsn;
     st_fsyncs = t.fsyncs;
+    st_epoch = t.epoch;
     st_replay = t.replayed;
   }
 

@@ -16,9 +16,21 @@
     log whose crash landed between append and engine bookkeeping — is
     idempotent.
 
-    Fault points ["wal.append"], ["wal.fsync"] and ["wal.replay"]
-    ({!Perm_fault}) fire before the corresponding I/O so the chaos suite
-    can kill-and-recover at every stage of a commit. *)
+    Checkpoints are crash-atomic via an epoch protocol: {!checkpoint}
+    first appends a fsynced [Checkpoint] marker frame carrying the new
+    epoch, then publishes the snapshot (tmp file + rename + directory
+    fsync) with the same epoch in a leading header comment, then
+    truncates the log. Replay skips every record up to and including the
+    last marker whose epoch is [<=] the snapshot's epoch — those records
+    are already contained in the snapshot — so a crash in any window of
+    the checkpoint recovers to exactly the committed state, never a
+    double application.
+
+    Fault points ["wal.append"], ["wal.fsync"], ["wal.replay"],
+    ["wal.checkpoint.mark"], ["wal.checkpoint.publish"] and
+    ["wal.checkpoint.truncate"] ({!Perm_fault}) fire before the
+    corresponding I/O so the chaos suite can kill-and-recover at every
+    stage of a commit or checkpoint. *)
 
 val magic : string
 
@@ -35,6 +47,9 @@ type frame =
   | Delete of string  (** heap truncated *)
   | Replace of string * Perm_storage.Tuple.t list  (** heap replaced *)
   | Prov of string * string list  (** provenance-column names of a table *)
+  | Checkpoint of int
+      (** epoch marker: every record before this one is captured by the
+          snapshot published for this epoch *)
 
 val encode_frame : frame -> string
 (** Payload bytes of one record (length/CRC header not included). *)
@@ -59,6 +74,9 @@ type replay = {
   rp_records : int;  (** structurally valid records scanned *)
   rp_committed : int;  (** committed transactions applied *)
   rp_discarded : int;  (** trailing uncommitted frames discarded *)
+  rp_skipped : int;
+      (** records skipped because the snapshot already contained them
+          (crash landed between snapshot publish and log truncation) *)
   rp_truncated_bytes : int;  (** torn-tail bytes chopped off the log *)
 }
 
@@ -84,12 +102,16 @@ val fsync : t -> unit
 (** Flush to stable storage; trips ["wal.fsync"] first. *)
 
 val checkpoint : t -> snapshot_sql:string -> prov:(string * string list) list -> unit
-(** Compact: write [snapshot_sql] to [snapshot.sql] (temp file + rename,
-    fsynced), truncate the log back to the magic, and re-log [prov]
-    (table → provenance columns, the one piece of state the SQL snapshot
-    cannot express) as a single committed transaction. Deliberately not
-    fault-instrumented: this is also the repair path after an
-    append/fsync failure left the log behind the heaps. *)
+(** Compact: append a fsynced [Checkpoint] marker for the next epoch,
+    publish [snapshot_sql] to [snapshot.sql] (temp file + fsync + rename
+    + directory fsync, with the epoch in a header comment), truncate the
+    log back to the magic, and re-log [prov] (table → provenance
+    columns, the one piece of state the SQL snapshot cannot express) as
+    a single committed transaction. Crash-safe at every step: replay
+    skips records the published snapshot already contains (see the
+    module doc). Trips ["wal.checkpoint.mark"],
+    ["wal.checkpoint.publish"] and ["wal.checkpoint.truncate"] before
+    the marker append, the rename and the truncation respectively. *)
 
 type status = {
   st_dir : string;
@@ -97,6 +119,7 @@ type status = {
   st_records : int;  (** records since the last checkpoint *)
   st_last_lsn : int;  (** monotonic record ordinal, replay included *)
   st_fsyncs : int;  (** fsyncs since open *)
+  st_epoch : int;  (** epoch of the published snapshot (0 = none) *)
   st_replay : replay;  (** what {!open_} recovered *)
 }
 

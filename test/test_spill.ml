@@ -127,6 +127,48 @@ let test_completes_where_kill_would_fire () =
   ignore (query_ok e sql);
   Engine.close e
 
+(* With spill on, state no path can spill — hash-aggregate groups,
+   DISTINCT and set-op tables — still enforces the budget as a hard
+   ceiling at the materialization point: the budget is never silently
+   ignored. Spillable shapes and low-cardinality aggregates over inputs
+   far past the budget keep completing. *)
+
+let expect_exhausted ~label e sql =
+  match Engine.execute_err e sql with
+  | Ok _ -> Alcotest.failf "%s: %s should hit the budget ceiling" label sql
+  | Error err ->
+    Alcotest.(check string)
+      (Printf.sprintf "%s: %s" label sql)
+      "resource_exhausted"
+      (Err.kind_label err.Err.kind)
+
+(* 600 messages vs budget 150: mid is unique, so any per-mid table blows
+   the ceiling; uid has only 6 distinct values, so per-uid state stays
+   tiny no matter how many rows feed it. *)
+let non_spillable_ceiling ~label setup =
+  let e = spill_engine () in
+  setup e;
+  expect_exhausted ~label e "SELECT mid, COUNT(*) FROM messages GROUP BY mid";
+  expect_exhausted ~label e "SELECT DISTINCT mid FROM messages";
+  expect_exhausted ~label e
+    "SELECT mid FROM messages UNION SELECT uid FROM messages";
+  expect_exhausted ~label e
+    "SELECT mid FROM messages EXCEPT SELECT uid FROM users";
+  (* few groups over many rows: bounded state, must complete *)
+  ignore (query_ok e "SELECT uid, COUNT(*) FROM messages GROUP BY uid");
+  ignore (query_ok e "SELECT DISTINCT uid FROM messages");
+  (* spillable shapes still degrade instead of dying *)
+  ignore (query_ok e "SELECT mid, text FROM messages ORDER BY text DESC, mid");
+  Engine.close e
+
+let test_budget_hard_ceiling () =
+  non_spillable_ceiling ~label:"batch" (fun _ -> ());
+  non_spillable_ceiling ~label:"row" (fun e -> Engine.set_vectorized e false);
+  non_spillable_ceiling ~label:"parallel" (fun e ->
+      Engine.set_parallel e (Engine.Par_domains domains);
+      Engine.set_parallel_threshold e 1;
+      Engine.set_morsel_rows e 64)
+
 let test_spill_dir_honoured () =
   let dir = Filename.temp_file "perm_spill_dir" "" in
   Sys.remove dir;
@@ -157,6 +199,7 @@ let () =
       ( "degradation",
         [
           case "completes where the kill would fire" test_completes_where_kill_would_fire;
+          case "non-spillable state keeps the hard ceiling" test_budget_hard_ceiling;
           case "spill dir honoured and cleaned" test_spill_dir_honoured;
         ] );
     ]

@@ -299,6 +299,85 @@ let test_checkpoint_in_txn_refused () =
   Engine.close e;
   rm_rf dir
 
+(* The review scenario: a crash inside the checkpoint protocol must
+   recover to exactly the committed state — in particular a crash between
+   snapshot publish and log truncation must not replay the stale log on
+   top of the new snapshot (silent row duplication / duplicate CREATE). *)
+let checkpoint_crash_window point =
+  Fault.reset ();
+  let dir = temp_dir "perm_wal_ckpt_crash" in
+  let e = engine () in
+  ignore (enable_ok e dir);
+  exec_all e workload_statements;
+  let dump = Engine.dump_sql e in
+  Fault.set_seed 11;
+  Fault.set point 1.0;
+  (match Engine.checkpoint e with
+  | Ok () -> Alcotest.failf "%s: checkpoint should fail under the fault" point
+  | Error err ->
+    Alcotest.(check string)
+      (Printf.sprintf "%s surfaces as Faulted" point)
+      "faulted"
+      (Err.kind_label err.Err.kind));
+  (* the crash: abandon the engine with the checkpoint half-done *)
+  Fault.reset ();
+  let recovered, rp = recovered_dump dir in
+  Alcotest.(check string)
+    (Printf.sprintf "%s: recovery is exactly the committed state" point)
+    dump recovered;
+  (if point = "wal.checkpoint.truncate" then begin
+     (* snapshot landed, log did not shrink: replay must have skipped the
+        records the snapshot already contains *)
+     Alcotest.(check bool) "new snapshot applied" true rp.Wal.rp_snapshot;
+     Alcotest.(check bool) "stale records skipped, not re-applied" true
+       (rp.Wal.rp_skipped > 0)
+   end);
+  rm_rf dir
+
+let test_checkpoint_crash_windows () =
+  List.iter checkpoint_crash_window
+    [ "wal.checkpoint.mark"; "wal.checkpoint.publish"; "wal.checkpoint.truncate" ]
+
+(* Keep RUNNING through a truncate-window crash: commits appended after
+   the failed checkpoint land past the epoch marker, so recovery applies
+   snapshot + marker-skip + the new transactions, exactly once each. A
+   later successful checkpoint (epoch + 1) must compact it all away. *)
+let test_checkpoint_crash_then_continue () =
+  Fault.reset ();
+  let dir = temp_dir "perm_wal_ckpt_cont" in
+  let e = engine () in
+  ignore (enable_ok e dir);
+  exec_all e workload_statements;
+  Fault.set_seed 11;
+  Fault.set "wal.checkpoint.truncate" 1.0;
+  Alcotest.(check bool) "checkpoint fails under the fault" true
+    (Result.is_error (Engine.checkpoint e));
+  Fault.reset ();
+  exec_all e
+    [
+      "INSERT INTO t VALUES (21, 'post');";
+      "UPDATE t SET v = 'P' WHERE k = 21;";
+    ];
+  let dump2 = Engine.dump_sql e in
+  let recovered, rp = recovered_dump dir in
+  Alcotest.(check string) "post-crash commits survive, applied once" dump2
+    recovered;
+  Alcotest.(check bool) "stale prefix skipped" true (rp.Wal.rp_skipped > 0);
+  (* now a clean checkpoint on the recovered lineage *)
+  let e2 = engine () in
+  ignore (enable_ok e2 dir);
+  (match Engine.checkpoint e2 with
+  | Ok () -> ()
+  | Error err -> Alcotest.failf "second checkpoint: %s" (Err.to_string err));
+  ignore (exec_ok e2 "INSERT INTO t VALUES (22, 'post2');");
+  let dump3 = Engine.dump_sql e2 in
+  let recovered3, rp3 = recovered_dump dir in
+  Alcotest.(check string) "epoch advances cleanly" dump3 recovered3;
+  Alcotest.(check int) "nothing left to skip" 0 rp3.Wal.rp_skipped;
+  Engine.close e2;
+  Engine.close e;
+  rm_rf dir
+
 let test_enable_on_existing_state () =
   let dir = temp_dir "perm_wal_adopt" in
   let e = engine () in
@@ -387,7 +466,20 @@ let kill_and_recover point seed =
                crashed := true;
                raise Exit)
            unit_stmts;
-         incr acked)
+         incr acked;
+         (* periodic compaction keeps the checkpoint fault points in the
+            schedule; a checkpoint crash is a kill like any other, and
+            changes no committed state, so the oracle is unaffected *)
+         if !acked mod 7 = 0 then
+           match Engine.checkpoint e with
+           | Ok () -> ()
+           | Error err ->
+             Alcotest.(check string)
+               (Printf.sprintf "%s/%d: only injected faults may fail" point seed)
+               "faulted"
+               (Err.kind_label err.Err.kind);
+             crashed := true;
+             raise Exit)
        (kill_workload seed)
    with Exit -> ());
   (* the crash: never close, never repair — the engine is simply gone *)
@@ -409,7 +501,14 @@ let test_kill_and_recover () =
   List.iter
     (fun point ->
       List.iter (fun seed -> kill_and_recover point seed) [ 1; 2; 3; 4 ])
-    [ "wal.append"; "wal.fsync"; "engine.commit" ];
+    [
+      "wal.append";
+      "wal.fsync";
+      "engine.commit";
+      "wal.checkpoint.mark";
+      "wal.checkpoint.publish";
+      "wal.checkpoint.truncate";
+    ];
   Fault.reset ()
 
 let () =
@@ -438,10 +537,14 @@ let () =
             test_checkpoint_in_txn_refused;
           Alcotest.test_case "enable on existing state" `Quick
             test_enable_on_existing_state;
+          Alcotest.test_case "crash in every checkpoint window" `Quick
+            test_checkpoint_crash_windows;
+          Alcotest.test_case "crash mid-checkpoint, then keep running" `Quick
+            test_checkpoint_crash_then_continue;
         ] );
       ( "chaos",
         [
-          Alcotest.test_case "kill and recover (3 points x 4 seeds)" `Slow
+          Alcotest.test_case "kill and recover (6 points x 4 seeds)" `Slow
             test_kill_and_recover;
         ] );
     ]
