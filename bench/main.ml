@@ -910,6 +910,109 @@ let b13_wal ~size =
     spill_rows
 
 (* ------------------------------------------------------------------ *)
+(* B14-forensics: flight-recorder overhead, on vs. off. Recording is a  *)
+(* handful of wait-free ring pushes per statement (start, finish, plan  *)
+(* milestones), so the on/off delta over the B12 battery must stay flat *)
+(* (EXPERIMENTS.md targets <= 5% median) — the number that justifies    *)
+(* keeping the recorder on by default. The anomaly burst prices the     *)
+(* slow path: a failing statement pays classification plus a full       *)
+(* forensics-bundle snapshot.                                           *)
+(* ------------------------------------------------------------------ *)
+
+let b14_forensics_queries = b12_vec_queries
+
+let b14_forensics_measure ~size =
+  let e = Engine.create () in
+  Forum.load_scaled e ~messages:size ~users:(max 10 (size / 20)) ();
+  let r = Engine.recorder e in
+  (* warm the heap before measuring either arm (see b8_guard_measure) *)
+  List.iter (fun (_, sql) -> run_query e sql) b14_forensics_queries;
+  Gc.compact ();
+  (* the delta under test is a handful of wait-free ring pushes plus a
+     ten-entry metric snapshot per statement — single-digit microseconds,
+     far below this battery's run-to-run scheduling noise on the
+     multi-millisecond joins. Like B11, sample each arm with the plain
+     monotonic loop and keep (median, min): the min is the
+     interference-free floor, the statistic that would rise if recording
+     actually cost anything on the hot path. *)
+  let arm capacity sql =
+    Perm_obs.Recorder.set_capacity r capacity;
+    time_query_plain e sql
+  in
+  let rows =
+    List.map
+      (fun (name, sql) ->
+        let off = arm 0 sql in
+        let on = arm 512 sql in
+        (name, off, on))
+      b14_forensics_queries
+  in
+  Engine.close e;
+  rows
+
+let b14_burst_statements = 200
+
+(* Every statement in the burst fails, so each one pays anomaly
+   classification plus a full bundle snapshot (metrics delta, event
+   tail, settings). Retention is capped below the burst size, so the
+   store churns — pruning is part of the measured cost. *)
+let b14_burst_measure () =
+  let e = Engine.create () in
+  Forum.load_scaled e ~messages:200 ~users:10 ();
+  Engine.Forensics.set_capacity e 32;
+  (* warm: the first failures pay classifier and bundle-alloc heap growth *)
+  for _ = 1 to 20 do
+    ignore (Engine.execute e "SELECT broken FROM nowhere")
+  done;
+  Gc.compact ();
+  let clock = Toolkit.Monotonic_clock.make () in
+  let now () = Toolkit.Monotonic_clock.get clock in
+  let t0 = now () in
+  for _ = 1 to b14_burst_statements do
+    ignore (Engine.execute e "SELECT broken FROM nowhere")
+  done;
+  let dt = now () -. t0 in
+  let retained = List.length (Engine.Forensics.list e) in
+  Engine.close e;
+  (dt /. float_of_int b14_burst_statements, retained)
+
+let b14_forensics ~size =
+  let rows =
+    List.map
+      (fun (name, (off_med, off_min), (on_med, on_min)) ->
+        [
+          name;
+          fms off_med;
+          fms on_med;
+          ffac (on_med /. off_med);
+          fms off_min;
+          fms on_min;
+          ffac (on_min /. off_min);
+        ])
+      (b14_forensics_measure ~size)
+  in
+  print_table
+    (Printf.sprintf
+       "B14-forensics: flight recorder overhead, on vs. off (forum %d \
+        messages; min = interference-free floor)"
+       size)
+    [
+      "query";
+      "off med ms";
+      "on med ms";
+      "med overhead";
+      "off min ms";
+      "on min ms";
+      "floor overhead";
+    ]
+    rows;
+  let per_anomaly, retained = b14_burst_measure () in
+  Printf.printf
+    "  anomaly burst: %d failing statements, %.3f ms/anomaly (bundle \
+     capture included), %d bundles retained\n"
+    b14_burst_statements (ms per_anomaly) retained
+
+(* ------------------------------------------------------------------ *)
 (* Smoke mode: one instrumented pass over representative queries,       *)
 (* reporting the engine's own per-phase breakdown (no Bechamel); with   *)
 (* --json the breakdowns and the session metrics land in                *)
@@ -997,11 +1100,16 @@ let smoke ~json () =
        parallel-executor performance is tracked alongside the phase
        breakdowns. A small scale + quota keeps the smoke pass quick. *)
     let saved_quota = !quota in
+    let progress what =
+      Printf.eprintf "[smoke] measuring %s...\n%!" what
+    in
     quota := 0.15;
+    progress "b7_par";
     let par_measured = b7_par_measure ~size:4_000 in
     (* B12-vec rides along: the row-closure baseline vs the batch path per
        query class plus the batch_rows sweep — EXPERIMENTS.md quotes the
        serial speedups from here. *)
+    progress "b12_vec_measure";
     let vec_measured = b12_vec_measure ~size:4_000 in
     (* B8-guard rides along too: the regression gate only reads "queries",
        so the guardrails section is informational — EXPERIMENTS.md quotes
@@ -1009,22 +1117,35 @@ let smoke ~json () =
        query in the low-millisecond range so the quota buys enough samples
        for the off/armed delta to be signal, not run-to-run noise. *)
     quota := 0.3;
+    progress "b8_guard_measure";
     let guard_measured = b8_guard_measure ~size:1_000 in
     (* B9-prof rides along the same way: EXPERIMENTS.md quotes the
        profiler-off arm (must stay at the plain-path baseline) and the
        profiler-on overhead from here. *)
+    progress "b9_prof_measure";
     let prof_measured = b9_prof_measure ~size:1_000 in
     (* B10-hist rides along the same way: EXPERIMENTS.md quotes the
        history-recording overhead (acceptance target < 5%) from here. *)
+    progress "b10_hist_measure";
     let hist_measured = b10_hist_measure ~size:1_000 in
     (* B11-http rides along the same way: EXPERIMENTS.md quotes the
        under-scrape overhead (acceptance target: within noise of the
        server-off arm) from here. *)
+    progress "b11_http_measure";
     let http_measured, http_scrapes = b11_http_measure ~size:1_000 in
     (* B13-wal rides along: EXPERIMENTS.md quotes the per-insert WAL and
        fsync cost and the spill-threshold sweep from here. *)
+    progress "b13_wal_measure";
     let wal_measured = b13_wal_measure () in
+    progress "b13_spill_measure";
     let spill_measured = b13_spill_measure ~size:1_000 in
+    (* B14-forensics rides along: EXPERIMENTS.md quotes the recorder-on
+       overhead (acceptance target < 5% median) and the anomaly-burst
+       bundle-capture cost from here. *)
+    progress "b14_forensics_measure";
+    let forensics_measured = b14_forensics_measure ~size:1_000 in
+    progress "b14_burst_measure";
+    let forensics_burst_ms, forensics_retained = b14_burst_measure () in
     quota := saved_quota;
     let profiler_section =
       Json.Obj
@@ -1060,6 +1181,34 @@ let smoke ~json () =
                        ("overhead", Json.Float (t_on /. t_off));
                      ])
                  hist_measured) );
+        ]
+    in
+    let forensics_section =
+      Json.Obj
+        [
+          ("forum_messages", Json.Int 1_000);
+          ( "queries",
+            Json.List
+              (List.map
+                 (fun (name, (off_med, off_min), (on_med, on_min)) ->
+                   Json.Obj
+                     [
+                       ("name", Json.String name);
+                       ("off_ms", Json.Float (ms off_med));
+                       ("on_ms", Json.Float (ms on_med));
+                       ("overhead", Json.Float (on_med /. off_med));
+                       ("off_min_ms", Json.Float (ms off_min));
+                       ("on_min_ms", Json.Float (ms on_min));
+                       ("floor_overhead", Json.Float (on_min /. off_min));
+                     ])
+                 forensics_measured) );
+          ( "anomaly_burst",
+            Json.Obj
+              [
+                ("statements", Json.Int b14_burst_statements);
+                ("ms_per_anomaly", Json.Float (ms forensics_burst_ms));
+                ("bundles_retained", Json.Int forensics_retained);
+              ] );
         ]
     in
     let http_section =
@@ -1193,6 +1342,7 @@ let smoke ~json () =
           ("profiler", profiler_section);
           ("history", history_section);
           ("http", http_section);
+          ("forensics", forensics_section);
           ( "queries",
             Json.List
               (List.map
@@ -1374,4 +1524,5 @@ let () =
   b10_hist ~size:(if fast then 2_000 else 20_000);
   b11_http ~size:(if fast then 2_000 else 20_000);
   b13_wal ~size:(if fast then 2_000 else 20_000);
+  b14_forensics ~size:(if fast then 2_000 else 20_000);
   print_newline ()

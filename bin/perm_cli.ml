@@ -41,7 +41,8 @@ let start_serve session port =
       session.serve <- Some srv;
       Printf.printf
         "serving observability plane on http://127.0.0.1:%d (generation %d)\n\
-        \  /metrics /stats/<relation> /healthz /readyz /trace /events\n"
+        \  /metrics /stats/<relation> /healthz /readyz /trace /events \
+         /debug/bundles\n"
         (Obs_server.port srv) (Obs_server.generation srv)
     | Error msg -> Printf.printf "ERROR: cannot serve on port %d: %s\n" port msg)
 
@@ -126,7 +127,33 @@ let watch_window = 24  (* samples retained in the throughput sparkline *)
    snapshot (atomics), like the \progress sampler — never the metrics or
    history hashtables, which the REPL domain mutates while a statement
    runs. The history summary prints once, from the REPL domain, when the
-   dashboard is toggled on. *)
+   dashboard is toggled on.
+
+   The WAL and spill panes follow the same discipline: the spill counters
+   are process-global atomics, and the WAL status reads word-sized int
+   fields (a concurrent commit can make them momentarily stale, never
+   torn). Each pane reprints only when its numbers change, so an idle
+   session stays quiet. *)
+let watch_wal_pane session =
+  match Engine.wal_status session.engine with
+  | None -> ""
+  | Some ws ->
+    Printf.sprintf "watch: wal epoch=%d log=%dB records=%d fsyncs=%d%s\n"
+      ws.Engine.ws_epoch ws.Engine.ws_bytes ws.Engine.ws_records
+      ws.Engine.ws_fsyncs
+      (if ws.Engine.ws_dirty then " [DIRTY]" else "")
+
+let watch_spill_pane () =
+  let sc = Perm_storage.Spill.counters () in
+  if sc.Perm_storage.Spill.c_spills = 0 && sc.Perm_storage.Spill.c_fallbacks = 0
+  then ""
+  else
+    Printf.sprintf
+      "watch: spill spills=%d runs=%d chunks=%d rows=%d bytes=%d fallbacks=%d\n"
+      sc.Perm_storage.Spill.c_spills sc.Perm_storage.Spill.c_runs
+      sc.Perm_storage.Spill.c_chunks sc.Perm_storage.Spill.c_rows
+      sc.Perm_storage.Spill.c_bytes sc.Perm_storage.Spill.c_fallbacks
+
 let start_watch session =
   match session.watch with
   | Some _ -> print_endline "watch is already on (\\watch off to stop)"
@@ -144,9 +171,24 @@ let start_watch session =
       Domain.spawn (fun () ->
           let samples = ref [] in  (* rows/s, newest last *)
           let last = ref None in  (* previous (rows, unix seconds) *)
+          let last_wal = ref "" in
+          let last_spill = ref "" in
+          let panes () =
+            let wal = watch_wal_pane session in
+            if wal <> "" && wal <> !last_wal then begin
+              last_wal := wal;
+              Printf.eprintf "%s%!" wal
+            end;
+            let spill = watch_spill_pane () in
+            if spill <> "" && spill <> !last_spill then begin
+              last_spill := spill;
+              Printf.eprintf "%s%!" spill
+            end
+          in
           let rec loop () =
             Unix.sleepf watch_interval_s;
             if not (Atomic.get stop) then begin
+              panes ();
               (match Engine.progress session.engine with
               | Some p when p.Engine.pr_running ->
                 let now = Unix.gettimeofday () in
@@ -285,8 +327,13 @@ let help_text =
                            (e.g. \metrics executor.par)
   \progress on|off         sample live query progress (rows, morsels, elapsed)
                            on an interval while each statement runs
-  \watch [on|off]          live sparkline dashboard (row throughput, morsels)
-                           on stderr while statements run
+  \watch [on|off]          live sparkline dashboard (row throughput, morsels,
+                           WAL epoch/bytes/fsyncs, spill runs/bytes) on stderr
+                           while statements run
+  \debug [last]            pretty-print the most recent forensics bundle
+  \debug list              captured anomaly bundles (id, class, detail)
+  \debug dump ID           pretty-print one bundle by id
+                           (PERM_FORENSICS_DIR also mirrors bundles to disk)
   \history [PREFIX]        retained per-fingerprint execution history and the
                            regression watchdog's findings (optionally only
                            fingerprints starting with PREFIX)
@@ -296,7 +343,8 @@ let help_text =
                            7133, 0 = ephemeral; also via PERM_HTTP_PORT):
                            /metrics (Prometheus), /stats/<relation> (JSON),
                            /healthz, /readyz, /trace (Chrome trace),
-                           /events (SSE: eventlog + live progress)
+                           /events (SSE: eventlog + progress + anomalies),
+                           /debug/bundles[/<id>] (forensics bundles)
   \strategy join|lateral|heuristic|cost
                            aggregation rewrite strategy (paper 2.2)
   \optimizer on|off        toggle the planner rewrites
@@ -346,7 +394,8 @@ let help_text =
 Anything else is executed as an SQL-PLE statement (end with ;).
 Telemetry is also queryable as relations: perm_stat_statements,
 perm_stat_relations, perm_stat_plans, perm_stat_workers, perm_metrics,
-perm_stat_history, perm_stat_regressions, perm_metrics_history
+perm_stat_history, perm_stat_regressions, perm_metrics_history,
+perm_stat_anomalies
 (try SELECT * FROM perm_stat_regressions ORDER BY seq DESC;).|}
 
 let print_replay_summary dir (rp : Perm_wal.replay) =
@@ -593,6 +642,39 @@ let handle_meta session line =
     | Ok () -> print_endline "checkpoint written; log truncated"
     | Error e -> Printf.printf "ERROR: %s\n" (Err.to_string e));
     `Continue
+  | [ "\\debug" ] | [ "\\debug"; "last" ] ->
+    (match Engine.Forensics.last session.engine with
+    | Some doc -> print_endline (Perm_obs.Json.to_pretty_string doc)
+    | None -> print_endline "no forensics bundles captured yet");
+    `Continue
+  | [ "\\debug"; "list" ] ->
+    (match Engine.Forensics.list session.engine with
+    | [] -> print_endline "no forensics bundles captured yet"
+    | bundles ->
+      List.iter
+        (fun (s : Engine.Forensics.summary) ->
+          Printf.printf "#%-5d %-18s %-16s %s\n" s.Engine.Forensics.fs_id
+            s.Engine.Forensics.fs_class
+            (clip 16 s.Engine.Forensics.fs_fingerprint)
+            (clip 60
+               (if s.Engine.Forensics.fs_detail <> "" then
+                  s.Engine.Forensics.fs_detail
+                else s.Engine.Forensics.fs_sql)))
+        bundles;
+      Printf.printf "%d bundle%s retained (capacity %d); \\debug dump ID for \
+                     the full document\n"
+        (List.length bundles)
+        (if List.length bundles = 1 then "" else "s")
+        (Engine.Forensics.capacity session.engine));
+    `Continue
+  | [ "\\debug"; "dump"; id ] ->
+    (match int_of_string_opt id with
+    | None -> print_endline "usage: \\debug dump ID"
+    | Some id -> (
+      match Engine.Forensics.get session.engine id with
+      | Some doc -> print_endline (Perm_obs.Json.to_pretty_string doc)
+      | None -> Printf.printf "no bundle %d (evicted or never captured)\n" id));
+    `Continue
   | [ "\\watch" ] | [ "\\watch"; "on" ] ->
     start_watch session;
     `Continue
@@ -809,6 +891,13 @@ let main demo script command =
       serve = None;
     }
   in
+  (* PERM_FORENSICS_DIR mirrors every captured anomaly bundle to disk, so
+     scripted/CI sessions keep their forensics past process exit. Set
+     before the WAL below so a startup-replay bundle is mirrored too *)
+  (match Sys.getenv_opt "PERM_FORENSICS_DIR" with
+  | Some dir when String.trim dir <> "" ->
+    Engine.Forensics.set_dir session.engine (Some (String.trim dir))
+  | _ -> ());
   (* PERM_WAL_DIR enables durability before anything mutates: recovered
      state is replayed here, and every later statement (demo load included)
      is logged *)

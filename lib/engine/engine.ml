@@ -30,6 +30,8 @@ module Profile = Perm_obs.Profile
 module History = Perm_obs.History
 module Progress = Perm_executor.Progress
 module Fingerprint = Perm_sql.Fingerprint
+module Recorder = Perm_obs.Recorder
+module Bundle_schema = Perm_obs.Bundle_schema
 
 type agg_strategy_setting = Use_join | Use_lateral | Use_heuristic | Use_cost_based
 
@@ -64,6 +66,19 @@ type live = {
   lv_progress : Progress.t;
   mutable lv_running : bool;
   mutable lv_end_s : float option;
+}
+
+(* One captured anomaly: the self-contained forensics document plus the
+   identity fields the perm_stat_anomalies view and the \debug listing
+   surface without rendering the whole JSON. *)
+type bundle = {
+  bu_id : int;
+  bu_ts : float;
+  bu_class : string;
+  bu_fingerprint : string;
+  bu_sql : string;
+  bu_detail : string;
+  bu_doc : Perm_obs.Json.t;
 }
 
 type t = {
@@ -123,6 +138,25 @@ type t = {
          its own stores, so query execution itself stays lock-free; the
          engine takes the lock only at statement-finalize/record points,
          for microseconds per statement. Not reentrant. *)
+  recorder : Recorder.t;  (* the always-on flight recorder ring *)
+  mutable bundles : bundle list;  (* forensics bundles, newest first *)
+  mutable bundle_cap : int;  (* retained bundle bound *)
+  mutable bundle_seq : int;  (* next bundle id (session-monotone) *)
+  mutable bundle_dir : string option;  (* optional on-disk mirror *)
+  mutable stmt_degraded : string option;
+      (* the running top-level statement fell from the parallel to the
+         serial path on a worker error — an anomaly even when the serial
+         retry then succeeds *)
+  mutable stmt_metrics0 : (string * float) list;
+      (* forensics-tracked metric values at top-level statement start, so
+         a bundle can report the delta the statement caused *)
+  mutable gc_pending : bool;
+      (* a major cycle ended since the last statement; the alarm only
+         flips this flag (recording from inside the alarm would mutate
+         the ring on every [Gc.compact], which breaks benchmark harnesses
+         that compact until the live-word count stabilizes) *)
+  mutable gc_heap_words : int;  (* heap size at that major cycle *)
+  mutable gc_major_collections : int;  (* major count at that cycle *)
   mutable on_close : (unit -> unit) list;  (* run (LIFO) by [close] *)
 }
 
@@ -271,6 +305,16 @@ let metric_sample_row (s : History.metric_sample) =
     fnum s.History.sm_value;
   |]
 
+let anomaly_row (b : bundle) =
+  [|
+    Value.Int b.bu_id;
+    fnum b.bu_ts;
+    Value.Text b.bu_class;
+    Value.Text b.bu_fingerprint;
+    Value.Text b.bu_detail;
+    Value.Text b.bu_sql;
+  |]
+
 let virtual_schemas =
   let col = Column.make in
   [
@@ -328,6 +372,12 @@ let virtual_schemas =
       [
         col "name" Dtype.Text; col "seq" Dtype.Int; col "ts" Dtype.Float;
         col "value" Dtype.Float;
+      ] );
+    ( "perm_stat_anomalies",
+      [
+        col "id" Dtype.Int; col "ts" Dtype.Float; col "class" Dtype.Text;
+        col "fingerprint" Dtype.Text; col "detail" Dtype.Text;
+        col "sql" Dtype.Text;
       ] );
   ]
 
@@ -407,6 +457,12 @@ let register_virtuals t =
         (fun () ->
           List.map metric_sample_row (History.metric_samples t.history));
       vp_estimate = (fun () -> List.length (History.metric_samples t.history));
+    };
+  add "perm_stat_anomalies"
+    {
+      (* oldest first, like the other telemetry views *)
+      vp_rows = (fun () -> List.rev_map anomaly_row t.bundles);
+      vp_estimate = (fun () -> List.length t.bundles);
     }
 
 let create () =
@@ -463,11 +519,45 @@ let create () =
       spill_on = true;
       spill_dir = Filename.get_temp_dir_name ();
       obs_lock = Mutex.create ();
+      recorder = Recorder.create ();
+      bundles = [];
+      bundle_cap = 32;
+      bundle_seq = 1;
+      bundle_dir = None;
+      stmt_degraded = None;
+      stmt_metrics0 = [];
+      gc_pending = false;
+      gc_heap_words = 0;
+      gc_major_collections = 0;
       on_close = [];
     }
   in
   Perm_fault.init_from_env ();
   register_virtuals t;
+  (* GC major slices land in the flight recorder. The alarm fires at the
+     end of major cycles on this domain, but it must not touch the ring
+     itself: evicting a ring slot from inside the alarm changes the live
+     heap on every collection, so a harness that compacts repeatedly
+     waiting for the live-word count to settle (Bechamel does) would
+     never converge. The alarm only stashes the stats into unboxed
+     fields; the next statement emits the event. *)
+  let alarm =
+    Gc.create_alarm (fun () ->
+        let s = Gc.quick_stat () in
+        t.gc_heap_words <- s.Gc.heap_words;
+        t.gc_major_collections <- s.Gc.major_collections;
+        t.gc_pending <- true)
+  in
+  t.on_close <- (fun () -> Gc.delete_alarm alarm) :: t.on_close;
+  (* Spill milestones (runs, chunks, batch-path fallback reasons) fire
+     from inside the executor on whatever domain spilled; the recorder is
+     domain-safe. The tap is process-global, so the engine created last
+     owns it — the right semantics for the one-engine-per-process CLI and
+     harmless in multi-engine tests. *)
+  Spill.set_observer
+    (Some
+       (fun kind detail ->
+         Recorder.record t.recorder (Recorder.Spill { kind; detail })));
   t
 
 type result_set = { columns : string list; rows : Tuple.t list }
@@ -732,6 +822,7 @@ let capture t f =
   | Err.Cancel (kind, msg) -> Error (Err.make kind msg)
   | Perm_fault.Injected p ->
     Metrics.incr t.metrics ("fault.injected." ^ p);
+    Recorder.record t.recorder (Recorder.Fault { point = p });
     Error (Err.faulted (Printf.sprintf "fault injected at %s" p))
   | Stack_overflow -> Error (Err.resource "stack overflow")
   | Out_of_memory -> Error (Err.resource "out of memory")
@@ -803,6 +894,343 @@ let clear_trace_log t =
 let set_trace_capacity t n = t.trace_cap <- max 1 n
 let event_log t = t.event_log
 let history t = t.history
+let recorder t = t.recorder
+
+type wal_status = {
+  ws_dir : string;
+  ws_bytes : int;
+  ws_records : int;
+  ws_last_lsn : int;
+  ws_fsyncs : int;
+  ws_fsync_on : bool;
+  ws_dirty : bool;
+  ws_epoch : int;
+  ws_replay : Wal.replay;
+}
+
+let wal_status t =
+  Option.map
+    (fun w ->
+      let s = Wal.status w in
+      {
+        ws_dir = s.Wal.st_dir;
+        ws_bytes = s.Wal.st_bytes;
+        ws_records = s.Wal.st_records;
+        ws_last_lsn = s.Wal.st_last_lsn;
+        ws_fsyncs = s.Wal.st_fsyncs;
+        ws_fsync_on = t.wal_fsync;
+        ws_dirty = t.wal_dirty;
+        ws_epoch = s.Wal.st_epoch;
+        ws_replay = s.Wal.st_replay;
+      })
+    t.wal
+
+(* WAL health as gauges: size/records/fsyncs track log growth between
+   checkpoints, the epoch shows checkpoint progression, and the replay
+   family preserves what crash recovery found when the log was opened —
+   rp_skipped and truncated bytes are the evidence of a mid-checkpoint or
+   mid-commit crash, previously visible only in \wal status. *)
+let refresh_wal_gauges t =
+  (* always published, zeros included: a dashboard alerting on
+     wal_replay_truncated_bytes > 0 must see the series exist before the
+     first crash, and a WAL-less session reports a flat zero family *)
+  let bytes, records, fsyncs, epoch, rp =
+    match t.wal with
+    | None -> (0, 0, 0, 0, Wal.no_replay)
+    | Some w ->
+      let s = Wal.status w in
+      ( s.Wal.st_bytes,
+        s.Wal.st_records,
+        s.Wal.st_fsyncs,
+        s.Wal.st_epoch,
+        s.Wal.st_replay )
+  in
+  Metrics.set_gauge t.metrics "wal.bytes" (float_of_int bytes);
+  Metrics.set_gauge t.metrics "wal.records" (float_of_int records);
+  Metrics.set_gauge t.metrics "wal.fsyncs" (float_of_int fsyncs);
+  Metrics.set_gauge t.metrics "wal.epoch" (float_of_int epoch);
+  Metrics.set_gauge t.metrics "wal.replay.records"
+    (float_of_int rp.Wal.rp_records);
+  Metrics.set_gauge t.metrics "wal.replay.committed"
+    (float_of_int rp.Wal.rp_committed);
+  Metrics.set_gauge t.metrics "wal.replay.skipped"
+    (float_of_int rp.Wal.rp_skipped);
+  Metrics.set_gauge t.metrics "wal.replay.truncated_bytes"
+    (float_of_int rp.Wal.rp_truncated_bytes)
+
+(* The spill gauges are always published (zeros included), so dashboards
+   and the prom_lint-validated /metrics scrape can alert on them without
+   waiting for a first spill to make the series appear. *)
+let refresh_spill_gauges t =
+  let sc = Spill.counters () in
+  Metrics.set_gauge t.metrics "executor.spill.spills"
+    (float_of_int sc.Spill.c_spills);
+  Metrics.set_gauge t.metrics "executor.spill.runs"
+    (float_of_int sc.Spill.c_runs);
+  Metrics.set_gauge t.metrics "executor.spill.chunks"
+    (float_of_int sc.Spill.c_chunks);
+  Metrics.set_gauge t.metrics "executor.spill.rows"
+    (float_of_int sc.Spill.c_rows);
+  Metrics.set_gauge t.metrics "executor.spill.bytes"
+    (float_of_int sc.Spill.c_bytes);
+  Metrics.set_gauge t.metrics "executor.spill.fallbacks"
+    (float_of_int sc.Spill.c_fallbacks)
+
+(* ------------------------------------------------------------------ *)
+(* Forensics bundles                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The metric series a bundle reports as a delta over the statement.
+   Lookups by name are a few mutex-guarded hashtable probes — cheap
+   enough to baseline at every statement start while the recorder is on,
+   unlike a full Metrics.snapshot. *)
+let forensics_counters =
+  [
+    "engine.statements"; "engine.errors"; "engine.timeout";
+    "engine.cancelled"; "engine.resource_exhausted"; "executor.par.degraded";
+    "history.regressions"; "wal.checkpoints"; "wal.repairs";
+  ]
+
+let forensics_gauges =
+  [
+    "wal.bytes"; "wal.records"; "wal.fsyncs"; "wal.epoch";
+    "executor.spill.spills"; "executor.spill.runs"; "executor.spill.chunks";
+    "executor.spill.rows"; "executor.spill.bytes";
+    "executor.spill.fallbacks";
+  ]
+
+let forensics_snapshot t =
+  List.map
+    (fun n -> (n, float_of_int (Metrics.counter t.metrics n)))
+    forensics_counters
+  @ List.map
+      (fun n -> (n, Option.value ~default:0. (Metrics.gauge t.metrics n)))
+      forensics_gauges
+
+let forensics_delta t =
+  List.map
+    (fun (n, v) ->
+      let v0 =
+        match List.assoc_opt n t.stmt_metrics0 with Some v0 -> v0 | None -> 0.
+      in
+      (n, Json.Float (v -. v0)))
+    (forensics_snapshot t)
+
+let replay_json (rp : Wal.replay) =
+  Json.Obj
+    [
+      ("snapshot", Json.Bool rp.Wal.rp_snapshot);
+      ("records", Json.Int rp.Wal.rp_records);
+      ("committed", Json.Int rp.Wal.rp_committed);
+      ("discarded", Json.Int rp.Wal.rp_discarded);
+      ("skipped", Json.Int rp.Wal.rp_skipped);
+      ("truncated_bytes", Json.Int rp.Wal.rp_truncated_bytes);
+    ]
+
+let wal_status_json t =
+  match wal_status t with
+  | None -> Json.Null
+  | Some ws ->
+    Json.Obj
+      [
+        ("dir", Json.String ws.ws_dir);
+        ("bytes", Json.Int ws.ws_bytes);
+        ("records", Json.Int ws.ws_records);
+        ("last_lsn", Json.Int ws.ws_last_lsn);
+        ("fsyncs", Json.Int ws.ws_fsyncs);
+        ("fsync_on", Json.Bool ws.ws_fsync_on);
+        ("dirty", Json.Bool ws.ws_dirty);
+        ("epoch", Json.Int ws.ws_epoch);
+        ("replay", replay_json ws.ws_replay);
+      ]
+
+let spill_json () =
+  let sc = Spill.counters () in
+  Json.Obj
+    [
+      ("spills", Json.Int sc.Spill.c_spills);
+      ("runs", Json.Int sc.Spill.c_runs);
+      ("chunks", Json.Int sc.Spill.c_chunks);
+      ("rows", Json.Int sc.Spill.c_rows);
+      ("bytes", Json.Int sc.Spill.c_bytes);
+      ("fallbacks", Json.Int sc.Spill.c_fallbacks);
+    ]
+
+let settings_json t =
+  Json.Obj
+    [
+      ("parallel", Json.Int t.parallel_domains);
+      ("parallel_threshold", Json.Int t.parallel_threshold);
+      ("morsel_rows", Json.Int t.morsel_rows);
+      ("batch_rows", Json.Int t.batch_rows);
+      ("vectorized", Json.Bool t.vectorized);
+      ("timeout_ms", Json.Float t.statement_timeout_ms);
+      ("row_limit", Json.Int t.row_limit);
+      ("tuple_budget", Json.Int t.tuple_budget);
+      ("spill", Json.Bool t.spill_on);
+      ("wal_fsync", Json.Bool t.wal_fsync);
+    ]
+
+let gc_json () =
+  let s = Gc.quick_stat () in
+  Json.Obj
+    [
+      ("heap_words", Json.Int s.Gc.heap_words);
+      ("minor_collections", Json.Int s.Gc.minor_collections);
+      ("major_collections", Json.Int s.Gc.major_collections);
+      ("compactions", Json.Int s.Gc.compactions);
+    ]
+
+let plan_json t ~fingerprint ~plan_hash ~est_rows =
+  let nodes =
+    if fingerprint = "" then []
+    else
+      List.filter
+        (fun (pn : Profile.plan_node) -> pn.Profile.pn_fingerprint = fingerprint)
+        (Profile.plan_nodes t.profile)
+  in
+  Json.Obj
+    [
+      ("plan_hash", Json.String plan_hash);
+      ("est_rows", Json.Float est_rows);
+      ( "nodes",
+        Json.List
+          (List.map
+             (fun (pn : Profile.plan_node) ->
+               Json.Obj
+                 [
+                   ("node", Json.Int pn.Profile.pn_node);
+                   ("operator", Json.String pn.Profile.pn_operator);
+                   ("est_rows", Json.Float pn.Profile.pn_est_rows);
+                   ("act_rows", Json.Int pn.Profile.pn_act_rows);
+                   ("self_ms", Json.Float pn.Profile.pn_self_ms);
+                   ("loops", Json.Int pn.Profile.pn_loops);
+                 ])
+             nodes) );
+    ]
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let bundle_events_limit = 64
+
+let rec list_take n = function
+  | [] -> []
+  | x :: xs -> if n <= 0 then [] else x :: list_take (n - 1) xs
+
+(* Snapshot one forensics bundle. Called with [obs_lock] held (statement
+   finalize) or from the engine domain before any server starts (startup
+   WAL replay) — both contexts where mutating the bundle store and the
+   event log is safe. Disabled recorder (capacity 0) disables bundle
+   capture with it: that is the bench's off-arm. *)
+let capture_bundle_unlocked t ~cls ~detail ~sql ~fingerprint ~plan_hash
+    ~est_rows ~ms ~rows ~phases =
+  if Recorder.enabled t.recorder then begin
+    let ts = Trace.now () in
+    let id = t.bundle_seq in
+    t.bundle_seq <- id + 1;
+    let events = Recorder.recent ~limit:bundle_events_limit t.recorder in
+    let doc =
+      Json.Obj
+        [
+          ("schema", Json.String Bundle_schema.schema_tag);
+          ("id", Json.Int id);
+          ("ts", Json.Float ts);
+          ("class", Json.String cls);
+          ("detail", Json.String detail);
+          ("sql", Json.String sql);
+          ("fingerprint", Json.String fingerprint);
+          ("ms", Json.Float ms);
+          ("rows", Json.Int rows);
+          ("plan", plan_json t ~fingerprint ~plan_hash ~est_rows);
+          ("phases", Json.Obj (List.map (fun (n, d) -> (n, Json.Float d)) phases));
+          ("metrics_delta", Json.Obj (forensics_delta t));
+          ("events", Json.List (List.map Recorder.event_to_json events));
+          ("wal", wal_status_json t);
+          ("spill", spill_json ());
+          ("settings", settings_json t);
+          ("gc", gc_json ());
+        ]
+    in
+    let b =
+      {
+        bu_id = id;
+        bu_ts = ts;
+        bu_class = cls;
+        bu_fingerprint = fingerprint;
+        bu_sql = sql;
+        bu_detail = detail;
+        bu_doc = doc;
+      }
+    in
+    t.bundles <- b :: t.bundles;
+    if List.length t.bundles > t.bundle_cap then
+      t.bundles <- list_take t.bundle_cap t.bundles;
+    Metrics.incr t.metrics "forensics.bundles";
+    Metrics.incr t.metrics ("forensics.class." ^ cls);
+    (* optional on-disk mirror, bounded like the in-memory store: each new
+       bundle evicts the file that just fell off the retention window *)
+    (match t.bundle_dir with
+    | Some dir -> (
+      try
+        mkdir_p dir;
+        let path = Filename.concat dir (Printf.sprintf "bundle-%06d.json" id) in
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc (Json.to_pretty_string doc));
+        let victim = id - t.bundle_cap in
+        if victim >= 1 then
+          try
+            Sys.remove
+              (Filename.concat dir (Printf.sprintf "bundle-%06d.json" victim))
+          with Sys_error _ -> ()
+      with _ -> Metrics.incr t.metrics "forensics.write.errors")
+    | None -> ());
+    (* the SSE plane tails the event log; an "anomaly" event there becomes
+       an `event: anomaly` frame on /events *)
+    Eventlog.log t.event_log
+      (Json.Obj
+         [
+           ("ts", Json.Float ts);
+           ("event", Json.String "anomaly");
+           ("id", Json.Int id);
+           ("class", Json.String cls);
+           ("fingerprint", Json.String fingerprint);
+           ("detail", Json.String detail);
+           ("sql", Json.String sql);
+         ])
+  end
+
+(* Map a finished top-level statement to its anomaly class, if any. Typed
+   failures win over a watchdog flag (errors never fold into the baseline
+   anyway), which wins over a successful-but-degraded execution. *)
+let statement_anomaly t result rg_opt =
+  match result with
+  | Error (e : Err.t) ->
+    let cls =
+      match e.Err.kind with
+      | Err.Timeout -> "timeout"
+      | Err.Cancelled -> "cancelled"
+      | Err.Resource_exhausted -> "resource_exhausted"
+      | Err.Faulted -> "fault"
+      | Err.Parse | Err.Analyze | Err.Runtime | Err.Internal -> "error"
+    in
+    Some (cls, Err.to_string e)
+  | Ok _ -> (
+    match rg_opt with
+    | Some (rg : History.regression) ->
+      Some
+        ( "regression",
+          Printf.sprintf "%.1fx over baseline %.2f ms (%s): %s"
+            rg.History.rg_factor rg.History.rg_baseline_ms
+            (History.cause_label rg.History.rg_cause)
+            rg.History.rg_detail )
+    | None -> (
+      match t.stmt_degraded with
+      | Some reason -> Some ("degraded", reason)
+      | None -> None))
 
 (* ------------------------------------------------------------------ *)
 (* Cross-domain observability reads (the HTTP plane)                   *)
@@ -906,7 +1334,7 @@ let record_plan_profile t plan exec_stats =
     obs_locked t @@ fun () ->
     List.iter
       (fun (node, (ns : Executor.node_stats)) ->
-        if ns.Executor.stat_id >= 0 then
+        if ns.Executor.stat_id >= 0 then begin
           Profile.record_plan_node t.profile ~fingerprint:t.stmt_fp
             ~node:ns.Executor.stat_id
             ~operator:(Plan.operator_name node)
@@ -914,7 +1342,17 @@ let record_plan_profile t plan exec_stats =
             ~act_rows:ns.Executor.stat_rows
             ~self_ms:(ns.Executor.stat_self_s *. 1000.)
             ~loops:ns.Executor.stat_invocations
-            ~peak_bytes:ns.Executor.stat_peak_bytes)
+            ~peak_bytes:ns.Executor.stat_peak_bytes;
+          Recorder.record t.recorder
+            (Recorder.Plan_node
+               {
+                 fingerprint = t.stmt_fp;
+                 node = ns.Executor.stat_id;
+                 operator = Plan.operator_name node;
+                 est_rows = estimate_of ests node;
+                 act_rows = ns.Executor.stat_rows;
+               })
+        end)
       (Executor.stats_nodes exec_stats)
   end
 
@@ -1070,7 +1508,16 @@ let record_par_report t plan (r : Executor.Par.report) =
               ~operator:(Plan.operator_name node)
               ~est_rows:(estimate_of ests node)
               ~act_rows:np.Executor.Par.np_rows ~self_ms:0.
-              ~loops:np.Executor.Par.np_loops ~peak_bytes:0)
+              ~loops:np.Executor.Par.np_loops ~peak_bytes:0;
+            Recorder.record t.recorder
+              (Recorder.Plan_node
+                 {
+                   fingerprint = t.stmt_fp;
+                   node = id;
+                   operator = Plan.operator_name node;
+                   est_rows = estimate_of ests node;
+                   act_rows = np.Executor.Par.np_rows;
+                 }))
         nodes
     end
 
@@ -1155,10 +1602,19 @@ let exec_plan t optimized =
              typed, through the boundary. *)
           (match e with
           | Perm_fault.Injected p ->
-            Metrics.incr t.metrics ("fault.injected." ^ p)
+            Metrics.incr t.metrics ("fault.injected." ^ p);
+            Recorder.record t.recorder (Recorder.Fault { point = p })
           | _ -> ());
           Metrics.incr t.metrics "executor.par.fallback.error";
           Metrics.incr t.metrics "executor.par.degraded";
+          (* an anomaly even when the serial retry succeeds: the bundle
+             shows which worker failure forced the degradation *)
+          let reason =
+            Printf.sprintf "parallel execution degraded to serial: %s"
+              (Printexc.to_string e)
+          in
+          if t.stmt_degraded = None then t.stmt_degraded <- Some reason;
+          Recorder.record t.recorder (Recorder.Degraded { reason });
           dat (run_serial ()))
   | None ->
     note_plan t optimized ~parallel:false;
@@ -1341,9 +1797,12 @@ let wal_append t frame =
       try
         if not t.wal_begun then begin
           t.wal_begun <- true;
-          Wal.append w Wal.Begin
+          Wal.append w Wal.Begin;
+          Recorder.record t.recorder (Recorder.Wal_append { frame = "begin" })
         end;
-        Wal.append w frame
+        Wal.append w frame;
+        Recorder.record t.recorder
+          (Recorder.Wal_append { frame = Wal.frame_label frame })
       with e ->
         t.wal_dirty <- true;
         Metrics.incr t.metrics "wal.append.errors";
@@ -1668,6 +2127,7 @@ let dump_sql t =
 let wal_error t = function
   | Perm_fault.Injected p ->
     Metrics.incr t.metrics ("fault.injected." ^ p);
+    Recorder.record t.recorder (Recorder.Fault { point = p });
     Error (Err.faulted (Printf.sprintf "fault injected at %s" p))
   | Unix.Unix_error (err, fn, _) ->
     Error (Err.runtime (Printf.sprintf "WAL %s: %s" fn (Unix.error_message err)))
@@ -1686,9 +2146,13 @@ let wal_rebuild t w =
     t.wal_dirty <- false;
     t.wal_begun <- false;
     Metrics.incr t.metrics "wal.checkpoints";
+    Recorder.record t.recorder
+      (Recorder.Wal_checkpoint { epoch = (Wal.status w).Wal.st_epoch; ok = true });
     Ok ()
   | exception e ->
     Metrics.incr t.metrics "wal.checkpoint.errors";
+    Recorder.record t.recorder
+      (Recorder.Wal_checkpoint { epoch = (Wal.status w).Wal.st_epoch; ok = false });
     wal_error t e
 
 (* Dirty-log repair, run before each top-level statement (never inside a
@@ -1713,6 +2177,10 @@ let wal_commit_frames t w =
   with
   | () ->
     t.wal_begun <- false;
+    Recorder.record t.recorder (Recorder.Wal_append { frame = "commit" });
+    if t.wal_fsync then
+      Recorder.record t.recorder
+        (Recorder.Wal_fsync { fsyncs = (Wal.status w).Wal.st_fsyncs });
     Ok ()
   | exception e ->
     t.wal_dirty <- true;
@@ -1939,9 +2407,37 @@ let enable_wal t dir =
       t.wal_dirty <- false;
       t.wal_begun <- false;
       Metrics.incr t.metrics "wal.opens";
+      Recorder.record t.recorder
+        (Recorder.Wal_replay
+           {
+             records = replay.Wal.rp_records;
+             committed = replay.Wal.rp_committed;
+             discarded = replay.Wal.rp_discarded;
+             skipped = replay.Wal.rp_skipped;
+             truncated_bytes = replay.Wal.rp_truncated_bytes;
+           });
       (* state created before WAL was switched on is not in the log:
          capture it in a checkpoint right away *)
       if had_state then (match wal_rebuild t w with Ok () | Error _ -> ());
+      refresh_wal_gauges t;
+      (* recovering prior state at startup is itself an anomaly worth a
+         bundle: it is the only trace a crash leaves behind, and the
+         replay counters (skipped records, truncated bytes) are the
+         forensic evidence of how the previous process died *)
+      if replay.Wal.rp_snapshot || replay.Wal.rp_records > 0 then
+        obs_locked t (fun () ->
+            capture_bundle_unlocked t ~cls:"wal_replay"
+              ~detail:
+                (Printf.sprintf
+                   "WAL replay: %d records, %d committed, %d discarded, %d \
+                    skipped, %d torn bytes truncated%s"
+                   replay.Wal.rp_records replay.Wal.rp_committed
+                   replay.Wal.rp_discarded replay.Wal.rp_skipped
+                   replay.Wal.rp_truncated_bytes
+                   (if replay.Wal.rp_snapshot then " (snapshot applied)"
+                    else ""))
+              ~sql:"" ~fingerprint:"" ~plan_hash:"" ~est_rows:0. ~ms:0.
+              ~rows:0 ~phases:[]);
       Ok replay
   end
 
@@ -1962,35 +2458,6 @@ let checkpoint t =
       Error (Err.runtime "cannot checkpoint inside a transaction")
     else wal_rebuild t w
 
-type wal_status = {
-  ws_dir : string;
-  ws_bytes : int;
-  ws_records : int;
-  ws_last_lsn : int;
-  ws_fsyncs : int;
-  ws_fsync_on : bool;
-  ws_dirty : bool;
-  ws_epoch : int;
-  ws_replay : Wal.replay;
-}
-
-let wal_status t =
-  Option.map
-    (fun w ->
-      let s = Wal.status w in
-      {
-        ws_dir = s.Wal.st_dir;
-        ws_bytes = s.Wal.st_bytes;
-        ws_records = s.Wal.st_records;
-        ws_last_lsn = s.Wal.st_last_lsn;
-        ws_fsyncs = s.Wal.st_fsyncs;
-        ws_fsync_on = t.wal_fsync;
-        ws_dirty = t.wal_dirty;
-        ws_epoch = s.Wal.st_epoch;
-        ws_replay = s.Wal.st_replay;
-      })
-    t.wal
-
 let statement_uses_provenance (st : Ast.statement) =
   match st with
   | Ast.St_query q
@@ -2009,7 +2476,9 @@ let outcome_rows = function
   | Ok (Message _ | Explained _) | Error _ -> 0
 
 (* One finished top-level statement folds into the statistics accumulator
-   and, past the slow-query threshold, the structured event log. *)
+   and, past the slow-query threshold, the structured event log. Returns
+   the watchdog's verdict so the caller can fold a flagged regression into
+   the statement's anomaly classification. *)
 let record_statement_stats t sql (st : Ast.statement) root result =
   let ms = Trace.duration_ms root in
   let phases =
@@ -2023,16 +2492,24 @@ let record_statement_stats t sql (st : Ast.statement) root result =
     ~provenance:(statement_uses_provenance st)
     ~rows:(outcome_rows result)
     ~error:(Result.is_error result);
-  (match
-     History.record t.history ~fingerprint ~ts:(Trace.start_s root)
-       ~plan_hash:t.stmt_plan_hash ~ms ~rows:(outcome_rows result)
-       ~est_rows:t.stmt_est_rows ~skew:t.stmt_skew
-       ~error:(Result.is_error result) ~phases
-   with
+  let rg_opt =
+    History.record t.history ~fingerprint ~ts:(Trace.start_s root)
+      ~plan_hash:t.stmt_plan_hash ~ms ~rows:(outcome_rows result)
+      ~est_rows:t.stmt_est_rows ~skew:t.stmt_skew
+      ~error:(Result.is_error result) ~phases
+  in
+  (match rg_opt with
   | Some rg ->
     Metrics.incr t.metrics "history.regressions";
     Metrics.incr t.metrics
-      ("history.cause." ^ History.cause_label rg.History.rg_cause)
+      ("history.cause." ^ History.cause_label rg.History.rg_cause);
+    Recorder.record t.recorder
+      (Recorder.Watchdog
+         {
+           fingerprint;
+           factor = rg.History.rg_factor;
+           cause = History.cause_label rg.History.rg_cause;
+         })
   | None -> ());
   let now = Trace.now () in
   if History.sample_due t.history ~now then begin
@@ -2070,7 +2547,8 @@ let record_statement_stats t sql (st : Ast.statement) root result =
            | Ok _ -> []));
   if Eventlog.dropped t.event_log > 0 then
     Metrics.set_gauge t.metrics "eventlog.dropped"
-      (float_of_int (Eventlog.dropped t.event_log))
+      (float_of_int (Eventlog.dropped t.event_log));
+  rg_opt
 
 (* Every top-level statement runs under a root span; pipeline phases attach
    to it via [phase]. The finished trace feeds [last_trace], the trace log,
@@ -2091,6 +2569,23 @@ let execute_statement t sql (st : Ast.statement) =
     t.stmt_plan_hash <- "";
     t.stmt_est_rows <- 0.;
     t.stmt_skew <- 1.;
+    t.stmt_degraded <- None;
+    (* the metric snapshot for the bundle's delta; skipped entirely when
+       the recorder is off so the disabled path stays at its baseline *)
+    if Recorder.enabled t.recorder then
+      t.stmt_metrics0 <- forensics_snapshot t;
+    (* flush the major-cycle note the GC alarm stashed (see [create]) *)
+    if t.gc_pending then begin
+      t.gc_pending <- false;
+      Recorder.record t.recorder
+        (Recorder.Gc_major
+           {
+             heap_words = t.gc_heap_words;
+             major_collections = t.gc_major_collections;
+           })
+    end;
+    Recorder.record t.recorder
+      (Recorder.Stmt_start { sql; fingerprint = t.stmt_fp });
     t.live <-
       Some
         {
@@ -2156,10 +2651,19 @@ let execute_statement t sql (st : Ast.statement) =
   | Error e ->
     Metrics.incr t.metrics "engine.errors";
     (match e.Err.kind with
-    | Err.Timeout -> Metrics.incr t.metrics "engine.timeout"
-    | Err.Cancelled -> Metrics.incr t.metrics "engine.cancelled"
+    | Err.Timeout ->
+      Metrics.incr t.metrics "engine.timeout";
+      Recorder.record t.recorder
+        (Recorder.Governor { verdict = "timeout"; detail = e.Err.msg })
+    | Err.Cancelled ->
+      Metrics.incr t.metrics "engine.cancelled";
+      Recorder.record t.recorder
+        (Recorder.Governor { verdict = "cancelled"; detail = e.Err.msg })
     | Err.Resource_exhausted ->
-      Metrics.incr t.metrics "engine.resource_exhausted"
+      Metrics.incr t.metrics "engine.resource_exhausted";
+      Recorder.record t.recorder
+        (Recorder.Governor
+           { verdict = "resource_exhausted"; detail = e.Err.msg })
     | _ -> ())
   | Ok _ -> ());
   Metrics.observe t.metrics "engine.statement.ms" (Trace.duration_ms root);
@@ -2170,25 +2674,11 @@ let execute_statement t sql (st : Ast.statement) =
         (Trace.duration_ms sp))
     (Trace.children root);
   (* graceful-degradation telemetry: the process-global spill counters
-     mirrored as gauges (cheap; only once anything ever spilled), plus the
-     WAL's size so /metrics tracks log growth between checkpoints *)
-  (let sc = Spill.counters () in
-   if sc.Spill.c_spills > 0 || sc.Spill.c_fallbacks > 0 then begin
-     Metrics.set_gauge t.metrics "executor.spill.spills" (float_of_int sc.Spill.c_spills);
-     Metrics.set_gauge t.metrics "executor.spill.runs" (float_of_int sc.Spill.c_runs);
-     Metrics.set_gauge t.metrics "executor.spill.chunks" (float_of_int sc.Spill.c_chunks);
-     Metrics.set_gauge t.metrics "executor.spill.rows" (float_of_int sc.Spill.c_rows);
-     Metrics.set_gauge t.metrics "executor.spill.bytes" (float_of_int sc.Spill.c_bytes);
-     Metrics.set_gauge t.metrics "executor.spill.fallbacks"
-       (float_of_int sc.Spill.c_fallbacks)
-   end);
-  (match t.wal with
-  | Some w ->
-    let s = Wal.status w in
-    Metrics.set_gauge t.metrics "wal.bytes" (float_of_int s.Wal.st_bytes);
-    Metrics.set_gauge t.metrics "wal.records" (float_of_int s.Wal.st_records);
-    Metrics.set_gauge t.metrics "wal.fsyncs" (float_of_int s.Wal.st_fsyncs)
-  | None -> ());
+     mirrored as always-present gauges (zeros included, so dashboards can
+     alert on them without existence checks), plus the WAL's size and
+     replay history so /metrics tracks log growth between checkpoints *)
+  refresh_spill_gauges t;
+  refresh_wal_gauges t;
   (* counters above are already bumped, so a metric sample taken while
      recording statement stats sees this statement too *)
   if saved = None then begin
@@ -2213,7 +2703,31 @@ let execute_statement t sql (st : Ast.statement) =
           t.trace_len <- t.trace_cap;
           Metrics.incr t.metrics ~by:dropped "engine.trace.dropped"
         end;
-        record_statement_stats t sql st root result)
+        let rg_opt = record_statement_stats t sql st root result in
+        Recorder.record t.recorder
+          (Recorder.Stmt_finish
+             {
+               fingerprint = t.stmt_fp;
+               ms = Trace.duration_ms root;
+               rows = outcome_rows result;
+               error =
+                 (match result with
+                 | Error e -> Some (Err.kind_label e.Err.kind)
+                 | Ok _ -> None);
+             });
+        (* anomaly? snapshot the forensics bundle while every input is
+           still at hand: the root span, the typed outcome, the watchdog
+           verdict and the recorder tail all describe *this* statement *)
+        match statement_anomaly t result rg_opt with
+        | Some (cls, detail) ->
+          capture_bundle_unlocked t ~cls ~detail ~sql ~fingerprint:t.stmt_fp
+            ~plan_hash:t.stmt_plan_hash ~est_rows:t.stmt_est_rows
+            ~ms:(Trace.duration_ms root) ~rows:(outcome_rows result)
+            ~phases:
+              (List.map
+                 (fun sp -> (Trace.name sp, Trace.duration_ms sp))
+                 (Trace.children root))
+        | None -> ())
   end;
   result
 
@@ -2280,3 +2794,50 @@ let explain_analyze t sql =
     | Ok (Analyzed ea) -> Ok ea
     | Ok (Rows _ | Affected _ | Message _ | Explained _) ->
       Error "EXPLAIN ANALYZE produced an unexpected outcome")
+
+(* ------------------------------------------------------------------ *)
+(* Forensics bundles: the anomaly store's public surface               *)
+(* ------------------------------------------------------------------ *)
+
+module Forensics = struct
+  type summary = {
+    fs_id : int;
+    fs_ts : float;
+    fs_class : string;
+    fs_fingerprint : string;
+    fs_detail : string;
+    fs_sql : string;
+  }
+
+  let capacity t = t.bundle_cap
+
+  let set_capacity t n =
+    obs_locked t (fun () ->
+        t.bundle_cap <- max 0 n;
+        t.bundles <- list_take t.bundle_cap t.bundles)
+
+  let set_dir t dir = obs_locked t (fun () -> t.bundle_dir <- dir)
+
+  let summary_of b =
+    {
+      fs_id = b.bu_id;
+      fs_ts = b.bu_ts;
+      fs_class = b.bu_class;
+      fs_fingerprint = b.bu_fingerprint;
+      fs_detail = b.bu_detail;
+      fs_sql = b.bu_sql;
+    }
+
+  (* newest first, like the underlying store *)
+  let list t = obs_locked t (fun () -> List.map summary_of t.bundles)
+
+  let get t id =
+    obs_locked t (fun () ->
+        match List.find_opt (fun b -> b.bu_id = id) t.bundles with
+        | Some b -> Some b.bu_doc
+        | None -> None)
+
+  let last t =
+    obs_locked t (fun () ->
+        match t.bundles with b :: _ -> Some b.bu_doc | [] -> None)
+end

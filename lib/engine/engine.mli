@@ -124,7 +124,7 @@ val last_trace : t -> Perm_obs.Trace.span option
 
     Every session aggregates finished top-level statements by fingerprint
     (lexer-normalized SQL, {!Perm_sql.Fingerprint}) into a
-    {!Perm_obs.Stats} accumulator, and registers eight {e virtual system
+    {!Perm_obs.Stats} accumulator, and registers nine {e virtual system
     relations} queryable through the ordinary pipeline — joinable,
     filterable, orderable like any table:
 
@@ -153,7 +153,10 @@ val last_trace : t -> Perm_obs.Trace.span option
       executions with their baseline, slowdown factor, attributed cause
       ([plan-change] / [cardinality] / [skew] / [unknown]) and detail;
     - [perm_metrics_history] — cadence-sampled values of selected metrics
-      series over time.
+      series over time;
+    - [perm_stat_anomalies] — the forensics bundle store: one row per
+      captured anomaly (id, timestamp, class, fingerprint, detail, SQL);
+      fetch the full bundle via {!Forensics.get}.
 
     Virtual relations are engine-owned: not droppable, not DML targets,
     and invisible to {!dump_sql}. *)
@@ -483,6 +486,73 @@ type wal_status = {
 
 val wal_status : t -> wal_status option
 (** [None] when no WAL is enabled. *)
+
+(** {1 Flight recorder and anomaly forensics}
+
+    Every session carries an always-on, bounded, wait-free flight
+    recorder ({!Perm_obs.Recorder}): a ring of typed structured events
+    covering statement lifecycle, plan-node milestones, WAL
+    append/fsync/checkpoint/replay, spill activity, GC major slices,
+    fault firings, governor kills and watchdog verdicts. When a
+    statement ends in an anomaly — typed error, timeout, cancellation,
+    resource exhaustion, injected fault, watchdog-flagged regression or
+    a parallel→serial degradation — or when startup WAL replay recovers
+    prior state, the engine snapshots a {e forensics bundle}: one
+    self-contained JSON document ({!Perm_obs.Bundle_schema}) holding the
+    SQL and fingerprint, the plan with estimated vs actual rows per
+    node, the per-statement metrics delta, the recorder's recent event
+    tail, WAL status (epoch, replay counters, truncated bytes), the
+    spill gauges and the session's execution settings.
+
+    Bundles live in a bounded in-memory store (newest first; default 32)
+    surfaced three ways: the [perm_stat_anomalies] virtual relation
+    (id, ts, class, fingerprint, detail, sql), the CLI's [\debug]
+    meta-command, and the HTTP plane's [GET /debug/bundles] endpoints
+    plus an [anomaly] SSE frame on [/events]. With a directory set
+    ({!Forensics.set_dir}) each bundle is also mirrored to
+    [bundle-NNNNNN.json] on disk, pruned to the same bound.
+
+    Disabling the recorder ([Recorder.set_capacity _ 0]) also disables
+    bundle capture — the benchmark's off arm. *)
+
+val recorder : t -> Perm_obs.Recorder.t
+(** The session's flight recorder. Recording is wait-free and safe from
+    any domain (the spill tap and GC alarm feed it concurrently); use
+    {!Perm_obs.Recorder.set_capacity} to resize or disable it. *)
+
+module Forensics : sig
+  type summary = {
+    fs_id : int;
+    fs_ts : float;
+    fs_class : string;
+        (** one of {!Perm_obs.Bundle_schema.classes}: [error], [timeout],
+            [cancelled], [resource_exhausted], [fault], [regression],
+            [degraded], [wal_replay] *)
+    fs_fingerprint : string;
+    fs_detail : string;
+    fs_sql : string;
+  }
+
+  val capacity : t -> int
+
+  val set_capacity : t -> int -> unit
+  (** Bound on retained bundles (default 32; 0 disables retention).
+      Shrinking drops the oldest bundles immediately. *)
+
+  val set_dir : t -> string option -> unit
+  (** Mirror future bundles to [dir/bundle-NNNNNN.json] (directory
+      created on first write; on-disk copies pruned to the same bound;
+      write failures count [forensics.write.errors]). [None] stops
+      mirroring. *)
+
+  val list : t -> summary list
+  (** Newest first — the rows behind [perm_stat_anomalies]. *)
+
+  val get : t -> int -> Perm_obs.Json.t option
+  (** The full bundle document by id; [None] if unknown or evicted. *)
+
+  val last : t -> Perm_obs.Json.t option
+end
 
 (** {1 Plan-level access (benchmarks and tests)} *)
 

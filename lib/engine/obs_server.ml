@@ -299,11 +299,19 @@ let events_stream engine query push =
   in
   let cursor = ref 0 in
   let last_progress = ref "" in
+  (* the eventlog ring carries two record kinds: slow/finished statements
+     and anomaly notifications from the forensics plane — dispatch each to
+     its own SSE frame name so consumers can listen selectively *)
+  let frame_name ev =
+    match Json.member "event" ev with
+    | Some (Json.String "anomaly") -> "anomaly"
+    | _ -> "statement"
+  in
   let push_events () =
     let next, events = Engine.recent_events engine ~since:!cursor in
     cursor := next;
     List.for_all
-      (fun ev -> push (sse_frame "statement" (Json.to_string ev)))
+      (fun ev -> push (sse_frame (frame_name ev) (Json.to_string ev)))
       events
   in
   let push_progress () =
@@ -339,6 +347,52 @@ let events_stream engine query push =
   end
 
 (* ------------------------------------------------------------------ *)
+(* /debug/bundles: forensics bundle store                               *)
+(* ------------------------------------------------------------------ *)
+
+let bundles_index engine =
+  let bundles = Engine.Forensics.list engine in
+  json_response
+    (Json.Obj
+       [
+         ( "bundles",
+           Json.List
+             (List.map
+                (fun (s : Engine.Forensics.summary) ->
+                  Json.Obj
+                    [
+                      ("id", Json.Int s.Engine.Forensics.fs_id);
+                      ("ts", Json.Float s.Engine.Forensics.fs_ts);
+                      ("class", Json.String s.Engine.Forensics.fs_class);
+                      ( "fingerprint",
+                        Json.String s.Engine.Forensics.fs_fingerprint );
+                      ("detail", Json.String s.Engine.Forensics.fs_detail);
+                      ("sql", Json.String s.Engine.Forensics.fs_sql);
+                    ])
+                bundles) );
+         ("count", Json.Int (List.length bundles));
+         ("capacity", Json.Int (Engine.Forensics.capacity engine));
+       ])
+
+let bundle_endpoint engine id_str =
+  match int_of_string_opt id_str with
+  | None ->
+    json_response ~status:404
+      (Json.Obj [ ("error", Json.String ("bad bundle id: " ^ id_str)) ])
+  | Some id -> (
+    match Engine.Forensics.get engine id with
+    | Some doc -> json_response doc
+    | None ->
+      json_response ~status:404
+        (Json.Obj
+           [
+             ( "error",
+               Json.String
+                 (Printf.sprintf "no bundle %d (evicted or never captured)"
+                    id) );
+           ]))
+
+(* ------------------------------------------------------------------ *)
 (* Routing and self-accounting                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -349,7 +403,10 @@ let index_body =
    GET /healthz            engine liveness\n\
    GET /readyz             governor and watchdog state\n\
    GET /trace              Chrome trace export (ui.perfetto.dev)\n\
-   GET /events             server-sent events (eventlog + live progress)\n"
+   GET /events             server-sent events (eventlog + live progress +\n\
+  \                        anomaly notifications)\n\
+   GET /debug/bundles      forensics bundle index (newest first)\n\
+   GET /debug/bundles/<id> one full forensics bundle as JSON\n"
 
 let starts_with ~prefix s =
   String.length s >= String.length prefix
@@ -368,6 +425,9 @@ let route engine server_ref start_s (req : Httpd.request) =
         content_type = "text/event-stream";
         write = events_stream engine req.Httpd.rq_query;
       }
+  | "/debug/bundles" -> bundles_index engine
+  | p when starts_with ~prefix:"/debug/bundles/" p ->
+    bundle_endpoint engine (String.sub p 15 (String.length p - 15))
   | p when starts_with ~prefix:"/stats/" p ->
     stats_endpoint engine (String.sub p 7 (String.length p - 7))
   | _ -> text_response ~status:404 "not found\n"

@@ -11,7 +11,13 @@
     - [GET /trace] — the Chrome trace export of the retained trace log
     - [GET /events] — server-sent events: the eventlog ring replayed and
       tailed, interleaved with live [Progress] snapshots of the running
-      statement ([?max_ms=N] bounds the stream, for tests and CI)
+      statement ([?max_ms=N] bounds the stream, for tests and CI).
+      Statement records arrive as [event: statement] frames; forensics
+      notifications as [event: anomaly] frames
+    - [GET /debug/bundles] — the forensics bundle index (newest first:
+      id, timestamp, class, fingerprint, detail, SQL), and
+      [GET /debug/bundles/<id>] — one full bundle document (404 for
+      unknown or evicted ids)
     - [GET /] — a plain-text index of the above
 
     All handlers read snapshot/atomic state under {!Engine.locked} (or

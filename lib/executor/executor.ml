@@ -60,10 +60,15 @@ let spill_config () =
   | _ -> None
 
 let spill_fallback ~what n threshold =
-  raise
-    (Spill.Fallback_needed
-       (Printf.sprintf "%s materialized %d rows over the spill threshold %d"
-          what n threshold))
+  let reason =
+    Printf.sprintf "%s materialized %d rows over the spill threshold %d" what
+      n threshold
+  in
+  (* the flight recorder sees *why* the batch/parallel path bailed, not
+     just that a fallback happened (note_fallback fires later, when the
+     engine catches the exception and re-plans on the row path) *)
+  Spill.observe "fallback-reason" reason;
+  raise (Spill.Fallback_needed reason)
 
 let fallback_if_spill ~what n =
   match spill_config () with

@@ -51,10 +51,32 @@ let counters () =
     c_fallbacks = Atomic.get n_fallbacks;
   }
 
-let note_spill () = Atomic.incr n_spills
-let note_run () = Atomic.incr n_runs
-let note_chunk () = Atomic.incr n_chunks
-let note_fallback () = Atomic.incr n_fallbacks
+(* Optional process-global event tap: the engine's flight recorder hooks
+   in here so spill milestones land in the forensics event ring as they
+   happen, not just as end-of-statement counter deltas. The callback must
+   be cheap and domain-safe (spill notes fire from worker domains). *)
+let observer : (string -> string -> unit) option Atomic.t = Atomic.make None
+
+let set_observer f = Atomic.set observer f
+
+let observe kind detail =
+  match Atomic.get observer with None -> () | Some f -> f kind detail
+
+let note_spill () =
+  Atomic.incr n_spills;
+  observe "spill" ""
+
+let note_run () =
+  Atomic.incr n_runs;
+  observe "run" ""
+
+let note_chunk () =
+  Atomic.incr n_chunks;
+  observe "chunk" ""
+
+let note_fallback () =
+  Atomic.incr n_fallbacks;
+  observe "fallback" ""
 
 (* ---- spill files -------------------------------------------------- *)
 

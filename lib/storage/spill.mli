@@ -33,6 +33,17 @@ val note_run : unit -> unit
 val note_chunk : unit -> unit
 val note_fallback : unit -> unit
 
+val set_observer : (string -> string -> unit) option -> unit
+(** Install (or clear) the process-global spill event tap. Every
+    [note_*] call invokes it as [f kind detail] with [kind] one of
+    ["spill"], ["run"], ["chunk"], ["fallback"]; the executor's batch
+    path additionally reports the fallback reason via {!observe}. The
+    callback runs on whichever domain spilled — it must be cheap and
+    domain-safe. The engine points this at its flight recorder. *)
+
+val observe : string -> string -> unit
+(** Feed one event to the installed observer (a no-op without one). *)
+
 (** {1 Spill files}
 
     Write-only until {!rewind}, read-only after. Values are marshalled;

@@ -137,6 +137,18 @@ let add_rows buf rows =
       Array.iter (add_value buf) row)
     rows
 
+let frame_label = function
+  | Begin -> "begin"
+  | Commit -> "commit"
+  | Abort -> "abort"
+  | Create _ -> "create"
+  | Drop _ -> "drop"
+  | Insert _ -> "insert"
+  | Delete _ -> "delete"
+  | Replace _ -> "replace"
+  | Prov _ -> "prov"
+  | Checkpoint _ -> "checkpoint"
+
 let encode_frame frame =
   let buf = Buffer.create 64 in
   (match frame with

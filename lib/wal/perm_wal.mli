@@ -51,6 +51,10 @@ type frame =
       (** epoch marker: every record before this one is captured by the
           snapshot published for this epoch *)
 
+val frame_label : frame -> string
+(** Stable lowercase slug (["begin"], ["insert"], ["checkpoint"], …) —
+    the flight recorder's [wal_append] event tag. *)
+
 val encode_frame : frame -> string
 (** Payload bytes of one record (length/CRC header not included). *)
 

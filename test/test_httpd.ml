@@ -288,6 +288,100 @@ let test_sse_replay_and_progress () =
         true (contains ~needle:"\"rows\":" body));
   Engine.close e
 
+let test_sse_anomaly_frames () =
+  let e = forum_engine () in
+  (* one anomaly before the stream opens (replayed from the ring) *)
+  ignore (query_err e "SELECT replayed FROM nowhere");
+  with_server e (fun srv ->
+      let port = Obs_server.port srv in
+      let streamer =
+        Domain.spawn (fun () -> Httpd.get ~port "/events?max_ms=1200")
+      in
+      Unix.sleepf 0.3;
+      (* and one while it is tailing *)
+      ignore (query_err e "SELECT live FROM nowhere");
+      let body =
+        match Domain.join streamer with
+        | Ok (200, body) -> body
+        | Ok (st, _) -> Alcotest.failf "SSE status %d" st
+        | Error msg -> Alcotest.failf "SSE failed: %s" msg
+      in
+      Alcotest.(check bool) "anomaly frames streamed"
+        true (contains ~needle:"event: anomaly" body);
+      Alcotest.(check bool) "replayed anomaly present"
+        true (contains ~needle:"replayed" body);
+      Alcotest.(check bool) "live anomaly present"
+        true (contains ~needle:"live" body);
+      Alcotest.(check bool) "anomaly payload carries its class"
+        true (contains ~needle:"\"class\": \"error\"" body));
+  Engine.close e
+
+let test_debug_bundles_endpoints () =
+  let e = forum_engine () in
+  Engine.Forensics.set_capacity e 2;
+  for i = 1 to 3 do
+    ignore (query_err e (Printf.sprintf "SELECT h%d FROM nowhere" i))
+  done;
+  with_server e (fun srv ->
+      let port = Obs_server.port srv in
+      let index =
+        ok_or_fail "bundle index json" (Json.parse (get_ok port "/debug/bundles"))
+      in
+      (match Json.member "count" index with
+      | Some (Json.Int n) -> Alcotest.(check int) "bounded retention" 2 n
+      | _ -> Alcotest.fail "bundle index has no count");
+      let newest_id =
+        match Json.member "bundles" index with
+        | Some (Json.List (first :: _)) -> (
+          match Json.member "id" first with
+          | Some (Json.Int id) -> id
+          | _ -> Alcotest.fail "bundle summary has no id")
+        | _ -> Alcotest.fail "bundle index empty"
+      in
+      Alcotest.(check int) "newest first" 3 newest_id;
+      let doc =
+        ok_or_fail "bundle json"
+          (Json.parse (get_ok port (Printf.sprintf "/debug/bundles/%d" newest_id)))
+      in
+      (match Perm_obs.Bundle_schema.validate doc with
+      | Ok cls -> Alcotest.(check string) "served bundle validates" "error" cls
+      | Error why -> Alcotest.failf "served bundle invalid: %s" why);
+      (* evicted and unknown ids are 404, not 500 *)
+      (match Httpd.get ~port "/debug/bundles/1" with
+      | Ok (404, _) -> ()
+      | Ok (st, _) -> Alcotest.failf "evicted id: expected 404, got %d" st
+      | Error msg -> Alcotest.failf "evicted id request failed: %s" msg);
+      (match Httpd.get ~port "/debug/bundles/notanumber" with
+      | Ok (404, _) -> ()
+      | Ok (st, _) -> Alcotest.failf "bad id: expected 404, got %d" st
+      | Error msg -> Alcotest.failf "bad id request failed: %s" msg);
+      let idx = get_ok port "/" in
+      Alcotest.(check bool) "index lists /debug/bundles"
+        true (contains ~needle:"/debug/bundles" idx));
+  Engine.close e
+
+let test_wal_and_spill_gauges_always_present () =
+  (* satellite: the WAL and spill families must be in every exposition —
+     zeros included — so dashboards can alert without existence checks *)
+  let e = forum_engine () in
+  ignore (exec_ok e "SELECT * FROM messages");
+  let _, body = handler_body e "/metrics" in
+  ignore (ok_or_fail "exposition validates" (Prometheus.validate body));
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " present") true
+        (contains ~needle body))
+    [
+      "perm_executor_spill_spills";
+      "perm_executor_spill_runs";
+      "perm_executor_spill_bytes";
+      "perm_executor_spill_fallbacks";
+      "perm_wal_epoch";
+      "perm_wal_replay_skipped";
+      "perm_wal_replay_truncated_bytes";
+    ];
+  Engine.close e
+
 let test_graceful_stop_and_restart () =
   let e = forum_engine () in
   let srv = ok_or_fail "start" (Obs_server.start ~port:0 e) in
@@ -439,6 +533,10 @@ let () =
         [
           case "endpoints end to end" test_server_endpoints;
           case "SSE replay + live progress" test_sse_replay_and_progress;
+          case "SSE anomaly frames, replayed and live" test_sse_anomaly_frames;
+          case "/debug/bundles index, fetch, 404s" test_debug_bundles_endpoints;
+          case "WAL + spill gauges always in /metrics"
+            test_wal_and_spill_gauges_always_present;
           case "graceful stop, restart, engine close" test_graceful_stop_and_restart;
           case "connection cap 503" test_connection_cap;
         ] );
